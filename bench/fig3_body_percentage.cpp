@@ -1,0 +1,62 @@
+// Figure 3: percentage of threadblocks executing the Body region, as a
+// function of image size, for a 5x5 local operator under two block-size
+// configurations (32x4 and 128x1).
+//
+// Expected shape: monotonically increasing with image size; the 128x1
+// configuration lies below 32x4 at small sizes (fewer body blocks remain
+// when blocks are large relative to the image).
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/partition.hpp"
+
+namespace ispb::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  Cli cli(argc, argv);
+  cli.option("max", "largest image extent (default 4096)");
+  if (cli.finish()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  const i32 max_size = static_cast<i32>(cli.get_int("max", 4096));
+  const Window window{5, 5};
+  const BlockSize a{32, 4};
+  const BlockSize b{128, 1};
+
+  std::cout << "Reproducing Figure 3: share of blocks executing the Body "
+               "region, 5x5 operator.\n\n";
+
+  AsciiTable table("Figure 3: body-region block percentage");
+  table.set_header({"image", "block 32x4 (%)", "block 128x1 (%)"});
+  for (i32 size = 128; size <= max_size; size *= 2) {
+    const f64 frac_a =
+        count_region_blocks({size, size}, a, window).body_fraction();
+    const f64 frac_b =
+        count_region_blocks({size, size}, b, window).body_fraction();
+    table.add_row({std::to_string(size), AsciiTable::num(100.0 * frac_a, 2),
+                   AsciiTable::num(100.0 * frac_b, 2)});
+  }
+  table.print(std::cout);
+
+  // A dense series for plotting, CSV-style.
+  std::cout << "\nsize,body_pct_32x4,body_pct_128x1\n";
+  for (i32 size = 64; size <= max_size; size += 64) {
+    const f64 frac_a =
+        count_region_blocks({size, size}, a, window).body_fraction();
+    const f64 frac_b =
+        count_region_blocks({size, size}, b, window).body_fraction();
+    std::cout << size << ',' << AsciiTable::num(100.0 * frac_a, 3) << ','
+              << AsciiTable::num(100.0 * frac_b, 3) << '\n';
+  }
+  std::cout << "\nExpected: monotone growth toward 100%; 128x1 below 32x4 "
+               "for small images.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace ispb::bench
+
+int main(int argc, char** argv) { return ispb::bench::run(argc, argv); }

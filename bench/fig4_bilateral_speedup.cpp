@@ -1,0 +1,62 @@
+// Figure 4: speedup of the ISP bilateral filter over the naive
+// implementation on the (simulated) GTX680, for all four border handling
+// patterns across image sizes.
+//
+// Expected shape: speedup below 1.0 for small images under Clamp, Mirror
+// and Constant (the occupancy penalty dominates), crossing above 1.0 as the
+// image grows; Repeat benefits most at every size.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+
+namespace ispb::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  Cli cli(argc, argv);
+  cli.option("quick", "only the four paper sizes");
+  if (cli.finish()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  std::vector<i32> sizes;
+  if (cli.get_flag("quick")) {
+    sizes = kPaperSizes;
+  } else {
+    for (i32 s = 512; s <= 4096; s += 512) sizes.push_back(s);
+  }
+  const sim::DeviceSpec dev = sim::make_gtx680();
+  const BlockSize block{32, 4};
+
+  std::cout << "Reproducing Figure 4: bilateral ISP-over-naive speedup, "
+            << dev.name << ", block 32x4.\n\n";
+
+  AsciiTable table("Figure 4: bilateral speedup (isp / naive)");
+  std::vector<std::string> header{"size"};
+  for (BorderPattern p : kAllBorderPatterns) header.emplace_back(to_string(p));
+  table.set_header(header);
+
+  std::vector<AppRunner> runners;
+  for (BorderPattern p : kAllBorderPatterns) {
+    runners.emplace_back(filters::make_bilateral_app(), p);
+  }
+  for (i32 size : sizes) {
+    std::vector<std::string> row{std::to_string(size)};
+    for (AppRunner& runner : runners) {
+      const AppTiming t = runner.time_app(dev, {size, size}, block);
+      row.push_back(AsciiTable::num(t.speedup_isp(), 3));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: < 1.0 at 512 for clamp/mirror/constant "
+               "(occupancy cost), rising with size; repeat highest.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace ispb::bench
+
+int main(int argc, char** argv) { return ispb::bench::run(argc, argv); }

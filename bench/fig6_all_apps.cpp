@@ -1,0 +1,66 @@
+// Figure 6: speedups of isp and isp+m over the naive implementation for all
+// five applications, four border patterns, four image sizes and both GPUs.
+//
+// Expected shape (paper Section VI): isp wins in most configurations and
+// the advantage grows with image size; Repeat gains the most; the few
+// configurations where isp loses (small bilateral images on Kepler) are
+// repaired by isp+m falling back to naive.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+
+namespace ispb::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  Cli cli(argc, argv);
+  cli.option("quick", "only 512 and 2048 image sizes");
+  cli.option("app", "run a single application by name");
+  if (cli.finish()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  std::vector<i32> sizes = kPaperSizes;
+  if (cli.get_flag("quick")) sizes = {512, 2048};
+  const BlockSize block{32, 4};
+
+  std::cout << "Reproducing Figure 6: per-app speedups of isp and isp+m over "
+               "naive (sampled simulation).\n\n";
+
+  const std::string only_app = cli.get_string("app", "");
+  for (auto& app : filters::all_apps()) {
+    if (!only_app.empty() && app.name != only_app) continue;
+    for (BorderPattern pattern : kAllBorderPatterns) {
+      AppRunner runner(app, pattern);
+      AsciiTable table("Figure 6: " + app.name + " / " +
+                       std::string(to_string(pattern)));
+      std::vector<std::string> header{"device"};
+      for (i32 s : sizes) {
+        header.push_back(std::to_string(s) + " isp");
+        header.push_back(std::to_string(s) + " isp+m");
+      }
+      table.set_header(header);
+      for (const sim::DeviceSpec& dev : paper_devices()) {
+        std::vector<std::string> row{dev.name};
+        for (i32 size : sizes) {
+          const AppTiming t = runner.time_app(dev, {size, size}, block);
+          row.push_back(AsciiTable::num(t.speedup_isp(), 3));
+          row.push_back(AsciiTable::num(t.speedup_isp_model(), 3));
+        }
+        table.add_row(row);
+      }
+      table.print(std::cout);
+      std::cout << "\n";
+    }
+  }
+  std::cout << "Expected: speedups grow with image size; repeat > other "
+               "patterns; isp+m >= min(1, isp) everywhere it matters.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace ispb::bench
+
+int main(int argc, char** argv) { return ispb::bench::run(argc, argv); }

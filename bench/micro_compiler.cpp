@@ -1,0 +1,87 @@
+// Microbenchmarks (google-benchmark) for the compiler pipeline: kernel
+// generation, the optimizer passes (the NVCC-CSE stand-in) and register
+// estimation.
+#include <benchmark/benchmark.h>
+
+#include "codegen/kernel_gen.hpp"
+#include "filters/filters.hpp"
+#include "gpusim/device.hpp"
+#include "ir/passes.hpp"
+#include "ir/regalloc.hpp"
+
+namespace ispb {
+namespace {
+
+const codegen::StencilSpec& gaussian3() {
+  static const codegen::StencilSpec spec = filters::gaussian_spec(3);
+  return spec;
+}
+const codegen::StencilSpec& bilateral13() {
+  static const codegen::StencilSpec spec = filters::bilateral_spec(13);
+  return spec;
+}
+
+void BM_GenerateNaive(benchmark::State& state) {
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kNaive;
+  opt.optimize = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codegen::generate_kernel(gaussian3(), opt));
+  }
+}
+BENCHMARK(BM_GenerateNaive);
+
+void BM_GenerateIspFatKernel(benchmark::State& state) {
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kIsp;
+  opt.optimize = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codegen::generate_kernel(gaussian3(), opt));
+  }
+}
+BENCHMARK(BM_GenerateIspFatKernel);
+
+void BM_OptimizePipeline(benchmark::State& state) {
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kIsp;
+  opt.optimize = false;
+  const ir::Program prog = codegen::generate_kernel(gaussian3(), opt);
+  for (auto _ : state) {
+    ir::Program copy = prog;
+    benchmark::DoNotOptimize(ir::optimize(copy));
+  }
+}
+BENCHMARK(BM_OptimizePipeline);
+
+void BM_RegisterAllocation(benchmark::State& state) {
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kIsp;
+  const ir::Program prog = codegen::generate_kernel(bilateral13(), opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::allocate_registers(prog));
+  }
+}
+BENCHMARK(BM_RegisterAllocation);
+
+void BM_EstimateRegisters(benchmark::State& state) {
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kIsp;
+  const ir::Program prog = codegen::generate_kernel(bilateral13(), opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::estimate_kernel_registers(prog));
+  }
+}
+BENCHMARK(BM_EstimateRegisters);
+
+void BM_MeasureCosts(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codegen::measure_costs(gaussian3(), BorderPattern::kClamp));
+  }
+}
+BENCHMARK(BM_MeasureCosts);
+
+}  // namespace
+}  // namespace ispb
+
+BENCHMARK_MAIN();

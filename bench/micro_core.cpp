@@ -1,0 +1,74 @@
+// Microbenchmarks (google-benchmark) for the core partitioning math and the
+// border index mappings — the per-access primitives whose cost the paper's
+// whole argument is about.
+#include <benchmark/benchmark.h>
+
+#include "border/border.hpp"
+#include "core/model.hpp"
+#include "core/partition.hpp"
+
+namespace ispb {
+namespace {
+
+void BM_MapIndex(benchmark::State& state) {
+  const auto pattern = static_cast<BorderPattern>(state.range(0));
+  i32 c = -37;
+  for (auto _ : state) {
+    if (pattern == BorderPattern::kConstant) {
+      benchmark::DoNotOptimize(c >= 0 && c < 512);
+    } else {
+      benchmark::DoNotOptimize(map_index(pattern, c, 512));
+    }
+    c = (c + 7) % 1200 - 600;
+  }
+}
+BENCHMARK(BM_MapIndex)
+    ->Arg(static_cast<i32>(BorderPattern::kClamp))
+    ->Arg(static_cast<i32>(BorderPattern::kMirror))
+    ->Arg(static_cast<i32>(BorderPattern::kRepeat))
+    ->Arg(static_cast<i32>(BorderPattern::kConstant));
+
+void BM_ComputeBlockBounds(benchmark::State& state) {
+  const i32 size = static_cast<i32>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compute_block_bounds({size, size}, {32, 4}, {13, 13}));
+  }
+}
+BENCHMARK(BM_ComputeBlockBounds)->Arg(512)->Arg(4096);
+
+void BM_CountRegionBlocks(benchmark::State& state) {
+  const i32 size = static_cast<i32>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        count_region_blocks({size, size}, {32, 4}, {13, 13}));
+  }
+}
+BENCHMARK(BM_CountRegionBlocks)->Arg(512)->Arg(4096);
+
+void BM_ClassifyBlock(benchmark::State& state) {
+  const BlockBounds bounds =
+      compute_block_bounds({4096, 4096}, {32, 4}, {13, 13});
+  i32 bx = 0;
+  i32 by = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify_block(bounds, bx, by));
+    bx = (bx + 1) % 128;
+    by = (by + 3) % 1024;
+  }
+}
+BENCHMARK(BM_ClassifyBlock);
+
+void BM_EvaluateModel(benchmark::State& state) {
+  const ModelInputs in = default_model_inputs({2048, 2048}, {32, 4}, {13, 13},
+                                              BorderPattern::kClamp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_model(in));
+  }
+}
+BENCHMARK(BM_EvaluateModel);
+
+}  // namespace
+}  // namespace ispb
+
+BENCHMARK_MAIN();

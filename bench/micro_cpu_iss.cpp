@@ -1,0 +1,49 @@
+// Microbenchmark (google-benchmark): CPU-targeted index-set splitting
+// (Eq. (1) pixel partition) vs the plain reference loop — the sequential
+// counterpart of the paper's GPU transformation.
+#include <benchmark/benchmark.h>
+
+#include "dsl/runtime.hpp"
+#include "filters/filters.hpp"
+#include "image/generators.hpp"
+
+namespace ispb {
+namespace {
+
+const Image<f32>& source() {
+  static const Image<f32> img = make_noise_image({512, 512}, 77);
+  return img;
+}
+
+void BM_CpuReferencePlain(benchmark::State& state) {
+  const auto pattern = static_cast<BorderPattern>(state.range(0));
+  const codegen::StencilSpec spec = filters::gaussian_spec(5);
+  const Image<f32>* inputs[] = {&source()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dsl::run_reference(spec, pattern, 0.0f, {inputs, 1}));
+  }
+}
+BENCHMARK(BM_CpuReferencePlain)
+    ->Arg(static_cast<i32>(BorderPattern::kClamp))
+    ->Arg(static_cast<i32>(BorderPattern::kRepeat))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CpuReferencePartitioned(benchmark::State& state) {
+  const auto pattern = static_cast<BorderPattern>(state.range(0));
+  const codegen::StencilSpec spec = filters::gaussian_spec(5);
+  const Image<f32>* inputs[] = {&source()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dsl::run_reference_partitioned(spec, pattern, 0.0f, {inputs, 1}));
+  }
+}
+BENCHMARK(BM_CpuReferencePartitioned)
+    ->Arg(static_cast<i32>(BorderPattern::kClamp))
+    ->Arg(static_cast<i32>(BorderPattern::kRepeat))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ispb
+
+BENCHMARK_MAIN();

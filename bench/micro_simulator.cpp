@@ -1,0 +1,116 @@
+// Microbenchmarks (google-benchmark) for the GPU simulator: warp execution
+// throughput on straight-line, divergent and looping kernels, and one full
+// threadblock of the Gaussian ISP kernel.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "dsl/runtime.hpp"
+#include "filters/filters.hpp"
+#include "gpusim/launcher.hpp"
+#include "image/generators.hpp"
+#include "ir/builder.hpp"
+
+namespace ispb {
+namespace {
+
+ir::Program straight_kernel() {
+  ir::Builder b("straight");
+  const ir::RegId tid = b.add_special("tid.x");
+  const u8 out = b.add_buffer();
+  ir::RegId v = b.emit(ir::Op::kMul, ir::Type::kI32, ir::Operand::r(tid),
+                       ir::Operand::imm_i32(3));
+  for (int i = 0; i < 32; ++i) {
+    v = b.emit(ir::Op::kAdd, ir::Type::kI32, ir::Operand::r(v),
+               ir::Operand::imm_i32(i));
+  }
+  const ir::RegId f = b.emit_cvt(ir::Type::kF32, ir::Type::kI32,
+                                 ir::Operand::r(v));
+  b.emit_st(out, tid, ir::Operand::r(f));
+  b.ret();
+  return b.finish();
+}
+
+std::vector<ir::Word> lane_inputs(const ir::Program& prog) {
+  std::vector<ir::Word> inputs(32 * prog.num_inputs());
+  for (i32 l = 0; l < 32; ++l) {
+    inputs[static_cast<std::size_t>(l) * prog.num_inputs()] =
+        ir::Word::from_i32(l);
+  }
+  return inputs;
+}
+
+void BM_WarpStraightLine(benchmark::State& state) {
+  const sim::DeviceSpec dev = sim::make_gtx680();
+  const ir::Program prog = straight_kernel();
+  std::vector<f32> out(128, 0.0f);
+  const ir::BufferBinding buf{out.data(), out.size(), true};
+  const auto inputs = lane_inputs(prog);
+  u64 lanes = 0;
+  for (auto _ : state) {
+    const sim::WarpResult r = sim::run_warp(prog, dev, inputs, {&buf, 1});
+    lanes += r.lane_instructions;
+  }
+  state.SetItemsProcessed(static_cast<i64>(lanes));
+}
+BENCHMARK(BM_WarpStraightLine);
+
+void BM_GaussianIspBlock(benchmark::State& state) {
+  const sim::DeviceSpec dev = sim::make_gtx680();
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kIsp;
+  const dsl::CompiledKernel kernel =
+      dsl::compile_kernel(filters::gaussian_spec(3), opt);
+  const Size2 size{512, 512};
+  const auto src = make_gradient_image(size);
+  Image<f32> out(size);
+  const Image<f32>* inputs[] = {&src};
+  const sim::ParamMap params =
+      dsl::build_params(kernel.program, size, {inputs, 1}, out, {32, 4},
+                        kernel.spec.window());
+  std::vector<ir::BufferBinding> buffers{
+      {const_cast<f32*>(src.buffer().data()), src.buffer().size(), false},
+      {out.buffer().data(), out.buffer().size(), true}};
+  const sim::LaunchConfig cfg{size, {32, 4}, kernel.regs_per_thread};
+
+  u64 lanes = 0;
+  for (auto _ : state) {
+    const sim::WarpResult r =
+        sim::run_block(dev, kernel.program, cfg, params, buffers, 5, 5);
+    lanes += r.lane_instructions;
+  }
+  state.SetItemsProcessed(static_cast<i64>(lanes));
+}
+BENCHMARK(BM_GaussianIspBlock);
+
+void BM_SampledBilateralLaunch(benchmark::State& state) {
+  const sim::DeviceSpec dev = sim::make_gtx680();
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kIsp;
+  const dsl::CompiledKernel kernel =
+      dsl::compile_kernel(filters::bilateral_spec(13), opt);
+  const Size2 size{1024, 1024};
+  const auto src = make_gradient_image(size);
+  const Image<f32>* inputs[] = {&src};
+  for (auto _ : state) {
+    Image<f32> out(size);
+    benchmark::DoNotOptimize(dsl::launch_on_sim(dev, kernel, {inputs, 1}, out,
+                                                {32, 4}, /*sampled=*/true));
+  }
+}
+BENCHMARK(BM_SampledBilateralLaunch)->Unit(benchmark::kMillisecond);
+
+void BM_Occupancy(benchmark::State& state) {
+  const sim::DeviceSpec dev = sim::make_gtx680();
+  i32 regs = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::compute_occupancy(dev, {32, 4}, regs));
+    regs = 8 + (regs + 1) % 56;
+  }
+}
+BENCHMARK(BM_Occupancy);
+
+}  // namespace
+}  // namespace ispb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Table III: measurement vs. model prediction for the bilateral filter.
+//
+// For every image size (512..4096, step 256) and border pattern the bench
+// measures which implementation is faster on the simulated GTX680 (sampled
+// launches) and compares it with the analytic model's choice (Eq. (10)).
+// It also reports the Pearson correlation between the measured speedup and
+// the modeled gain per pattern, like the paper's last column.
+//
+// Expected shape: mispredictions only near the crossover where the two
+// implementations are within a few percent; high correlation everywhere.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+
+namespace ispb::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  Cli cli(argc, argv);
+  cli.option("quick", "coarser size grid (step 512)");
+  cli.option("step", "size step (default 256)");
+  if (cli.finish()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  const i32 step =
+      cli.get_flag("quick") ? 512 : static_cast<i32>(cli.get_int("step", 256));
+  const sim::DeviceSpec dev = sim::make_gtx680();
+  const BlockSize block{32, 4};
+
+  std::cout << "Reproducing Table III: bilateral 13x13, " << dev.name
+            << ", block 32x4, sizes 512.." << 4096 << " step " << step
+            << "\nCells: measured winner / model prediction (speedup = naive "
+               "ms / isp ms).\n\n";
+
+  AsciiTable table("Table III: measurement vs model prediction");
+  std::vector<std::string> header{"size"};
+  for (BorderPattern p : kAllBorderPatterns) {
+    header.push_back(std::string(to_string(p)) + " meas/pred");
+  }
+  header.emplace_back("all match?");
+  table.set_header(header);
+
+  std::map<BorderPattern, std::vector<f64>> measured_speedup;
+  std::map<BorderPattern, std::vector<f64>> predicted_gain;
+  std::map<BorderPattern, i32> mispredictions;
+  i32 rows = 0;
+
+  std::vector<AppRunner> runners;
+  runners.reserve(kAllBorderPatterns.size());
+  for (BorderPattern p : kAllBorderPatterns) {
+    runners.emplace_back(filters::make_bilateral_app(), p);
+  }
+
+  for (i32 size = 512; size <= 4096; size += step) {
+    std::vector<std::string> row{std::to_string(size)};
+    bool all_match = true;
+    for (std::size_t pi = 0; pi < kAllBorderPatterns.size(); ++pi) {
+      const BorderPattern pattern = kAllBorderPatterns[pi];
+      AppRunner& runner = runners[pi];
+      const AppTiming t = runner.time_app(dev, {size, size}, block);
+      const auto decisions = runner.decide(dev, {size, size}, block);
+      const f64 speedup = t.speedup_isp();
+      const bool measured_isp = speedup > 1.0;
+      const bool predicted_isp = decisions[0].use_isp;
+      measured_speedup[pattern].push_back(speedup);
+      predicted_gain[pattern].push_back(decisions[0].model.gain);
+      const bool match = measured_isp == predicted_isp;
+      if (!match) {
+        ++mispredictions[pattern];
+        all_match = false;
+      }
+      row.push_back(std::string(measured_isp ? "isp" : "naive") + "/" +
+                    (predicted_isp ? "isp" : "naive") +
+                    (match ? "" : " !") + " (" +
+                    AsciiTable::num(speedup, 3) + ")");
+    }
+    row.emplace_back(all_match ? "yes" : "no");
+    table.add_row(row);
+    ++rows;
+  }
+  table.print(std::cout);
+
+  AsciiTable corr("Pearson correlation: measured speedup vs modeled gain");
+  corr.set_header({"pattern", "r", "mispredictions", "of"});
+  for (BorderPattern p : kAllBorderPatterns) {
+    corr.add_row({std::string(to_string(p)),
+                  AsciiTable::num(pearson(measured_speedup[p],
+                                          predicted_gain[p]),
+                                  3),
+                  std::to_string(mispredictions[p]), std::to_string(rows)});
+  }
+  std::cout << "\n";
+  corr.print(std::cout);
+  std::cout << "\nExpected: few mispredictions, located near the crossover "
+               "(speedup ~ 1.0); strong positive correlation.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace ispb::bench
+
+int main(int argc, char** argv) { return ispb::bench::run(argc, argv); }

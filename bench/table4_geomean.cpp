@@ -1,0 +1,65 @@
+// Table IV: geometric mean speedup of the isp+m implementation over the
+// naive implementation, per application, across all border patterns, image
+// sizes and both GPUs.
+//
+// Expected shape: every app above 1.0; the cheap-kernel apps (Gaussian,
+// Laplace, Sobel) above the expensive ones (Bilateral, Night); Sobel — many
+// cheap kernels — the highest.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "harness.hpp"
+
+namespace ispb::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  Cli cli(argc, argv);
+  cli.option("quick", "only 512 and 2048 image sizes");
+  if (cli.finish()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  std::vector<i32> sizes = kPaperSizes;
+  if (cli.get_flag("quick")) sizes = {512, 2048};
+  const BlockSize block{32, 4};
+
+  std::cout << "Reproducing Table IV: geometric mean of isp+m speedups over "
+               "naive, per application\n(across "
+            << kAllBorderPatterns.size() << " patterns x " << sizes.size()
+            << " sizes x 2 GPUs).\n\n";
+
+  AsciiTable table("Table IV: geometric mean speedups (isp+m over naive)");
+  table.set_header({"app", "geomean", "min", "max", "isp geomean"});
+  for (auto& app : filters::all_apps()) {
+    std::vector<f64> model_speedups;
+    std::vector<f64> isp_speedups;
+    for (BorderPattern pattern : kAllBorderPatterns) {
+      AppRunner runner(app, pattern);
+      for (const sim::DeviceSpec& dev : paper_devices()) {
+        for (i32 size : sizes) {
+          const AppTiming t = runner.time_app(dev, {size, size}, block);
+          model_speedups.push_back(t.speedup_isp_model());
+          isp_speedups.push_back(t.speedup_isp());
+        }
+      }
+    }
+    const Summary s = summarize(model_speedups);
+    table.add_row({app.name, AsciiTable::num(geometric_mean(model_speedups), 3),
+                   AsciiTable::num(s.min, 3), AsciiTable::num(s.max, 3),
+                   AsciiTable::num(geometric_mean(isp_speedups), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper reference (geomeans): gaussian 1.438, laplace 1.422, "
+               "bilateral 1.355, sobel 1.877, night 1.102.\n"
+               "Expected shape: all > 1; cheap kernels > expensive kernels; "
+               "sobel highest; night lowest.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace ispb::bench
+
+int main(int argc, char** argv) { return ispb::bench::run(argc, argv); }

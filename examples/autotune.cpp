@@ -1,0 +1,62 @@
+// Autotuner: drives the analytic model across block sizes and variants to
+// pick a performance-optimized launch configuration per filter and border
+// pattern — the paper's model (Eq. (10)) used as an optimizer rather than a
+// binary predictor (an extension beyond the paper; see DESIGN.md).
+//
+//   ./autotune [--size=N] [--device=gtx680|rtx2080]
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "dsl/compile.hpp"
+#include "filters/filters.hpp"
+
+using namespace ispb;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  cli.option("size", "image extent (default 2048)");
+  cli.option("device", "gtx680 or rtx2080 (default gtx680)");
+  if (cli.finish()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  const i32 extent = static_cast<i32>(cli.get_int("size", 2048));
+  const std::string device_name = cli.get_string("device", "gtx680");
+  const sim::DeviceSpec dev =
+      device_name == "rtx2080" ? sim::make_rtx2080() : sim::make_gtx680();
+  const Size2 size{extent, extent};
+
+  std::cout << "Model-driven configuration search on " << dev.name << ", "
+            << extent << "x" << extent << " images.\n\n";
+
+  AsciiTable table("advised configurations");
+  table.set_header({"filter", "pattern", "block", "variant", "gain G",
+                    "regs naive/isp"});
+  const std::vector<std::pair<std::string, codegen::StencilSpec>> specs = {
+      {"gaussian 3x3", filters::gaussian_spec(3)},
+      {"laplace 5x5", filters::laplace_spec(5)},
+      {"bilateral 13x13", filters::bilateral_spec(13)},
+      {"atrous 9x9 (sparse)", filters::atrous_spec(9)},
+  };
+  for (const auto& [name, spec] : specs) {
+    for (BorderPattern pattern : kAllBorderPatterns) {
+      const dsl::BlockAdvice advice =
+          dsl::advise_block_size(dev, spec, size, pattern);
+      table.add_row(
+          {name, std::string(to_string(pattern)),
+           std::to_string(advice.block.tx) + "x" +
+               std::to_string(advice.block.ty),
+           std::string(codegen::to_string(advice.decision.variant)),
+           AsciiTable::num(advice.decision.model.gain, 3),
+           std::to_string(advice.decision.regs_naive) + "/" +
+               std::to_string(advice.decision.regs_isp)});
+    }
+    table.add_separator();
+  }
+  table.print(std::cout);
+  std::cout << "\nGain G > 1 selects the ISP fat kernel (Eq. (10)); the "
+               "block advisor compares modeled throughput across candidate "
+               "block sizes.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Quickstart: a Gaussian blur with clamp border handling, written exactly in
+// the paper's Listing 4 style. Runs the CPU reference backend, then the
+// simulated GPU with iteration space partitioning, verifies they agree, and
+// writes the result as PGM.
+//
+//   ./quickstart [--size=N] [--out=blurred.pgm]
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "dsl/hipacc.hpp"
+#include "filters/filters.hpp"
+#include "image/compare.hpp"
+#include "image/generators.hpp"
+#include "image/image_io.hpp"
+
+using namespace ispb;
+
+namespace {
+
+/// The user-defined local operator: derive from Kernel, register accessors,
+/// describe the computation over traced Values in kernel().
+class GaussianBlur : public dsl::Kernel {
+ public:
+  GaussianBlur(dsl::IterationSpace& iter, dsl::Accessor& input,
+               dsl::Mask& mask, dsl::Domain& dom)
+      : Kernel(iter, "gaussian_blur"), input_(input), mask_(mask), dom_(dom) {
+    add_accessor(&input_);
+  }
+
+  void kernel() override {
+    output() = convolve(mask_, dom_, dsl::Reduce::kSum,
+                        [&] { return mask_(dom_) * input_(dom_); });
+  }
+
+ private:
+  dsl::Accessor& input_;
+  dsl::Mask& mask_;
+  dsl::Domain& dom_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  cli.option("size", "image extent (default 256)");
+  cli.option("out", "output PGM path (default blurred.pgm)");
+  if (cli.finish()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  const i32 extent = static_cast<i32>(cli.get_int("size", 256));
+  const std::string out_path = cli.get_string("out", "blurred.pgm");
+
+  // Host code, Listing 4 style: image, mask, domain, boundary condition,
+  // accessor, iteration space, kernel.
+  const Image<f32> in = make_noise_image({extent, extent}, 1234);
+  Image<f32> out(extent, extent);
+
+  dsl::Mask mask = filters::gaussian_mask(5);
+  dsl::Domain dom(mask);
+  const dsl::BoundaryCondition bound(in, mask, BorderPattern::kClamp);
+  dsl::Accessor acc(bound);
+  dsl::IterationSpace iter(out);
+  GaussianBlur blur(iter, acc, mask, dom);
+
+  // 1) CPU reference execution.
+  dsl::ExecConfig reference;
+  (void)blur.execute(reference);
+  const Image<f32> expected = out;
+
+  // 2) Simulated GPU with iteration space partitioning.
+  dsl::ExecConfig gpu;
+  gpu.backend = dsl::ExecConfig::Backend::kSimulator;
+  gpu.device = sim::make_gtx680();
+  gpu.variant = codegen::Variant::kIsp;
+  const dsl::ExecutionReport report = blur.execute(gpu);
+
+  std::cout << "kernel: " << report.spec.name << ", window "
+            << report.spec.window().m << "x" << report.spec.window().n
+            << ", " << report.spec.read_count() << " taps\n";
+  std::cout << "variant: " << codegen::to_string(report.variant_used)
+            << " on " << gpu.device.name << "\n";
+  if (report.stats.has_value()) {
+    std::cout << "modeled time: " << report.stats->time_ms << " ms, "
+              << report.stats->warps.issue_slots << " warp instructions, "
+              << "occupancy " << report.stats->occupancy.fraction << "\n";
+  }
+
+  const CompareResult diff = compare(out, expected);
+  std::cout << "simulator vs reference: max abs diff = " << diff.max_abs
+            << (diff.max_abs == 0.0 ? " (bit-exact)" : "") << "\n";
+
+  write_pgm(out, out_path);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "border/border.hpp"
+
+namespace ispb {
+
+std::string_view to_string(BorderPattern p) {
+  switch (p) {
+    case BorderPattern::kClamp:
+      return "clamp";
+    case BorderPattern::kMirror:
+      return "mirror";
+    case BorderPattern::kRepeat:
+      return "repeat";
+    case BorderPattern::kConstant:
+      return "constant";
+  }
+  return "?";
+}
+
+std::optional<BorderPattern> parse_border_pattern(std::string_view name) {
+  for (BorderPattern p : kAllBorderPatterns) {
+    if (name == to_string(p)) return p;
+  }
+  return std::nullopt;
+}
+
+i32 map_index(BorderPattern pattern, i32 coord, i32 size) {
+  ISPB_EXPECTS(size > 0);
+  switch (pattern) {
+    case BorderPattern::kClamp: {
+      if (coord < 0) return 0;
+      if (coord >= size) return size - 1;
+      return coord;
+    }
+    case BorderPattern::kMirror: {
+      // Reflect with the edge pixel included: ..., 1, 0 | 0, 1, ..., s-1 |
+      // s-1, s-2, ... The sequence is periodic with period 2*size; fold into
+      // [0, 2*size) first, then reflect the upper half.
+      const i64 period = 2 * static_cast<i64>(size);
+      i64 m = static_cast<i64>(coord) % period;
+      if (m < 0) m += period;
+      if (m >= size) m = period - 1 - m;
+      return static_cast<i32>(m);
+    }
+    case BorderPattern::kRepeat: {
+      // Mathematical modulo; equivalent to the while loops of Listing 1.
+      i64 m = static_cast<i64>(coord) % size;
+      if (m < 0) m += size;
+      return static_cast<i32>(m);
+    }
+    case BorderPattern::kConstant: {
+      // Constant has no index remapping; callers must test bounds and
+      // substitute the constant themselves (see border_read).
+      ISPB_EXPECTS(coord >= 0 && coord < size);
+      return coord;
+    }
+  }
+  ISPB_ASSERT(false);
+  return 0;
+}
+
+Index2 map_index_2d(BorderPattern pattern, Index2 p, Size2 size) {
+  return Index2{map_index(pattern, p.x, size.x),
+                map_index(pattern, p.y, size.y)};
+}
+
+i32 check_cost_per_side(BorderPattern p) {
+  switch (p) {
+    case BorderPattern::kClamp:
+      return 2;  // setp + selp (or min/max)
+    case BorderPattern::kMirror:
+      return 3;  // setp + arithmetic remap + selp
+    case BorderPattern::kRepeat:
+      return 4;  // loop: setp + add + branch (amortized one trip) + overhead
+    case BorderPattern::kConstant:
+      return 2;  // setp + predicate combine
+  }
+  ISPB_ASSERT(false);
+  return 0;
+}
+
+}  // namespace ispb

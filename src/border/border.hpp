@@ -1,0 +1,117 @@
+// Border-handling patterns (paper Section III-A, Figure 2, Listing 1).
+//
+// Four patterns are supported: Clamp (a.k.a. Duplicate), Mirror, Repeat
+// (a.k.a. Periodic) and Constant. The scalar index-mapping functions in this
+// module are the semantic ground truth: the DSL's CPU reference backend, the
+// IR code generator and every property test all appeal to these definitions.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ispb {
+
+/// Out-of-bounds policy for stencil reads.
+enum class BorderPattern : u8 {
+  kClamp,     ///< Return the nearest valid pixel (edge duplication).
+  kMirror,    ///< Reflect at the border (edge pixel included in the fold).
+  kRepeat,    ///< Tile the image periodically along both dimensions.
+  kConstant,  ///< Return a user-defined constant for every OOB access.
+};
+
+/// All patterns, in the order used by the paper's tables.
+inline constexpr std::array<BorderPattern, 4> kAllBorderPatterns = {
+    BorderPattern::kClamp, BorderPattern::kMirror, BorderPattern::kRepeat,
+    BorderPattern::kConstant};
+
+[[nodiscard]] std::string_view to_string(BorderPattern p);
+
+/// Parses "clamp" / "mirror" / "repeat" / "constant" (case-sensitive).
+[[nodiscard]] std::optional<BorderPattern> parse_border_pattern(
+    std::string_view name);
+
+/// Sides of the iteration space a region may have to check, as a bitmask.
+enum class Side : u8 {
+  kNone = 0,
+  kLeft = 1 << 0,
+  kRight = 1 << 1,
+  kTop = 1 << 2,
+  kBottom = 1 << 3,
+};
+
+[[nodiscard]] constexpr Side operator|(Side a, Side b) {
+  return static_cast<Side>(static_cast<u8>(a) | static_cast<u8>(b));
+}
+[[nodiscard]] constexpr Side operator&(Side a, Side b) {
+  return static_cast<Side>(static_cast<u8>(a) & static_cast<u8>(b));
+}
+[[nodiscard]] constexpr bool has_side(Side mask, Side s) {
+  return (mask & s) != Side::kNone;
+}
+/// Number of set sides in the mask.
+[[nodiscard]] constexpr i32 side_count(Side mask) {
+  i32 n = 0;
+  for (u8 bits = static_cast<u8>(mask); bits != 0; bits &= bits - 1) ++n;
+  return n;
+}
+
+inline constexpr Side kAllSides =
+    Side::kLeft | Side::kRight | Side::kTop | Side::kBottom;
+
+/// Maps a possibly out-of-bounds 1-D coordinate into [0, size) for the
+/// non-Constant patterns. `size` must be positive. Handles coordinates
+/// arbitrarily far out of bounds (windows larger than the image).
+///
+/// - Clamp:  ... -2 -1 | 0 1 2 ... s-1 | s s+1 ...  ->  0 0 | 0 1 2 .. | s-1
+/// - Mirror: -1 -> 0, -2 -> 1, s -> s-1 (edge included; OpenCV
+///   BORDER_REFLECT), periodic with period 2*size for far coordinates.
+/// - Repeat: coordinate mod size (mathematical modulo).
+[[nodiscard]] i32 map_index(BorderPattern pattern, i32 coord, i32 size);
+
+/// Per-axis mapping convenience: maps (x, y) into bounds.
+[[nodiscard]] Index2 map_index_2d(BorderPattern pattern, Index2 p, Size2 size);
+
+/// Reads pixel (x, y) from `img` under `pattern`, resolving out-of-bounds
+/// coordinates; for Constant, returns `constant` when (x, y) is OOB.
+template <typename ImageT>
+[[nodiscard]] auto border_read(const ImageT& img, BorderPattern pattern, i32 x,
+                               i32 y, typename ImageT::value_type constant);
+
+/// True when `pattern` needs a bounded number of operations per check (Clamp,
+/// Mirror, Constant). Repeat uses a data-dependent while loop (Listing 1) and
+/// is flagged false; the analytic model charges it a higher per-check cost.
+[[nodiscard]] constexpr bool has_constant_check_cost(BorderPattern p) {
+  return p != BorderPattern::kRepeat;
+}
+
+/// Estimated scalar instructions to check-and-remap ONE side for one access,
+/// used by the analytic model (n_check in Eq. (3)). Derived from Listing 1:
+/// Clamp/Mirror need a compare + select (+ arithmetic for Mirror), Repeat a
+/// compare + add per loop trip, Constant a compare + predicated select.
+[[nodiscard]] i32 check_cost_per_side(BorderPattern p);
+
+}  // namespace ispb
+
+// ---- template definitions -------------------------------------------------
+
+namespace ispb {
+
+template <typename ImageT>
+auto border_read(const ImageT& img, BorderPattern pattern, i32 x, i32 y,
+                 typename ImageT::value_type constant) {
+  if (pattern == BorderPattern::kConstant) {
+    if (x < 0 || x >= img.width() || y < 0 || y >= img.height()) {
+      return constant;
+    }
+    return img(x, y);
+  }
+  const i32 mx = map_index(pattern, x, img.width());
+  const i32 my = map_index(pattern, y, img.height());
+  return img(mx, my);
+}
+
+}  // namespace ispb

@@ -1,0 +1,278 @@
+#include "codegen/cuda_printer.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/region.hpp"
+
+namespace ispb::codegen {
+
+namespace {
+
+/// Emits the C expression reading input `n.input` at offset (dx, dy) with
+/// the checks this section needs. Returns the expression string; may append
+/// statement lines to `body` for multi-statement patterns (Repeat loops,
+/// Constant guards).
+std::string emit_read_expr(std::ostringstream& body, const CodegenOptions& opt,
+                           Side sides, i32 input, i32 dx, i32 dy, int* temp) {
+  // Same convention as the IR generator (kernel_gen.cpp): sign-agnostic
+  // Listing 1 border functions on every offset access; the centered (0,0)
+  // read is guard-proven in bounds and never checked.
+  const bool center = dx == 0 && dy == 0;
+  const bool check_l = !center && has_side(sides, Side::kLeft);
+  const bool check_r = !center && has_side(sides, Side::kRight);
+  const bool check_t = !center && has_side(sides, Side::kTop);
+  const bool check_b = !center && has_side(sides, Side::kBottom);
+
+  const auto offset = [](const char* base, i32 d) {
+    std::ostringstream os;
+    os << base;
+    if (d > 0) os << " + " << d;
+    if (d < 0) os << " - " << -d;
+    return os.str();
+  };
+
+  const std::string id = std::to_string((*temp)++);
+  const std::string xi = "x" + id;
+  const std::string yi = "y" + id;
+  body << "        int " << xi << " = " << offset("gx", dx) << ";\n";
+  body << "        int " << yi << " = " << offset("gy", dy) << ";\n";
+
+  switch (opt.pattern) {
+    case BorderPattern::kClamp:
+      if (check_l) body << "        " << xi << " = max(" << xi << ", 0);\n";
+      if (check_r) {
+        body << "        " << xi << " = min(" << xi << ", sx - 1);\n";
+      }
+      if (check_t) body << "        " << yi << " = max(" << yi << ", 0);\n";
+      if (check_b) {
+        body << "        " << yi << " = min(" << yi << ", sy - 1);\n";
+      }
+      break;
+    case BorderPattern::kMirror:
+      if (check_l) {
+        body << "        if (" << xi << " < 0) " << xi << " = -" << xi
+             << " - 1;\n";
+      }
+      if (check_r) {
+        body << "        if (" << xi << " >= sx) " << xi << " = 2 * sx - "
+             << xi << " - 1;\n";
+      }
+      if (check_t) {
+        body << "        if (" << yi << " < 0) " << yi << " = -" << yi
+             << " - 1;\n";
+      }
+      if (check_b) {
+        body << "        if (" << yi << " >= sy) " << yi << " = 2 * sy - "
+             << yi << " - 1;\n";
+      }
+      break;
+    case BorderPattern::kRepeat:
+      if (check_l) {
+        body << "        while (" << xi << " < 0) " << xi << " += sx;\n";
+      }
+      if (check_r) {
+        body << "        while (" << xi << " >= sx) " << xi << " -= sx;\n";
+      }
+      if (check_t) {
+        body << "        while (" << yi << " < 0) " << yi << " += sy;\n";
+      }
+      if (check_b) {
+        body << "        while (" << yi << " >= sy) " << yi << " -= sy;\n";
+      }
+      break;
+    case BorderPattern::kConstant: {
+      if (check_l || check_r || check_t || check_b) {
+        const std::string vi = "v" + id;
+        body << "        float " << vi << " = " << opt.border_constant
+             << "f;\n";
+        body << "        if (true";
+        if (check_l) body << " && " << xi << " >= 0";
+        if (check_r) body << " && " << xi << " < sx";
+        if (check_t) body << " && " << yi << " >= 0";
+        if (check_b) body << " && " << yi << " < sy";
+        body << ") " << vi << " = in" << input << "[" << yi << " * pitch_in"
+             << input << " + " << xi << "];\n";
+        return vi;
+      }
+      break;
+    }
+  }
+  return "in" + std::to_string(input) + "[" + yi + " * pitch_in" +
+         std::to_string(input) + " + " + xi + "]";
+}
+
+/// Emits the DAG as a sequence of `float tN = ...;` statements; returns the
+/// name holding the output value.
+std::string emit_dag(std::ostringstream& body, const StencilSpec& spec,
+                     const CodegenOptions& opt, Side sides) {
+  int temp = 0;
+  std::vector<std::string> names(spec.nodes.size());
+  for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
+    const Node& n = spec.nodes[i];
+    const std::string lhs =
+        n.lhs >= 0 ? names[static_cast<std::size_t>(n.lhs)] : "";
+    const std::string rhs =
+        n.rhs >= 0 ? names[static_cast<std::size_t>(n.rhs)] : "";
+    std::string expr;
+    switch (n.kind) {
+      case NodeKind::kRead:
+        expr = emit_read_expr(body, opt, sides, n.input, n.dx, n.dy, &temp);
+        break;
+      case NodeKind::kConst: {
+        std::ostringstream os;
+        os << n.value << "f";
+        expr = os.str();
+        break;
+      }
+      case NodeKind::kAdd:
+        expr = lhs + " + " + rhs;
+        break;
+      case NodeKind::kSub:
+        expr = lhs + " - " + rhs;
+        break;
+      case NodeKind::kMul:
+        expr = lhs + " * " + rhs;
+        break;
+      case NodeKind::kDiv:
+        expr = lhs + " / " + rhs;
+        break;
+      case NodeKind::kMin:
+        expr = "fminf(" + lhs + ", " + rhs + ")";
+        break;
+      case NodeKind::kMax:
+        expr = "fmaxf(" + lhs + ", " + rhs + ")";
+        break;
+      case NodeKind::kNeg:
+        expr = "-" + lhs;
+        break;
+      case NodeKind::kAbs:
+        expr = "fabsf(" + lhs + ")";
+        break;
+      case NodeKind::kExp2:
+        expr = "exp2f(" + lhs + ")";
+        break;
+      case NodeKind::kLog2:
+        expr = "log2f(" + lhs + ")";
+        break;
+      case NodeKind::kSqrt:
+        expr = "sqrtf(" + lhs + ")";
+        break;
+      case NodeKind::kRcp:
+        expr = "1.0f / " + lhs;
+        break;
+    }
+    const std::string name = "t" + std::to_string(i);
+    body << "        float " << name << " = " << expr << ";\n";
+    names[i] = name;
+  }
+  return names[static_cast<std::size_t>(spec.output)];
+}
+
+void emit_region_section(std::ostringstream& os, const StencilSpec& spec,
+                         const CodegenOptions& opt, std::string_view label,
+                         Side sides) {
+  os << label << ": {\n";
+  std::ostringstream body;
+  const std::string result = emit_dag(body, spec, opt, sides);
+  os << body.str();
+  os << "        out[gy * pitch_out + gx] = " << result << ";\n";
+  os << "        return;\n";
+  os << "    }\n";
+}
+
+}  // namespace
+
+std::string emit_cuda(const StencilSpec& spec, const CodegenOptions& opt) {
+  spec.validate();
+  std::ostringstream os;
+  os << "// generated by ispborder (" << to_string(opt.variant) << ", "
+     << to_string(opt.pattern) << " border handling)\n";
+  os << "extern \"C\" __global__ void " << spec.name << "_"
+     << to_string(opt.variant) << "(\n";
+  for (i32 i = 0; i < spec.num_inputs; ++i) {
+    os << "    const float* __restrict__ in" << i << ", int pitch_in" << i
+       << ",\n";
+  }
+  os << "    float* __restrict__ out, int pitch_out,\n";
+  os << "    int sx, int sy";
+  const bool isp = opt.variant != Variant::kNaive;
+  if (isp) os << ",\n    int bh_l, int bh_r, int bh_t, int bh_b";
+  if (opt.variant == Variant::kIspWarp) os << ", int w_l, int w_r";
+  os << ")\n{\n";
+  os << "    const int gx = blockIdx.x * blockDim.x + threadIdx.x;\n";
+  os << "    const int gy = blockIdx.y * blockDim.y + threadIdx.y;\n";
+  os << "    if (gx >= sx || gy >= sy) return;\n";
+
+  if (!isp) {
+    os << "    // naive: all border checks on every access\n";
+    os << "    {\n";
+    std::ostringstream body;
+    const std::string result = emit_dag(body, spec, opt, kAllSides);
+    os << body.str();
+    os << "        out[gy * pitch_out + gx] = " << result << ";\n";
+    os << "    }\n}\n";
+    return os.str();
+  }
+
+  if (opt.variant == Variant::kIspWarp) {
+    os << "    const int wx = threadIdx.x / " << opt.warp_width << ";\n";
+  }
+  os << "    // region switch (iteration space partitioning)\n";
+  const bool warp = opt.variant == Variant::kIspWarp;
+  os << "    if (blockIdx.x < bh_l && blockIdx.y < bh_t) ";
+  os << (warp ? "{ if (wx >= w_l) goto T; goto TL; }\n" : "goto TL;\n");
+  os << "    if (blockIdx.x >= bh_r && blockIdx.y < bh_t) ";
+  os << (warp ? "{ if (wx < w_r) goto T; goto TR; }\n" : "goto TR;\n");
+  os << "    if (blockIdx.y < bh_t) goto T;\n";
+  os << "    if (blockIdx.y >= bh_b && blockIdx.x < bh_l) ";
+  os << (warp ? "{ if (wx >= w_l) goto B; goto BL; }\n" : "goto BL;\n");
+  os << "    if (blockIdx.y >= bh_b && blockIdx.x >= bh_r) ";
+  os << (warp ? "{ if (wx < w_r) goto B; goto BR; }\n" : "goto BR;\n");
+  os << "    if (blockIdx.y >= bh_b) goto B;\n";
+  os << "    if (blockIdx.x >= bh_r) ";
+  os << (warp ? "{ if (wx < w_r) goto Body; goto R; }\n" : "goto R;\n");
+  os << "    if (blockIdx.x < bh_l) ";
+  os << (warp ? "{ if (wx >= w_l) goto Body; goto L; }\n" : "goto L;\n");
+  os << "    goto Body;\n\n";
+
+  for (Region r : kAllRegions) {
+    emit_region_section(os, spec, opt, to_string(r), region_sides(r));
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string emit_cuda_host(const StencilSpec& spec,
+                           const CodegenOptions& opt) {
+  const Window w = spec.window();
+  std::ostringstream os;
+  os << "// host-side launch for '" << spec.name << "' ("
+     << to_string(opt.variant) << ")\n";
+  os << "void launch_" << spec.name
+     << "(dim3 block, int sx, int sy, /* buffers... */ cudaStream_t s)\n{\n";
+  os << "    const dim3 grid((sx + block.x - 1) / block.x,\n";
+  os << "                    (sy + block.y - 1) / block.y);\n";
+  os << "    const int rx = " << w.radius_x() << ", ry = " << w.radius_y()
+     << ";  // window " << w.m << "x" << w.n << "\n";
+  if (opt.variant != Variant::kNaive) {
+    os << "    // index bounds, Eq. (2)\n";
+    os << "    const int bh_l = (rx + block.x - 1) / block.x;\n";
+    os << "    const int bh_r = rx == 0 ? grid.x : (sx - rx) / block.x;\n";
+    os << "    const int bh_t = (ry + block.y - 1) / block.y;\n";
+    os << "    const int bh_b = ry == 0 ? grid.y : (sy - ry) / block.y;\n";
+  }
+  if (opt.variant == Variant::kIspWarp) {
+    os << "    // warp bounds (Listing 5)\n";
+    os << "    const int w_l = (rx + " << opt.warp_width - 1 << ") / "
+       << opt.warp_width << ";\n";
+    os << "    const int w_r = ((sx - rx) - (grid.x - 1) * block.x) / "
+       << opt.warp_width << ";\n";
+  }
+  os << "    " << spec.name << "_" << to_string(opt.variant)
+     << "<<<grid, block, 0, s>>>(/* ... */);\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ispb::codegen

@@ -1,0 +1,235 @@
+#include "codegen/opencl_printer.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/region.hpp"
+
+namespace ispb::codegen {
+
+namespace {
+
+/// OpenCL read expression with this section's checks (same conventions as
+/// the CUDA printer / IR generator: sign-agnostic Listing 1 functions,
+/// centered reads unchecked).
+std::string emit_read_expr(std::ostringstream& body, const CodegenOptions& opt,
+                           Side sides, i32 input, i32 dx, i32 dy, int* temp) {
+  const bool center = dx == 0 && dy == 0;
+  const bool check_l = !center && has_side(sides, Side::kLeft);
+  const bool check_r = !center && has_side(sides, Side::kRight);
+  const bool check_t = !center && has_side(sides, Side::kTop);
+  const bool check_b = !center && has_side(sides, Side::kBottom);
+
+  const auto offset = [](const char* base, i32 d) {
+    std::ostringstream os;
+    os << base;
+    if (d > 0) os << " + " << d;
+    if (d < 0) os << " - " << -d;
+    return os.str();
+  };
+
+  const std::string id = std::to_string((*temp)++);
+  const std::string xi = "x" + id;
+  const std::string yi = "y" + id;
+  body << "        int " << xi << " = " << offset("gx", dx) << ";\n";
+  body << "        int " << yi << " = " << offset("gy", dy) << ";\n";
+
+  switch (opt.pattern) {
+    case BorderPattern::kClamp:
+      if (check_l || check_r) {
+        body << "        " << xi << " = clamp(" << xi << ", 0, sx - 1);\n";
+      }
+      if (check_t || check_b) {
+        body << "        " << yi << " = clamp(" << yi << ", 0, sy - 1);\n";
+      }
+      break;
+    case BorderPattern::kMirror:
+      if (check_l) {
+        body << "        if (" << xi << " < 0) " << xi << " = -" << xi
+             << " - 1;\n";
+      }
+      if (check_r) {
+        body << "        if (" << xi << " >= sx) " << xi << " = 2 * sx - "
+             << xi << " - 1;\n";
+      }
+      if (check_t) {
+        body << "        if (" << yi << " < 0) " << yi << " = -" << yi
+             << " - 1;\n";
+      }
+      if (check_b) {
+        body << "        if (" << yi << " >= sy) " << yi << " = 2 * sy - "
+             << yi << " - 1;\n";
+      }
+      break;
+    case BorderPattern::kRepeat:
+      if (check_l) {
+        body << "        while (" << xi << " < 0) " << xi << " += sx;\n";
+      }
+      if (check_r) {
+        body << "        while (" << xi << " >= sx) " << xi << " -= sx;\n";
+      }
+      if (check_t) {
+        body << "        while (" << yi << " < 0) " << yi << " += sy;\n";
+      }
+      if (check_b) {
+        body << "        while (" << yi << " >= sy) " << yi << " -= sy;\n";
+      }
+      break;
+    case BorderPattern::kConstant:
+      if (check_l || check_r || check_t || check_b) {
+        const std::string vi = "v" + id;
+        body << "        float " << vi << " = " << opt.border_constant
+             << "f;\n";
+        body << "        if (true";
+        if (check_l) body << " && " << xi << " >= 0";
+        if (check_r) body << " && " << xi << " < sx";
+        if (check_t) body << " && " << yi << " >= 0";
+        if (check_b) body << " && " << yi << " < sy";
+        body << ") " << vi << " = in" << input << "[" << yi << " * pitch_in"
+             << input << " + " << xi << "];\n";
+        return vi;
+      }
+      break;
+  }
+  return "in" + std::to_string(input) + "[" + yi + " * pitch_in" +
+         std::to_string(input) + " + " + xi + "]";
+}
+
+std::string emit_dag(std::ostringstream& body, const StencilSpec& spec,
+                     const CodegenOptions& opt, Side sides) {
+  int temp = 0;
+  std::vector<std::string> names(spec.nodes.size());
+  for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
+    const Node& n = spec.nodes[i];
+    const std::string lhs =
+        n.lhs >= 0 ? names[static_cast<std::size_t>(n.lhs)] : "";
+    const std::string rhs =
+        n.rhs >= 0 ? names[static_cast<std::size_t>(n.rhs)] : "";
+    std::string expr;
+    switch (n.kind) {
+      case NodeKind::kRead:
+        expr = emit_read_expr(body, opt, sides, n.input, n.dx, n.dy, &temp);
+        break;
+      case NodeKind::kConst: {
+        std::ostringstream os;
+        os << n.value << "f";
+        expr = os.str();
+        break;
+      }
+      case NodeKind::kAdd:
+        expr = lhs + " + " + rhs;
+        break;
+      case NodeKind::kSub:
+        expr = lhs + " - " + rhs;
+        break;
+      case NodeKind::kMul:
+        expr = lhs + " * " + rhs;
+        break;
+      case NodeKind::kDiv:
+        expr = lhs + " / " + rhs;
+        break;
+      case NodeKind::kMin:
+        expr = "fmin(" + lhs + ", " + rhs + ")";
+        break;
+      case NodeKind::kMax:
+        expr = "fmax(" + lhs + ", " + rhs + ")";
+        break;
+      case NodeKind::kNeg:
+        expr = "-" + lhs;
+        break;
+      case NodeKind::kAbs:
+        expr = "fabs(" + lhs + ")";
+        break;
+      case NodeKind::kExp2:
+        expr = "exp2(" + lhs + ")";
+        break;
+      case NodeKind::kLog2:
+        expr = "log2(" + lhs + ")";
+        break;
+      case NodeKind::kSqrt:
+        expr = "sqrt(" + lhs + ")";
+        break;
+      case NodeKind::kRcp:
+        expr = "1.0f / " + lhs;
+        break;
+    }
+    const std::string name = "t" + std::to_string(i);
+    body << "        float " << name << " = " << expr << ";\n";
+    names[i] = name;
+  }
+  return names[static_cast<std::size_t>(spec.output)];
+}
+
+}  // namespace
+
+std::string emit_opencl(const StencilSpec& spec, const CodegenOptions& opt) {
+  spec.validate();
+  std::ostringstream os;
+  os << "// generated by ispborder (" << to_string(opt.variant) << ", "
+     << to_string(opt.pattern) << " border handling, OpenCL backend)\n";
+  os << "__kernel void " << spec.name << "_" << to_string(opt.variant)
+     << "(\n";
+  for (i32 i = 0; i < spec.num_inputs; ++i) {
+    os << "    __global const float* restrict in" << i << ", int pitch_in"
+       << i << ",\n";
+  }
+  os << "    __global float* restrict out, int pitch_out,\n";
+  os << "    int sx, int sy";
+  const bool isp = opt.variant != Variant::kNaive;
+  if (isp) os << ",\n    int bh_l, int bh_r, int bh_t, int bh_b";
+  if (opt.variant == Variant::kIspWarp) os << ", int w_l, int w_r";
+  os << ")\n{\n";
+  os << "    const int gx = (int)get_global_id(0);\n";
+  os << "    const int gy = (int)get_global_id(1);\n";
+  os << "    if (gx >= sx || gy >= sy) return;\n";
+
+  const auto emit_section = [&](std::string_view label, Side sides) {
+    os << label << ": {\n";
+    std::ostringstream body;
+    const std::string result = emit_dag(body, spec, opt, sides);
+    os << body.str();
+    os << "        out[gy * pitch_out + gx] = " << result << ";\n";
+    os << "        return;\n";
+    os << "    }\n";
+  };
+
+  if (!isp) {
+    os << "    // naive: all border checks on every access\n";
+    os << "    {\n";
+    std::ostringstream body;
+    const std::string result = emit_dag(body, spec, opt, kAllSides);
+    os << body.str();
+    os << "        out[gy * pitch_out + gx] = " << result << ";\n";
+    os << "    }\n}\n";
+    return os.str();
+  }
+
+  os << "    const int bidx = (int)get_group_id(0);\n";
+  os << "    const int bidy = (int)get_group_id(1);\n";
+  os << "    int need_l = bidx < bh_l;\n";
+  os << "    int need_r = bidx >= bh_r;\n";
+  if (opt.variant == Variant::kIspWarp) {
+    os << "    const int wx = (int)get_local_id(0) / " << opt.warp_width
+       << ";\n";
+    os << "    need_l = need_l && (wx < w_l);\n";
+    os << "    need_r = need_r && (wx >= w_r);\n";
+  }
+  os << "    // region switch (iteration space partitioning)\n";
+  os << "    if (need_l && bidy < bh_t) goto TL;\n";
+  os << "    if (need_r && bidy < bh_t) goto TR;\n";
+  os << "    if (bidy < bh_t) goto T;\n";
+  os << "    if (bidy >= bh_b && need_l) goto BL;\n";
+  os << "    if (bidy >= bh_b && need_r) goto BR;\n";
+  os << "    if (bidy >= bh_b) goto B;\n";
+  os << "    if (need_r) goto R;\n";
+  os << "    if (need_l) goto L;\n";
+  os << "    goto Body;\n\n";
+
+  for (Region r : kAllRegions) {
+    emit_section(to_string(r), region_sides(r));
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ispb::codegen

@@ -1,0 +1,20 @@
+// OpenCL C source emission.
+//
+// Hipacc generates both CUDA and OpenCL backends (paper Section II); this is
+// the OpenCL rendering of the same kernels. OpenCL C is C99, so the region
+// switch uses the same goto structure; thread identity comes from
+// get_local_id/get_group_id, and the warp-grained variant uses the
+// sub-group/local-id convention with a compile-time warp width.
+#pragma once
+
+#include <string>
+
+#include "codegen/kernel_gen.hpp"
+
+namespace ispb::codegen {
+
+/// Renders a __kernel OpenCL C function for the spec/pattern/variant.
+[[nodiscard]] std::string emit_opencl(const StencilSpec& spec,
+                                      const CodegenOptions& options);
+
+}  // namespace ispb::codegen

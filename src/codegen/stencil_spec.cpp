@@ -1,0 +1,117 @@
+#include "codegen/stencil_spec.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+namespace ispb::codegen {
+
+i32 node_arity(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kRead:
+    case NodeKind::kConst:
+      return 0;
+    case NodeKind::kNeg:
+    case NodeKind::kAbs:
+    case NodeKind::kExp2:
+    case NodeKind::kLog2:
+    case NodeKind::kSqrt:
+    case NodeKind::kRcp:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+Window StencilSpec::window() const {
+  i32 rx = 0;
+  i32 ry = 0;
+  for (const Node& n : nodes) {
+    if (n.kind != NodeKind::kRead) continue;
+    rx = std::max(rx, std::abs(n.dx));
+    ry = std::max(ry, std::abs(n.dy));
+  }
+  return Window{2 * rx + 1, 2 * ry + 1};
+}
+
+i32 StencilSpec::read_count() const {
+  std::set<std::tuple<i32, i32, i32>> sites;
+  for (const Node& n : nodes) {
+    if (n.kind == NodeKind::kRead) sites.insert({n.input, n.dx, n.dy});
+  }
+  return static_cast<i32>(sites.size());
+}
+
+void StencilSpec::validate() const {
+  ISPB_EXPECTS(!nodes.empty());
+  ISPB_EXPECTS(num_inputs >= 1);
+  ISPB_EXPECTS(output >= 0 && output < static_cast<i32>(nodes.size()));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    const i32 arity = node_arity(n.kind);
+    if (arity >= 1) {
+      ISPB_EXPECTS(n.lhs >= 0 && n.lhs < static_cast<i32>(i));
+    }
+    if (arity >= 2) {
+      ISPB_EXPECTS(n.rhs >= 0 && n.rhs < static_cast<i32>(i));
+    }
+    if (n.kind == NodeKind::kRead) {
+      ISPB_EXPECTS(n.input >= 0 && n.input < num_inputs);
+    }
+  }
+}
+
+SpecBuilder::SpecBuilder(std::string name, i32 num_inputs) {
+  ISPB_EXPECTS(num_inputs >= 1);
+  spec_.name = std::move(name);
+  spec_.num_inputs = num_inputs;
+}
+
+i32 SpecBuilder::read(i32 input, i32 dx, i32 dy) {
+  ISPB_EXPECTS(input >= 0 && input < spec_.num_inputs);
+  Node n;
+  n.kind = NodeKind::kRead;
+  n.input = input;
+  n.dx = dx;
+  n.dy = dy;
+  spec_.nodes.push_back(n);
+  return static_cast<i32>(spec_.nodes.size() - 1);
+}
+
+i32 SpecBuilder::constant(f32 v) {
+  Node n;
+  n.kind = NodeKind::kConst;
+  n.value = v;
+  spec_.nodes.push_back(n);
+  return static_cast<i32>(spec_.nodes.size() - 1);
+}
+
+i32 SpecBuilder::unary(NodeKind kind, i32 a) {
+  ISPB_EXPECTS(node_arity(kind) == 1);
+  ISPB_EXPECTS(a >= 0 && a < static_cast<i32>(spec_.nodes.size()));
+  Node n;
+  n.kind = kind;
+  n.lhs = a;
+  spec_.nodes.push_back(n);
+  return static_cast<i32>(spec_.nodes.size() - 1);
+}
+
+i32 SpecBuilder::binary(NodeKind kind, i32 a, i32 b) {
+  ISPB_EXPECTS(node_arity(kind) == 2);
+  ISPB_EXPECTS(a >= 0 && a < static_cast<i32>(spec_.nodes.size()));
+  ISPB_EXPECTS(b >= 0 && b < static_cast<i32>(spec_.nodes.size()));
+  Node n;
+  n.kind = kind;
+  n.lhs = a;
+  n.rhs = b;
+  spec_.nodes.push_back(n);
+  return static_cast<i32>(spec_.nodes.size() - 1);
+}
+
+StencilSpec SpecBuilder::finish(i32 output) {
+  spec_.output = output;
+  spec_.validate();
+  return std::move(spec_);
+}
+
+}  // namespace ispb::codegen

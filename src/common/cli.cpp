@@ -1,0 +1,95 @@
+#include "common/cli.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ispb {
+
+Cli::Cli(int argc, const char* const* argv) {
+  ISPB_EXPECTS(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // boolean flag
+    }
+  }
+}
+
+Cli& Cli::option(const std::string& name, const std::string& help_text) {
+  declared_.emplace_back(name, help_text);
+  return *this;
+}
+
+bool Cli::finish() {
+  declared_.emplace_back("help", "print this help and exit");
+  for (const auto& [name, value] : values_) {
+    const bool known =
+        std::any_of(declared_.begin(), declared_.end(),
+                    [&](const auto& d) { return d.first == name; });
+    if (!known) {
+      throw IoError("unknown option --" + name + " (see --help)");
+    }
+    (void)value;
+  }
+  return get_flag("help");
+}
+
+std::string Cli::help() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [options]\n";
+  for (const auto& [name, text] : declared_) {
+    os << "  --" << name << "\t" << text << '\n';
+  }
+  return os.str();
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+i64 Cli::get_int(const std::string& name, i64 fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw IoError("option --" + name + " expects an integer, got '" +
+                  it->second + "'");
+  }
+}
+
+f64 Cli::get_double(const std::string& name, f64 fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw IoError("option --" + name + " expects a number, got '" +
+                  it->second + "'");
+  }
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace ispb

@@ -1,0 +1,52 @@
+// Minimal command-line parsing for bench and example binaries.
+//
+// Supports `--name=value`, `--name value` and boolean `--flag` forms; unknown
+// options are an error so that typos in sweep scripts fail fast.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ispb {
+
+/// Parsed command line with typed accessors and defaults.
+class Cli {
+ public:
+  /// Parses argv. Throws IoError on malformed input.
+  Cli(int argc, const char* const* argv);
+
+  /// Declares an option (for --help output and unknown-option checking).
+  /// Returns *this for chaining. Must be called before the getters.
+  Cli& option(const std::string& name, const std::string& help);
+
+  /// Validates that every given option was declared. Throws IoError
+  /// otherwise. Returns true if --help was requested (caller should print
+  /// `help()` and exit).
+  [[nodiscard]] bool finish();
+
+  [[nodiscard]] std::string help() const;
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] i64 get_int(const std::string& name, i64 fallback) const;
+  [[nodiscard]] f64 get_double(const std::string& name, f64 fallback) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  /// Positional arguments (non --option tokens), in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::vector<std::pair<std::string, std::string>> declared_;
+};
+
+}  // namespace ispb

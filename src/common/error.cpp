@@ -1,0 +1,14 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace ispb::detail {
+
+void contract_fail(const char* kind, const char* cond, const char* file,
+                   int line) {
+  std::ostringstream os;
+  os << kind << " violated: `" << cond << "` at " << file << ':' << line;
+  throw ContractError(os.str());
+}
+
+}  // namespace ispb::detail

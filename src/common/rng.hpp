@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component (image generators, property tests, fuzzing of IR
+// programs) takes an explicit seed so that results are reproducible run to
+// run — a requirement for a benchmark harness whose outputs are compared
+// against published tables.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ispb {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation, re-typed). High quality, tiny state, and — unlike
+/// std::mt19937 — identical output across standard library implementations.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    u64 z = seed;
+    for (auto& word : state_) {
+      z += 0x9e3779b97f4a7c15ull;
+      u64 s = z;
+      s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9ull;
+      s = (s ^ (s >> 27)) * 0x94d049bb133111ebull;
+      word = s ^ (s >> 31);
+    }
+  }
+
+  /// Uniform 64-bit word.
+  u64 next_u64() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform u32.
+  u32 next_u32() { return static_cast<u32>(next_u64() >> 32); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Debiased via rejection.
+  i32 uniform_i32(i32 lo, i32 hi) {
+    ISPB_EXPECTS(lo <= hi);
+    const u64 range = static_cast<u64>(static_cast<i64>(hi) - lo) + 1;
+    const u64 limit = std::numeric_limits<u64>::max() -
+                      std::numeric_limits<u64>::max() % range;
+    u64 v = next_u64();
+    while (v >= limit) v = next_u64();
+    return static_cast<i32>(static_cast<i64>(lo) + static_cast<i64>(v % range));
+  }
+
+  /// Uniform float in [0, 1).
+  f32 uniform_f32() {
+    return static_cast<f32>(next_u64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform float in [lo, hi).
+  f32 uniform_f32(f32 lo, f32 hi) {
+    ISPB_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * uniform_f32();
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(f32 p) { return uniform_f32() < p; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  u64 state_[4] = {};
+};
+
+}  // namespace ispb

@@ -1,0 +1,77 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ispb {
+
+f64 geometric_mean(std::span<const f64> values) {
+  if (values.empty()) return 1.0;
+  f64 log_sum = 0.0;
+  for (f64 v : values) {
+    ISPB_EXPECTS(v > 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<f64>(values.size()));
+}
+
+f64 mean(std::span<const f64> values) {
+  if (values.empty()) return 0.0;
+  f64 sum = 0.0;
+  for (f64 v : values) sum += v;
+  return sum / static_cast<f64>(values.size());
+}
+
+f64 stddev(std::span<const f64> values) {
+  if (values.size() < 2) return 0.0;
+  const f64 m = mean(values);
+  f64 acc = 0.0;
+  for (f64 v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<f64>(values.size() - 1));
+}
+
+f64 pearson(std::span<const f64> xs, std::span<const f64> ys) {
+  ISPB_EXPECTS(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const f64 mx = mean(xs);
+  const f64 my = mean(ys);
+  f64 sxy = 0.0;
+  f64 sxx = 0.0;
+  f64 syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const f64 dx = xs[i] - mx;
+    const f64 dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+f64 median(std::span<const f64> values) {
+  if (values.empty()) return 0.0;
+  std::vector<f64> copy(values.begin(), values.end());
+  const std::size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid),
+                   copy.end());
+  const f64 hi = copy[mid];
+  if (copy.size() % 2 == 1) return hi;
+  const f64 lo =
+      *std::max_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+Summary summarize(std::span<const f64> values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  s.mean = mean(values);
+  s.median = median(values);
+  return s;
+}
+
+}  // namespace ispb

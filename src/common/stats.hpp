@@ -1,0 +1,37 @@
+// Summary statistics used by the benchmark harness:
+// geometric mean (Table IV) and Pearson correlation (Table III).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ispb {
+
+/// Geometric mean of strictly positive values. Empty input -> 1.0.
+[[nodiscard]] f64 geometric_mean(std::span<const f64> values);
+
+/// Arithmetic mean. Empty input -> 0.0.
+[[nodiscard]] f64 mean(std::span<const f64> values);
+
+/// Sample standard deviation (n-1 denominator). Fewer than 2 values -> 0.0.
+[[nodiscard]] f64 stddev(std::span<const f64> values);
+
+/// Pearson correlation coefficient of two equally sized series.
+/// Returns 0.0 when either series has zero variance.
+[[nodiscard]] f64 pearson(std::span<const f64> xs, std::span<const f64> ys);
+
+/// Median (of a copy; input untouched). Empty input -> 0.0.
+[[nodiscard]] f64 median(std::span<const f64> values);
+
+/// Min/max/mean/median bundle for reporting.
+struct Summary {
+  f64 min = 0.0;
+  f64 max = 0.0;
+  f64 mean = 0.0;
+  f64 median = 0.0;
+};
+[[nodiscard]] Summary summarize(std::span<const f64> values);
+
+}  // namespace ispb

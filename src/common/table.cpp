@@ -1,0 +1,73 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ispb {
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  ISPB_EXPECTS(rows_.empty());
+  header_ = std::move(header);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  ISPB_EXPECTS(header_.empty() || row.size() == header_.size());
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void AsciiTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void AsciiTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      if (c >= widths.size()) widths.resize(c + 1);
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto print_rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << cell
+         << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  print_rule();
+  if (!header_.empty()) {
+    print_cells(header_);
+    print_rule();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      print_rule();
+    } else {
+      print_cells(row.cells);
+    }
+  }
+  print_rule();
+}
+
+std::string AsciiTable::num(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string AsciiTable::num(long long v) { return std::to_string(v); }
+
+}  // namespace ispb

@@ -1,0 +1,48 @@
+// ASCII table rendering for benchmark output.
+//
+// Every bench binary prints the same row/column layout as the corresponding
+// table or figure in the paper; this helper keeps the formatting uniform.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ispb {
+
+/// Column-aligned ASCII table with a title, a header row and data rows.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row; must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator between row groups.
+  void add_separator();
+
+  /// Renders the table.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Formats a double with `digits` decimals.
+  static std::string num(double v, int digits = 3);
+  /// Formats an integer.
+  static std::string num(long long v);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ispb

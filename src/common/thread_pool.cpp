@@ -1,0 +1,109 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <utility>
+
+namespace ispb {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  ISPB_EXPECTS(task != nullptr);
+  {
+    std::lock_guard lock(mutex_);
+    ISPB_EXPECTS(!shutting_down_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(i64 begin, i64 end, const std::function<void(i64)>& body,
+                  i64 grain) {
+  ISPB_EXPECTS(grain >= 1);
+  if (end <= begin) return;
+
+  ThreadPool& pool = ThreadPool::global();
+  const i64 count = end - begin;
+  const i64 min_parallel = grain * 2;
+  if (pool.size() <= 1 || count < min_parallel) {
+    for (i64 i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  const i64 chunks = std::min<i64>(pool.size() * 4, count / grain);
+  const i64 chunk_size = (count + chunks - 1) / chunks;
+
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (i64 c = 0; c < chunks; ++c) {
+    const i64 lo = begin + c * chunk_size;
+    const i64 hi = std::min(end, lo + chunk_size);
+    if (lo >= hi) break;
+    pool.submit([&, lo, hi] {
+      if (failed.load(std::memory_order_relaxed)) return;
+      try {
+        for (i64 i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ispb

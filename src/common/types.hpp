@@ -1,0 +1,87 @@
+// Fundamental value types shared across the ISPBorder libraries.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <ostream>
+
+namespace ispb {
+
+using i8  = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u8  = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using f32 = float;
+using f64 = double;
+
+/// A 2-D extent (width x height). Components are signed so that window
+/// arithmetic (which produces negative intermediate coordinates at the
+/// image border) never mixes signedness.
+struct Size2 {
+  i32 x = 0;  ///< width  (extent along the fast, contiguous dimension)
+  i32 y = 0;  ///< height (extent along the slow dimension)
+
+  friend constexpr bool operator==(const Size2&, const Size2&) = default;
+  [[nodiscard]] constexpr i64 area() const { return i64{x} * i64{y}; }
+};
+
+/// A 2-D index (column x, row y).
+struct Index2 {
+  i32 x = 0;
+  i32 y = 0;
+
+  friend constexpr bool operator==(const Index2&, const Index2&) = default;
+};
+
+/// A half-open axis-aligned rectangle [x0, x1) x [y0, y1).
+struct Rect {
+  i32 x0 = 0;
+  i32 y0 = 0;
+  i32 x1 = 0;
+  i32 y1 = 0;
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  [[nodiscard]] constexpr i32 width() const { return x1 - x0; }
+  [[nodiscard]] constexpr i32 height() const { return y1 - y0; }
+  [[nodiscard]] constexpr bool empty() const { return x1 <= x0 || y1 <= y0; }
+  [[nodiscard]] constexpr i64 area() const {
+    return empty() ? 0 : i64{width()} * i64{height()};
+  }
+  [[nodiscard]] constexpr bool contains(Index2 p) const {
+    return p.x >= x0 && p.x < x1 && p.y >= y0 && p.y < y1;
+  }
+  /// Intersection of two rectangles (possibly empty).
+  [[nodiscard]] constexpr Rect intersect(const Rect& o) const {
+    Rect r{x0 > o.x0 ? x0 : o.x0, y0 > o.y0 ? y0 : o.y0,
+           x1 < o.x1 ? x1 : o.x1, y1 < o.y1 ? y1 : o.y1};
+    if (r.empty()) return Rect{};
+    return r;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Size2& s) {
+  return os << s.x << 'x' << s.y;
+}
+inline std::ostream& operator<<(std::ostream& os, const Index2& p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.x0 << ',' << r.x1 << ")x[" << r.y0 << ',' << r.y1
+            << ')';
+}
+
+/// Ceiling division for non-negative integers, the ubiquitous grid-size
+/// computation `ceil(sx / tx)` from the paper's Eq. (7).
+[[nodiscard]] constexpr i32 ceil_div(i32 a, i32 b) {
+  return static_cast<i32>((static_cast<i64>(a) + b - 1) / b);
+}
+
+/// Round `a` up to the next multiple of `b` (b > 0).
+[[nodiscard]] constexpr i32 round_up(i32 a, i32 b) { return ceil_div(a, b) * b; }
+
+}  // namespace ispb

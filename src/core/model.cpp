@@ -1,0 +1,73 @@
+#include "core/model.hpp"
+
+#include "common/error.hpp"
+
+namespace ispb {
+
+ModelInputs default_model_inputs(Size2 image, BlockSize block, Window window,
+                                 BorderPattern pattern) {
+  ModelInputs in;
+  in.image = image;
+  in.block = block;
+  in.window = window;
+  in.pattern = pattern;
+  in.check_per_side = static_cast<f64>(check_cost_per_side(pattern));
+  return in;
+}
+
+f64 per_tap_cost(const ModelInputs& in, Side sides) {
+  return in.address_per_tap +
+         static_cast<f64>(side_count(sides)) * in.check_per_side +
+         in.kernel_per_tap;
+}
+
+f64 naive_instructions(const ModelInputs& in) {
+  // Eq. (3): every thread evaluates all four checks for each of the m*n taps.
+  const f64 taps = static_cast<f64>(in.window.m) * in.window.n;
+  const f64 pixels = static_cast<f64>(in.image.area());
+  return per_tap_cost(in, kAllSides) * taps * pixels;
+}
+
+f64 isp_instructions(const ModelInputs& in) {
+  const f64 taps = static_cast<f64>(in.window.m) * in.window.n;
+  const RegionBlockCounts counts =
+      count_region_blocks(in.image, in.block, in.window);
+  const f64 threads_per_block = static_cast<f64>(in.block.threads());
+
+  f64 total = 0.0;
+  for (Region r : kAllRegions) {
+    const f64 blocks = static_cast<f64>(counts.of(r));
+    if (blocks == 0.0) continue;
+    // Listing 3: reaching region r costs one compare+branch per preceding
+    // test; Body falls through all eight.
+    const f64 n_switch =
+        in.switch_per_test * static_cast<f64>(region_switch_position(r) + 1);
+    const f64 per_thread = n_switch + per_tap_cost(in, region_sides(r)) * taps;
+    total += per_thread * blocks * threads_per_block;
+  }
+  // Degenerate blocks (opposing sides) execute the all-checks path after the
+  // full switch chain.
+  if (counts.degenerate > 0) {
+    const f64 n_switch = in.switch_per_test * 9.0;
+    const f64 per_thread = n_switch + per_tap_cost(in, kAllSides) * taps;
+    total += per_thread * static_cast<f64>(counts.degenerate) *
+             threads_per_block;
+  }
+  return total;
+}
+
+ModelResult evaluate_model(const ModelInputs& in) {
+  ISPB_EXPECTS(in.occupancy_naive > 0.0 && in.occupancy_naive <= 1.0);
+  ISPB_EXPECTS(in.occupancy_isp > 0.0 && in.occupancy_isp <= 1.0);
+
+  ModelResult r;
+  r.n_naive = naive_instructions(in);
+  r.n_isp = isp_instructions(in);
+  ISPB_ASSERT(r.n_isp > 0.0);
+  r.r_reduced = r.n_naive / r.n_isp;
+  r.gain = r.r_reduced * in.occupancy_isp / in.occupancy_naive;
+  r.use_isp = r.gain > 1.0;
+  return r;
+}
+
+}  // namespace ispb

@@ -1,0 +1,75 @@
+// The analytic performance model (paper Section IV).
+//
+// Benefit side (Eqs. (3)-(9)): estimated instruction counts for the naive and
+// the ISP implementation, combined into the reduction ratio R_reduced.
+// Cost side (Eq. (10)): an occupancy ratio models the register-pressure
+// penalty of the fat ISP kernel; the final gain predictor is
+//     G = R_reduced * O_ISP / O_naive
+// and ISP is chosen iff G > 1.
+//
+// Deviations from the paper, documented here because they matter for anyone
+// comparing formulas: the paper's Eq. (5) charges the region-switch
+// instructions once per window tap. The switch of Listing 3 executes once per
+// *thread* (before the tap loops), so this implementation charges
+// n_switch(p) per thread and the per-tap terms per tap. The resulting curves
+// keep the paper's shape while being dimensionally consistent.
+#pragma once
+
+#include "border/border.hpp"
+#include "core/partition.hpp"
+#include "core/region.hpp"
+
+namespace ispb {
+
+/// Per-kernel inputs to the analytic model. The instruction-cost fields can
+/// either come from the defaults below (Listing 1 estimates) or be measured
+/// from generated IR (see codegen::measure_model_inputs).
+struct ModelInputs {
+  Size2 image{};
+  BlockSize block{};
+  Window window{};
+  BorderPattern pattern = BorderPattern::kClamp;
+
+  /// Instructions to check-and-remap ONE border side for one tap (n_check
+  /// per side; the paper's n_check covers all four sides at once).
+  f64 check_per_side = 2.0;
+  /// Instructions of actual kernel computation per tap (n_kernel / (m*n)).
+  f64 kernel_per_tap = 4.0;
+  /// Per-tap address arithmetic independent of border checks.
+  f64 address_per_tap = 2.0;
+  /// Instructions per region-switch test in Listing 3 (compare + branch).
+  f64 switch_per_test = 2.0;
+
+  /// Theoretical occupancies of the two variants, in (0, 1].
+  f64 occupancy_naive = 1.0;
+  f64 occupancy_isp = 1.0;
+};
+
+/// Fills check/kernel costs from the pattern defaults of Listing 1.
+[[nodiscard]] ModelInputs default_model_inputs(Size2 image, BlockSize block,
+                                               Window window,
+                                               BorderPattern pattern);
+
+/// Model outputs.
+struct ModelResult {
+  f64 n_naive = 0.0;    ///< Eq. (3): estimated instructions, naive kernel
+  f64 n_isp = 0.0;      ///< Eq. (4): estimated instructions, ISP kernel
+  f64 r_reduced = 1.0;  ///< Eq. (9): N_naive / N_ISP
+  f64 gain = 1.0;       ///< Eq. (10): R_reduced * O_ISP / O_naive
+  bool use_isp = false; ///< gain > 1
+};
+
+/// Estimated instructions for one thread executing one tap in a region that
+/// checks `sides` (address arithmetic + per-side checks + kernel math).
+[[nodiscard]] f64 per_tap_cost(const ModelInputs& in, Side sides);
+
+/// Eq. (3): total instruction estimate of the naive kernel.
+[[nodiscard]] f64 naive_instructions(const ModelInputs& in);
+
+/// Eqs. (4)-(6): total instruction estimate of the ISP kernel.
+[[nodiscard]] f64 isp_instructions(const ModelInputs& in);
+
+/// Full evaluation: Eqs. (3)-(10).
+[[nodiscard]] ModelResult evaluate_model(const ModelInputs& in);
+
+}  // namespace ispb

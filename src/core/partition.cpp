@@ -1,0 +1,204 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ispb {
+
+namespace {
+
+void validate_geometry(Size2 image, BlockSize block, Window window) {
+  ISPB_EXPECTS(image.x > 0 && image.y > 0);
+  ISPB_EXPECTS(block.tx > 0 && block.ty > 0);
+  ISPB_EXPECTS(window.m >= 1 && window.n >= 1);
+  ISPB_EXPECTS(window.m % 2 == 1 && window.n % 2 == 1);
+}
+
+}  // namespace
+
+GridDims make_grid(Size2 image, BlockSize block) {
+  ISPB_EXPECTS(image.x > 0 && image.y > 0);
+  ISPB_EXPECTS(block.tx > 0 && block.ty > 0);
+  return GridDims{ceil_div(image.x, block.tx), ceil_div(image.y, block.ty)};
+}
+
+BlockBounds compute_block_bounds(Size2 image, BlockSize block, Window window) {
+  validate_geometry(image, block, window);
+  const GridDims grid = make_grid(image, block);
+  const i32 rx = window.radius_x();
+  const i32 ry = window.radius_y();
+
+  BlockBounds b;
+  // Left: block bx contains a pixel x < rx iff bx * tx < rx.
+  b.bh_l = ceil_div(rx, block.tx);
+  // Top: symmetric.
+  b.bh_t = ceil_div(ry, block.ty);
+  // Right: the first pixel needing a right check is x = sx - rx; the first
+  // block containing it is floor((sx - rx) / tx). A zero radius means no
+  // block ever needs the check.
+  if (rx == 0) {
+    b.bh_r = grid.nbx;
+  } else if (image.x - rx <= 0) {
+    b.bh_r = 0;  // every pixel may read past the right edge
+  } else {
+    b.bh_r = (image.x - rx) / block.tx;
+  }
+  if (ry == 0) {
+    b.bh_b = grid.nby;
+  } else if (image.y - ry <= 0) {
+    b.bh_b = 0;
+  } else {
+    b.bh_b = (image.y - ry) / block.ty;
+  }
+  // Clamp into the grid so counts stay well-formed for huge windows.
+  b.bh_l = std::min(b.bh_l, grid.nbx);
+  b.bh_t = std::min(b.bh_t, grid.nby);
+  b.bh_r = std::clamp(b.bh_r, 0, grid.nbx);
+  b.bh_b = std::clamp(b.bh_b, 0, grid.nby);
+  return b;
+}
+
+Side classify_block(const BlockBounds& bounds, i32 bx, i32 by) {
+  ISPB_EXPECTS(bx >= 0 && by >= 0);
+  Side s = Side::kNone;
+  if (bx < bounds.bh_l) s = s | Side::kLeft;
+  if (bx >= bounds.bh_r) s = s | Side::kRight;
+  if (by < bounds.bh_t) s = s | Side::kTop;
+  if (by >= bounds.bh_b) s = s | Side::kBottom;
+  return s;
+}
+
+RegionBlockCounts count_region_blocks(Size2 image, BlockSize block,
+                                      Window window) {
+  const GridDims grid = make_grid(image, block);
+  const BlockBounds b = compute_block_bounds(image, block, window);
+
+  // Along each axis a block index falls into one of four classes:
+  // low-only, high-only, both (degenerate) or none.
+  const auto axis_classes = [](i32 n, i32 low_bound, i32 high_bound) {
+    const i64 low_total = std::clamp<i64>(low_bound, 0, n);
+    const i64 high_total = std::clamp<i64>(n - high_bound, 0, n);
+    const i64 both =
+        std::max<i64>(0, std::min<i64>(low_bound, n) - std::max(high_bound, 0));
+    struct Classes {
+      i64 low, high, both, none;
+    };
+    const i64 low_only = low_total - both;
+    const i64 high_only = high_total - both;
+    return Classes{low_only, high_only, both, n - low_only - high_only - both};
+  };
+
+  const auto cx = axis_classes(grid.nbx, b.bh_l, b.bh_r);
+  const auto cy = axis_classes(grid.nby, b.bh_t, b.bh_b);
+
+  RegionBlockCounts counts;
+  const auto set = [&counts](Region r, i64 v) {
+    counts.count[static_cast<std::size_t>(r)] = v;
+  };
+  set(Region::kTL, cx.low * cy.low);
+  set(Region::kT, cx.none * cy.low);
+  set(Region::kTR, cx.high * cy.low);
+  set(Region::kL, cx.low * cy.none);
+  set(Region::kBody, cx.none * cy.none);
+  set(Region::kR, cx.high * cy.none);
+  set(Region::kBL, cx.low * cy.high);
+  set(Region::kB, cx.none * cy.high);
+  set(Region::kBR, cx.high * cy.high);
+  // Blocks with an opposing-side x or y class belong to no canonical region.
+  counts.degenerate =
+      cx.both * (cy.low + cy.none + cy.high + cy.both) +
+      cy.both * (cx.low + cx.none + cx.high);
+
+  ISPB_ENSURES(counts.total() == grid.total());
+  return counts;
+}
+
+WarpBounds compute_warp_bounds(Size2 image, BlockSize block, Window window,
+                               i32 warp_width) {
+  validate_geometry(image, block, window);
+  ISPB_EXPECTS(warp_width > 0);
+
+  WarpBounds wb;
+  if (block.tx < warp_width || block.tx % warp_width != 0) {
+    // Warps wrap across rows; every warp spans the full block width, so no
+    // warp can ever skip its block's horizontal checks.
+    return wb;
+  }
+  wb.enabled = true;
+  wb.warps_x = block.tx / warp_width;
+
+  const GridDims grid = make_grid(image, block);
+  const i32 rx = window.radius_x();
+
+  // Left: warp wx is safe for every Left-flagged block iff it is safe for
+  // block column 0, i.e. wx * warp_width >= rx.
+  wb.w_l = std::min(ceil_div(rx, warp_width), wb.warps_x);
+
+  // Right: warp wx is safe for every Right-flagged block iff it is safe for
+  // the last block column: base + (wx + 1) * warp_width - 1 < sx - rx.
+  if (rx == 0) {
+    wb.w_r = wb.warps_x;
+  } else {
+    const i64 base = i64{grid.nbx - 1} * block.tx;
+    const i64 threshold = i64{image.x} - rx;  // first x needing the check
+    const i64 margin = threshold - base;
+    wb.w_r = static_cast<i32>(std::clamp<i64>(margin / warp_width, 0,
+                                              wb.warps_x));
+  }
+  return wb;
+}
+
+Side classify_warp(const WarpBounds& wb, Side block_sides, i32 wx) {
+  if (!wb.enabled) return block_sides;
+  ISPB_EXPECTS(wx >= 0 && wx < wb.warps_x);
+  Side s = block_sides;
+  if (has_side(s, Side::kLeft) && wx >= wb.w_l) {
+    s = static_cast<Side>(static_cast<u8>(s) & ~static_cast<u8>(Side::kLeft));
+  }
+  if (has_side(s, Side::kRight) && wx < wb.w_r) {
+    s = static_cast<Side>(static_cast<u8>(s) & ~static_cast<u8>(Side::kRight));
+  }
+  return s;
+}
+
+Rect cpu_body_rect(Size2 image, Window window) {
+  const i32 rx = window.radius_x();
+  const i32 ry = window.radius_y();
+  Rect r{rx, ry, image.x - rx, image.y - ry};
+  if (r.empty()) return Rect{};
+  return r;
+}
+
+std::vector<PixelRegion> cpu_partition(Size2 image, Window window) {
+  ISPB_EXPECTS(image.x > 0 && image.y > 0);
+  const i32 rx = window.radius_x();
+  const i32 ry = window.radius_y();
+
+  const i32 x1 = std::clamp(rx, 0, image.x);
+  const i32 x2 = std::clamp(image.x - rx, x1, image.x);
+  const i32 y1 = std::clamp(ry, 0, image.y);
+  const i32 y2 = std::clamp(image.y - ry, y1, image.y);
+
+  const std::array<std::pair<i32, i32>, 3> cols = {
+      std::pair{0, x1}, std::pair{x1, x2}, std::pair{x2, image.x}};
+  const std::array<std::pair<i32, i32>, 3> rows = {
+      std::pair{0, y1}, std::pair{y1, y2}, std::pair{y2, image.y}};
+
+  std::vector<PixelRegion> regions;
+  for (const auto& [ry0, ry1] : rows) {
+    for (const auto& [cx0, cx1] : cols) {
+      const Rect rect{cx0, ry0, cx1, ry1};
+      if (rect.empty()) continue;
+      Side sides = Side::kNone;
+      if (rect.x0 < rx) sides = sides | Side::kLeft;
+      if (rect.x1 - 1 >= image.x - rx && rx > 0) sides = sides | Side::kRight;
+      if (rect.y0 < ry) sides = sides | Side::kTop;
+      if (rect.y1 - 1 >= image.y - ry && ry > 0) sides = sides | Side::kBottom;
+      regions.push_back(PixelRegion{rect, sides});
+    }
+  }
+  return regions;
+}
+
+}  // namespace ispb

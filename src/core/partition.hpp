@@ -1,0 +1,134 @@
+// Iteration space partitioning (paper Section III-C).
+//
+// Derives the threadblock index bounds of Eq. (2), the per-region block
+// counts of Eqs. (7)/(8), the warp-granular bounds W_L/W_R of Listing 5, and
+// the CPU pixel-level body rectangle of Eq. (1).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "border/border.hpp"
+#include "core/region.hpp"
+
+namespace ispb {
+
+/// A stencil window of extent m x n (width x height). Extents must be odd so
+/// the window is centered; radius is (extent - 1) / 2, matching the paper's
+/// m/2 notation with integer division.
+struct Window {
+  i32 m = 1;  ///< window width
+  i32 n = 1;  ///< window height
+
+  [[nodiscard]] constexpr i32 radius_x() const { return m / 2; }
+  [[nodiscard]] constexpr i32 radius_y() const { return n / 2; }
+
+  friend constexpr bool operator==(const Window&, const Window&) = default;
+};
+
+/// A CUDA-style threadblock extent tx x ty.
+struct BlockSize {
+  i32 tx = 32;
+  i32 ty = 4;
+
+  [[nodiscard]] constexpr i32 threads() const { return tx * ty; }
+
+  friend constexpr bool operator==(const BlockSize&, const BlockSize&) = default;
+};
+
+/// Grid of threadblocks covering an image (Eq. (7)).
+struct GridDims {
+  i32 nbx = 0;  ///< N_blockx = ceil(sx / tx)
+  i32 nby = 0;  ///< N_blocky = ceil(sy / ty)
+
+  [[nodiscard]] constexpr i64 total() const { return i64{nbx} * i64{nby}; }
+};
+
+[[nodiscard]] GridDims make_grid(Size2 image, BlockSize block);
+
+/// Threadblock index bounds (Eq. (2)). A block (bx, by) needs:
+///  - the Left   check iff bx <  bh_l
+///  - the Right  check iff bx >= bh_r
+///  - the Top    check iff by <  bh_t
+///  - the Bottom check iff by >= bh_b
+/// The bounds are conservative: a block flagged for a side *may* read across
+/// it; a block not flagged is *guaranteed* not to (the safety property tests
+/// verify exactly this).
+struct BlockBounds {
+  i32 bh_l = 0;
+  i32 bh_r = 0;
+  i32 bh_t = 0;
+  i32 bh_b = 0;
+};
+
+/// Computes Eq. (2) for the given image, block and window geometry.
+[[nodiscard]] BlockBounds compute_block_bounds(Size2 image, BlockSize block,
+                                               Window window);
+
+/// Side set a given block must check under `bounds`.
+[[nodiscard]] Side classify_block(const BlockBounds& bounds, i32 bx, i32 by);
+
+/// Per-region block counts (Eqs. (8a)/(8b)), computed analytically. Supports
+/// degenerate grids where a block needs opposing checks; such blocks are
+/// counted under `degenerate` and belong to no canonical region.
+struct RegionBlockCounts {
+  std::array<i64, kAllRegions.size()> count{};  ///< indexed by Region value
+  i64 degenerate = 0;  ///< blocks needing Left|Right or Top|Bottom together
+
+  [[nodiscard]] i64 of(Region r) const {
+    return count[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] i64 total() const {
+    i64 sum = degenerate;
+    for (i64 c : count) sum += c;
+    return sum;
+  }
+  /// Fraction of blocks in the Body region (Figure 3's y-axis).
+  [[nodiscard]] f64 body_fraction() const {
+    const i64 t = total();
+    return t == 0 ? 0.0 : static_cast<f64>(of(Region::kBody)) /
+                              static_cast<f64>(t);
+  }
+};
+
+[[nodiscard]] RegionBlockCounts count_region_blocks(Size2 image,
+                                                    BlockSize block,
+                                                    Window window);
+
+/// Warp-granular bounds in x (Listing 5). Only meaningful when tx is a
+/// multiple of the warp width; otherwise `enabled` is false and no warp may
+/// skip its block's checks.
+struct WarpBounds {
+  bool enabled = false;
+  i32 w_l = 0;  ///< warps with wx >= w_l in a Left-flagged block skip the
+                ///< left check (safe for every left-region block).
+  i32 w_r = 0;  ///< warps with wx < w_r in a Right-flagged block skip the
+                ///< right check (safe for every right-region block).
+  i32 warps_x = 0;  ///< number of warps along x within one block
+};
+
+/// Computes conservative warp bounds: a warp flagged safe must be safe for
+/// *every* block of the corresponding border region.
+[[nodiscard]] WarpBounds compute_warp_bounds(Size2 image, BlockSize block,
+                                             Window window, i32 warp_width);
+
+/// Refined side set for warp `wx` of a block classified as `block_sides`
+/// (Listing 5): drops Left/Right when the warp bounds allow it.
+[[nodiscard]] Side classify_warp(const WarpBounds& wb, Side block_sides,
+                                 i32 wx);
+
+/// CPU pixel-level body rectangle (Eq. (1)): pixels whose whole window is in
+/// bounds. May be empty when the window exceeds the image.
+[[nodiscard]] Rect cpu_body_rect(Size2 image, Window window);
+
+/// Pixel-level partition of the full iteration space for sequential targets:
+/// the body rectangle of Eq. (1) plus up to eight border rectangles. The
+/// returned rectangles are pairwise disjoint and cover [0,sx) x [0,sy).
+struct PixelRegion {
+  Rect rect;
+  Side sides = Side::kNone;  ///< checks needed inside this rectangle
+};
+[[nodiscard]] std::vector<PixelRegion> cpu_partition(Size2 image,
+                                                     Window window);
+
+}  // namespace ispb

@@ -1,0 +1,91 @@
+#include "core/region.hpp"
+
+#include "common/error.hpp"
+
+namespace ispb {
+
+std::string_view to_string(Region r) {
+  switch (r) {
+    case Region::kTL:
+      return "TL";
+    case Region::kTR:
+      return "TR";
+    case Region::kT:
+      return "T";
+    case Region::kBL:
+      return "BL";
+    case Region::kBR:
+      return "BR";
+    case Region::kB:
+      return "B";
+    case Region::kR:
+      return "R";
+    case Region::kL:
+      return "L";
+    case Region::kBody:
+      return "Body";
+  }
+  return "?";
+}
+
+Side region_sides(Region r) {
+  switch (r) {
+    case Region::kTL:
+      return Side::kTop | Side::kLeft;
+    case Region::kTR:
+      return Side::kTop | Side::kRight;
+    case Region::kT:
+      return Side::kTop;
+    case Region::kBL:
+      return Side::kBottom | Side::kLeft;
+    case Region::kBR:
+      return Side::kBottom | Side::kRight;
+    case Region::kB:
+      return Side::kBottom;
+    case Region::kR:
+      return Side::kRight;
+    case Region::kL:
+      return Side::kLeft;
+    case Region::kBody:
+      return Side::kNone;
+  }
+  ISPB_ASSERT(false);
+  return Side::kNone;
+}
+
+Region region_from_sides(Side sides) {
+  for (Region r : kAllRegions) {
+    if (region_sides(r) == sides) return r;
+  }
+  // Degenerate combination (e.g. Left|Right): no canonical region.
+  // Report the closest corner that covers a subset; callers that can
+  // encounter degenerate grids classify by side mask, not Region.
+  throw ContractError("side mask has no canonical region");
+}
+
+i32 region_switch_position(Region r) {
+  switch (r) {
+    case Region::kTL:
+      return 0;
+    case Region::kTR:
+      return 1;
+    case Region::kT:
+      return 2;
+    case Region::kBL:
+      return 3;
+    case Region::kBR:
+      return 4;
+    case Region::kB:
+      return 5;
+    case Region::kR:
+      return 6;
+    case Region::kL:
+      return 7;
+    case Region::kBody:
+      return 8;
+  }
+  ISPB_ASSERT(false);
+  return 0;
+}
+
+}  // namespace ispb

@@ -1,0 +1,48 @@
+// The 9-way region decomposition of the iteration space (paper Figure 1).
+//
+// A region is identified by the set of image sides its threads may read
+// across. The paper names the nine combinations that occur when the image is
+// large relative to the stencil window: TL, T, TR, L, Body, R, BL, B, BR.
+// Degenerate grids (image narrower than the window) produce side sets such as
+// Left|Right; this library represents regions as side masks so that those
+// cases remain correct, while keeping the paper's nine names for reporting.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "border/border.hpp"
+#include "common/types.hpp"
+
+namespace ispb {
+
+/// The paper's canonical nine regions, in the evaluation order of Listing 3.
+enum class Region : u8 { kTL, kTR, kT, kBL, kBR, kB, kR, kL, kBody };
+
+inline constexpr std::array<Region, 9> kAllRegions = {
+    Region::kTL, Region::kTR, Region::kT, Region::kBL, Region::kBR,
+    Region::kB,  Region::kR,  Region::kL, Region::kBody};
+
+[[nodiscard]] std::string_view to_string(Region r);
+
+/// The set of border sides a region must check (e.g. TL -> Top|Left).
+[[nodiscard]] Side region_sides(Region r);
+
+/// Maps a side set to the canonical region, when one exists. Side sets that
+/// include both Left|Right or both Top|Bottom have no canonical region (they
+/// only occur for degenerate image/window combinations) and are reported as
+/// the region requiring all the listed checks — callers use `region_sides`
+/// round trips only for the canonical nine.
+[[nodiscard]] Region region_from_sides(Side sides);
+
+/// Number of border checks a region performs per accessed pixel
+/// (0 for Body, 1 for edges, 2 for corners).
+[[nodiscard]] inline i32 region_check_count(Region r) {
+  return side_count(region_sides(r));
+}
+
+/// Position of `r` in the Listing 3 switch chain (0 = tested first). Body is
+/// reached by falling through all tests and has the largest value.
+[[nodiscard]] i32 region_switch_position(Region r);
+
+}  // namespace ispb

@@ -1,0 +1,45 @@
+// The Analyze stage: the paper's model-driven variant selection (isp+m).
+//
+// For a given stencil, image geometry, block size, border pattern and target
+// device, this module compiles both the naive and the ISP kernels, measures
+// their instruction costs and register demand, evaluates the analytic model
+// (core/model.hpp, Eqs. (3)-(10)) with real occupancies, and decides which
+// variant to run.
+#pragma once
+
+#include "core/model.hpp"
+#include "dsl/runtime.hpp"
+
+namespace ispb::dsl {
+
+/// Everything the planner derived for one configuration.
+struct PlanDecision {
+  codegen::Variant variant = codegen::Variant::kNaive;  ///< the choice
+  ModelResult model;       ///< Eqs. (3)-(10) evaluation
+  ModelInputs model_inputs;  ///< the measured inputs fed to the model
+  i32 regs_naive = 0;
+  i32 regs_isp = 0;
+  sim::Occupancy occ_naive;
+  sim::Occupancy occ_isp;
+};
+
+/// Runs the full isp+m decision procedure. `prefer_warp` requests the
+/// warp-grained kernel when ISP wins (Section V-B).
+[[nodiscard]] PlanDecision plan_variant(const sim::DeviceSpec& dev,
+                                        const codegen::StencilSpec& spec,
+                                        Size2 image, BlockSize block,
+                                        BorderPattern pattern,
+                                        bool prefer_warp = false);
+
+/// Sweeps candidate block sizes through the model and returns the best
+/// (variant, block) pair by predicted gain — an extension beyond the paper
+/// (which fixes the block size per benchmark).
+struct BlockAdvice {
+  BlockSize block;
+  PlanDecision decision;
+};
+[[nodiscard]] BlockAdvice advise_block_size(const sim::DeviceSpec& dev,
+                                            const codegen::StencilSpec& spec,
+                                            Size2 image, BorderPattern pattern);
+
+}  // namespace ispb::dsl

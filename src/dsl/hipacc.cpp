@@ -1,0 +1,249 @@
+#include "dsl/hipacc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ispb::dsl {
+
+// ---- Mask -------------------------------------------------------------------
+
+Mask::Mask(i32 m, i32 n) : m_(m), n_(n) {
+  ISPB_EXPECTS(m >= 1 && n >= 1 && m % 2 == 1 && n % 2 == 1);
+  coeffs_.assign(static_cast<std::size_t>(m) * n, 0.0f);
+}
+
+Mask::Mask(std::initializer_list<std::initializer_list<f32>> rows)
+    : Mask(rows.begin()->size() > 0
+               ? static_cast<i32>(rows.begin()->size())
+               : 1,
+           static_cast<i32>(rows.size())) {
+  i32 y = 0;
+  for (const auto& row : rows) {
+    ISPB_EXPECTS(static_cast<i32>(row.size()) == m_);
+    i32 x = 0;
+    for (f32 v : row) {
+      coeffs_[static_cast<std::size_t>(y) * m_ + x] = v;
+      ++x;
+    }
+    ++y;
+  }
+}
+
+f32& Mask::at(i32 dx, i32 dy) {
+  ISPB_EXPECTS(std::abs(dx) <= radius_x() && std::abs(dy) <= radius_y());
+  return coeffs_[static_cast<std::size_t>(dy + radius_y()) * m_ +
+                 (dx + radius_x())];
+}
+
+f32 Mask::at(i32 dx, i32 dy) const {
+  ISPB_EXPECTS(std::abs(dx) <= radius_x() && std::abs(dy) <= radius_y());
+  return coeffs_[static_cast<std::size_t>(dy + radius_y()) * m_ +
+                 (dx + radius_x())];
+}
+
+Value Mask::operator()(const Domain& dom) const {
+  const Index2 off = dom.offset();
+  return Value(at(off.x, off.y));
+}
+
+// ---- Domain -----------------------------------------------------------------
+
+Domain::Domain(const Mask& mask) : Domain(mask.size_x(), mask.size_y()) {}
+
+Domain::Domain(i32 m, i32 n) : m_(m), n_(n) {
+  ISPB_EXPECTS(m >= 1 && n >= 1 && m % 2 == 1 && n % 2 == 1);
+  enabled_.assign(static_cast<std::size_t>(m) * n, 1);
+}
+
+void Domain::disable(i32 dx, i32 dy) {
+  ISPB_EXPECTS(std::abs(dx) <= radius_x() && std::abs(dy) <= radius_y());
+  enabled_[static_cast<std::size_t>(dy + radius_y()) * m_ + (dx + radius_x())] =
+      0;
+}
+
+void Domain::enable(i32 dx, i32 dy) {
+  ISPB_EXPECTS(std::abs(dx) <= radius_x() && std::abs(dy) <= radius_y());
+  enabled_[static_cast<std::size_t>(dy + radius_y()) * m_ + (dx + radius_x())] =
+      1;
+}
+
+bool Domain::enabled(i32 dx, i32 dy) const {
+  ISPB_EXPECTS(std::abs(dx) <= radius_x() && std::abs(dy) <= radius_y());
+  return enabled_[static_cast<std::size_t>(dy + radius_y()) * m_ +
+                  (dx + radius_x())] != 0;
+}
+
+i32 Domain::enabled_count() const {
+  i32 n = 0;
+  for (u8 e : enabled_) n += e;
+  return n;
+}
+
+// ---- BoundaryCondition / Accessor --------------------------------------------
+
+BoundaryCondition::BoundaryCondition(const Image<f32>& image, const Mask& mask,
+                                     BorderPattern pattern, f32 constant)
+    : BoundaryCondition(image, mask.size_x(), mask.size_y(), pattern,
+                        constant) {}
+
+BoundaryCondition::BoundaryCondition(const Image<f32>& image, i32 m, i32 n,
+                                     BorderPattern pattern, f32 constant)
+    : image_(&image), pattern_(pattern), constant_(constant) {
+  ISPB_EXPECTS(m >= 1 && n >= 1 && m % 2 == 1 && n % 2 == 1);
+}
+
+Accessor::Accessor(const BoundaryCondition& bc)
+    : image_(&bc.image()),
+      has_bc_(true),
+      pattern_(bc.pattern()),
+      constant_(bc.constant()) {}
+
+Accessor::Accessor(const Image<f32>& image) : image_(&image) {}
+
+Value Accessor::operator()(const Domain& dom) const {
+  const Index2 off = dom.offset();
+  return (*this)(off.x, off.y);
+}
+
+Value Accessor::operator()(i32 dx, i32 dy) const {
+  if (input_index_ < 0) {
+    throw ContractError(
+        "accessor read before registration; call add_accessor() in the "
+        "kernel constructor");
+  }
+  if (!has_bc_ && (dx != 0 || dy != 0)) {
+    throw ContractError(
+        "offset read through an accessor without a BoundaryCondition");
+  }
+  return Value::from_node(
+      TraceContext::current().builder().read(input_index_, dx, dy));
+}
+
+// ---- Kernel -----------------------------------------------------------------
+
+Kernel::Kernel(IterationSpace& is, std::string name)
+    : is_(&is), name_(std::move(name)) {}
+
+void Kernel::add_accessor(Accessor* acc) {
+  ISPB_EXPECTS(acc != nullptr);
+  acc->input_index_ = static_cast<i32>(accessors_.size());
+  accessors_.push_back(acc);
+}
+
+void Kernel::OutputProxy::operator=(const Value& v) const {
+  TraceContext::current().set_output(v.node());
+}
+
+codegen::StencilSpec Kernel::trace() {
+  if (accessors_.empty()) {
+    throw ContractError("kernel '" + name_ + "' has no registered accessors");
+  }
+  TraceContext ctx(name_, static_cast<i32>(accessors_.size()));
+  kernel();
+  return ctx.finish();
+}
+
+ExecutionReport Kernel::execute(const ExecConfig& cfg) {
+  ExecutionReport report;
+  report.spec = trace();
+
+  // Border handling comes from the accessors; all bounded accessors must
+  // agree (the generated kernel has one pattern).
+  BorderPattern pattern = BorderPattern::kClamp;
+  f32 constant = 0.0f;
+  bool have_pattern = false;
+  for (const Accessor* acc : accessors_) {
+    if (!acc->has_boundary()) continue;
+    if (have_pattern && (acc->pattern() != pattern ||
+                         acc->constant() != constant)) {
+      throw ContractError(
+          "all BoundaryConditions of one kernel must share a pattern");
+    }
+    pattern = acc->pattern();
+    constant = acc->constant();
+    have_pattern = true;
+  }
+
+  std::vector<const Image<f32>*> inputs;
+  inputs.reserve(accessors_.size());
+  for (const Accessor* acc : accessors_) inputs.push_back(&acc->image());
+
+  if (cfg.backend == ExecConfig::Backend::kReference) {
+    Image<f32> out = run_reference(report.spec, pattern, constant, inputs);
+    is_->image() = std::move(out);
+    report.variant_used = codegen::Variant::kNaive;
+    return report;
+  }
+
+  // Simulator backend: optionally run the Analyze/model step (isp+m).
+  codegen::Variant variant = cfg.variant;
+  if (cfg.use_model) {
+    PlanDecision plan = plan_variant(
+        cfg.device, report.spec, is_->image().size(), cfg.block, pattern,
+        cfg.variant == codegen::Variant::kIspWarp);
+    variant = plan.variant;
+    report.plan = std::move(plan);
+  }
+
+  codegen::CodegenOptions options;
+  options.pattern = pattern;
+  options.variant = variant;
+  options.border_constant = constant;
+  const CompiledKernel compiled = compile_kernel(report.spec, options);
+
+  const SimRun run = launch_on_sim(cfg.device, compiled, inputs, is_->image(),
+                                   cfg.block, cfg.sampled);
+  report.variant_used = run.variant_used;
+  report.degenerate_fallback = run.degenerate_fallback;
+  report.stats = run.stats;
+  return report;
+}
+
+// ---- iteration --------------------------------------------------------------
+
+void iterate(Domain& dom, const std::function<void()>& body) {
+  ISPB_EXPECTS(body != nullptr);
+  for (i32 dy = -dom.radius_y(); dy <= dom.radius_y(); ++dy) {
+    for (i32 dx = -dom.radius_x(); dx <= dom.radius_x(); ++dx) {
+      if (!dom.enabled(dx, dy)) continue;
+      dom.offset_ = Index2{dx, dy};
+      body();
+    }
+  }
+  dom.offset_ = Index2{};
+}
+
+Value convolve(Mask& mask, Domain& dom, Reduce mode,
+               const std::function<Value()>& body) {
+  ISPB_EXPECTS(body != nullptr);
+  std::optional<Value> acc;
+  for (i32 dy = -dom.radius_y(); dy <= dom.radius_y(); ++dy) {
+    for (i32 dx = -dom.radius_x(); dx <= dom.radius_x(); ++dx) {
+      if (!dom.enabled(dx, dy)) continue;
+      dom.offset_ = Index2{dx, dy};
+      const Value term = body();
+      if (!acc.has_value()) {
+        acc = term;
+      } else {
+        switch (mode) {
+          case Reduce::kSum:
+            acc = *acc + term;
+            break;
+          case Reduce::kMin:
+            acc = min(*acc, term);
+            break;
+          case Reduce::kMax:
+            acc = max(*acc, term);
+            break;
+        }
+      }
+    }
+  }
+  dom.offset_ = Index2{};
+  ISPB_EXPECTS(acc.has_value());
+  (void)mask;
+  return *acc;
+}
+
+}  // namespace ispb::dsl

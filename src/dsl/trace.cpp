@@ -1,0 +1,115 @@
+#include "dsl/trace.hpp"
+
+#include "common/error.hpp"
+
+namespace ispb::dsl {
+
+namespace {
+thread_local TraceContext* g_current = nullptr;
+}  // namespace
+
+TraceContext::TraceContext(std::string kernel_name, i32 num_inputs)
+    : builder_(std::move(kernel_name), num_inputs) {
+  previous_ = g_current;
+  g_current = this;
+}
+
+TraceContext::~TraceContext() { g_current = previous_; }
+
+TraceContext& TraceContext::current() {
+  if (g_current == nullptr) {
+    throw ContractError(
+        "DSL Value used outside a kernel() trace; Values only exist while a "
+        "kernel body is being compiled");
+  }
+  return *g_current;
+}
+
+bool TraceContext::active() { return g_current != nullptr; }
+
+void TraceContext::set_output(i32 node) {
+  ISPB_EXPECTS(node >= 0);
+  output_node_ = node;
+}
+
+codegen::StencilSpec TraceContext::finish() {
+  if (output_node_ < 0) {
+    throw ContractError("kernel() never assigned output()");
+  }
+  return builder_.finish(output_node_);
+}
+
+Value::Value(f32 v) {
+  node_ = TraceContext::current().builder().constant(v);
+}
+Value::Value(f64 v) : Value(static_cast<f32>(v)) {}
+Value::Value(int v) : Value(static_cast<f32>(v)) {}
+
+Value Value::from_node(i32 node) {
+  ISPB_EXPECTS(node >= 0);
+  Value v;
+  v.node_ = node;
+  return v;
+}
+
+namespace {
+Value binary(codegen::NodeKind kind, const Value& a, const Value& b) {
+  return Value::from_node(
+      TraceContext::current().builder().binary(kind, a.node(), b.node()));
+}
+Value unary(codegen::NodeKind kind, const Value& a) {
+  return Value::from_node(
+      TraceContext::current().builder().unary(kind, a.node()));
+}
+}  // namespace
+
+Value& Value::operator+=(const Value& o) {
+  *this = *this + o;
+  return *this;
+}
+Value& Value::operator-=(const Value& o) {
+  *this = *this - o;
+  return *this;
+}
+Value& Value::operator*=(const Value& o) {
+  *this = *this * o;
+  return *this;
+}
+Value& Value::operator/=(const Value& o) {
+  *this = *this / o;
+  return *this;
+}
+
+Value operator+(const Value& a, const Value& b) {
+  return binary(codegen::NodeKind::kAdd, a, b);
+}
+Value operator-(const Value& a, const Value& b) {
+  return binary(codegen::NodeKind::kSub, a, b);
+}
+Value operator*(const Value& a, const Value& b) {
+  return binary(codegen::NodeKind::kMul, a, b);
+}
+Value operator/(const Value& a, const Value& b) {
+  return binary(codegen::NodeKind::kDiv, a, b);
+}
+Value operator-(const Value& a) { return unary(codegen::NodeKind::kNeg, a); }
+
+Value min(const Value& a, const Value& b) {
+  return binary(codegen::NodeKind::kMin, a, b);
+}
+Value max(const Value& a, const Value& b) {
+  return binary(codegen::NodeKind::kMax, a, b);
+}
+Value abs(const Value& a) { return unary(codegen::NodeKind::kAbs, a); }
+Value sqrt(const Value& a) { return unary(codegen::NodeKind::kSqrt, a); }
+Value exp2(const Value& a) { return unary(codegen::NodeKind::kExp2, a); }
+Value log2(const Value& a) { return unary(codegen::NodeKind::kLog2, a); }
+Value rcp(const Value& a) { return unary(codegen::NodeKind::kRcp, a); }
+
+Value exp(const Value& a) {
+  // log2(e) as float; exp(x) == exp2(x * log2e). The CPU reference and the
+  // simulator share this exact decomposition (StencilSpec::evaluate).
+  return exp2(a * Value(1.44269504088896340736f));
+}
+
+}  // namespace ispb::dsl

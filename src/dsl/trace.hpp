@@ -1,0 +1,78 @@
+// Expression tracing for the embedded DSL.
+//
+// Hipacc parses the user's kernel() body with Clang; an embedded DSL cannot,
+// so it executes the body ONCE with `Value` operands that record every
+// operation into a codegen::SpecBuilder. The resulting StencilSpec is the
+// compiler's input. Kernel bodies must therefore be straight-line over
+// Values (data-dependent C++ control flow on Values cannot be traced; the
+// DSL offers select()/min()/max() instead).
+#pragma once
+
+#include "codegen/stencil_spec.hpp"
+
+namespace ispb::dsl {
+
+/// The active trace (one per kernel() invocation).
+class TraceContext {
+ public:
+  explicit TraceContext(std::string kernel_name, i32 num_inputs);
+  ~TraceContext();
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  /// The context of the kernel() body currently being traced.
+  [[nodiscard]] static TraceContext& current();
+  [[nodiscard]] static bool active();
+
+  [[nodiscard]] codegen::SpecBuilder& builder() { return builder_; }
+
+  void set_output(i32 node);
+  [[nodiscard]] codegen::StencilSpec finish();
+
+ private:
+  codegen::SpecBuilder builder_;
+  i32 output_node_ = -1;
+  TraceContext* previous_ = nullptr;
+};
+
+/// A traced f32 value: a node id in the active trace.
+class Value {
+ public:
+  /// Implicit from float: literals become kConst nodes.
+  Value(f32 v);  // NOLINT(google-explicit-constructor)
+  Value(f64 v);  // NOLINT(google-explicit-constructor)
+  Value(int v);  // NOLINT(google-explicit-constructor)
+
+  /// Wraps an existing node (used by accessors/masks).
+  [[nodiscard]] static Value from_node(i32 node);
+
+  [[nodiscard]] i32 node() const { return node_; }
+
+  Value& operator+=(const Value& o);
+  Value& operator-=(const Value& o);
+  Value& operator*=(const Value& o);
+  Value& operator/=(const Value& o);
+
+ private:
+  Value() = default;
+  i32 node_ = -1;
+};
+
+[[nodiscard]] Value operator+(const Value& a, const Value& b);
+[[nodiscard]] Value operator-(const Value& a, const Value& b);
+[[nodiscard]] Value operator*(const Value& a, const Value& b);
+[[nodiscard]] Value operator/(const Value& a, const Value& b);
+[[nodiscard]] Value operator-(const Value& a);
+
+[[nodiscard]] Value min(const Value& a, const Value& b);
+[[nodiscard]] Value max(const Value& a, const Value& b);
+[[nodiscard]] Value abs(const Value& a);
+[[nodiscard]] Value sqrt(const Value& a);
+[[nodiscard]] Value exp2(const Value& a);
+[[nodiscard]] Value log2(const Value& a);
+[[nodiscard]] Value rcp(const Value& a);
+/// e^x, lowered as exp2(x * log2(e)) — the device SFU form.
+[[nodiscard]] Value exp(const Value& a);
+
+}  // namespace ispb::dsl

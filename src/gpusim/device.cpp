@@ -1,0 +1,184 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "ir/regalloc.hpp"
+
+namespace ispb::sim {
+
+DeviceSpec make_gtx680() {
+  DeviceSpec d;
+  d.name = "GTX680";
+  d.num_sms = 8;
+  d.max_warps_per_sm = 64;
+  d.max_blocks_per_sm = 16;
+  d.registers_per_sm = 65536;
+  d.register_alloc_granularity = 256;
+  d.max_registers_per_thread = 63;  // compute capability 3.0
+  d.base_registers = 6;
+  d.latency_hiding_warps = 56;
+  d.clock_ghz = 1.006;
+  d.cost_int_alu = 1.0;
+  d.cost_int_mul = 1.5;  // Kepler's 32-bit IMAD runs below SP rate
+  d.cost_float = 1.0;
+  d.cost_sfu = 8.0;
+  d.cost_control = 1.0;
+  d.cost_mem_issue = 4.0;
+  d.cost_mem_transaction = 8.0;
+  d.launch_overhead_us = 5.0;
+  return d;
+}
+
+DeviceSpec make_rtx2080() {
+  DeviceSpec d;
+  d.name = "RTX2080";
+  d.num_sms = 46;
+  d.max_warps_per_sm = 32;  // Turing halves the per-SM warp count
+  d.max_blocks_per_sm = 16;
+  d.registers_per_sm = 65536;
+  d.register_alloc_granularity = 256;
+  d.max_registers_per_thread = 255;
+  d.base_registers = 6;
+  d.latency_hiding_warps = 16;
+  d.clock_ghz = 1.515;
+  d.cost_int_alu = 1.0;
+  d.cost_int_mul = 1.0;  // full-rate integer pipe
+  d.cost_float = 1.0;
+  d.cost_sfu = 4.0;
+  d.cost_control = 1.0;
+  d.cost_mem_issue = 4.0;
+  d.cost_mem_transaction = 6.0;  // larger L1/L2, better latency hiding
+  d.launch_overhead_us = 4.0;
+  return d;
+}
+
+Pipe pipe_class(ir::Op op, ir::Type type) {
+  using ir::Op;
+  switch (op) {
+    case Op::kBra:
+    case Op::kRet:
+      return Pipe::kControl;
+    case Op::kLd:
+    case Op::kSt:
+      return Pipe::kMem;
+    case Op::kEx2:
+    case Op::kLg2:
+    case Op::kRcp:
+    case Op::kSqrt:
+      return Pipe::kSfu;
+    case Op::kMul:
+    case Op::kMad:
+    case Op::kDiv:
+    case Op::kRem:
+      return type == ir::Type::kF32 ? Pipe::kFloat : Pipe::kIntMul;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMin:
+    case Op::kMax:
+    case Op::kNeg:
+    case Op::kAbs:
+      return type == ir::Type::kF32 ? Pipe::kFloat : Pipe::kIntAlu;
+    case Op::kCvt:
+      return Pipe::kIntAlu;
+    default:
+      return Pipe::kIntAlu;  // mov/selp/setp/logic/shift
+  }
+}
+
+f64 instr_cost(const DeviceSpec& dev, ir::Op op, ir::Type type) {
+  switch (pipe_class(op, type)) {
+    case Pipe::kIntAlu:
+      return dev.cost_int_alu;
+    case Pipe::kIntMul:
+      return dev.cost_int_mul;
+    case Pipe::kFloat:
+      return dev.cost_float;
+    case Pipe::kSfu:
+      return dev.cost_sfu;
+    case Pipe::kControl:
+      return dev.cost_control;
+    case Pipe::kMem:
+      return dev.cost_mem_issue;
+  }
+  return 1.0;
+}
+
+Occupancy compute_occupancy(const DeviceSpec& dev, BlockSize block,
+                            i32 regs_per_thread) {
+  ISPB_EXPECTS(block.threads() > 0 &&
+               block.threads() <= dev.max_threads_per_block);
+  ISPB_EXPECTS(regs_per_thread >= 0);
+
+  const i32 regs =
+      std::clamp(regs_per_thread + dev.base_registers, 1,
+                 dev.max_registers_per_thread);
+  const i32 warps_per_block = ceil_div(block.threads(), dev.warp_size);
+
+  const i32 by_warps = dev.max_warps_per_sm / warps_per_block;
+  const i32 by_blocks = dev.max_blocks_per_sm;
+  // Registers are allocated per warp, rounded to the allocation granularity.
+  const i32 regs_per_warp =
+      round_up(regs * dev.warp_size, dev.register_alloc_granularity);
+  const i32 warps_by_regs = dev.registers_per_sm / regs_per_warp;
+  const i32 by_regs = warps_by_regs / warps_per_block;
+
+  Occupancy occ;
+  occ.active_blocks_per_sm = std::max(0, std::min({by_warps, by_blocks, by_regs}));
+  occ.active_warps_per_sm = occ.active_blocks_per_sm * warps_per_block;
+  occ.fraction = static_cast<f64>(occ.active_warps_per_sm) /
+                 static_cast<f64>(dev.max_warps_per_sm);
+  if (occ.active_blocks_per_sm == by_regs && by_regs < by_warps &&
+      by_regs <= by_blocks) {
+    occ.limiter = Occupancy::Limiter::kRegisters;
+  } else if (occ.active_blocks_per_sm == by_warps && by_warps <= by_blocks) {
+    occ.limiter = Occupancy::Limiter::kWarps;
+  } else {
+    occ.limiter = Occupancy::Limiter::kBlocks;
+  }
+  ISPB_ENSURES(occ.active_blocks_per_sm >= 0);
+  return occ;
+}
+
+f64 throughput_factor(const DeviceSpec& dev, const Occupancy& occ) {
+  const i32 warps = std::max(1, occ.active_warps_per_sm);
+  return std::min(1.0, static_cast<f64>(warps) /
+                           static_cast<f64>(dev.latency_hiding_warps));
+}
+
+i32 estimate_kernel_registers(const ir::Program& prog) {
+  const i32 alloc = ir::allocate_registers(prog).registers;
+
+  // Marker-delimited sections; count loads in the largest one ("largest" by
+  // load count — the hottest path the scheduler optimizes for).
+  std::vector<std::pair<std::string, u32>> markers = prog.markers;
+  std::sort(markers.begin(), markers.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  i64 max_loads = 1;
+  i32 region_sections = 0;
+  for (std::size_t i = 0; i < markers.size(); ++i) {
+    if (markers[i].first == "Exit") continue;
+    ++region_sections;
+    const u32 begin = markers[i].second;
+    const u32 end = i + 1 < markers.size()
+                        ? markers[i + 1].second
+                        : static_cast<u32>(prog.code.size());
+    max_loads =
+        std::max(max_loads, prog.static_inventory(begin, end).of(ir::Op::kLd));
+  }
+  if (markers.empty()) {
+    max_loads = std::max<i64>(1, prog.static_inventory().of(ir::Op::kLd));
+    region_sections = 1;
+  }
+
+  const f64 log_loads = std::log2(static_cast<f64>(std::max<i64>(2, max_loads)));
+  i32 regs = alloc + 2 * static_cast<i32>(prog.num_buffers) +
+             static_cast<i32>(std::lround(2.2 * log_loads)) - 8;
+  if (region_sections > 1) {
+    regs += static_cast<i32>(std::lround(0.8 * log_loads));
+  }
+  return std::max(regs, alloc + 1);
+}
+
+}  // namespace ispb::sim

@@ -1,0 +1,79 @@
+// Grid launch: executes an IR kernel over a threadblock grid, collects the
+// statistics the evaluation needs, and models wall-clock time via occupancy
+// and wave scheduling.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "gpusim/warp.hpp"
+
+namespace ispb::sim {
+
+/// Kernel-parameter values by name. Every name in Program::param_names must
+/// be present; extras are an error (they indicate a codegen/launch mismatch).
+using ParamMap = std::map<std::string, ir::Word, std::less<>>;
+
+/// A complete launch description.
+struct LaunchConfig {
+  Size2 image{};       ///< iteration space extent
+  BlockSize block{};   ///< threadblock size (tx * ty <= 1024)
+  i32 regs_per_thread = 0;  ///< register demand (from ir::allocate_registers)
+};
+
+/// Statistics of one kernel launch.
+struct LaunchStats {
+  WarpResult warps;              ///< aggregate over all executed warps
+  f64 total_warp_cycles = 0.0;   ///< sum of per-warp issue cycles
+  i64 blocks_executed = 0;       ///< blocks actually simulated
+  i64 blocks_total = 0;          ///< blocks in the grid
+  Occupancy occupancy;           ///< theoretical occupancy used for timing
+  f64 time_ms = 0.0;             ///< modeled execution time
+};
+
+/// Classifies a block for sampled execution; blocks mapping to the same key
+/// are assumed cost-homogeneous and only a few representatives run.
+using BlockClassFn = std::function<u32(i32 bx, i32 by)>;
+
+/// Executes every block of the grid (functional mode). Output buffers hold
+/// the complete kernel result afterwards. Blocks run in parallel on the host
+/// thread pool; they are independent by construction.
+LaunchStats launch_full(const DeviceSpec& dev, const ir::Program& prog,
+                        const LaunchConfig& cfg, const ParamMap& params,
+                        std::span<const ir::BufferBinding> buffers);
+
+/// Executes only `samples_per_class` representative blocks per class and
+/// extrapolates cycles and counts to the full grid (timing mode for large
+/// images). Output buffers are only partially written.
+LaunchStats launch_sampled(const DeviceSpec& dev, const ir::Program& prog,
+                           const LaunchConfig& cfg, const ParamMap& params,
+                           std::span<const ir::BufferBinding> buffers,
+                           const BlockClassFn& classify,
+                           i32 samples_per_class = 3);
+
+/// Executes a sub-grid of `nbx x nby` blocks (local block ids 0..nbx-1 /
+/// 0..nby-1; the kernel translates them via its boff_x/boff_y parameters).
+/// Backs the separate-kernels-per-region execution mode; each call models
+/// one kernel launch (its own launch overhead included in time_ms).
+LaunchStats launch_subgrid(const DeviceSpec& dev, const ir::Program& prog,
+                           const LaunchConfig& cfg, const ParamMap& params,
+                           std::span<const ir::BufferBinding> buffers,
+                           i32 nbx, i32 nby);
+
+/// Executes a single block (bx, by) and returns its aggregate warp stats.
+/// Used by the Table I bench to attribute instruction counts to regions.
+WarpResult run_block(const DeviceSpec& dev, const ir::Program& prog,
+                     const LaunchConfig& cfg, const ParamMap& params,
+                     std::span<const ir::BufferBinding> buffers, i32 bx,
+                     i32 by);
+
+/// Models the launch wall-clock time: block issue cycles are spread over
+/// num_sms * active_blocks_per_sm concurrent slots (greedy earliest-finish
+/// scheduling), divided by the clock, plus the host launch overhead.
+[[nodiscard]] f64 model_time_ms(const DeviceSpec& dev, const Occupancy& occ,
+                                std::span<const f64> block_cycles);
+
+}  // namespace ispb::sim

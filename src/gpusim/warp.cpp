@@ -1,0 +1,180 @@
+#include "gpusim/warp.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace ispb::sim {
+
+WarpResult& WarpResult::operator+=(const WarpResult& o) {
+  issued += o.issued;
+  for (std::size_t i = 0; i < kPipeCount; ++i) {
+    issued_per_pipe[i] += o.issued_per_pipe[i];
+  }
+  issue_slots += o.issue_slots;
+  lane_instructions += o.lane_instructions;
+  mem_transactions += o.mem_transactions;
+  mem_cache_misses += o.mem_cache_misses;
+  divergent_branches += o.divergent_branches;
+  return *this;
+}
+
+f64 warp_cycles(const DeviceSpec& dev, const WarpResult& r) {
+  const f64 pipe_cost[kPipeCount] = {dev.cost_int_alu, dev.cost_int_mul,
+                                     dev.cost_float,   dev.cost_sfu,
+                                     dev.cost_control, dev.cost_mem_issue};
+  f64 cycles = 0.0;
+  for (std::size_t i = 0; i < kPipeCount; ++i) {
+    cycles += static_cast<f64>(r.issued_per_pipe[i]) * pipe_cost[i];
+  }
+  // Only cache misses pay the transaction cost; L1 hits are covered by the
+  // instruction's issue cost (stencils reuse each pixel many times).
+  cycles += static_cast<f64>(r.mem_cache_misses) * dev.cost_mem_transaction;
+  return cycles;
+}
+
+namespace {
+
+constexpr u32 kRetired = static_cast<u32>(-1);
+
+ir::Word read_operand(const ir::Operand& o, const ir::Word* regs) {
+  if (o.is_imm()) return o.imm;
+  return regs[o.reg];
+}
+
+}  // namespace
+
+WarpResult run_warp(const ir::Program& prog, const DeviceSpec& dev,
+                    std::span<const ir::Word> lane_inputs,
+                    std::span<const ir::BufferBinding> buffers,
+                    u64 max_steps, SegmentCache* shared_cache) {
+  const u32 lanes = static_cast<u32>(dev.warp_size);
+  const u32 num_inputs = prog.num_inputs();
+  ISPB_EXPECTS(lane_inputs.size() == static_cast<std::size_t>(lanes) * num_inputs);
+  ISPB_EXPECTS(buffers.size() >= prog.num_buffers);
+
+  // Lane-major register file.
+  std::vector<ir::Word> regs(static_cast<std::size_t>(lanes) * prog.num_regs);
+  for (u32 lane = 0; lane < lanes; ++lane) {
+    ir::Word* lane_regs = regs.data() + static_cast<std::size_t>(lane) * prog.num_regs;
+    for (u32 i = 0; i < num_inputs; ++i) {
+      lane_regs[i] = lane_inputs[static_cast<std::size_t>(lane) * num_inputs + i];
+    }
+  }
+
+  std::vector<u32> pc(lanes, 0);
+  u32 alive = lanes;
+  WarpResult result;
+
+  // Scratch for memory-transaction dedup (addresses of active lanes) and
+  // the warp-lifetime cache of 32-byte segments already fetched.
+  std::array<i64, 32> segments{};
+  SegmentCache local_cache;
+  SegmentCache& cache = shared_cache != nullptr ? *shared_cache : local_cache;
+
+  while (alive > 0) {
+    if (result.issue_slots >= max_steps) {
+      throw ContractError("warp exceeded max issue slots in '" + prog.name +
+                          "'");
+    }
+    // Min-PC scheduling.
+    u32 warp_pc = kRetired;
+    for (u32 lane = 0; lane < lanes; ++lane) warp_pc = std::min(warp_pc, pc[lane]);
+    ISPB_ASSERT(warp_pc < prog.code.size());
+
+    const ir::Instr& ins = prog.code[warp_pc];
+    ++result.issue_slots;
+    result.issued.add(ins.op);
+    ++result.issued_per_pipe[static_cast<std::size_t>(
+        pipe_class(ins.op, ins.type))];
+
+    u32 seg_count = 0;
+    u32 taken = 0;
+    u32 active = 0;
+    for (u32 lane = 0; lane < lanes; ++lane) {
+      if (pc[lane] != warp_pc) continue;
+      ++active;
+      ++result.lane_instructions;
+      ir::Word* lane_regs =
+          regs.data() + static_cast<std::size_t>(lane) * prog.num_regs;
+
+      switch (ins.op) {
+        case ir::Op::kRet:
+          pc[lane] = kRetired;
+          --alive;
+          continue;
+        case ir::Op::kBra: {
+          const bool go = !ins.c.is_reg() || lane_regs[ins.c.reg].as_pred();
+          if (go) {
+            pc[lane] = ins.target;
+            ++taken;
+          } else {
+            ++pc[lane];
+          }
+          continue;
+        }
+        case ir::Op::kLd: {
+          const ir::BufferBinding& buf = buffers[ins.buffer];
+          const i32 idx = lane_regs[ins.a.reg].as_i32();
+          if (idx < 0 || static_cast<std::size_t>(idx) >= buf.size) {
+            throw ContractError("warp ld out of bounds in '" + prog.name +
+                                "': index " + std::to_string(idx));
+          }
+          lane_regs[ins.dst] = ir::Word::from_f32(buf.data[idx]);
+          const i64 seg = static_cast<i64>(ins.buffer) * (1ll << 40) +
+                          idx / dev.transaction_elems;
+          bool seen = false;
+          for (u32 s = 0; s < seg_count; ++s) seen = seen || segments[s] == seg;
+          if (!seen) segments[seg_count++] = seg;
+          break;
+        }
+        case ir::Op::kSt: {
+          const ir::BufferBinding& buf = buffers[ins.buffer];
+          if (!buf.writable) {
+            throw ContractError("warp st to read-only buffer in '" +
+                                prog.name + "'");
+          }
+          const i32 idx = lane_regs[ins.a.reg].as_i32();
+          if (idx < 0 || static_cast<std::size_t>(idx) >= buf.size) {
+            throw ContractError("warp st out of bounds in '" + prog.name +
+                                "': index " + std::to_string(idx));
+          }
+          buf.data[idx] = read_operand(ins.b, lane_regs).as_f32();
+          const i64 seg = static_cast<i64>(ins.buffer) * (1ll << 40) +
+                          idx / dev.transaction_elems;
+          bool seen = false;
+          for (u32 s = 0; s < seg_count; ++s) seen = seen || segments[s] == seg;
+          if (!seen) segments[seg_count++] = seg;
+          break;
+        }
+        default: {
+          const i32 arity = ir::op_arity(ins.op);
+          const ir::Word a =
+              arity >= 1 ? read_operand(ins.a, lane_regs) : ir::Word{};
+          const ir::Word b =
+              arity >= 2 ? read_operand(ins.b, lane_regs) : ir::Word{};
+          const ir::Word c =
+              arity >= 3 ? read_operand(ins.c, lane_regs) : ir::Word{};
+          lane_regs[ins.dst] = ir::eval_pure(ins, a, b, c);
+          break;
+        }
+      }
+      ++pc[lane];
+    }
+
+    result.mem_transactions += seg_count;
+    for (u32 sidx = 0; sidx < seg_count; ++sidx) {
+      if (cache.insert(segments[sidx]).second) {
+        ++result.mem_cache_misses;
+      }
+    }
+    if (ins.is_conditional_branch() && taken != 0 && taken != active) {
+      ++result.divergent_branches;
+    }
+  }
+  return result;
+}
+
+}  // namespace ispb::sim

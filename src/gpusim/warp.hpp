@@ -1,0 +1,65 @@
+// SIMT warp execution.
+//
+// Executes one warp (32 lanes) of an IR program in lock-step using min-PC
+// reconvergence: at every step the warp's program counter is the minimum pc
+// over unretired lanes, and exactly the lanes parked at that pc execute.
+// For structured, forward-laid-out code this reconverges at the immediate
+// post-dominator, and it handles loops naturally (lanes still inside have
+// smaller pcs and run until they exit). Divergence therefore costs real
+// issue slots — which is exactly the overhead the ISP transformation removes
+// from border regions, and what the warp-grained refinement (Listing 5)
+// reduces further.
+#pragma once
+
+#include <array>
+#include <span>
+#include <unordered_set>
+
+#include "gpusim/device.hpp"
+#include "ir/interp.hpp"
+#include "ir/program.hpp"
+
+namespace ispb::sim {
+
+inline constexpr std::size_t kPipeCount = 6;
+
+/// Per-warp execution statistics.
+struct WarpResult {
+  ir::Inventory issued;  ///< one count per issue slot (not per active lane)
+  std::array<u64, kPipeCount> issued_per_pipe{};
+  u64 issue_slots = 0;
+  u64 lane_instructions = 0;   ///< per-lane executed instruction total
+  u64 mem_transactions = 0;    ///< 32-byte segments touched by ld/st
+  /// First-touch transactions over the warp's lifetime: the stencil working
+  /// set is tiny and heavily reused, so an L1-resident segment costs only
+  /// its issue slot after the first access. Misses carry the transaction
+  /// cost in warp_cycles.
+  u64 mem_cache_misses = 0;
+  u64 divergent_branches = 0;  ///< conditional branches splitting the warp
+
+  WarpResult& operator+=(const WarpResult& o);
+};
+
+/// Issue-cost cycles of a warp execution on `dev` (instruction issue plus
+/// memory transaction cost).
+[[nodiscard]] f64 warp_cycles(const DeviceSpec& dev, const WarpResult& r);
+
+/// Cache state shared by the warps of one threadblock (models the per-SM L1
+/// for co-resident warps of a block; stencil windows of adjacent warp rows
+/// overlap heavily, so sharing matters for the memory cost).
+using SegmentCache = std::unordered_set<i64>;
+
+/// Runs one warp. `lane_inputs` holds the input-register values lane-major:
+/// lane_inputs[lane * prog.num_inputs() + i] is input register i of `lane`.
+/// All `dev.warp_size` lanes run (guard code inside the kernel handles
+/// out-of-image threads). `shared_cache`, when given, accumulates fetched
+/// segments across calls (block-level L1); otherwise the warp uses a private
+/// cache. Throws on out-of-bounds memory access or when `max_steps` issue
+/// slots are exceeded.
+WarpResult run_warp(const ir::Program& prog, const DeviceSpec& dev,
+                    std::span<const ir::Word> lane_inputs,
+                    std::span<const ir::BufferBinding> buffers,
+                    u64 max_steps = 50'000'000,
+                    SegmentCache* shared_cache = nullptr);
+
+}  // namespace ispb::sim

@@ -1,0 +1,52 @@
+#include "image/compare.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace ispb {
+
+CompareResult compare(const Image<f32>& a, const Image<f32>& b,
+                      f64 tolerance) {
+  ISPB_EXPECTS(a.size() == b.size());
+  CompareResult r;
+  f64 sum_abs = 0.0;
+  f64 sum_sq = 0.0;
+  for (i32 y = 0; y < a.height(); ++y) {
+    for (i32 x = 0; x < a.width(); ++x) {
+      const f64 d = std::abs(static_cast<f64>(a(x, y)) - static_cast<f64>(b(x, y)));
+      sum_abs += d;
+      sum_sq += d * d;
+      if (d > r.max_abs) {
+        r.max_abs = d;
+        r.worst = Index2{x, y};
+      }
+      if (d > tolerance) ++r.mismatches;
+    }
+  }
+  const f64 n = static_cast<f64>(a.size().area());
+  r.mean_abs = sum_abs / n;
+  r.rmse = std::sqrt(sum_sq / n);
+  return r;
+}
+
+f64 psnr(const Image<f32>& a, const Image<f32>& b) {
+  const CompareResult r = compare(a, b);
+  if (r.rmse == 0.0) return std::numeric_limits<f64>::infinity();
+  return 20.0 * std::log10(255.0 / r.rmse);
+}
+
+bool images_close(const Image<f32>& a, const Image<f32>& b, f64 tol,
+                  f64 rel_tol) {
+  ISPB_EXPECTS(a.size() == b.size());
+  for (i32 y = 0; y < a.height(); ++y) {
+    for (i32 x = 0; x < a.width(); ++x) {
+      const f64 ref = static_cast<f64>(b(x, y));
+      const f64 d = std::abs(static_cast<f64>(a(x, y)) - ref);
+      const f64 limit = std::max(tol, rel_tol * std::abs(ref));
+      if (d > limit) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ispb

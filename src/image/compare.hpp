@@ -1,0 +1,30 @@
+// Image comparison metrics used by correctness tests and EXPERIMENTS.md.
+#pragma once
+
+#include "image/image.hpp"
+
+namespace ispb {
+
+/// Result of comparing two equally sized images.
+struct CompareResult {
+  f64 max_abs = 0.0;       ///< Largest absolute per-pixel difference.
+  f64 mean_abs = 0.0;      ///< Mean absolute difference.
+  f64 rmse = 0.0;          ///< Root mean squared error.
+  Index2 worst{};          ///< Location of the largest difference.
+  i64 mismatches = 0;      ///< Pixels differing by more than `tolerance`.
+};
+
+/// Compares `a` against reference `b`. Sizes must match.
+CompareResult compare(const Image<f32>& a, const Image<f32>& b,
+                      f64 tolerance = 0.0);
+
+/// Peak signal-to-noise ratio in dB against a peak of 255.
+/// Identical images -> +inf.
+f64 psnr(const Image<f32>& a, const Image<f32>& b);
+
+/// True when every pixel differs by at most `tol` in absolute terms or
+/// `rel_tol` relative to the reference magnitude (whichever is looser).
+bool images_close(const Image<f32>& a, const Image<f32>& b, f64 tol,
+                  f64 rel_tol = 0.0);
+
+}  // namespace ispb

@@ -1,0 +1,54 @@
+#include "image/generators.hpp"
+
+namespace ispb {
+
+Image<f32> make_noise_image(Size2 size, u64 seed) {
+  Image<f32> img(size);
+  Rng rng(seed);
+  for (i32 y = 0; y < size.y; ++y) {
+    for (i32 x = 0; x < size.x; ++x) {
+      img(x, y) = static_cast<f32>(rng.uniform_i32(0, 255));
+    }
+  }
+  return img;
+}
+
+Image<f32> make_gradient_image(Size2 size) {
+  Image<f32> img(size);
+  for (i32 y = 0; y < size.y; ++y) {
+    for (i32 x = 0; x < size.x; ++x) {
+      img(x, y) = static_cast<f32>((x + 2 * y) % 256);
+    }
+  }
+  return img;
+}
+
+Image<f32> make_checker_image(Size2 size, i32 cell) {
+  ISPB_EXPECTS(cell > 0);
+  Image<f32> img(size);
+  for (i32 y = 0; y < size.y; ++y) {
+    for (i32 x = 0; x < size.x; ++x) {
+      img(x, y) = ((x / cell + y / cell) % 2 == 0) ? 0.0f : 255.0f;
+    }
+  }
+  return img;
+}
+
+Image<f32> make_impulse_image(Size2 size, Index2 pos) {
+  Image<f32> img(size);
+  img.at(pos.x, pos.y) = 255.0f;
+  return img;
+}
+
+Image<f32> make_coordinate_image(Size2 size) {
+  Image<f32> img(size);
+  for (i32 y = 0; y < size.y; ++y) {
+    for (i32 x = 0; x < size.x; ++x) {
+      img(x, y) = static_cast<f32>(y) * static_cast<f32>(size.x) +
+                  static_cast<f32>(x);
+    }
+  }
+  return img;
+}
+
+}  // namespace ispb

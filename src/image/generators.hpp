@@ -1,0 +1,32 @@
+// Synthetic image generators.
+//
+// The paper benchmarks on photographs; border-handling cost depends only on
+// the address calculation, not pixel content, so deterministic synthetic
+// inputs exercise the identical code paths (see DESIGN.md substitution
+// ledger). All generators are seeded and reproducible.
+#pragma once
+
+#include "common/rng.hpp"
+#include "image/image.hpp"
+
+namespace ispb {
+
+/// Uniform pseudo-random pixels in [0, 255].
+Image<f32> make_noise_image(Size2 size, u64 seed);
+
+/// Horizontal + vertical ramp: pixel = (x + 2 * y) mod 256. Position-encoded
+/// values make border-mapping mistakes show up as large diffs.
+Image<f32> make_gradient_image(Size2 size);
+
+/// Checkerboard of `cell` x `cell` tiles alternating 0 / 255.
+Image<f32> make_checker_image(Size2 size, i32 cell);
+
+/// Black image with a single white impulse at `pos` — the classic stencil
+/// probe (the filter response is the kernel mask itself).
+Image<f32> make_impulse_image(Size2 size, Index2 pos);
+
+/// Pixel = unique id (y * width + x); lets tests assert exactly which source
+/// pixel a border read resolved to.
+Image<f32> make_coordinate_image(Size2 size);
+
+}  // namespace ispb

@@ -1,0 +1,99 @@
+#include "image/image_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ispb {
+
+namespace {
+
+u8 to_byte(f32 v) {
+  const f32 clamped = std::clamp(v, 0.0f, 255.0f);
+  return static_cast<u8>(std::lround(clamped));
+}
+
+/// Skips whitespace and `#` comments in a PNM header.
+void skip_pnm_space(std::istream& in) {
+  for (;;) {
+    const int c = in.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else if (std::isspace(c)) {
+      in.get();
+    } else {
+      return;
+    }
+  }
+}
+
+i32 read_pnm_int(std::istream& in, const std::string& what) {
+  skip_pnm_space(in);
+  i32 v = 0;
+  if (!(in >> v)) throw IoError("PNM: failed to read " + what);
+  return v;
+}
+
+}  // namespace
+
+void write_pgm(const Image<f32>& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out << "P5\n" << img.width() << ' ' << img.height() << "\n255\n";
+  std::vector<u8> row(static_cast<std::size_t>(img.width()));
+  for (i32 y = 0; y < img.height(); ++y) {
+    for (i32 x = 0; x < img.width(); ++x) row[static_cast<std::size_t>(x)] = to_byte(img(x, y));
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) throw IoError("write failed: " + path);
+}
+
+Image<f32> read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  std::string magic;
+  in >> magic;
+  if (magic != "P5") throw IoError("not a binary PGM (P5): " + path);
+  const i32 width = read_pnm_int(in, "width");
+  const i32 height = read_pnm_int(in, "height");
+  const i32 maxval = read_pnm_int(in, "maxval");
+  if (width <= 0 || height <= 0) throw IoError("PGM: bad dimensions");
+  if (maxval <= 0 || maxval > 255) throw IoError("PGM: unsupported maxval");
+  in.get();  // single whitespace after maxval
+
+  Image<f32> img(width, height);
+  std::vector<u8> row(static_cast<std::size_t>(width));
+  for (i32 y = 0; y < height; ++y) {
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size()));
+    if (!in) throw IoError("PGM: truncated pixel data");
+    for (i32 x = 0; x < width; ++x) img(x, y) = static_cast<f32>(row[static_cast<std::size_t>(x)]);
+  }
+  return img;
+}
+
+void write_ppm(const Image<f32>& r, const Image<f32>& g, const Image<f32>& b,
+               const std::string& path) {
+  ISPB_EXPECTS(r.size() == g.size() && g.size() == b.size());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out << "P6\n" << r.width() << ' ' << r.height() << "\n255\n";
+  std::vector<u8> row(static_cast<std::size_t>(r.width()) * 3);
+  for (i32 y = 0; y < r.height(); ++y) {
+    for (i32 x = 0; x < r.width(); ++x) {
+      row[static_cast<std::size_t>(3 * x) + 0] = to_byte(r(x, y));
+      row[static_cast<std::size_t>(3 * x) + 1] = to_byte(g(x, y));
+      row[static_cast<std::size_t>(3 * x) + 2] = to_byte(b(x, y));
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) throw IoError("write failed: " + path);
+}
+
+}  // namespace ispb

@@ -1,0 +1,25 @@
+// Binary PGM (P5) and PPM (P6) image I/O.
+//
+// Netpbm is the simplest widely readable format; examples write their results
+// as PGM so users can inspect filter output with any viewer.
+#pragma once
+
+#include <string>
+
+#include "image/image.hpp"
+
+namespace ispb {
+
+/// Writes a grayscale image as binary PGM (P5). Values are clamped to
+/// [0, 255] and rounded. Throws IoError on filesystem failure.
+void write_pgm(const Image<f32>& img, const std::string& path);
+
+/// Reads a binary PGM (P5) with maxval <= 255 into a float image.
+/// Throws IoError on malformed input.
+Image<f32> read_pgm(const std::string& path);
+
+/// Writes three planes as binary PPM (P6). All planes must share a size.
+void write_ppm(const Image<f32>& r, const Image<f32>& g, const Image<f32>& b,
+               const std::string& path);
+
+}  // namespace ispb

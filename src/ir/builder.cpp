@@ -1,0 +1,210 @@
+#include "ir/builder.hpp"
+
+#include "common/error.hpp"
+
+namespace ispb::ir {
+
+Builder::Builder(std::string name) : name_(std::move(name)) {}
+
+void Builder::check_not_finished() const {
+  ISPB_EXPECTS(!finished_);
+}
+
+RegId Builder::add_special(std::string sname) {
+  check_not_finished();
+  ISPB_EXPECTS(!code_started_ && param_names_.empty());
+  special_names_.push_back(std::move(sname));
+  return next_reg_++;
+}
+
+RegId Builder::add_param(std::string pname) {
+  check_not_finished();
+  ISPB_EXPECTS(!code_started_);
+  param_names_.push_back(std::move(pname));
+  return next_reg_++;
+}
+
+u8 Builder::add_buffer() {
+  check_not_finished();
+  ISPB_EXPECTS(num_buffers_ < 255);
+  return static_cast<u8>(num_buffers_++);
+}
+
+RegId Builder::fresh_reg() {
+  check_not_finished();
+  return next_reg_++;
+}
+
+RegId Builder::emit(Op op, Type type, Operand a, Operand b, Operand c) {
+  check_not_finished();
+  ISPB_EXPECTS(op_has_dst(op));
+  code_started_ = true;
+  Instr ins;
+  ins.op = op;
+  ins.type = type;
+  ins.dst = fresh_reg();
+  ins.a = a;
+  ins.b = b;
+  ins.c = c;
+  code_.push_back(ins);
+  return ins.dst;
+}
+
+void Builder::emit_to(RegId dst, Op op, Type type, Operand a, Operand b,
+                      Operand c) {
+  check_not_finished();
+  ISPB_EXPECTS(op_has_dst(op));
+  ISPB_EXPECTS(dst < next_reg_);
+  code_started_ = true;
+  Instr ins;
+  ins.op = op;
+  ins.type = type;
+  ins.dst = dst;
+  ins.a = a;
+  ins.b = b;
+  ins.c = c;
+  code_.push_back(ins);
+}
+
+RegId Builder::emit_cvt(Type to, Type from, Operand a) {
+  check_not_finished();
+  code_started_ = true;
+  Instr ins;
+  ins.op = Op::kCvt;
+  ins.type = to;
+  ins.src_type = from;
+  ins.dst = fresh_reg();
+  ins.a = a;
+  code_.push_back(ins);
+  return ins.dst;
+}
+
+RegId Builder::emit_setp(Cmp cmp, Type operand_type, Operand a, Operand b) {
+  check_not_finished();
+  ISPB_EXPECTS(operand_type != Type::kPred);
+  code_started_ = true;
+  Instr ins;
+  ins.op = Op::kSetp;
+  ins.type = operand_type;
+  ins.cmp = cmp;
+  ins.dst = fresh_reg();
+  ins.a = a;
+  ins.b = b;
+  code_.push_back(ins);
+  return ins.dst;
+}
+
+RegId Builder::emit_selp(Type type, Operand a, Operand b, RegId pred) {
+  return emit(Op::kSelp, type, a, b, Operand::r(pred));
+}
+
+RegId Builder::emit_ld(u8 buffer, RegId addr) {
+  check_not_finished();
+  code_started_ = true;
+  Instr ins;
+  ins.op = Op::kLd;
+  ins.type = Type::kF32;
+  ins.dst = fresh_reg();
+  ins.a = Operand::r(addr);
+  ins.buffer = buffer;
+  code_.push_back(ins);
+  return ins.dst;
+}
+
+void Builder::emit_st(u8 buffer, RegId addr, Operand value) {
+  check_not_finished();
+  code_started_ = true;
+  Instr ins;
+  ins.op = Op::kSt;
+  ins.type = Type::kF32;
+  ins.a = Operand::r(addr);
+  ins.b = value;
+  ins.buffer = buffer;
+  code_.push_back(ins);
+}
+
+void Builder::ret() {
+  check_not_finished();
+  code_started_ = true;
+  Instr ins;
+  ins.op = Op::kRet;
+  code_.push_back(ins);
+}
+
+Builder::Label Builder::make_label() {
+  check_not_finished();
+  label_pc_.push_back(kUnbound);
+  label_patches_.emplace_back();
+  return static_cast<Label>(label_pc_.size() - 1);
+}
+
+void Builder::bind(Label l) {
+  check_not_finished();
+  ISPB_EXPECTS(l < label_pc_.size());
+  ISPB_EXPECTS(label_pc_[l] == kUnbound);
+  label_pc_[l] = static_cast<u32>(code_.size());
+  code_started_ = true;
+}
+
+void Builder::br(Label l) {
+  check_not_finished();
+  ISPB_EXPECTS(l < label_pc_.size());
+  code_started_ = true;
+  Instr ins;
+  ins.op = Op::kBra;
+  code_.push_back(ins);
+  label_patches_[l].push_back(static_cast<u32>(code_.size() - 1));
+}
+
+void Builder::br_if(RegId pred, Label l) {
+  check_not_finished();
+  ISPB_EXPECTS(l < label_pc_.size());
+  code_started_ = true;
+  Instr ins;
+  ins.op = Op::kBra;
+  ins.c = Operand::r(pred);
+  code_.push_back(ins);
+  label_patches_[l].push_back(static_cast<u32>(code_.size() - 1));
+}
+
+void Builder::br_unless(RegId pred, Label l) {
+  // Flip the predicate (p XOR 1) and branch on the flipped value.
+  const RegId flipped =
+      emit(Op::kXor, Type::kPred, Operand::r(pred), Operand::imm_i32(1));
+  br_if(flipped, l);
+}
+
+void Builder::marker(std::string mname) {
+  check_not_finished();
+  markers_.emplace_back(std::move(mname), static_cast<u32>(code_.size()));
+}
+
+Program Builder::finish() {
+  check_not_finished();
+  finished_ = true;
+
+  Program prog;
+  prog.name = name_;
+  prog.num_regs = next_reg_;
+  prog.special_names = special_names_;
+  prog.param_names = param_names_;
+  prog.num_buffers = num_buffers_;
+  prog.code = code_;
+  prog.markers = markers_;
+
+  for (std::size_t l = 0; l < label_pc_.size(); ++l) {
+    if (label_patches_[l].empty()) continue;
+    if (label_pc_[l] == kUnbound) {
+      throw ContractError("unbound label referenced in '" + name_ + "'");
+    }
+    ISPB_ASSERT(label_pc_[l] <= prog.code.size());
+    for (u32 site : label_patches_[l]) {
+      prog.code[site].target = label_pc_[l];
+    }
+  }
+
+  verify(prog);
+  return prog;
+}
+
+}  // namespace ispb::ir

@@ -1,0 +1,85 @@
+// IR construction helper with label resolution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ispb::ir {
+
+/// Builds a Program incrementally. Registers are virtual and unbounded; the
+/// register allocator later reports the physical demand. Labels decouple
+/// emission order from branch targets and are resolved in finish().
+class Builder {
+ public:
+  using Label = u32;
+
+  explicit Builder(std::string name);
+
+  /// Declares a special (thread-identity) register. Must precede params.
+  RegId add_special(std::string sname);
+  /// Declares a kernel parameter register. Must precede any code.
+  RegId add_param(std::string pname);
+  /// Declares a memory buffer; returns its index.
+  u8 add_buffer();
+
+  /// Allocates a fresh virtual register (rarely needed directly).
+  RegId fresh_reg();
+
+  // --- value-producing instructions (fresh destination) ---
+  RegId emit(Op op, Type type, Operand a, Operand b = Operand::none(),
+             Operand c = Operand::none());
+  RegId emit_cvt(Type to, Type from, Operand a);
+  RegId emit_setp(Cmp cmp, Type operand_type, Operand a, Operand b);
+  RegId emit_selp(Type type, Operand a, Operand b, RegId pred);
+  RegId emit_ld(u8 buffer, RegId addr);
+
+  /// Re-defines an existing register (loop induction variables); everything
+  /// else should use the fresh-destination forms to stay close to SSA.
+  void emit_to(RegId dst, Op op, Type type, Operand a,
+               Operand b = Operand::none(), Operand c = Operand::none());
+
+  // --- effects ---
+  void emit_st(u8 buffer, RegId addr, Operand value);
+  void ret();
+
+  // --- control flow ---
+  [[nodiscard]] Label make_label();
+  void bind(Label l);
+  void br(Label l);
+  /// Branch to `l` when `pred` is true (or false with negate: emitted as a
+  /// setp-inverted use; the IR branches on the given predicate register).
+  void br_if(RegId pred, Label l);
+  /// Branch to `l` when `pred` is false (PTX `@!p bra`): lowered as an
+  /// explicit xor-with-1 predicate flip plus a conditional branch.
+  void br_unless(RegId pred, Label l);
+
+  /// Records a named marker at the current pc (region entry points).
+  void marker(std::string mname);
+
+  /// Current instruction count (for size assertions in tests).
+  [[nodiscard]] std::size_t code_size() const { return code_.size(); }
+
+  /// Resolves labels, fills metadata and verifies the program.
+  [[nodiscard]] Program finish();
+
+ private:
+  void check_not_finished() const;
+
+  std::string name_;
+  std::vector<std::string> special_names_;
+  std::vector<std::string> param_names_;
+  u32 num_buffers_ = 0;
+  u32 next_reg_ = 0;
+  bool code_started_ = false;
+  bool finished_ = false;
+  std::vector<Instr> code_;
+  std::vector<std::pair<std::string, u32>> markers_;
+  // labels: bound pc or kUnbound; patch list of (instr index) per label
+  static constexpr u32 kUnbound = static_cast<u32>(-1);
+  std::vector<u32> label_pc_;
+  std::vector<std::vector<u32>> label_patches_;
+};
+
+}  // namespace ispb::ir

@@ -1,0 +1,156 @@
+// PTX-like instruction set.
+//
+// The source-to-source compiler lowers stencil kernels into this IR; the GPU
+// simulator executes it per warp, and the instruction inventory of Table I is
+// taken over it. The opcode set mirrors the PTX subset the paper inventories
+// (add/mul/mad/cvt/setp/selp/min/max/ld/st/bra plus the SFU approximations
+// ex2/lg2/rcp/sqrt used by the Bilateral and Night filters).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace ispb::ir {
+
+/// Generic opcodes; the operand `Type` selects the PTX flavor
+/// (e.g. kAdd + kI32 prints as `add.s32`, kAdd + kF32 as `add.f32`).
+enum class Op : u8 {
+  // Binary arithmetic (dst, a, b)
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kRem,
+  kMin,
+  kMax,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  // Ternary (dst, a, b, c)
+  kMad,   // dst = a * b + c
+  kSelp,  // dst = c ? a : b   (c is a predicate register)
+  // Unary (dst, a)
+  kNeg,
+  kAbs,
+  kMov,
+  kCvt,   // convert src_type -> type
+  kEx2,   // 2^x        (SFU)
+  kLg2,   // log2(x)    (SFU)
+  kRcp,   // 1/x        (SFU)
+  kSqrt,  // sqrt(x)    (SFU)
+  // Predicates
+  kSetp,  // dst(pred) = cmp(a, b)
+  // Memory (element-indexed into a bound buffer)
+  kLd,  // dst = buffer[a]
+  kSt,  // buffer[a] = b
+  // Control flow
+  kBra,  // if (c as pred, possibly negated) goto target; unconditional if no pred
+  kRet,
+};
+
+inline constexpr std::size_t kOpCount = static_cast<std::size_t>(Op::kRet) + 1;
+
+/// Operand/result types. Predicates live in ordinary registers holding 0/1.
+enum class Type : u8 { kI32, kF32, kPred };
+
+/// Comparison operators for kSetp.
+enum class Cmp : u8 { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// A 32-bit register value, reinterpreted by type.
+struct Word {
+  u32 bits = 0;
+
+  [[nodiscard]] static Word from_i32(i32 v) {
+    return Word{std::bit_cast<u32>(v)};
+  }
+  [[nodiscard]] static Word from_f32(f32 v) {
+    return Word{std::bit_cast<u32>(v)};
+  }
+  [[nodiscard]] static Word from_pred(bool v) { return Word{v ? 1u : 0u}; }
+
+  [[nodiscard]] i32 as_i32() const { return std::bit_cast<i32>(bits); }
+  [[nodiscard]] f32 as_f32() const { return std::bit_cast<f32>(bits); }
+  [[nodiscard]] bool as_pred() const { return bits != 0; }
+
+  friend constexpr bool operator==(const Word&, const Word&) = default;
+};
+
+/// Register index type. kNoReg marks an absent dst.
+using RegId = u32;
+inline constexpr RegId kNoReg = static_cast<RegId>(-1);
+
+/// An instruction operand: virtual register or immediate.
+struct Operand {
+  enum class Kind : u8 { kNone, kReg, kImm };
+  Kind kind = Kind::kNone;
+  RegId reg = kNoReg;
+  Word imm{};
+
+  [[nodiscard]] static Operand none() { return Operand{}; }
+  [[nodiscard]] static Operand r(RegId id) {
+    return Operand{Kind::kReg, id, Word{}};
+  }
+  [[nodiscard]] static Operand imm_i32(i32 v) {
+    return Operand{Kind::kImm, kNoReg, Word::from_i32(v)};
+  }
+  [[nodiscard]] static Operand imm_f32(f32 v) {
+    return Operand{Kind::kImm, kNoReg, Word::from_f32(v)};
+  }
+  [[nodiscard]] bool is_reg() const { return kind == Kind::kReg; }
+  [[nodiscard]] bool is_imm() const { return kind == Kind::kImm; }
+  [[nodiscard]] bool is_none() const { return kind == Kind::kNone; }
+
+  friend constexpr bool operator==(const Operand&, const Operand&) = default;
+};
+
+/// One flat-form instruction. Programs are flat instruction arrays; branch
+/// targets are instruction indices (resolved from labels by the builder).
+struct Instr {
+  Op op = Op::kRet;
+  Type type = Type::kI32;
+  Type src_type = Type::kI32;  ///< kCvt only: source type
+  Cmp cmp = Cmp::kLt;          ///< kSetp only
+  RegId dst = kNoReg;
+  Operand a{};
+  Operand b{};
+  Operand c{};
+  u32 target = 0;  ///< kBra only: instruction index
+  u8 buffer = 0;   ///< kLd/kSt only: bound buffer index
+
+  [[nodiscard]] bool is_branch() const { return op == Op::kBra; }
+  [[nodiscard]] bool is_conditional_branch() const {
+    return op == Op::kBra && c.is_reg();
+  }
+  /// True for instructions whose effects are observable beyond their dst.
+  [[nodiscard]] bool has_side_effects() const {
+    return op == Op::kSt || op == Op::kBra || op == Op::kRet;
+  }
+};
+
+/// PTX keyword for the opcode (the categorization unit of Table I).
+[[nodiscard]] std::string_view op_keyword(Op op);
+
+/// PTX type suffix (".s32", ".f32", ".pred").
+[[nodiscard]] std::string_view type_suffix(Type t);
+
+/// PTX comparison mnemonic ("lt", "le", ...).
+[[nodiscard]] std::string_view cmp_name(Cmp c);
+
+/// Number of register-or-immediate source operands the opcode consumes.
+[[nodiscard]] i32 op_arity(Op op);
+
+/// True when the opcode writes a destination register.
+[[nodiscard]] bool op_has_dst(Op op);
+
+/// Evaluates a pure (non-memory, non-control) instruction on concrete
+/// operand values. Division by zero yields 0 (matching the saturating
+/// behavior the generated code relies on never hitting), and shifts use only
+/// the low 5 bits of the shift amount, like PTX.
+[[nodiscard]] Word eval_pure(const Instr& ins, Word a, Word b, Word c);
+
+}  // namespace ispb::ir

@@ -1,0 +1,86 @@
+#include "ir/interp.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace ispb::ir {
+
+namespace {
+
+Word read_operand(const Operand& o, const std::vector<Word>& regs) {
+  if (o.is_imm()) return o.imm;
+  ISPB_ASSERT(o.is_reg());
+  return regs[o.reg];
+}
+
+}  // namespace
+
+InterpResult interpret(const Program& prog, std::span<const Word> inputs,
+                       std::span<const BufferBinding> buffers,
+                       u64 max_steps) {
+  ISPB_EXPECTS(inputs.size() == prog.num_inputs());
+  ISPB_EXPECTS(buffers.size() >= prog.num_buffers);
+
+  std::vector<Word> regs(prog.num_regs);
+  for (std::size_t i = 0; i < inputs.size(); ++i) regs[i] = inputs[i];
+
+  InterpResult result;
+  u32 pc = 0;
+  for (;;) {
+    if (result.steps++ >= max_steps) {
+      throw ContractError("interpreter exceeded max_steps in '" + prog.name +
+                          "'");
+    }
+    ISPB_ASSERT(pc < prog.code.size());
+    const Instr& ins = prog.code[pc];
+    result.executed.add(ins.op);
+
+    switch (ins.op) {
+      case Op::kRet:
+        return result;
+      case Op::kBra: {
+        bool taken = true;
+        if (ins.c.is_reg()) taken = regs[ins.c.reg].as_pred();
+        pc = taken ? ins.target : pc + 1;
+        continue;
+      }
+      case Op::kLd: {
+        const BufferBinding& buf = buffers[ins.buffer];
+        const i32 idx = regs[ins.a.reg].as_i32();
+        if (idx < 0 || static_cast<std::size_t>(idx) >= buf.size) {
+          throw ContractError("ld out of bounds in '" + prog.name +
+                              "': index " + std::to_string(idx) + " size " +
+                              std::to_string(buf.size));
+        }
+        regs[ins.dst] = Word::from_f32(buf.data[idx]);
+        break;
+      }
+      case Op::kSt: {
+        const BufferBinding& buf = buffers[ins.buffer];
+        if (!buf.writable) {
+          throw ContractError("st to read-only buffer in '" + prog.name + "'");
+        }
+        const i32 idx = regs[ins.a.reg].as_i32();
+        if (idx < 0 || static_cast<std::size_t>(idx) >= buf.size) {
+          throw ContractError("st out of bounds in '" + prog.name +
+                              "': index " + std::to_string(idx) + " size " +
+                              std::to_string(buf.size));
+        }
+        buf.data[idx] = read_operand(ins.b, regs).as_f32();
+        break;
+      }
+      default: {
+        const i32 arity = op_arity(ins.op);
+        const Word a = arity >= 1 ? read_operand(ins.a, regs) : Word{};
+        const Word b = arity >= 2 ? read_operand(ins.b, regs) : Word{};
+        const Word c = arity >= 3 ? read_operand(ins.c, regs) : Word{};
+        regs[ins.dst] = eval_pure(ins, a, b, c);
+        break;
+      }
+    }
+    ++pc;
+  }
+}
+
+}  // namespace ispb::ir

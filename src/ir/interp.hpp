@@ -1,0 +1,37 @@
+// Scalar reference interpreter for IR programs.
+//
+// Executes one logical thread from pc 0 to ret. The GPU simulator implements
+// warp-level SIMT execution separately; this scalar interpreter is the
+// semantic reference the optimizer passes are validated against, and it backs
+// the DSL's IR-level reference executor.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ispb::ir {
+
+/// A memory buffer binding. `writable` guards inputs against stray stores.
+struct BufferBinding {
+  f32* data = nullptr;
+  std::size_t size = 0;
+  bool writable = false;
+};
+
+/// Execution outcome of one thread.
+struct InterpResult {
+  Inventory executed;  ///< dynamically executed instructions by opcode
+  u64 steps = 0;       ///< total instructions executed
+};
+
+/// Runs `prog` with the given input-register values (length must equal
+/// prog.num_inputs()) over the bound buffers. Throws ContractError on
+/// out-of-bounds memory access, store to a read-only buffer, or exceeding
+/// `max_steps` (runaway loop guard).
+InterpResult interpret(const Program& prog, std::span<const Word> inputs,
+                       std::span<const BufferBinding> buffers,
+                       u64 max_steps = 100'000'000);
+
+}  // namespace ispb::ir

@@ -1,0 +1,30 @@
+#include "ir/inventory.hpp"
+
+#include <algorithm>
+
+namespace ispb::ir {
+
+std::vector<std::pair<std::string, i64>> Inventory::nonzero() const {
+  std::vector<std::pair<std::string, i64>> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) {
+      out.emplace_back(std::string(op_keyword(static_cast<Op>(i))),
+                       counts_[i]);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+    return x.second != y.second ? x.second > y.second : x.first < y.first;
+  });
+  return out;
+}
+
+Inventory Inventory::scaled(f64 factor) const {
+  Inventory out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out.counts_[i] =
+        static_cast<i64>(static_cast<f64>(counts_[i]) * factor + 0.5);
+  }
+  return out;
+}
+
+}  // namespace ispb::ir

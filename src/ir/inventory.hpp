@@ -1,0 +1,50 @@
+// Instruction inventory: counts per PTX keyword (the unit of Table I).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "ir/instr.hpp"
+
+namespace ispb::ir {
+
+/// Per-opcode instruction counters. Used statically (instructions present in
+/// a program) and dynamically (instructions executed by the simulator).
+class Inventory {
+ public:
+  void add(Op op, i64 n = 1) { counts_[static_cast<std::size_t>(op)] += n; }
+
+  [[nodiscard]] i64 of(Op op) const {
+    return counts_[static_cast<std::size_t>(op)];
+  }
+
+  [[nodiscard]] i64 total() const {
+    i64 sum = 0;
+    for (i64 c : counts_) sum += c;
+    return sum;
+  }
+
+  Inventory& operator+=(const Inventory& o) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+    return *this;
+  }
+
+  friend Inventory operator+(Inventory a, const Inventory& b) {
+    a += b;
+    return a;
+  }
+
+  /// Keywords with nonzero counts, sorted descending by count.
+  [[nodiscard]] std::vector<std::pair<std::string, i64>> nonzero() const;
+
+  /// Counts multiplied by `factor` and rounded (sampled-launch scaling).
+  [[nodiscard]] Inventory scaled(f64 factor) const;
+
+  friend bool operator==(const Inventory&, const Inventory&) = default;
+
+ private:
+  std::array<i64, kOpCount> counts_{};
+};
+
+}  // namespace ispb::ir

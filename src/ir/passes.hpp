@@ -1,0 +1,59 @@
+// Optimizer passes.
+//
+// The paper observes (Section IV-A1, Table I) that NVCC's common
+// sub-expression elimination narrows the gap between the naive and the ISP
+// kernels because the naive kernel's many conditional checks share address
+// arithmetic. To reproduce that effect faithfully, the same pass pipeline is
+// applied to both generated variants before counting instructions or
+// simulating.
+//
+// All passes are semantics-preserving: the randomized-program equivalence
+// tests (tests/test_ir_passes.cpp) check interpreter equality before/after.
+#pragma once
+
+#include "ir/program.hpp"
+
+namespace ispb::ir {
+
+/// What a pass changed (for logging and tests).
+struct PassStats {
+  i64 folded = 0;      ///< instructions constant-folded / simplified
+  i64 propagated = 0;  ///< operand slots rewritten by copy propagation
+  i64 cse_hits = 0;    ///< instructions replaced by an earlier equivalent
+  i64 removed = 0;     ///< instructions deleted by DCE
+
+  PassStats& operator+=(const PassStats& o) {
+    folded += o.folded;
+    propagated += o.propagated;
+    cse_hits += o.cse_hits;
+    removed += o.removed;
+    return *this;
+  }
+  [[nodiscard]] i64 total() const {
+    return folded + propagated + cse_hits + removed;
+  }
+};
+
+/// Folds pure instructions with all-immediate operands into `mov`, plus a
+/// small set of exactly value-preserving algebraic identities.
+PassStats constant_fold(Program& prog);
+
+/// Replaces uses of single-definition `mov` destinations with the moved
+/// operand.
+PassStats copy_propagate(Program& prog);
+
+/// Local common sub-expression elimination within basic blocks (the NVCC
+/// effect discussed above). Loads participate until the next store to the
+/// same buffer.
+PassStats local_cse(Program& prog);
+
+/// Flow-insensitive dead code elimination: removes value-producing
+/// instructions whose destination is never read. Compacts the program and
+/// remaps branch targets and markers.
+PassStats dead_code_elim(Program& prog);
+
+/// Runs the full pipeline (fold / propagate / CSE / DCE) to a fixpoint
+/// (bounded number of rounds) and re-verifies the program.
+PassStats optimize(Program& prog);
+
+}  // namespace ispb::ir

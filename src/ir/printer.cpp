@@ -1,0 +1,114 @@
+#include "ir/printer.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace ispb::ir {
+
+namespace {
+
+std::string operand_str(const Operand& o, Type t) {
+  std::ostringstream os;
+  switch (o.kind) {
+    case Operand::Kind::kNone:
+      return "_";
+    case Operand::Kind::kReg:
+      os << "%r" << o.reg;
+      return os.str();
+    case Operand::Kind::kImm:
+      if (t == Type::kF32) {
+        os << o.imm.as_f32();
+      } else {
+        os << o.imm.as_i32();
+      }
+      return os.str();
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_ptx(const Instr& ins) {
+  std::ostringstream os;
+  switch (ins.op) {
+    case Op::kRet:
+      os << "ret;";
+      return os.str();
+    case Op::kBra:
+      if (ins.c.is_reg()) {
+        os << "@%r" << ins.c.reg << " ";
+      }
+      os << "bra L" << ins.target << ";";
+      return os.str();
+    case Op::kLd:
+      os << "ld.global.f32 %r" << ins.dst << ", [buf" << int{ins.buffer}
+         << " + " << operand_str(ins.a, Type::kI32) << "];";
+      return os.str();
+    case Op::kSt:
+      os << "st.global.f32 [buf" << int{ins.buffer} << " + "
+         << operand_str(ins.a, Type::kI32) << "], "
+         << operand_str(ins.b, ins.type) << ";";
+      return os.str();
+    case Op::kSetp:
+      os << "setp." << cmp_name(ins.cmp) << type_suffix(ins.type) << " %r"
+         << ins.dst << ", " << operand_str(ins.a, ins.type) << ", "
+         << operand_str(ins.b, ins.type) << ";";
+      return os.str();
+    case Op::kCvt:
+      os << "cvt" << type_suffix(ins.type) << type_suffix(ins.src_type)
+         << " %r" << ins.dst << ", " << operand_str(ins.a, ins.src_type)
+         << ";";
+      return os.str();
+    default:
+      break;
+  }
+  os << op_keyword(ins.op) << type_suffix(ins.type) << " %r" << ins.dst;
+  const i32 arity = op_arity(ins.op);
+  const Type operand_type =
+      ins.op == Op::kSelp ? ins.type : ins.type;
+  if (arity >= 1) os << ", " << operand_str(ins.a, operand_type);
+  if (arity >= 2) os << ", " << operand_str(ins.b, operand_type);
+  if (arity >= 3) os << ", " << operand_str(ins.c, operand_type);
+  os << ";";
+  return os.str();
+}
+
+std::string to_ptx(const Program& prog) {
+  std::ostringstream os;
+  os << "// ptx-like listing of kernel '" << prog.name << "'\n";
+  os << ".visible .entry " << prog.name << " (\n";
+  for (std::size_t i = 0; i < prog.param_names.size(); ++i) {
+    os << "    .param .b32 " << prog.param_names[i]
+       << (i + 1 < prog.param_names.size() ? ",\n" : "\n");
+  }
+  os << ")\n{\n";
+  os << "    .reg .b32 %r<" << prog.num_regs << ">;\n";
+  for (std::size_t i = 0; i < prog.special_names.size(); ++i) {
+    os << "    // %r" << i << " = %" << prog.special_names[i] << "\n";
+  }
+  for (std::size_t i = 0; i < prog.param_names.size(); ++i) {
+    os << "    // %r" << prog.num_special() + i << " = param "
+       << prog.param_names[i] << "\n";
+  }
+
+  std::set<u32> label_pcs;
+  for (const Instr& ins : prog.code) {
+    if (ins.op == Op::kBra) label_pcs.insert(ins.target);
+  }
+  std::multimap<u32, std::string> marker_at;
+  for (const auto& [mname, pc] : prog.markers) marker_at.emplace(pc, mname);
+
+  for (u32 pc = 0; pc < prog.code.size(); ++pc) {
+    auto [lo, hi] = marker_at.equal_range(pc);
+    for (auto it = lo; it != hi; ++it) {
+      os << "  // ---- region " << it->second << " ----\n";
+    }
+    if (label_pcs.count(pc) != 0) os << "L" << pc << ":\n";
+    os << "    " << to_ptx(prog.code[pc]) << "\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ispb::ir

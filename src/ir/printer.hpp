@@ -1,0 +1,21 @@
+// PTX-style textual rendering of IR programs.
+//
+// The output is *PTX-like*, not loadable PTX: it exists so users can inspect
+// what the compiler generated (the paper's Table I was produced by manually
+// disassembling real PTX; our benches run the same inventory over this IR).
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace ispb::ir {
+
+/// Renders the whole program: header, register/param declarations, one line
+/// per instruction with labels and markers interleaved.
+[[nodiscard]] std::string to_ptx(const Program& prog);
+
+/// Renders a single instruction (no trailing newline).
+[[nodiscard]] std::string to_ptx(const Instr& ins);
+
+}  // namespace ispb::ir

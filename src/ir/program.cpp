@@ -1,0 +1,139 @@
+#include "ir/program.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ispb::ir {
+
+RegId Program::param_reg(std::string_view pname) const {
+  for (std::size_t i = 0; i < param_names.size(); ++i) {
+    if (param_names[i] == pname) {
+      return num_special() + static_cast<RegId>(i);
+    }
+  }
+  throw ContractError("unknown parameter: " + std::string(pname));
+}
+
+Inventory Program::static_inventory() const {
+  return static_inventory(0, static_cast<u32>(code.size()));
+}
+
+Inventory Program::static_inventory(u32 begin, u32 end) const {
+  ISPB_EXPECTS(begin <= end && end <= code.size());
+  Inventory inv;
+  for (u32 i = begin; i < end; ++i) inv.add(code[i].op);
+  return inv;
+}
+
+u32 Program::marker_pc(std::string_view mname) const {
+  for (const auto& [name_, pc] : markers) {
+    if (name_ == mname) return pc;
+  }
+  throw ContractError("unknown marker: " + std::string(mname));
+}
+
+namespace {
+
+[[noreturn]] void fail(const Program& prog, u32 pc, const std::string& msg) {
+  std::ostringstream os;
+  os << "IR verify failed in '" << prog.name << "' at pc " << pc << ": "
+     << msg;
+  throw VerifyError(os.str());
+}
+
+void check_operand(const Program& prog, u32 pc, const Operand& o,
+                   const char* which, std::vector<bool>& defined,
+                   bool check_defined) {
+  if (o.is_none()) fail(prog, pc, std::string("missing operand ") + which);
+  if (o.is_reg()) {
+    if (o.reg >= prog.num_regs) {
+      fail(prog, pc, std::string("operand ") + which + " register out of range");
+    }
+    if (check_defined && !defined[o.reg]) {
+      fail(prog, pc,
+           std::string("operand ") + which + " (r" + std::to_string(o.reg) +
+               ") used before linear-order definition");
+    }
+  }
+}
+
+}  // namespace
+
+void verify(const Program& prog) {
+  if (prog.code.empty()) fail(prog, 0, "empty program");
+  if (prog.num_inputs() > prog.num_regs) {
+    fail(prog, 0, "more input registers than registers");
+  }
+
+  std::vector<bool> defined(prog.num_regs, false);
+  for (u32 i = 0; i < prog.num_inputs(); ++i) defined[i] = true;
+
+  for (u32 pc = 0; pc < prog.code.size(); ++pc) {
+    const Instr& ins = prog.code[pc];
+    const i32 arity = op_arity(ins.op);
+
+    if (op_has_dst(ins.op)) {
+      if (ins.dst == kNoReg || ins.dst >= prog.num_regs) {
+        fail(prog, pc, "bad destination register");
+      }
+      if (ins.dst < prog.num_inputs()) {
+        fail(prog, pc, "write to input register");
+      }
+    } else if (ins.dst != kNoReg) {
+      fail(prog, pc, "destination on dst-less opcode");
+    }
+
+    if (arity >= 1) check_operand(prog, pc, ins.a, "a", defined, true);
+    if (arity >= 2) check_operand(prog, pc, ins.b, "b", defined, true);
+    if (arity >= 3) check_operand(prog, pc, ins.c, "c", defined, true);
+
+    switch (ins.op) {
+      case Op::kLd:
+      case Op::kSt:
+        if (ins.buffer >= prog.num_buffers) {
+          fail(prog, pc, "buffer index out of range");
+        }
+        if (!ins.a.is_reg()) fail(prog, pc, "memory address must be a register");
+        break;
+      case Op::kBra:
+        if (ins.target >= prog.code.size()) {
+          fail(prog, pc, "branch target out of range");
+        }
+        if (!ins.c.is_none()) {
+          check_operand(prog, pc, ins.c, "pred", defined, true);
+          if (!ins.c.is_reg()) fail(prog, pc, "branch predicate must be a register");
+        }
+        break;
+      case Op::kCvt:
+        if (ins.src_type == Type::kPred || ins.type == Type::kPred) {
+          fail(prog, pc, "cvt to/from pred");
+        }
+        break;
+      case Op::kSetp:
+        if (ins.type == Type::kPred) {
+          fail(prog, pc, "setp compares i32/f32 operands; type is the operand type");
+        }
+        break;
+      default:
+        break;
+    }
+
+    if (op_has_dst(ins.op)) defined[ins.dst] = true;
+  }
+
+  const Instr& last = prog.code.back();
+  if (last.op != Op::kRet && !(last.op == Op::kBra && !last.c.is_reg())) {
+    fail(prog, static_cast<u32>(prog.code.size() - 1),
+         "program must end in ret or an unconditional branch");
+  }
+
+  for (const auto& [mname, pc] : prog.markers) {
+    if (pc > prog.code.size()) {
+      fail(prog, pc, "marker '" + mname + "' out of range");
+    }
+  }
+}
+
+}  // namespace ispb::ir

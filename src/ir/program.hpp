@@ -1,0 +1,56 @@
+// Flat IR programs: the unit the compiler emits and the simulator executes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/instr.hpp"
+#include "ir/inventory.hpp"
+
+namespace ispb::ir {
+
+/// A kernel program in flat form. Registers [0, num_inputs()) are
+/// pre-initialized by the launcher: first the special registers (thread
+/// identity such as tid.x/ctaid.x), then the kernel parameters (image
+/// geometry, partition bounds, border constant). Branch targets are
+/// instruction indices.
+struct Program {
+  std::string name;
+  u32 num_regs = 0;
+  std::vector<std::string> special_names;  ///< registers [0, #special)
+  std::vector<std::string> param_names;    ///< registers [#special, #inputs)
+  u32 num_buffers = 0;
+  std::vector<Instr> code;
+
+  /// Named positions in the code (region entry points); used to attribute
+  /// instructions to regions for the Table I breakdown.
+  std::vector<std::pair<std::string, u32>> markers;
+
+  [[nodiscard]] u32 num_special() const {
+    return static_cast<u32>(special_names.size());
+  }
+  [[nodiscard]] u32 num_params() const {
+    return static_cast<u32>(param_names.size());
+  }
+  [[nodiscard]] u32 num_inputs() const { return num_special() + num_params(); }
+
+  /// Index of a named parameter register, or throws.
+  [[nodiscard]] RegId param_reg(std::string_view pname) const;
+
+  /// Static per-opcode counts over the whole program.
+  [[nodiscard]] Inventory static_inventory() const;
+
+  /// Static counts restricted to [begin, end) instruction indices.
+  [[nodiscard]] Inventory static_inventory(u32 begin, u32 end) const;
+
+  /// Marker lookup: pc of marker `mname`, or throws.
+  [[nodiscard]] u32 marker_pc(std::string_view mname) const;
+};
+
+/// Structural validation: operand arity and kinds, register bounds, branch
+/// targets, terminator presence, buffer bounds, and linear-order
+/// def-before-use (inputs are pre-defined). Throws VerifyError with a
+/// diagnostic on the first violation.
+void verify(const Program& prog);
+
+}  // namespace ispb::ir

@@ -1,0 +1,81 @@
+#include "ir/regalloc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ispb::ir {
+
+RegAllocResult allocate_registers(const Program& prog) {
+  constexpr i32 kNoPos = -2;
+  // def position (first write; -1 for inputs) and last read position.
+  std::vector<i32> first_def(prog.num_regs, kNoPos);
+  std::vector<i32> last_use(prog.num_regs, kNoPos);
+  for (u32 r = 0; r < prog.num_inputs(); ++r) first_def[r] = -1;
+
+  const auto note_use = [&](const Operand& o, i32 pos) {
+    if (o.is_reg()) last_use[o.reg] = std::max(last_use[o.reg], pos);
+  };
+  for (u32 pc = 0; pc < prog.code.size(); ++pc) {
+    const Instr& ins = prog.code[pc];
+    const i32 pos = static_cast<i32>(pc);
+    note_use(ins.a, pos);
+    note_use(ins.b, pos);
+    note_use(ins.c, pos);
+    if (op_has_dst(ins.op) && first_def[ins.dst] == kNoPos) {
+      first_def[ins.dst] = pos;
+    }
+  }
+
+  // Loop extension: a value live anywhere inside [target, branch] of a
+  // backward branch must stay live through the whole span, because control
+  // may return to the target after the branch.
+  std::vector<std::pair<i32, i32>> backedges;
+  for (u32 pc = 0; pc < prog.code.size(); ++pc) {
+    const Instr& ins = prog.code[pc];
+    if (ins.op == Op::kBra && ins.target <= pc) {
+      backedges.emplace_back(static_cast<i32>(ins.target),
+                             static_cast<i32>(pc));
+    }
+  }
+  if (!backedges.empty()) {
+    for (u32 r = 0; r < prog.num_regs; ++r) {
+      if (first_def[r] == kNoPos || last_use[r] == kNoPos) continue;
+      for (const auto& [t, b] : backedges) {
+        const bool overlaps = first_def[r] <= b && last_use[r] >= t;
+        if (overlaps) last_use[r] = std::max(last_use[r], b);
+      }
+    }
+  }
+
+  // Sweep: +1 at def, -1 after last use; track the maximum.
+  struct Event {
+    i32 pos;
+    i32 delta;
+  };
+  std::vector<Event> events;
+  i32 intervals = 0;
+  for (u32 r = 0; r < prog.num_regs; ++r) {
+    if (first_def[r] == kNoPos) continue;
+    // Inputs that are never read still occupy a register at entry; give them
+    // a zero-length interval so unused parameters are not free.
+    const i32 end = std::max(last_use[r], first_def[r]);
+    events.push_back({first_def[r], +1});
+    events.push_back({end + 1, -1});
+    ++intervals;
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.pos != b.pos ? a.pos < b.pos : a.delta < b.delta;
+  });
+
+  i32 live = 0;
+  i32 peak = 0;
+  for (const Event& e : events) {
+    live += e.delta;
+    peak = std::max(peak, live);
+  }
+  ISPB_ENSURES(live == 0);
+  return RegAllocResult{peak, intervals};
+}
+
+}  // namespace ispb::ir

@@ -1,0 +1,30 @@
+// Register-pressure estimation via linear-scan interval analysis.
+//
+// The cost side of the paper's model (Section IV-B, Table II) hinges on the
+// register usage of the generated kernels: the fat ISP kernel keeps the
+// partition bounds and thread coordinates live across the region switch and
+// therefore needs more registers than the naive kernel, which can reduce
+// occupancy. This module computes the physical register demand of a program
+// the way a linear-scan allocator would: live intervals in linear order,
+// extended across loop back-edges, maximum overlap = registers required.
+#pragma once
+
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ispb::ir {
+
+/// Result of the interval analysis.
+struct RegAllocResult {
+  i32 registers = 0;  ///< maximum simultaneously live values
+  i32 intervals = 0;  ///< number of live intervals (defined-and-used regs)
+};
+
+/// Computes the physical register demand of `prog`. Input registers are
+/// treated as defined before the first instruction. Intervals crossing a
+/// backward branch are extended to the branch (loop-carried values stay
+/// live for the whole loop).
+[[nodiscard]] RegAllocResult allocate_registers(const Program& prog);
+
+}  // namespace ispb::ir

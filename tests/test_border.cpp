@@ -1,0 +1,181 @@
+// Property-based tests for the border-handling patterns (paper Fig. 2,
+// Listing 1). These scalar mappings are the semantic ground truth for the
+// whole system, so they get the heaviest property coverage.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "border/border.hpp"
+#include "common/rng.hpp"
+#include "image/generators.hpp"
+
+namespace ispb {
+namespace {
+
+TEST(BorderNames, RoundTrip) {
+  for (BorderPattern p : kAllBorderPatterns) {
+    const auto parsed = parse_border_pattern(to_string(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(parse_border_pattern("bogus").has_value());
+}
+
+TEST(Sides, MaskOperations) {
+  const Side tl = Side::kTop | Side::kLeft;
+  EXPECT_TRUE(has_side(tl, Side::kTop));
+  EXPECT_TRUE(has_side(tl, Side::kLeft));
+  EXPECT_FALSE(has_side(tl, Side::kRight));
+  EXPECT_EQ(side_count(tl), 2);
+  EXPECT_EQ(side_count(Side::kNone), 0);
+  EXPECT_EQ(side_count(kAllSides), 4);
+}
+
+TEST(Clamp, KnownValues) {
+  EXPECT_EQ(map_index(BorderPattern::kClamp, -1, 10), 0);
+  EXPECT_EQ(map_index(BorderPattern::kClamp, -100, 10), 0);
+  EXPECT_EQ(map_index(BorderPattern::kClamp, 0, 10), 0);
+  EXPECT_EQ(map_index(BorderPattern::kClamp, 9, 10), 9);
+  EXPECT_EQ(map_index(BorderPattern::kClamp, 10, 10), 9);
+  EXPECT_EQ(map_index(BorderPattern::kClamp, 1000, 10), 9);
+}
+
+TEST(Mirror, KnownValues) {
+  // Edge-inclusive reflection: -1 -> 0, -2 -> 1, s -> s-1, s+1 -> s-2.
+  EXPECT_EQ(map_index(BorderPattern::kMirror, -1, 10), 0);
+  EXPECT_EQ(map_index(BorderPattern::kMirror, -2, 10), 1);
+  EXPECT_EQ(map_index(BorderPattern::kMirror, 10, 10), 9);
+  EXPECT_EQ(map_index(BorderPattern::kMirror, 11, 10), 8);
+  EXPECT_EQ(map_index(BorderPattern::kMirror, 5, 10), 5);
+}
+
+TEST(Mirror, PeriodTwiceSize) {
+  for (i32 c = -50; c < 50; ++c) {
+    EXPECT_EQ(map_index(BorderPattern::kMirror, c, 7),
+              map_index(BorderPattern::kMirror, c + 14, 7));
+  }
+}
+
+TEST(Mirror, SymmetricAroundLeftEdge) {
+  // Reflection identity: coordinate -k-1 maps like coordinate k.
+  for (i32 k = 0; k < 30; ++k) {
+    EXPECT_EQ(map_index(BorderPattern::kMirror, -k - 1, 9),
+              map_index(BorderPattern::kMirror, k, 9));
+  }
+}
+
+TEST(Repeat, KnownValues) {
+  EXPECT_EQ(map_index(BorderPattern::kRepeat, -1, 10), 9);
+  EXPECT_EQ(map_index(BorderPattern::kRepeat, 10, 10), 0);
+  EXPECT_EQ(map_index(BorderPattern::kRepeat, 25, 10), 5);
+  EXPECT_EQ(map_index(BorderPattern::kRepeat, -25, 10), 5);
+}
+
+TEST(Repeat, MatchesWhileLoopSemantics) {
+  // Listing 1 implements Repeat as while(i<0) i+=s; while(i>=s) i-=s.
+  Rng rng(21);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const i32 s = rng.uniform_i32(1, 64);
+    const i32 c = rng.uniform_i32(-300, 300);
+    i32 loop = c;
+    while (loop < 0) loop += s;
+    while (loop >= s) loop -= s;
+    EXPECT_EQ(map_index(BorderPattern::kRepeat, c, s), loop);
+  }
+}
+
+TEST(Constant, InBoundsPassThrough) {
+  EXPECT_EQ(map_index(BorderPattern::kConstant, 3, 10), 3);
+}
+
+TEST(Constant, OutOfBoundsIsContractViolation) {
+  // Constant has no index remapping; resolving OOB coordinates through
+  // map_index is a caller bug (border_read handles the substitution).
+  EXPECT_THROW((void)map_index(BorderPattern::kConstant, -1, 10),
+               ContractError);
+}
+
+TEST(MapIndex, RejectsNonPositiveSize) {
+  EXPECT_THROW((void)map_index(BorderPattern::kClamp, 0, 0), ContractError);
+}
+
+// ---- Parameterized properties over (pattern, size) ------------------------
+
+class MappingProperty
+    : public ::testing::TestWithParam<std::tuple<BorderPattern, i32>> {};
+
+TEST_P(MappingProperty, AlwaysInBounds) {
+  const auto [pattern, size] = GetParam();
+  if (pattern == BorderPattern::kConstant) GTEST_SKIP();
+  for (i32 c = -3 * size - 7; c <= 3 * size + 7; ++c) {
+    const i32 m = map_index(pattern, c, size);
+    ASSERT_GE(m, 0) << "pattern=" << to_string(pattern) << " c=" << c;
+    ASSERT_LT(m, size) << "pattern=" << to_string(pattern) << " c=" << c;
+  }
+}
+
+TEST_P(MappingProperty, InBoundsIsIdentity) {
+  const auto [pattern, size] = GetParam();
+  for (i32 c = 0; c < size; ++c) {
+    ASSERT_EQ(map_index(pattern, c, size), c)
+        << "pattern=" << to_string(pattern);
+  }
+}
+
+TEST_P(MappingProperty, Idempotent) {
+  // Mapping an already mapped coordinate changes nothing.
+  const auto [pattern, size] = GetParam();
+  if (pattern == BorderPattern::kConstant) GTEST_SKIP();
+  for (i32 c = -2 * size; c <= 2 * size; ++c) {
+    const i32 once = map_index(pattern, c, size);
+    ASSERT_EQ(map_index(pattern, once, size), once);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatternsAndSizes, MappingProperty,
+    ::testing::Combine(::testing::ValuesIn(kAllBorderPatterns),
+                       ::testing::Values(1, 2, 3, 5, 16, 17, 64)),
+    [](const auto& inf) {
+      return std::string(to_string(std::get<0>(inf.param))) + "_s" +
+             std::to_string(std::get<1>(inf.param));
+    });
+
+TEST(MapIndex2d, MapsAxesIndependently) {
+  const Index2 p = map_index_2d(BorderPattern::kClamp, {-3, 12}, {10, 10});
+  EXPECT_EQ(p, (Index2{0, 9}));
+}
+
+TEST(BorderRead, ConstantSubstitutesOnlyOutOfBounds) {
+  const auto img = make_coordinate_image({4, 4});
+  EXPECT_EQ(border_read(img, BorderPattern::kConstant, -1, 0, 99.0f), 99.0f);
+  EXPECT_EQ(border_read(img, BorderPattern::kConstant, 0, 4, 99.0f), 99.0f);
+  EXPECT_EQ(border_read(img, BorderPattern::kConstant, 2, 1, 99.0f),
+            img(2, 1));
+}
+
+TEST(BorderRead, ClampReadsNearestPixel) {
+  const auto img = make_coordinate_image({4, 4});
+  EXPECT_EQ(border_read(img, BorderPattern::kClamp, -5, -5, 0.0f), img(0, 0));
+  EXPECT_EQ(border_read(img, BorderPattern::kClamp, 10, 2, 0.0f), img(3, 2));
+}
+
+TEST(BorderRead, RepeatTilesTheImage) {
+  const auto img = make_coordinate_image({4, 3});
+  for (i32 y = -6; y < 9; ++y) {
+    for (i32 x = -8; x < 12; ++x) {
+      const f32 expect = img(((x % 4) + 4) % 4, ((y % 3) + 3) % 3);
+      ASSERT_EQ(border_read(img, BorderPattern::kRepeat, x, y, 0.0f), expect);
+    }
+  }
+}
+
+TEST(CheckCost, RepeatIsTheExpensivePattern) {
+  EXPECT_FALSE(has_constant_check_cost(BorderPattern::kRepeat));
+  EXPECT_TRUE(has_constant_check_cost(BorderPattern::kClamp));
+  EXPECT_GT(check_cost_per_side(BorderPattern::kRepeat),
+            check_cost_per_side(BorderPattern::kClamp));
+}
+
+}  // namespace
+}  // namespace ispb

@@ -1,0 +1,273 @@
+// Tests for the Hipacc-style DSL: tracing, the user API objects, the CPU
+// reference backend and the planner.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dsl/hipacc.hpp"
+#include "image/generators.hpp"
+
+namespace ispb::dsl {
+namespace {
+
+TEST(Trace, ValueOutsideKernelRejected) {
+  EXPECT_THROW(Value v(1.0f), ContractError);
+}
+
+TEST(Trace, BuildsExpressionDag) {
+  TraceContext ctx("t", 1);
+  const Value a = 2.0f;
+  const Value b = 3.0f;
+  const Value c = a * b + Value(1.0f);
+  ctx.set_output(c.node());
+  const codegen::StencilSpec spec = ctx.finish();
+  EXPECT_EQ(spec.name, "t");
+  // Evaluation of the constant dag: 2*3+1.
+  EXPECT_FLOAT_EQ(spec.evaluate([](i32, i32, i32) { return 0.0f; }), 7.0f);
+}
+
+TEST(Trace, CompoundAssignmentOperators) {
+  TraceContext ctx("t", 1);
+  Value acc = 1.0f;
+  acc += 2.0f;
+  acc *= 3.0f;
+  acc -= 4.0f;
+  acc /= 5.0f;
+  ctx.set_output(acc.node());
+  const codegen::StencilSpec spec = ctx.finish();
+  EXPECT_FLOAT_EQ(spec.evaluate([](i32, i32, i32) { return 0.0f; }),
+                  ((1.0f + 2.0f) * 3.0f - 4.0f) / 5.0f);
+}
+
+TEST(Trace, MathIntrinsics) {
+  TraceContext ctx("t", 1);
+  const Value v = exp(Value(1.0f));
+  ctx.set_output(v.node());
+  const codegen::StencilSpec spec = ctx.finish();
+  EXPECT_NEAR(spec.evaluate([](i32, i32, i32) { return 0.0f; }),
+              2.718281828f, 1e-5f);
+}
+
+TEST(Trace, MissingOutputRejected) {
+  TraceContext ctx("t", 1);
+  EXPECT_THROW((void)ctx.finish(), ContractError);
+}
+
+TEST(Mask, InitializerListLayout) {
+  const Mask m{{1.0f, 2.0f, 3.0f}, {4.0f, 5.0f, 6.0f}, {7.0f, 8.0f, 9.0f}};
+  EXPECT_EQ(m.size_x(), 3);
+  EXPECT_EQ(m.size_y(), 3);
+  EXPECT_FLOAT_EQ(m.at(-1, -1), 1.0f);  // top-left
+  EXPECT_FLOAT_EQ(m.at(0, 0), 5.0f);    // center
+  EXPECT_FLOAT_EQ(m.at(1, 1), 9.0f);    // bottom-right
+  EXPECT_FLOAT_EQ(m.at(1, -1), 3.0f);
+}
+
+TEST(Mask, RejectsEvenExtents) {
+  EXPECT_THROW(Mask(2, 3), ContractError);
+  EXPECT_THROW(Mask(3, 0), ContractError);
+}
+
+TEST(Domain, SparseEnableDisable) {
+  Domain dom(3, 3);
+  EXPECT_EQ(dom.enabled_count(), 9);
+  dom.disable(0, 0);
+  dom.disable(1, 1);
+  EXPECT_EQ(dom.enabled_count(), 7);
+  EXPECT_FALSE(dom.enabled(0, 0));
+  dom.enable(0, 0);
+  EXPECT_TRUE(dom.enabled(0, 0));
+}
+
+TEST(Iterate, VisitsEnabledOffsetsRowMajor) {
+  Image<f32> img(4, 4);
+  Image<f32> out(4, 4);
+  Domain dom(3, 3);
+  dom.disable(0, 0);
+  std::vector<Index2> visited;
+  // iterate() itself needs no active trace when the body records offsets.
+  iterate(dom, [&] { visited.push_back(dom.offset()); });
+  ASSERT_EQ(visited.size(), 8u);
+  EXPECT_EQ(visited.front(), (Index2{-1, -1}));
+  EXPECT_EQ(visited.back(), (Index2{1, 1}));
+  for (const Index2& o : visited) EXPECT_FALSE(o == (Index2{0, 0}));
+}
+
+// A 3x3 sharpen written exactly like paper Listing 4.
+class SharpenKernel : public Kernel {
+ public:
+  SharpenKernel(IterationSpace& is, Accessor& in, Mask& mask, Domain& dom)
+      : Kernel(is, "sharpen"), in_(in), mask_(mask), dom_(dom) {
+    add_accessor(&in_);
+  }
+  void kernel() override {
+    output() =
+        convolve(mask_, dom_, Reduce::kSum, [&] { return mask_(dom_) * in_(dom_); });
+  }
+
+ private:
+  Accessor& in_;
+  Mask& mask_;
+  Domain& dom_;
+};
+
+TEST(Kernel, ReferenceBackendMatchesHandLoop) {
+  const auto src = make_noise_image({23, 17}, 42);
+  Image<f32> out(23, 17);
+
+  Mask mask{{0.0f, -1.0f, 0.0f}, {-1.0f, 5.0f, -1.0f}, {0.0f, -1.0f, 0.0f}};
+  Domain dom(mask);
+  const BoundaryCondition bc(src, mask, BorderPattern::kClamp);
+  Accessor acc(bc);
+  IterationSpace is(out);
+  SharpenKernel k(is, acc, mask, dom);
+
+  const ExecutionReport report = k.execute(ExecConfig{});
+  EXPECT_EQ(report.variant_used, codegen::Variant::kNaive);
+  EXPECT_EQ(report.spec.read_count(), 9);
+
+  for (i32 y = 0; y < 17; ++y) {
+    for (i32 x = 0; x < 23; ++x) {
+      f32 expect = 0.0f;
+      for (i32 dy = -1; dy <= 1; ++dy) {
+        for (i32 dx = -1; dx <= 1; ++dx) {
+          expect += mask.at(dx, dy) * border_read(src, BorderPattern::kClamp,
+                                                  x + dx, y + dy, 0.0f);
+        }
+      }
+      ASSERT_NEAR(out(x, y), expect, 1e-3f) << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(Kernel, AccessorWithoutBoundaryRejectsOffsets) {
+  Image<f32> img(4, 4);
+  Image<f32> out(4, 4);
+  Accessor acc(img);
+  IterationSpace is(out);
+
+  class BadKernel : public Kernel {
+   public:
+    BadKernel(IterationSpace& s, Accessor& a) : Kernel(s, "bad"), a_(a) {
+      add_accessor(&a_);
+    }
+    void kernel() override { output() = a_(1, 0); }
+
+   private:
+    Accessor& a_;
+  };
+  BadKernel k(is, acc);
+  EXPECT_THROW((void)k.trace(), ContractError);
+}
+
+TEST(Kernel, MixedPatternsRejected) {
+  Image<f32> img(8, 8);
+  Image<f32> out(8, 8);
+  Mask mask{{1.0f, 1.0f, 1.0f}, {1.0f, 1.0f, 1.0f}, {1.0f, 1.0f, 1.0f}};
+  Domain dom(mask);
+  const BoundaryCondition bc1(img, mask, BorderPattern::kClamp);
+  const BoundaryCondition bc2(img, mask, BorderPattern::kMirror);
+  Accessor a1(bc1);
+  Accessor a2(bc2);
+  IterationSpace is(out);
+
+  class TwoInput : public Kernel {
+   public:
+    TwoInput(IterationSpace& s, Accessor& x, Accessor& y, Domain& d)
+        : Kernel(s, "two"), x_(x), y_(y), d_(d) {
+      add_accessor(&x_);
+      add_accessor(&y_);
+    }
+    void kernel() override { output() = x_(d_) + y_(d_); }
+
+   private:
+    Accessor& x_;
+    Accessor& y_;
+    Domain& d_;
+  };
+  TwoInput k(is, a1, a2, dom);
+  EXPECT_THROW((void)k.execute(ExecConfig{}), ContractError);
+}
+
+TEST(Runtime, ReferenceRunsMirrorPreconditions) {
+  // Mirror with a window radius beyond the image must be rejected.
+  codegen::SpecBuilder b("wide");
+  const i32 v = b.read(0, -5, 0);
+  const codegen::StencilSpec spec = b.finish(v);
+  Image<f32> tiny(3, 3);
+  const Image<f32>* inputs[] = {&tiny};
+  EXPECT_THROW(
+      (void)run_reference(spec, BorderPattern::kMirror, 0.0f, {inputs, 1}),
+      ContractError);
+  EXPECT_NO_THROW(
+      (void)run_reference(spec, BorderPattern::kClamp, 0.0f, {inputs, 1}));
+}
+
+TEST(Runtime, InputSizeMismatchRejected) {
+  codegen::SpecBuilder b("p");
+  const codegen::StencilSpec spec = b.finish(b.read(0, 0, 0));
+  const CompiledKernel kernel = compile_kernel(spec, codegen::CodegenOptions{});
+  Image<f32> in(8, 8);
+  Image<f32> out(9, 8);
+  const Image<f32>* inputs[] = {&in};
+  EXPECT_THROW((void)launch_on_sim(sim::make_gtx680(), kernel, {inputs, 1},
+                                   out, {32, 4}),
+               ContractError);
+}
+
+TEST(Planner, LargeImageChoosesIspSmallImagePenalized) {
+  // The planner's headline behavior (Table III): large images -> ISP; the
+  // occupancy penalty can only flip small images.
+  codegen::SpecBuilder b("conv5");
+  const i32 coeff = b.constant(1.0f / 25.0f);
+  i32 acc = -1;
+  for (i32 dy = -2; dy <= 2; ++dy) {
+    for (i32 dx = -2; dx <= 2; ++dx) {
+      const i32 v = b.binary(codegen::NodeKind::kMul, b.read(0, dx, dy), coeff);
+      acc = acc < 0 ? v : b.binary(codegen::NodeKind::kAdd, acc, v);
+    }
+  }
+  const codegen::StencilSpec spec = b.finish(acc);
+
+  const PlanDecision large = plan_variant(sim::make_gtx680(), spec,
+                                          {2048, 2048}, {32, 4},
+                                          BorderPattern::kClamp);
+  EXPECT_EQ(large.variant, codegen::Variant::kIsp);
+  EXPECT_GT(large.model.r_reduced, 1.0);
+  EXPECT_GE(large.regs_isp, large.regs_naive);
+
+  // Tiny image + huge blocks: few body blocks; the model must see a much
+  // smaller benefit than on the large image.
+  const PlanDecision small = plan_variant(sim::make_gtx680(), spec, {64, 64},
+                                          {64, 8}, BorderPattern::kClamp);
+  EXPECT_LT(small.model.gain, large.model.gain);
+}
+
+TEST(Planner, DegenerateGeometryForcesNaive) {
+  codegen::SpecBuilder b("wide9");
+  i32 acc = b.read(0, -4, 0);
+  acc = b.binary(codegen::NodeKind::kAdd, acc, b.read(0, 4, 0));
+  const codegen::StencilSpec spec = b.finish(acc);
+  // 8-wide image with radius 4: every block needs both Left and Right.
+  const PlanDecision d = plan_variant(sim::make_gtx680(), spec, {8, 64},
+                                      {32, 4}, BorderPattern::kClamp);
+  EXPECT_EQ(d.variant, codegen::Variant::kNaive);
+}
+
+TEST(Planner, BlockAdvisorReturnsRunnableConfig) {
+  codegen::SpecBuilder b("conv3");
+  i32 acc = -1;
+  for (i32 dy = -1; dy <= 1; ++dy) {
+    for (i32 dx = -1; dx <= 1; ++dx) {
+      const i32 v = b.read(0, dx, dy);
+      acc = acc < 0 ? v : b.binary(codegen::NodeKind::kAdd, acc, v);
+    }
+  }
+  const codegen::StencilSpec spec = b.finish(acc);
+  const BlockAdvice advice = advise_block_size(
+      sim::make_gtx680(), spec, {512, 512}, BorderPattern::kClamp);
+  EXPECT_GT(advice.block.threads(), 0);
+  EXPECT_LE(advice.block.threads(), 1024);
+}
+
+}  // namespace
+}  // namespace ispb::dsl

@@ -1,0 +1,275 @@
+// Tests for the five evaluation applications: mask construction, spec
+// shapes, classic filter identities (impulse response, constant-image
+// invariance, derivative null on flat images) and multi-kernel pipelines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsl/runtime.hpp"
+#include "filters/filters.hpp"
+#include "image/compare.hpp"
+#include "image/generators.hpp"
+
+namespace ispb::filters {
+namespace {
+
+Image<f32> run1(const codegen::StencilSpec& spec, const Image<f32>& src,
+                BorderPattern pattern = BorderPattern::kClamp) {
+  const Image<f32>* inputs[] = {&src};
+  return dsl::run_reference(spec, pattern, 0.0f, {inputs, 1});
+}
+
+TEST(GaussianMask, NormalizedAndSymmetric) {
+  for (i32 size : {3, 5, 7}) {
+    const dsl::Mask m = gaussian_mask(size);
+    f64 sum = 0.0;
+    const i32 r = size / 2;
+    for (i32 dy = -r; dy <= r; ++dy) {
+      for (i32 dx = -r; dx <= r; ++dx) {
+        sum += static_cast<f64>(m.at(dx, dy));
+        EXPECT_FLOAT_EQ(m.at(dx, dy), m.at(-dx, dy));
+        EXPECT_FLOAT_EQ(m.at(dx, dy), m.at(dx, -dy));
+      }
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5) << "size " << size;
+    // Center dominates.
+    EXPECT_GT(m.at(0, 0), m.at(r, r));
+  }
+}
+
+TEST(LaplaceMask, SumsToZero) {
+  const dsl::Mask m = laplace_mask(5);
+  f64 sum = 0.0;
+  for (i32 dy = -2; dy <= 2; ++dy) {
+    for (i32 dx = -2; dx <= 2; ++dx) sum += static_cast<f64>(m.at(dx, dy));
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-6);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 24.0f);
+}
+
+TEST(SobelMasks, AntiSymmetric) {
+  const dsl::Mask mx = sobel_mask_x();
+  const dsl::Mask my = sobel_mask_y();
+  for (i32 d = -1; d <= 1; ++d) {
+    EXPECT_FLOAT_EQ(mx.at(-1, d), -mx.at(1, d));
+    EXPECT_FLOAT_EQ(mx.at(0, d), 0.0f);
+    EXPECT_FLOAT_EQ(my.at(d, -1), -my.at(d, 1));
+    EXPECT_FLOAT_EQ(my.at(d, 0), 0.0f);
+  }
+}
+
+TEST(Specs, WindowsMatchPaper) {
+  EXPECT_EQ(gaussian_spec(3).window(), (Window{3, 3}));
+  EXPECT_EQ(laplace_spec(5).window(), (Window{5, 5}));
+  EXPECT_EQ(bilateral_spec(13).window(), (Window{13, 13}));
+  EXPECT_EQ(sobel_dx_spec().window(), (Window{3, 3}));
+  EXPECT_EQ(tonemap_spec().window(), (Window{1, 1}));
+  for (i32 w : {3, 5, 9, 17}) {
+    EXPECT_EQ(atrous_spec(w).window(), (Window{w, w})) << w;
+  }
+}
+
+TEST(Specs, AtrousIsSparse) {
+  // 9 taps regardless of dilation (the "with holes" property).
+  for (i32 w : {3, 5, 9, 17}) {
+    EXPECT_EQ(atrous_spec(w).read_count(), 9) << w;
+  }
+  // Dense window would be w*w.
+  EXPECT_EQ(laplace_spec(5).read_count(), 25);
+}
+
+TEST(Specs, SobelSkipsZeroColumn) {
+  EXPECT_EQ(sobel_dx_spec().read_count(), 6);
+  EXPECT_EQ(sobel_dy_spec().read_count(), 6);
+  EXPECT_EQ(sobel_magnitude_spec().num_inputs, 2);
+  EXPECT_EQ(sobel_magnitude_spec().read_count(), 2);
+}
+
+TEST(Gaussian, PreservesConstantImages) {
+  Image<f32> flat(24, 18);
+  flat.fill(80.0f);
+  const Image<f32> out = run1(gaussian_spec(5), flat);
+  EXPECT_TRUE(images_close(out, flat, 1e-3));
+}
+
+TEST(Gaussian, ImpulseResponseIsTheMask) {
+  const Image<f32> impulse = make_impulse_image({15, 15}, {7, 7});
+  const Image<f32> out = run1(gaussian_spec(3), impulse);
+  const dsl::Mask m = gaussian_mask(3);
+  for (i32 dy = -1; dy <= 1; ++dy) {
+    for (i32 dx = -1; dx <= 1; ++dx) {
+      EXPECT_NEAR(out(7 + dx, 7 + dy), 255.0f * m.at(-dx, -dy), 1e-3)
+          << dx << "," << dy;
+    }
+  }
+  EXPECT_FLOAT_EQ(out(3, 3), 0.0f);  // far from the impulse
+}
+
+TEST(Gaussian, SmoothsNoise) {
+  const Image<f32> noisy = make_noise_image({64, 64}, 5);
+  const Image<f32> out = run1(gaussian_spec(5), noisy);
+  // Variance strictly decreases under averaging.
+  const auto variance = [](const Image<f32>& img) {
+    f64 mean = 0.0;
+    for (i32 y = 0; y < img.height(); ++y) {
+      for (i32 x = 0; x < img.width(); ++x) mean += static_cast<f64>(img(x, y));
+    }
+    mean /= static_cast<f64>(img.size().area());
+    f64 var = 0.0;
+    for (i32 y = 0; y < img.height(); ++y) {
+      for (i32 x = 0; x < img.width(); ++x) {
+        const f64 d = static_cast<f64>(img(x, y)) - mean;
+        var += d * d;
+      }
+    }
+    return var / static_cast<f64>(img.size().area());
+  };
+  EXPECT_LT(variance(out), 0.5 * variance(noisy));
+}
+
+TEST(Laplace, ZeroOnConstantImages) {
+  Image<f32> flat(20, 20);
+  flat.fill(123.0f);
+  const Image<f32> out = run1(laplace_spec(5), flat);
+  Image<f32> zero(20, 20);
+  EXPECT_TRUE(images_close(out, zero, 1e-2));
+}
+
+TEST(Laplace, RespondsToEdges) {
+  const Image<f32> checker = make_checker_image({32, 32}, 8);
+  const Image<f32> out = run1(laplace_spec(5), checker);
+  f64 peak = 0.0;
+  for (i32 y = 0; y < 32; ++y) {
+    for (i32 x = 0; x < 32; ++x) {
+      peak = std::max(peak, std::abs(static_cast<f64>(out(x, y))));
+    }
+  }
+  EXPECT_GT(peak, 100.0);
+}
+
+TEST(Bilateral, PreservesConstantImages) {
+  Image<f32> flat(16, 16);
+  flat.fill(42.0f);
+  const Image<f32> out = run1(bilateral_spec(5), flat);
+  EXPECT_TRUE(images_close(out, flat, 1e-2));
+}
+
+TEST(Bilateral, PreservesEdgesBetterThanGaussian) {
+  // Step edge: bilateral keeps the transition sharper than a plain Gaussian
+  // of the same support.
+  Image<f32> step(32, 16);
+  for (i32 y = 0; y < 16; ++y) {
+    for (i32 x = 0; x < 32; ++x) step(x, y) = x < 16 ? 0.0f : 255.0f;
+  }
+  const Image<f32> bilat = run1(bilateral_spec(5, 2.0f, 10.0f), step);
+  const Image<f32> gauss = run1(gaussian_spec(5), step);
+  // Sample next to the edge: bilateral stays near the plateau value.
+  EXPECT_GT(std::abs(gauss(15, 8) - step(15, 8)),
+            std::abs(bilat(15, 8) - step(15, 8)) * 2.0f);
+}
+
+TEST(Sobel, FlatImageHasZeroGradient) {
+  Image<f32> flat(16, 16);
+  flat.fill(7.0f);
+  const Image<f32> out =
+      run_app_reference(make_sobel_app(), flat, BorderPattern::kClamp);
+  Image<f32> zero(16, 16);
+  EXPECT_TRUE(images_close(out, zero, 1e-3));
+}
+
+TEST(Sobel, VerticalEdgeExcitesXDerivative) {
+  Image<f32> step(16, 16);
+  for (i32 y = 0; y < 16; ++y) {
+    for (i32 x = 8; x < 16; ++x) step(x, y) = 100.0f;
+  }
+  const Image<f32> gx = run1(sobel_dx_spec(), step);
+  const Image<f32> gy = run1(sobel_dy_spec(), step);
+  EXPECT_NEAR(std::abs(gx(8, 8)), 400.0f, 1.0f);  // 100 * (1+2+1)
+  EXPECT_NEAR(gy(8, 8), 0.0f, 1e-3f);
+}
+
+TEST(Atrous, PreservesConstantImages) {
+  Image<f32> flat(40, 40);
+  flat.fill(10.0f);
+  for (i32 w : {3, 5, 9, 17}) {
+    const Image<f32> out = run1(atrous_spec(w), flat);
+    EXPECT_TRUE(images_close(out, flat, 1e-3)) << "window " << w;
+  }
+}
+
+TEST(Atrous, DilatedTapsReachExactOffsets) {
+  const Image<f32> impulse = make_impulse_image({40, 40}, {20, 20});
+  const Image<f32> out = run1(atrous_spec(9), impulse);  // dilation 4
+  EXPECT_GT(out(16, 16), 0.0f);
+  EXPECT_GT(out(24, 20), 0.0f);
+  // Holes: offsets inside the window but off the dilated grid see nothing.
+  EXPECT_FLOAT_EQ(out(18, 20), 0.0f);
+  EXPECT_FLOAT_EQ(out(21, 21), 0.0f);
+}
+
+TEST(Tonemap, MonotoneAndBounded) {
+  const codegen::StencilSpec spec = tonemap_spec();
+  Image<f32> ramp(256, 1);
+  for (i32 x = 0; x < 256; ++x) ramp(x, 0) = static_cast<f32>(x);
+  const Image<f32> out = run1(spec, ramp);
+  for (i32 x = 1; x < 256; ++x) {
+    EXPECT_GE(out(x, 0), out(x - 1, 0));
+    EXPECT_LE(out(x, 0), 255.5f);
+    EXPECT_GE(out(x, 0), 0.0f);
+  }
+}
+
+TEST(Apps, AllFiveWithExpectedStageCounts) {
+  const auto apps = all_apps();
+  ASSERT_EQ(apps.size(), 5u);
+  EXPECT_EQ(apps[0].name, "gaussian");
+  EXPECT_EQ(apps[0].stages.size(), 1u);
+  EXPECT_EQ(apps[3].name, "sobel");
+  EXPECT_EQ(apps[3].stages.size(), 3u);
+  EXPECT_EQ(apps[4].name, "night");
+  EXPECT_EQ(apps[4].stages.size(), 5u);
+  // Bindings reference only earlier stages.
+  for (const auto& app : apps) {
+    for (std::size_t s = 0; s < app.stages.size(); ++s) {
+      for (i32 binding : app.stages[s].input_bindings) {
+        EXPECT_GE(binding, 0);
+        EXPECT_LE(binding, static_cast<i32>(s));
+      }
+    }
+  }
+}
+
+TEST(Apps, NightPipelineChainsStages) {
+  const Image<f32> src = make_noise_image({48, 48}, 11);
+  const Image<f32> out =
+      run_app_reference(make_night_app(), src, BorderPattern::kMirror);
+  EXPECT_EQ(out.size(), src.size());
+  // Tone mapping bounds the output.
+  for (i32 y = 0; y < 48; ++y) {
+    for (i32 x = 0; x < 48; ++x) {
+      ASSERT_GE(out(x, y), 0.0f);
+      ASSERT_LE(out(x, y), 350.0f);
+    }
+  }
+}
+
+TEST(Apps, PatternChangesOnlyTheBorder) {
+  // Body pixels (window fully inside) are pattern-independent.
+  const Image<f32> src = make_noise_image({32, 32}, 3);
+  const Image<f32> clamp = run1(laplace_spec(5), src, BorderPattern::kClamp);
+  const Image<f32> repeat =
+      run1(laplace_spec(5), src, BorderPattern::kRepeat);
+  const Rect body = cpu_body_rect({32, 32}, {5, 5});
+  for (i32 y = 0; y < 32; ++y) {
+    for (i32 x = 0; x < 32; ++x) {
+      if (body.contains({x, y})) {
+        ASSERT_EQ(clamp(x, y), repeat(x, y)) << x << "," << y;
+      }
+    }
+  }
+  // And the border does differ somewhere.
+  EXPECT_GT(compare(clamp, repeat).max_abs, 0.0);
+}
+
+}  // namespace
+}  // namespace ispb::filters

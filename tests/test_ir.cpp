@@ -1,0 +1,450 @@
+// Tests for the IR substrate: instruction semantics, builder, verifier,
+// interpreter, register allocation and the PTX-style printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ir/builder.hpp"
+#include "ir/interp.hpp"
+#include "ir/printer.hpp"
+#include "ir/program.hpp"
+#include "ir/regalloc.hpp"
+
+namespace ispb::ir {
+namespace {
+
+Instr pure(Op op, Type t) {
+  Instr i;
+  i.op = op;
+  i.type = t;
+  return i;
+}
+
+TEST(EvalPure, IntegerArithmetic) {
+  EXPECT_EQ(eval_pure(pure(Op::kAdd, Type::kI32), Word::from_i32(3),
+                      Word::from_i32(4), {})
+                .as_i32(),
+            7);
+  EXPECT_EQ(eval_pure(pure(Op::kSub, Type::kI32), Word::from_i32(3),
+                      Word::from_i32(4), {})
+                .as_i32(),
+            -1);
+  EXPECT_EQ(eval_pure(pure(Op::kMul, Type::kI32), Word::from_i32(-3),
+                      Word::from_i32(4), {})
+                .as_i32(),
+            -12);
+  EXPECT_EQ(eval_pure(pure(Op::kMin, Type::kI32), Word::from_i32(-3),
+                      Word::from_i32(4), {})
+                .as_i32(),
+            -3);
+  EXPECT_EQ(eval_pure(pure(Op::kMax, Type::kI32), Word::from_i32(-3),
+                      Word::from_i32(4), {})
+                .as_i32(),
+            4);
+}
+
+TEST(EvalPure, OverflowWrapsLikeHardware) {
+  EXPECT_EQ(eval_pure(pure(Op::kAdd, Type::kI32), Word::from_i32(INT32_MAX),
+                      Word::from_i32(1), {})
+                .as_i32(),
+            INT32_MIN);
+  EXPECT_EQ(eval_pure(pure(Op::kMul, Type::kI32), Word::from_i32(1 << 30),
+                      Word::from_i32(4), {})
+                .as_i32(),
+            0);
+}
+
+TEST(EvalPure, DivisionGuards) {
+  EXPECT_EQ(eval_pure(pure(Op::kDiv, Type::kI32), Word::from_i32(7),
+                      Word::from_i32(0), {})
+                .as_i32(),
+            0);
+  EXPECT_EQ(eval_pure(pure(Op::kDiv, Type::kI32), Word::from_i32(INT32_MIN),
+                      Word::from_i32(-1), {})
+                .as_i32(),
+            INT32_MIN);
+  EXPECT_EQ(eval_pure(pure(Op::kRem, Type::kI32), Word::from_i32(7),
+                      Word::from_i32(3), {})
+                .as_i32(),
+            1);
+  EXPECT_EQ(eval_pure(pure(Op::kRem, Type::kI32), Word::from_i32(-7),
+                      Word::from_i32(3), {})
+                .as_i32(),
+            -1);  // C-style truncated remainder
+}
+
+TEST(EvalPure, FloatArithmetic) {
+  EXPECT_FLOAT_EQ(eval_pure(pure(Op::kAdd, Type::kF32), Word::from_f32(1.5f),
+                            Word::from_f32(2.25f), {})
+                      .as_f32(),
+                  3.75f);
+  EXPECT_FLOAT_EQ(eval_pure(pure(Op::kMad, Type::kF32), Word::from_f32(2.0f),
+                            Word::from_f32(3.0f), Word::from_f32(1.0f))
+                      .as_f32(),
+                  7.0f);
+  EXPECT_FLOAT_EQ(eval_pure(pure(Op::kSqrt, Type::kF32), Word::from_f32(9.0f),
+                            {}, {})
+                      .as_f32(),
+                  3.0f);
+  EXPECT_FLOAT_EQ(eval_pure(pure(Op::kEx2, Type::kF32), Word::from_f32(3.0f),
+                            {}, {})
+                      .as_f32(),
+                  8.0f);
+  EXPECT_FLOAT_EQ(eval_pure(pure(Op::kRcp, Type::kF32), Word::from_f32(4.0f),
+                            {}, {})
+                      .as_f32(),
+                  0.25f);
+}
+
+TEST(EvalPure, ShiftsMaskTo5Bits) {
+  EXPECT_EQ(eval_pure(pure(Op::kShl, Type::kI32), Word::from_i32(1),
+                      Word::from_i32(33), {})
+                .as_i32(),
+            2);  // 33 & 31 == 1
+  EXPECT_EQ(eval_pure(pure(Op::kShr, Type::kI32), Word::from_i32(-8),
+                      Word::from_i32(1), {})
+                .as_i32(),
+            -4);  // arithmetic shift
+}
+
+TEST(EvalPure, CvtRoundsTowardZeroAndSaturates) {
+  Instr cvt = pure(Op::kCvt, Type::kI32);
+  cvt.src_type = Type::kF32;
+  EXPECT_EQ(eval_pure(cvt, Word::from_f32(2.9f), {}, {}).as_i32(), 2);
+  EXPECT_EQ(eval_pure(cvt, Word::from_f32(-2.9f), {}, {}).as_i32(), -2);
+  EXPECT_EQ(eval_pure(cvt, Word::from_f32(1e20f), {}, {}).as_i32(), INT32_MAX);
+  EXPECT_EQ(eval_pure(cvt, Word::from_f32(std::nanf("")), {}, {}).as_i32(), 0);
+  Instr cvt_f = pure(Op::kCvt, Type::kF32);
+  cvt_f.src_type = Type::kI32;
+  EXPECT_FLOAT_EQ(eval_pure(cvt_f, Word::from_i32(-5), {}, {}).as_f32(),
+                  -5.0f);
+}
+
+TEST(EvalPure, SetpAndSelp) {
+  Instr setp = pure(Op::kSetp, Type::kI32);
+  setp.cmp = Cmp::kLt;
+  EXPECT_TRUE(eval_pure(setp, Word::from_i32(1), Word::from_i32(2), {})
+                  .as_pred());
+  EXPECT_FALSE(eval_pure(setp, Word::from_i32(2), Word::from_i32(2), {})
+                   .as_pred());
+  setp.cmp = Cmp::kGe;
+  EXPECT_TRUE(eval_pure(setp, Word::from_i32(2), Word::from_i32(2), {})
+                  .as_pred());
+
+  const Instr selp = pure(Op::kSelp, Type::kI32);
+  EXPECT_EQ(eval_pure(selp, Word::from_i32(10), Word::from_i32(20),
+                      Word::from_pred(true))
+                .as_i32(),
+            10);
+  EXPECT_EQ(eval_pure(selp, Word::from_i32(10), Word::from_i32(20),
+                      Word::from_pred(false))
+                .as_i32(),
+            20);
+}
+
+TEST(EvalPure, RejectsNonPureOps) {
+  EXPECT_THROW((void)eval_pure(pure(Op::kLd, Type::kF32), {}, {}, {}),
+               ContractError);
+  EXPECT_THROW((void)eval_pure(pure(Op::kBra, Type::kI32), {}, {}, {}),
+               ContractError);
+}
+
+// Builds: out[tid] = clamp(tid - 2, 0, n - 1) pattern lookalike.
+Program build_clamp_program() {
+  Builder b("clamp_demo");
+  const RegId tid = b.add_special("tid.x");
+  const RegId n = b.add_param("n");
+  const u8 out = b.add_buffer();
+  const RegId shifted =
+      b.emit(Op::kSub, Type::kI32, Operand::r(tid), Operand::imm_i32(2));
+  const RegId low =
+      b.emit(Op::kMax, Type::kI32, Operand::r(shifted), Operand::imm_i32(0));
+  const RegId hi =
+      b.emit(Op::kSub, Type::kI32, Operand::r(n), Operand::imm_i32(1));
+  const RegId clamped =
+      b.emit(Op::kMin, Type::kI32, Operand::r(low), Operand::r(hi));
+  const RegId as_f = b.emit_cvt(Type::kF32, Type::kI32, Operand::r(clamped));
+  b.emit_st(out, tid, Operand::r(as_f));
+  b.ret();
+  return b.finish();
+}
+
+TEST(Builder, ProducesVerifiedProgram) {
+  const Program prog = build_clamp_program();
+  EXPECT_EQ(prog.num_buffers, 1u);
+  EXPECT_EQ(prog.num_special(), 1u);
+  EXPECT_EQ(prog.num_params(), 1u);
+  EXPECT_EQ(prog.param_reg("n"), 1u);
+  EXPECT_THROW((void)prog.param_reg("missing"), ContractError);
+  EXPECT_NO_THROW(verify(prog));
+}
+
+TEST(Interp, ExecutesClampProgram) {
+  const Program prog = build_clamp_program();
+  std::vector<f32> out(8, -1.0f);
+  const BufferBinding buf{out.data(), out.size(), true};
+  for (i32 tid = 0; tid < 8; ++tid) {
+    const std::vector<Word> inputs{Word::from_i32(tid), Word::from_i32(8)};
+    (void)interpret(prog, inputs, {&buf, 1});
+  }
+  for (i32 tid = 0; tid < 8; ++tid) {
+    const i32 expect = std::clamp(tid - 2, 0, 7);
+    EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(tid)],
+                    static_cast<f32>(expect));
+  }
+}
+
+TEST(Interp, CountsExecutedInstructions) {
+  const Program prog = build_clamp_program();
+  std::vector<f32> out(8, 0.0f);
+  const BufferBinding buf{out.data(), out.size(), true};
+  const std::vector<Word> inputs{Word::from_i32(0), Word::from_i32(8)};
+  const InterpResult r = interpret(prog, inputs, {&buf, 1});
+  EXPECT_EQ(r.steps, prog.code.size());  // straight-line program
+  EXPECT_EQ(r.executed.of(Op::kSt), 1);
+  EXPECT_EQ(r.executed.of(Op::kSub), 2);
+  EXPECT_EQ(r.executed.total(), static_cast<i64>(r.steps));
+}
+
+TEST(Interp, LoopExecutesUntilCondition) {
+  // while (i >= n) i -= n;  (the Repeat pattern's loop)
+  Builder b("repeat_loop");
+  const RegId start = b.add_special("start");
+  const RegId n = b.add_param("n");
+  const u8 out = b.add_buffer();
+  const RegId i = b.emit(Op::kMov, Type::kI32, Operand::r(start));
+  const auto head = b.make_label();
+  b.bind(head);
+  const RegId ge = b.emit_setp(Cmp::kGe, Type::kI32, Operand::r(i),
+                               Operand::r(n));
+  const auto done = b.make_label();
+  b.br_unless(ge, done);
+  b.emit_to(i, Op::kSub, Type::kI32, Operand::r(i), Operand::r(n));
+  b.br(head);
+  b.bind(done);
+  const RegId f = b.emit_cvt(Type::kF32, Type::kI32, Operand::r(i));
+  const RegId zero = b.emit(Op::kMov, Type::kI32, Operand::imm_i32(0));
+  b.emit_st(out, zero, Operand::r(f));
+  b.ret();
+  const Program prog = b.finish();
+
+  std::vector<f32> buf_data(1, 0.0f);
+  const BufferBinding buf{buf_data.data(), 1, true};
+  const std::vector<Word> inputs{Word::from_i32(23), Word::from_i32(7)};
+  (void)interpret(prog, inputs, {&buf, 1});
+  EXPECT_FLOAT_EQ(buf_data[0], 2.0f);  // 23 mod 7
+}
+
+TEST(Interp, RunawayLoopGuard) {
+  Builder b("infinite");
+  (void)b.add_special("tid.x");
+  const auto head = b.make_label();
+  b.bind(head);
+  b.br(head);
+  const Program prog = b.finish();
+  const std::vector<Word> inputs{Word::from_i32(0)};
+  EXPECT_THROW((void)interpret(prog, inputs, {}, 1000), ContractError);
+}
+
+TEST(Interp, OutOfBoundsLoadThrows) {
+  Builder b("oob");
+  const RegId tid = b.add_special("tid.x");
+  const u8 in = b.add_buffer();
+  const RegId v = b.emit_ld(in, tid);
+  (void)v;
+  b.ret();
+  const Program prog = b.finish();
+  std::vector<f32> data(4, 0.0f);
+  const BufferBinding buf{data.data(), data.size(), false};
+  const std::vector<Word> ok{Word::from_i32(3)};
+  EXPECT_NO_THROW((void)interpret(prog, ok, {&buf, 1}));
+  const std::vector<Word> bad{Word::from_i32(4)};
+  EXPECT_THROW((void)interpret(prog, bad, {&buf, 1}), ContractError);
+  const std::vector<Word> neg{Word::from_i32(-1)};
+  EXPECT_THROW((void)interpret(prog, neg, {&buf, 1}), ContractError);
+}
+
+TEST(Interp, StoreToReadOnlyBufferThrows) {
+  Builder b("ro");
+  const RegId tid = b.add_special("tid.x");
+  const u8 in = b.add_buffer();
+  b.emit_st(in, tid, Operand::imm_f32(1.0f));
+  b.ret();
+  const Program prog = b.finish();
+  std::vector<f32> data(4, 0.0f);
+  const BufferBinding buf{data.data(), data.size(), false};
+  const std::vector<Word> inputs{Word::from_i32(0)};
+  EXPECT_THROW((void)interpret(prog, inputs, {&buf, 1}), ContractError);
+}
+
+TEST(Verify, RejectsMalformedPrograms) {
+  // Use before definition.
+  {
+    Builder b("bad_use");
+    (void)b.add_special("tid.x");
+    const RegId ghost = b.fresh_reg();
+    (void)b.emit(Op::kAdd, Type::kI32, Operand::r(ghost), Operand::imm_i32(1));
+    b.ret();
+    EXPECT_THROW((void)b.finish(), VerifyError);
+  }
+  // Missing terminator.
+  {
+    Program p;
+    p.name = "no_ret";
+    p.num_regs = 1;
+    p.special_names = {"tid.x"};
+    Instr mov;
+    mov.op = Op::kMov;
+    mov.dst = 0;
+    mov.a = Operand::imm_i32(0);
+    p.code = {mov};
+    EXPECT_THROW(verify(p), VerifyError);
+  }
+  // Empty program.
+  {
+    Program p;
+    p.name = "empty";
+    EXPECT_THROW(verify(p), VerifyError);
+  }
+  // Unbound label.
+  {
+    Builder b("unbound");
+    (void)b.add_special("tid.x");
+    const auto l = b.make_label();
+    b.br(l);
+    b.ret();
+    EXPECT_THROW((void)b.finish(), ContractError);
+  }
+  // Write to an input register.
+  {
+    Program p;
+    p.name = "write_input";
+    p.num_regs = 1;
+    p.special_names = {"tid.x"};
+    Instr mov;
+    mov.op = Op::kMov;
+    mov.dst = 0;
+    mov.a = Operand::imm_i32(1);
+    Instr ret;
+    ret.op = Op::kRet;
+    p.code = {mov, ret};
+    EXPECT_THROW(verify(p), VerifyError);
+  }
+}
+
+TEST(Inventory, StaticCountsAndRanges) {
+  const Program prog = build_clamp_program();
+  const Inventory inv = prog.static_inventory();
+  EXPECT_EQ(inv.of(Op::kSub), 2);
+  EXPECT_EQ(inv.of(Op::kMin), 1);
+  EXPECT_EQ(inv.of(Op::kMax), 1);
+  EXPECT_EQ(inv.of(Op::kCvt), 1);
+  EXPECT_EQ(inv.of(Op::kSt), 1);
+  EXPECT_EQ(inv.of(Op::kRet), 1);
+  EXPECT_EQ(inv.total(), static_cast<i64>(prog.code.size()));
+
+  const Inventory first_two = prog.static_inventory(0, 2);
+  EXPECT_EQ(first_two.total(), 2);
+
+  const auto nz = inv.nonzero();
+  ASSERT_FALSE(nz.empty());
+  EXPECT_EQ(nz.front().first, "sub");  // most frequent first
+}
+
+TEST(Inventory, Accumulates) {
+  Inventory a;
+  a.add(Op::kAdd, 3);
+  Inventory b;
+  b.add(Op::kAdd);
+  b.add(Op::kMul, 2);
+  const Inventory c = a + b;
+  EXPECT_EQ(c.of(Op::kAdd), 4);
+  EXPECT_EQ(c.of(Op::kMul), 2);
+  EXPECT_EQ(c.total(), 6);
+}
+
+TEST(RegAlloc, StraightLineDemand) {
+  const Program prog = build_clamp_program();
+  const RegAllocResult r = allocate_registers(prog);
+  // tid and n live from entry; intermediate chain adds a couple more.
+  EXPECT_GE(r.registers, 3);
+  EXPECT_LE(r.registers, 6);
+  EXPECT_EQ(r.intervals, static_cast<i32>(prog.num_regs));
+}
+
+TEST(RegAlloc, LoopExtendsLiveRanges) {
+  // A value defined before a loop and used after it must stay live through
+  // the loop body even though no instruction inside reads it.
+  Builder b("loop_live");
+  const RegId tid = b.add_special("tid.x");
+  const u8 out = b.add_buffer();
+  const RegId keep =
+      b.emit(Op::kAdd, Type::kI32, Operand::r(tid), Operand::imm_i32(7));
+  const RegId i = b.emit(Op::kMov, Type::kI32, Operand::imm_i32(3));
+  const auto head = b.make_label();
+  b.bind(head);
+  b.emit_to(i, Op::kSub, Type::kI32, Operand::r(i), Operand::imm_i32(1));
+  const RegId pos = b.emit_setp(Cmp::kGt, Type::kI32, Operand::r(i),
+                                Operand::imm_i32(0));
+  b.br_if(pos, head);
+  const RegId sum =
+      b.emit(Op::kAdd, Type::kI32, Operand::r(keep), Operand::r(i));
+  const RegId f = b.emit_cvt(Type::kF32, Type::kI32, Operand::r(sum));
+  b.emit_st(out, tid, Operand::r(f));
+  b.ret();
+  const Program prog = b.finish();
+  const RegAllocResult r = allocate_registers(prog);
+  // keep, i, tid plus loop temporaries overlap inside the loop.
+  EXPECT_GE(r.registers, 4);
+}
+
+TEST(Printer, ListsInstructionsAndMarkers) {
+  Builder b("printed");
+  const RegId tid = b.add_special("tid.x");
+  (void)b.add_param("sx");
+  const u8 out = b.add_buffer();
+  b.marker("Body");
+  const RegId v =
+      b.emit(Op::kAdd, Type::kI32, Operand::r(tid), Operand::imm_i32(1));
+  const RegId f = b.emit_cvt(Type::kF32, Type::kI32, Operand::r(v));
+  b.emit_st(out, tid, Operand::r(f));
+  b.ret();
+  const Program prog = b.finish();
+  const std::string ptx = to_ptx(prog);
+  EXPECT_NE(ptx.find("add.s32"), std::string::npos);
+  EXPECT_NE(ptx.find("cvt.f32.s32"), std::string::npos);
+  EXPECT_NE(ptx.find("st.global.f32"), std::string::npos);
+  EXPECT_NE(ptx.find("region Body"), std::string::npos);
+  EXPECT_NE(ptx.find(".param .b32 sx"), std::string::npos);
+}
+
+TEST(Printer, BranchSyntax) {
+  Builder b("branches");
+  (void)b.add_special("tid.x");
+  const RegId p = b.emit_setp(Cmp::kEq, Type::kI32, Operand::r(0),
+                              Operand::imm_i32(0));
+  const auto l = b.make_label();
+  b.br_if(p, l);
+  b.bind(l);
+  b.ret();
+  const Program prog = b.finish();
+  const std::string ptx = to_ptx(prog);
+  EXPECT_NE(ptx.find("setp.eq.s32"), std::string::npos);
+  EXPECT_NE(ptx.find("bra L"), std::string::npos);
+  EXPECT_NE(ptx.find("@%r"), std::string::npos);
+}
+
+TEST(Markers, LookupByName) {
+  Builder b("marked");
+  (void)b.add_special("tid.x");
+  b.marker("entry");
+  b.ret();
+  const Program prog = b.finish();
+  EXPECT_EQ(prog.marker_pc("entry"), 0u);
+  EXPECT_THROW((void)prog.marker_pc("nope"), ContractError);
+}
+
+}  // namespace
+}  // namespace ispb::ir

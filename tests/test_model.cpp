@@ -1,0 +1,150 @@
+// Tests for the analytic performance model (paper Section IV, Eqs. (3)-(10)).
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+
+namespace ispb {
+namespace {
+
+ModelInputs typical_inputs() {
+  ModelInputs in = default_model_inputs({1024, 1024}, {32, 4}, {5, 5},
+                                        BorderPattern::kClamp);
+  in.kernel_per_tap = 4.0;
+  return in;
+}
+
+TEST(Model, NaiveMatchesClosedForm) {
+  const ModelInputs in = typical_inputs();
+  // Eq. (3): (addr + 4*check + kernel) * m * n * sx * sy.
+  const f64 per_tap = in.address_per_tap + 4.0 * in.check_per_side +
+                      in.kernel_per_tap;
+  EXPECT_DOUBLE_EQ(naive_instructions(in),
+                   per_tap * 25.0 * 1024.0 * 1024.0);
+}
+
+TEST(Model, PerTapCostScalesWithSides) {
+  const ModelInputs in = typical_inputs();
+  EXPECT_LT(per_tap_cost(in, Side::kNone), per_tap_cost(in, Side::kLeft));
+  EXPECT_LT(per_tap_cost(in, Side::kLeft),
+            per_tap_cost(in, Side::kLeft | Side::kTop));
+  EXPECT_DOUBLE_EQ(per_tap_cost(in, kAllSides) - per_tap_cost(in, Side::kNone),
+                   4.0 * in.check_per_side);
+}
+
+TEST(Model, IspReducesInstructionsOnLargeImages) {
+  const ModelInputs in = typical_inputs();
+  EXPECT_LT(isp_instructions(in), naive_instructions(in));
+  const ModelResult r = evaluate_model(in);
+  EXPECT_GT(r.r_reduced, 1.0);
+}
+
+TEST(Model, ReductionGrowsWithImageSize) {
+  // Figure 3 / Section IV-A3: larger images have a larger body share, hence
+  // a larger reduction ratio.
+  f64 prev = 0.0;
+  for (i32 s : {256, 512, 1024, 2048, 4096}) {
+    ModelInputs in = typical_inputs();
+    in.image = {s, s};
+    const ModelResult r = evaluate_model(in);
+    EXPECT_GT(r.r_reduced, prev) << "size " << s;
+    prev = r.r_reduced;
+  }
+}
+
+TEST(Model, CheapKernelsBenefitMore) {
+  // Section IV-A3 observation 1: small n_kernel -> larger reduction.
+  ModelInputs cheap = typical_inputs();
+  cheap.kernel_per_tap = 2.0;
+  ModelInputs expensive = typical_inputs();
+  expensive.kernel_per_tap = 40.0;
+  EXPECT_GT(evaluate_model(cheap).r_reduced,
+            evaluate_model(expensive).r_reduced);
+}
+
+TEST(Model, RepeatPatternBenefitsMost) {
+  // Repeat's per-check cost is the highest, so eliminating checks helps most.
+  f64 repeat_gain = 0.0;
+  f64 clamp_gain = 0.0;
+  for (BorderPattern p : {BorderPattern::kRepeat, BorderPattern::kClamp}) {
+    ModelInputs in =
+        default_model_inputs({2048, 2048}, {32, 4}, {3, 3}, p);
+    in.kernel_per_tap = 2.0;
+    const f64 g = evaluate_model(in).r_reduced;
+    (p == BorderPattern::kRepeat ? repeat_gain : clamp_gain) = g;
+  }
+  EXPECT_GT(repeat_gain, clamp_gain);
+}
+
+TEST(Model, OccupancyPenaltyFlipsDecision) {
+  // Eq. (10): a big enough occupancy drop must flip the choice to naive.
+  ModelInputs in = typical_inputs();
+  in.image = {512, 512};
+  in.occupancy_naive = 1.0;
+  in.occupancy_isp = 1.0;
+  const ModelResult no_penalty = evaluate_model(in);
+  ASSERT_TRUE(no_penalty.use_isp);
+
+  in.occupancy_isp = 0.5;
+  const ModelResult penalized = evaluate_model(in);
+  EXPECT_DOUBLE_EQ(penalized.gain, no_penalty.gain * 0.5);
+  if (no_penalty.gain < 2.0) {
+    EXPECT_FALSE(penalized.use_isp);
+  }
+}
+
+TEST(Model, GainFormulaMatchesEq10) {
+  ModelInputs in = typical_inputs();
+  in.occupancy_naive = 0.8;
+  in.occupancy_isp = 0.6;
+  const ModelResult r = evaluate_model(in);
+  EXPECT_DOUBLE_EQ(r.gain, r.r_reduced * 0.6 / 0.8);
+  EXPECT_DOUBLE_EQ(r.r_reduced, r.n_naive / r.n_isp);
+}
+
+TEST(Model, RejectsInvalidOccupancy) {
+  ModelInputs in = typical_inputs();
+  in.occupancy_isp = 0.0;
+  EXPECT_THROW((void)evaluate_model(in), ContractError);
+  in.occupancy_isp = 1.5;
+  EXPECT_THROW((void)evaluate_model(in), ContractError);
+}
+
+TEST(Model, DegenerateGridStillWellDefined) {
+  // Image smaller than the window: everything is border; ISP adds switch
+  // overhead on top of full checks, so the reduction must be <= 1.
+  ModelInputs in = default_model_inputs({8, 8}, {32, 4}, {17, 17},
+                                        BorderPattern::kClamp);
+  const ModelResult r = evaluate_model(in);
+  EXPECT_GT(r.n_isp, 0.0);
+  EXPECT_LE(r.r_reduced, 1.0);
+  EXPECT_FALSE(r.use_isp);
+}
+
+TEST(Model, DefaultsUsePatternCheckCost) {
+  for (BorderPattern p : kAllBorderPatterns) {
+    const ModelInputs in =
+        default_model_inputs({64, 64}, {32, 4}, {3, 3}, p);
+    EXPECT_DOUBLE_EQ(in.check_per_side,
+                     static_cast<f64>(check_cost_per_side(p)));
+  }
+}
+
+TEST(Model, SwitchOverheadChargedPerThread) {
+  // With a zero-cost kernel, zero checks and zero address math, the ISP cost
+  // is exactly the switch overhead; verify the per-thread accounting.
+  ModelInputs in = typical_inputs();
+  in.image = {64, 64};
+  in.block = {32, 4};
+  in.window = {1, 1};  // radius 0: every block is Body
+  in.check_per_side = 0.0;
+  in.kernel_per_tap = 0.0;
+  in.address_per_tap = 0.0;
+  in.switch_per_test = 2.0;
+  const f64 blocks = 2.0 * 16.0;  // 64/32 x 64/4
+  const f64 threads = 128.0;
+  // Body is reached after 9 tests of Listing 3.
+  EXPECT_DOUBLE_EQ(isp_instructions(in), 2.0 * 9.0 * blocks * threads);
+}
+
+}  // namespace
+}  // namespace ispb

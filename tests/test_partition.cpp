@@ -1,0 +1,298 @@
+// Tests for the iteration space partitioning math (paper Section III-C):
+// index bounds Eq. (2), block counts Eqs. (7)/(8), warp bounds (Listing 5),
+// and the CPU pixel partition Eq. (1).
+//
+// The central safety property: a block/warp NOT flagged for a side must be
+// provably unable to read across that side for any pixel it owns.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/partition.hpp"
+#include "core/region.hpp"
+
+namespace ispb {
+namespace {
+
+// Brute-force oracle: which sides does block (bx, by) actually need, i.e.
+// does any in-image pixel of the block read out of bounds on that side?
+Side oracle_block_sides(Size2 image, BlockSize block, Window window, i32 bx,
+                        i32 by) {
+  const i32 rx = window.radius_x();
+  const i32 ry = window.radius_y();
+  Side s = Side::kNone;
+  for (i32 ly = 0; ly < block.ty; ++ly) {
+    for (i32 lx = 0; lx < block.tx; ++lx) {
+      const i32 x = bx * block.tx + lx;
+      const i32 y = by * block.ty + ly;
+      if (x >= image.x || y >= image.y) continue;  // guarded-out thread
+      if (x - rx < 0) s = s | Side::kLeft;
+      if (x + rx >= image.x) s = s | Side::kRight;
+      if (y - ry < 0) s = s | Side::kTop;
+      if (y + ry >= image.y) s = s | Side::kBottom;
+    }
+  }
+  return s;
+}
+
+TEST(Grid, MatchesEq7) {
+  const GridDims g = make_grid({512, 512}, {32, 4});
+  EXPECT_EQ(g.nbx, 16);
+  EXPECT_EQ(g.nby, 128);
+  EXPECT_EQ(g.total(), 2048);
+  const GridDims g2 = make_grid({513, 511}, {32, 4});
+  EXPECT_EQ(g2.nbx, 17);
+  EXPECT_EQ(g2.nby, 128);
+}
+
+TEST(BlockBounds, TypicalGeometry) {
+  // 512x512 image, 32x4 blocks, 5x5 window (radius 2): only the first/last
+  // block row/column touch the border.
+  const BlockBounds b = compute_block_bounds({512, 512}, {32, 4}, {5, 5});
+  EXPECT_EQ(b.bh_l, 1);
+  EXPECT_EQ(b.bh_r, 15);
+  EXPECT_EQ(b.bh_t, 1);
+  EXPECT_EQ(b.bh_b, 127);
+}
+
+TEST(BlockBounds, RadiusZeroNeedsNoChecks) {
+  const BlockBounds b = compute_block_bounds({512, 512}, {32, 4}, {1, 1});
+  const GridDims g = make_grid({512, 512}, {32, 4});
+  EXPECT_EQ(b.bh_l, 0);
+  EXPECT_EQ(b.bh_r, g.nbx);
+  EXPECT_EQ(b.bh_t, 0);
+  EXPECT_EQ(b.bh_b, g.nby);
+  for (i32 by = 0; by < g.nby; ++by) {
+    for (i32 bx = 0; bx < g.nbx; ++bx) {
+      ASSERT_EQ(classify_block(b, bx, by), Side::kNone);
+    }
+  }
+}
+
+TEST(BlockBounds, RejectsEvenWindow) {
+  EXPECT_THROW((void)compute_block_bounds({64, 64}, {32, 4}, {4, 5}),
+               ContractError);
+}
+
+struct Geometry {
+  Size2 image;
+  BlockSize block;
+  Window window;
+};
+
+class PartitionProperty : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(PartitionProperty, ClassificationIsSafeAndTight) {
+  const auto [image, block, window] = GetParam();
+  const GridDims grid = make_grid(image, block);
+  const BlockBounds bounds = compute_block_bounds(image, block, window);
+  for (i32 by = 0; by < grid.nby; ++by) {
+    for (i32 bx = 0; bx < grid.nbx; ++bx) {
+      const Side flagged = classify_block(bounds, bx, by);
+      const Side needed = oracle_block_sides(image, block, window, bx, by);
+      // Safety: every needed side is flagged.
+      ASSERT_EQ(needed & flagged, needed)
+          << "block (" << bx << "," << by << ") image " << image;
+      // Tightness on full blocks: for interior full blocks the bounds are
+      // exact (partial edge blocks may be conservatively over-flagged).
+      const bool full_block = (bx + 1) * block.tx <= image.x &&
+                              (by + 1) * block.ty <= image.y;
+      if (full_block) {
+        ASSERT_EQ(flagged, needed)
+            << "block (" << bx << "," << by << ") image " << image;
+      }
+    }
+  }
+}
+
+TEST_P(PartitionProperty, CountsMatchEnumeration) {
+  const auto [image, block, window] = GetParam();
+  const GridDims grid = make_grid(image, block);
+  const BlockBounds bounds = compute_block_bounds(image, block, window);
+  const RegionBlockCounts counts = count_region_blocks(image, block, window);
+
+  std::array<i64, kAllRegions.size()> expect{};
+  i64 degenerate = 0;
+  for (i32 by = 0; by < grid.nby; ++by) {
+    for (i32 bx = 0; bx < grid.nbx; ++bx) {
+      const Side s = classify_block(bounds, bx, by);
+      const bool opposing =
+          (has_side(s, Side::kLeft) && has_side(s, Side::kRight)) ||
+          (has_side(s, Side::kTop) && has_side(s, Side::kBottom));
+      if (opposing) {
+        ++degenerate;
+      } else {
+        ++expect[static_cast<std::size_t>(region_from_sides(s))];
+      }
+    }
+  }
+  for (Region r : kAllRegions) {
+    EXPECT_EQ(counts.of(r), expect[static_cast<std::size_t>(r)])
+        << to_string(r) << " image " << image;
+  }
+  EXPECT_EQ(counts.degenerate, degenerate);
+  EXPECT_EQ(counts.total(), grid.total());  // Eq. (8b): full cover
+}
+
+TEST_P(PartitionProperty, WarpRefinementIsSafe) {
+  const auto [image, block, window] = GetParam();
+  const GridDims grid = make_grid(image, block);
+  const BlockBounds bounds = compute_block_bounds(image, block, window);
+  const WarpBounds wb = compute_warp_bounds(image, block, window, 32);
+  if (!wb.enabled) GTEST_SKIP() << "tx not warp aligned";
+
+  const i32 rx = window.radius_x();
+  for (i32 by = 0; by < grid.nby; ++by) {
+    for (i32 bx = 0; bx < grid.nbx; ++bx) {
+      const Side block_sides = classify_block(bounds, bx, by);
+      for (i32 wx = 0; wx < wb.warps_x; ++wx) {
+        const Side warp_sides = classify_warp(wb, block_sides, wx);
+        // Oracle over the warp's in-image pixels (warp covers all ty rows at
+        // x-lanes [wx*32, wx*32+32) of the block).
+        for (i32 lane = 0; lane < 32; ++lane) {
+          const i32 x = bx * block.tx + wx * 32 + lane;
+          if (x >= image.x) continue;
+          if (x - rx < 0) {
+            ASSERT_TRUE(has_side(warp_sides, Side::kLeft))
+                << "bx=" << bx << " wx=" << wx << " image " << image;
+          }
+          if (x + rx >= image.x) {
+            ASSERT_TRUE(has_side(warp_sides, Side::kRight))
+                << "bx=" << bx << " wx=" << wx << " image " << image;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PartitionProperty, CpuPartitionDisjointCover) {
+  const auto [image, block, window] = GetParam();
+  (void)block;
+  const auto regions = cpu_partition(image, window);
+  // Every pixel covered exactly once, with correct check flags.
+  const i32 rx = window.radius_x();
+  const i32 ry = window.radius_y();
+  for (i32 y = 0; y < image.y; ++y) {
+    for (i32 x = 0; x < image.x; ++x) {
+      int covering = 0;
+      for (const auto& pr : regions) {
+        if (!pr.rect.contains({x, y})) continue;
+        ++covering;
+        if (x - rx < 0) {
+          ASSERT_TRUE(has_side(pr.sides, Side::kLeft));
+        }
+        if (x + rx >= image.x) {
+          ASSERT_TRUE(has_side(pr.sides, Side::kRight));
+        }
+        if (y - ry < 0) {
+          ASSERT_TRUE(has_side(pr.sides, Side::kTop));
+        }
+        if (y + ry >= image.y) {
+          ASSERT_TRUE(has_side(pr.sides, Side::kBottom));
+        }
+      }
+      ASSERT_EQ(covering, 1) << "pixel (" << x << "," << y << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PartitionProperty,
+    ::testing::Values(
+        Geometry{{512, 512}, {32, 4}, {5, 5}},
+        Geometry{{512, 512}, {128, 1}, {5, 5}},
+        Geometry{{513, 511}, {32, 4}, {13, 13}},       // partial edge blocks
+        Geometry{{64, 64}, {32, 8}, {3, 3}},
+        Geometry{{100, 60}, {32, 4}, {17, 17}},
+        Geometry{{40, 40}, {32, 4}, {9, 9}},
+        Geometry{{16, 16}, {32, 4}, {5, 5}},           // single block column
+        Geometry{{8, 8}, {32, 4}, {17, 17}},           // window > image
+        Geometry{{33, 7}, {32, 4}, {13, 3}},           // asymmetric window
+        Geometry{{256, 3}, {32, 4}, {1, 3}},           // 1-wide window in x
+        Geometry{{31, 31}, {16, 16}, {7, 7}}),         // tx not warp aligned
+    [](const auto& inf) {
+      const Geometry& g = inf.param;
+      return "img" + std::to_string(g.image.x) + "x" +
+             std::to_string(g.image.y) + "_blk" + std::to_string(g.block.tx) +
+             "x" + std::to_string(g.block.ty) + "_win" +
+             std::to_string(g.window.m) + "x" + std::to_string(g.window.n);
+    });
+
+TEST(WarpBounds, DisabledForNarrowBlocks) {
+  const WarpBounds wb = compute_warp_bounds({512, 512}, {16, 16}, {5, 5}, 32);
+  EXPECT_FALSE(wb.enabled);
+  // classify_warp must then be the identity.
+  EXPECT_EQ(classify_warp(wb, Side::kLeft | Side::kTop, 0),
+            Side::kLeft | Side::kTop);
+}
+
+TEST(WarpBounds, TypicalValues) {
+  // 128-wide blocks, radius 2: only the first warp of a left block needs the
+  // left check; only the last warp of a right block needs the right check
+  // (512 divides evenly into 4 blocks of 128).
+  const WarpBounds wb = compute_warp_bounds({512, 512}, {128, 4}, {5, 5}, 32);
+  ASSERT_TRUE(wb.enabled);
+  EXPECT_EQ(wb.warps_x, 4);
+  EXPECT_EQ(wb.w_l, 1);
+  EXPECT_EQ(wb.w_r, 3);
+  const Side tl = Side::kTop | Side::kLeft;
+  EXPECT_EQ(classify_warp(wb, tl, 0), tl);
+  EXPECT_EQ(classify_warp(wb, tl, 1), Side::kTop);   // Listing 5: TL -> T
+  EXPECT_EQ(classify_warp(wb, Side::kRight, 2), Side::kNone);  // R -> Body
+  EXPECT_EQ(classify_warp(wb, Side::kRight, 3), Side::kRight);
+}
+
+TEST(Regions, SwitchOrderMatchesListing3) {
+  EXPECT_EQ(region_switch_position(Region::kTL), 0);
+  EXPECT_EQ(region_switch_position(Region::kBody), 8);
+  // All positions distinct.
+  std::array<bool, 9> seen{};
+  for (Region r : kAllRegions) {
+    const i32 p = region_switch_position(r);
+    ASSERT_FALSE(seen[static_cast<std::size_t>(p)]);
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+}
+
+TEST(Regions, SideRoundTrip) {
+  for (Region r : kAllRegions) {
+    EXPECT_EQ(region_from_sides(region_sides(r)), r);
+  }
+  EXPECT_THROW((void)region_from_sides(Side::kLeft | Side::kRight),
+               ContractError);
+}
+
+TEST(Regions, CheckCounts) {
+  EXPECT_EQ(region_check_count(Region::kBody), 0);
+  EXPECT_EQ(region_check_count(Region::kT), 1);
+  EXPECT_EQ(region_check_count(Region::kTL), 2);
+}
+
+TEST(CpuBodyRect, MatchesEq1) {
+  const Rect r = cpu_body_rect({512, 512}, {5, 5});
+  EXPECT_EQ(r, (Rect{2, 2, 510, 510}));
+  EXPECT_TRUE(cpu_body_rect({8, 8}, {17, 17}).empty());
+}
+
+TEST(BodyFraction, GrowsWithImageSize) {
+  // Figure 3's monotone trend: larger images -> larger body share.
+  f64 prev = -1.0;
+  for (i32 s : {128, 256, 512, 1024, 2048, 4096}) {
+    const auto counts = count_region_blocks({s, s}, {32, 4}, {5, 5});
+    const f64 frac = counts.body_fraction();
+    EXPECT_GT(frac, prev);
+    prev = frac;
+  }
+  EXPECT_GT(prev, 0.9);  // 4096^2 is nearly all body
+}
+
+TEST(BodyFraction, LargeBlocksShrinkBodyShare) {
+  // Figure 3's second observation: with huge blocks, few body blocks remain.
+  const auto small_blocks = count_region_blocks({512, 512}, {32, 4}, {5, 5});
+  const auto large_blocks = count_region_blocks({512, 512}, {128, 8}, {5, 5});
+  EXPECT_GT(small_blocks.body_fraction(), large_blocks.body_fraction());
+}
+
+}  // namespace
+}  // namespace ispb

@@ -1,0 +1,280 @@
+// Tests for the DSL runtime glue: parameter construction, launch-path
+// behaviors (full vs sampled, warp-bound fallbacks), per-region launch
+// geometry, and the compile cache of the bench harness.
+#include <gtest/gtest.h>
+
+#include "dsl/runtime.hpp"
+#include "ir/regalloc.hpp"
+#include "filters/filters.hpp"
+#include "image/compare.hpp"
+#include "image/generators.hpp"
+
+namespace ispb::dsl {
+namespace {
+
+TEST(BuildParams, DeclaredParametersOnly) {
+  const codegen::StencilSpec spec = filters::gaussian_spec(3);
+
+  codegen::CodegenOptions naive_opt;
+  naive_opt.variant = codegen::Variant::kNaive;
+  const CompiledKernel naive = compile_kernel(spec, naive_opt);
+
+  const Size2 size{64, 48};
+  const Image<f32> in(size);
+  Image<f32> out(size);
+  const Image<f32>* inputs[] = {&in};
+  const sim::ParamMap params = build_params(
+      naive.program, size, {inputs, 1}, out, {32, 4}, spec.window());
+
+  EXPECT_EQ(params.count("sx"), 1u);
+  EXPECT_EQ(params.count("pitch_in0"), 1u);
+  EXPECT_EQ(params.count("bh_l"), 0u);  // naive declares no bounds
+  EXPECT_EQ(params.count("w_l"), 0u);
+  EXPECT_EQ(params.at("sx").as_i32(), 64);
+  EXPECT_EQ(params.at("pitch_out").as_i32(), out.pitch());
+}
+
+TEST(BuildParams, IspBoundsMatchPartitionMath) {
+  const codegen::StencilSpec spec = filters::laplace_spec(5);
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kIsp;
+  const CompiledKernel isp = compile_kernel(spec, opt);
+
+  const Size2 size{512, 512};
+  const Image<f32> in(size);
+  Image<f32> out(size);
+  const Image<f32>* inputs[] = {&in};
+  const sim::ParamMap params = build_params(
+      isp.program, size, {inputs, 1}, out, {32, 4}, spec.window());
+
+  const BlockBounds bounds = compute_block_bounds(size, {32, 4}, {5, 5});
+  EXPECT_EQ(params.at("bh_l").as_i32(), bounds.bh_l);
+  EXPECT_EQ(params.at("bh_r").as_i32(), bounds.bh_r);
+  EXPECT_EQ(params.at("bh_t").as_i32(), bounds.bh_t);
+  EXPECT_EQ(params.at("bh_b").as_i32(), bounds.bh_b);
+}
+
+TEST(BuildParams, WarpBoundsDisabledForNarrowBlocks) {
+  // tx = 16 is not warp aligned: the parameters must make every warp take
+  // its block's full checks (w_l past any warp index, w_r = 0).
+  const codegen::StencilSpec spec = filters::laplace_spec(5);
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kIspWarp;
+  const CompiledKernel warp = compile_kernel(spec, opt);
+
+  const Size2 size{256, 256};
+  const Image<f32> in(size);
+  Image<f32> out(size);
+  const Image<f32>* inputs[] = {&in};
+  const sim::ParamMap params = build_params(
+      warp.program, size, {inputs, 1}, out, {16, 8}, spec.window());
+  EXPECT_GE(params.at("w_l").as_i32(), 16);
+  EXPECT_EQ(params.at("w_r").as_i32(), 0);
+}
+
+TEST(LaunchOnSim, WarpVariantWithNarrowBlocksStaysCorrect) {
+  const codegen::StencilSpec spec = filters::gaussian_spec(3);
+  const Size2 size{48, 40};
+  const auto src = make_noise_image(size, 21);
+  const Image<f32>* inputs[] = {&src};
+  const Image<f32> expect =
+      run_reference(spec, BorderPattern::kClamp, 0.0f, {inputs, 1});
+
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kIspWarp;
+  const CompiledKernel kernel = compile_kernel(spec, opt);
+  Image<f32> out(size);
+  (void)launch_on_sim(sim::make_gtx680(), kernel, {inputs, 1}, out, {16, 8});
+  EXPECT_EQ(compare(out, expect).max_abs, 0.0);
+}
+
+TEST(LaunchOnSim, StatsAreDeterministic) {
+  const codegen::StencilSpec spec = filters::laplace_spec(5);
+  const Size2 size{96, 64};
+  const auto src = make_gradient_image(size);
+  const Image<f32>* inputs[] = {&src};
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kIsp;
+  const CompiledKernel kernel = compile_kernel(spec, opt);
+
+  Image<f32> out1(size);
+  Image<f32> out2(size);
+  const SimRun a =
+      launch_on_sim(sim::make_gtx680(), kernel, {inputs, 1}, out1, {32, 4});
+  const SimRun b =
+      launch_on_sim(sim::make_gtx680(), kernel, {inputs, 1}, out2, {32, 4});
+  EXPECT_EQ(a.stats.warps.issue_slots, b.stats.warps.issue_slots);
+  EXPECT_EQ(a.stats.warps.mem_cache_misses, b.stats.warps.mem_cache_misses);
+  EXPECT_DOUBLE_EQ(a.stats.time_ms, b.stats.time_ms);
+  EXPECT_TRUE(out1 == out2);
+}
+
+TEST(LaunchOnSim, FasterClockMeansFasterTime) {
+  const codegen::StencilSpec spec = filters::gaussian_spec(3);
+  const Size2 size{128, 128};
+  const auto src = make_gradient_image(size);
+  const Image<f32>* inputs[] = {&src};
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kNaive;
+  const CompiledKernel kernel = compile_kernel(spec, opt);
+
+  sim::DeviceSpec slow = sim::make_gtx680();
+  sim::DeviceSpec fast = sim::make_gtx680();
+  fast.clock_ghz *= 2.0;
+  fast.launch_overhead_us = slow.launch_overhead_us;
+
+  Image<f32> out(size);
+  const SimRun rs = launch_on_sim(slow, kernel, {inputs, 1}, out, {32, 4});
+  const SimRun rf = launch_on_sim(fast, kernel, {inputs, 1}, out, {32, 4});
+  EXPECT_LT(rf.stats.time_ms, rs.stats.time_ms);
+}
+
+TEST(LaunchOnSim, MoreSmsReduceTime) {
+  const codegen::StencilSpec spec = filters::gaussian_spec(3);
+  const Size2 size{256, 256};
+  const auto src = make_gradient_image(size);
+  const Image<f32>* inputs[] = {&src};
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kNaive;
+  const CompiledKernel kernel = compile_kernel(spec, opt);
+
+  sim::DeviceSpec few = sim::make_gtx680();
+  sim::DeviceSpec many = sim::make_gtx680();
+  many.num_sms *= 4;
+
+  Image<f32> out(size);
+  const SimRun r_few = launch_on_sim(few, kernel, {inputs, 1}, out, {32, 4});
+  const SimRun r_many = launch_on_sim(many, kernel, {inputs, 1}, out, {32, 4});
+  EXPECT_LT(r_many.stats.time_ms, r_few.stats.time_ms);
+}
+
+TEST(PerRegion, RegionRectanglesCoverTheGrid) {
+  // Every pixel written exactly once across the nine launches: fill the
+  // output with a sentinel and verify full coverage (kernel writes finite
+  // values everywhere).
+  const codegen::StencilSpec spec = filters::gaussian_spec(3);
+  const Size2 size{130, 70};  // partial edge blocks included
+  const auto src = make_gradient_image(size);
+  const Image<f32>* inputs[] = {&src};
+  Image<f32> out(size);
+  out.fill(-12345.0f);
+  codegen::CodegenOptions options;
+  options.pattern = BorderPattern::kClamp;
+  (void)launch_per_region(sim::make_gtx680(), spec, options, {inputs, 1}, out,
+                          {32, 4});
+  for (i32 y = 0; y < size.y; ++y) {
+    for (i32 x = 0; x < size.x; ++x) {
+      ASSERT_NE(out(x, y), -12345.0f) << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(PerRegion, LaunchCountMatchesNonEmptyRegions) {
+  // A grid with no top/bottom interior rows in y (image two block-rows
+  // tall, radius 2 with ty=4 -> bh_t=1, bh_b=1): middle y-range empty, so
+  // L/Body/R regions vanish and only 6 launches remain.
+  const codegen::StencilSpec spec = filters::laplace_spec(5);
+  const Size2 size{96, 8};
+  const auto src = make_gradient_image(size);
+  const Image<f32>* inputs[] = {&src};
+  Image<f32> out(size);
+  codegen::CodegenOptions options;
+  options.pattern = BorderPattern::kClamp;
+  const PerRegionRun run = launch_per_region(
+      sim::make_gtx680(), spec, options, {inputs, 1}, out, {32, 4});
+  EXPECT_EQ(run.launches, 6);
+  // Still correct.
+  const Image<f32> expect =
+      run_reference(spec, BorderPattern::kClamp, 0.0f, {inputs, 1});
+  EXPECT_EQ(compare(out, expect).max_abs, 0.0);
+}
+
+TEST(CompileKernel, RegisterEstimateOrdering) {
+  // The estimator must rank variants sensibly: naive <= isp <= isp-warp.
+  const codegen::StencilSpec spec = filters::bilateral_spec(13);
+  i32 prev = 0;
+  for (const codegen::Variant v :
+       {codegen::Variant::kNaive, codegen::Variant::kIsp,
+        codegen::Variant::kIspWarp}) {
+    codegen::CodegenOptions opt;
+    opt.variant = v;
+    const CompiledKernel k = compile_kernel(spec, opt);
+    EXPECT_GE(k.regs_per_thread, prev) << codegen::to_string(v);
+    prev = k.regs_per_thread;
+  }
+}
+
+TEST(MeasureCosts, KernelCostGrowsWithWindowArea) {
+  // Bigger windows mean more per-thread work but roughly stable per-tap
+  // cost; check per-tap stability within 2x across sizes.
+  const codegen::MeasuredCosts c3 =
+      codegen::measure_costs(filters::gaussian_spec(3), BorderPattern::kClamp);
+  const codegen::MeasuredCosts c7 =
+      codegen::measure_costs(filters::gaussian_spec(7), BorderPattern::kClamp);
+  EXPECT_GT(c7.kernel_per_tap, 0.5 * c3.kernel_per_tap);
+  EXPECT_LT(c7.kernel_per_tap, 2.0 * c3.kernel_per_tap);
+}
+
+
+TEST(AsymmetricWindows, RectangularStencilEndToEnd) {
+  // Windows need not be square (e.g. a 9x3 horizontal motion blur); bounds,
+  // codegen and simulation must all honor per-axis radii.
+  codegen::SpecBuilder b("motion_blur");
+  const i32 coeff = b.constant(1.0f / 27.0f);
+  i32 acc = -1;
+  for (i32 dy = -1; dy <= 1; ++dy) {
+    for (i32 dx = -4; dx <= 4; ++dx) {
+      const i32 v =
+          b.binary(codegen::NodeKind::kMul, b.read(0, dx, dy), coeff);
+      acc = acc < 0 ? v : b.binary(codegen::NodeKind::kAdd, acc, v);
+    }
+  }
+  const codegen::StencilSpec spec = b.finish(acc);
+  EXPECT_EQ(spec.window(), (Window{9, 3}));
+
+  const Size2 size{70, 30};
+  const auto src = make_noise_image(size, 8);
+  const Image<f32>* inputs[] = {&src};
+  for (BorderPattern pattern : kAllBorderPatterns) {
+    const Image<f32> expect =
+        run_reference(spec, pattern, 2.0f, {inputs, 1});
+    codegen::CodegenOptions options;
+    options.pattern = pattern;
+    options.variant = codegen::Variant::kIsp;
+    options.border_constant = 2.0f;
+    const CompiledKernel kernel = compile_kernel(spec, options);
+    Image<f32> out(size);
+    (void)launch_on_sim(sim::make_gtx680(), kernel, {inputs, 1}, out,
+                        {32, 4});
+    ASSERT_EQ(compare(out, expect).max_abs, 0.0) << to_string(pattern);
+  }
+}
+
+TEST(RegisterEstimate, GrowsWithLoadCountAndFatness) {
+  // The calibrated estimator (sim::estimate_kernel_registers): more loads in
+  // the hottest section -> more scheduling pressure; fat kernels pay a
+  // region-switch surcharge.
+  codegen::CodegenOptions naive_opt;
+  naive_opt.variant = codegen::Variant::kNaive;
+  codegen::CodegenOptions isp_opt;
+  isp_opt.variant = codegen::Variant::kIsp;
+
+  const i32 small_naive = sim::estimate_kernel_registers(
+      codegen::generate_kernel(filters::gaussian_spec(3), naive_opt));
+  const i32 big_naive = sim::estimate_kernel_registers(
+      codegen::generate_kernel(filters::bilateral_spec(13), naive_opt));
+  EXPECT_GT(big_naive, small_naive);
+
+  const i32 small_isp = sim::estimate_kernel_registers(
+      codegen::generate_kernel(filters::gaussian_spec(3), isp_opt));
+  EXPECT_GT(small_isp, small_naive);
+
+  // Never below the raw allocator demand + 1.
+  const ir::Program tiny = codegen::generate_kernel(
+      filters::tonemap_spec(), naive_opt);
+  EXPECT_GE(sim::estimate_kernel_registers(tiny),
+            ir::allocate_registers(tiny).registers + 1);
+}
+
+}  // namespace
+}  // namespace ispb::dsl
