@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cse.dir/ablation_cse.cpp.o"
+  "CMakeFiles/ablation_cse.dir/ablation_cse.cpp.o.d"
+  "ablation_cse"
+  "ablation_cse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_separate_kernels.dir/ablation_separate_kernels.cpp.o"
+  "CMakeFiles/ablation_separate_kernels.dir/ablation_separate_kernels.cpp.o.d"
+  "ablation_separate_kernels"
+  "ablation_separate_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_separate_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_body_percentage.dir/fig3_body_percentage.cpp.o"
+  "CMakeFiles/fig3_body_percentage.dir/fig3_body_percentage.cpp.o.d"
+  "fig3_body_percentage"
+  "fig3_body_percentage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_body_percentage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

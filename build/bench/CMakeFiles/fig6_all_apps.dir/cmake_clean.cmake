@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_all_apps.dir/fig6_all_apps.cpp.o"
+  "CMakeFiles/fig6_all_apps.dir/fig6_all_apps.cpp.o.d"
+  "fig6_all_apps"
+  "fig6_all_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_all_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

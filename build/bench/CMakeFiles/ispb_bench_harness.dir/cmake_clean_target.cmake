@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libispb_bench_harness.a"
+)

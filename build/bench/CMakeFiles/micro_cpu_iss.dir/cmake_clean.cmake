@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cpu_iss.dir/micro_cpu_iss.cpp.o"
+  "CMakeFiles/micro_cpu_iss.dir/micro_cpu_iss.cpp.o.d"
+  "micro_cpu_iss"
+  "micro_cpu_iss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cpu_iss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_model_prediction.dir/table3_model_prediction.cpp.o"
+  "CMakeFiles/table3_model_prediction.dir/table3_model_prediction.cpp.o.d"
+  "table3_model_prediction"
+  "table3_model_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_model_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

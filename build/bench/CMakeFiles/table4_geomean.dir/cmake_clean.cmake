@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_geomean.dir/table4_geomean.cpp.o"
+  "CMakeFiles/table4_geomean.dir/table4_geomean.cpp.o.d"
+  "table4_geomean"
+  "table4_geomean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_geomean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/night_enhancement.dir/night_enhancement.cpp.o"
+  "CMakeFiles/night_enhancement.dir/night_enhancement.cpp.o.d"
+  "night_enhancement"
+  "night_enhancement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/night_enhancement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

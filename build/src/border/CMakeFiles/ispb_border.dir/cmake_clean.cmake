@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ispb_border.dir/border.cpp.o"
+  "CMakeFiles/ispb_border.dir/border.cpp.o.d"
+  "libispb_border.a"
+  "libispb_border.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ispb_border.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

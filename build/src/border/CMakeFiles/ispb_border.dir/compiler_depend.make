@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ispb_border.
+# This may be replaced when dependencies are built.

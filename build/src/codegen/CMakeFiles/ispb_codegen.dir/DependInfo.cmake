@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/cuda_printer.cpp" "src/codegen/CMakeFiles/ispb_codegen.dir/cuda_printer.cpp.o" "gcc" "src/codegen/CMakeFiles/ispb_codegen.dir/cuda_printer.cpp.o.d"
+  "/root/repo/src/codegen/kernel_gen.cpp" "src/codegen/CMakeFiles/ispb_codegen.dir/kernel_gen.cpp.o" "gcc" "src/codegen/CMakeFiles/ispb_codegen.dir/kernel_gen.cpp.o.d"
+  "/root/repo/src/codegen/opencl_printer.cpp" "src/codegen/CMakeFiles/ispb_codegen.dir/opencl_printer.cpp.o" "gcc" "src/codegen/CMakeFiles/ispb_codegen.dir/opencl_printer.cpp.o.d"
+  "/root/repo/src/codegen/stencil_spec.cpp" "src/codegen/CMakeFiles/ispb_codegen.dir/stencil_spec.cpp.o" "gcc" "src/codegen/CMakeFiles/ispb_codegen.dir/stencil_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ispb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ispb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/border/CMakeFiles/ispb_border.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ispb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ispb_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ispb_codegen.dir/cuda_printer.cpp.o"
+  "CMakeFiles/ispb_codegen.dir/cuda_printer.cpp.o.d"
+  "CMakeFiles/ispb_codegen.dir/kernel_gen.cpp.o"
+  "CMakeFiles/ispb_codegen.dir/kernel_gen.cpp.o.d"
+  "CMakeFiles/ispb_codegen.dir/opencl_printer.cpp.o"
+  "CMakeFiles/ispb_codegen.dir/opencl_printer.cpp.o.d"
+  "CMakeFiles/ispb_codegen.dir/stencil_spec.cpp.o"
+  "CMakeFiles/ispb_codegen.dir/stencil_spec.cpp.o.d"
+  "libispb_codegen.a"
+  "libispb_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ispb_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

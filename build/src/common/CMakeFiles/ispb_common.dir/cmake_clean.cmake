@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ispb_common.dir/cli.cpp.o"
+  "CMakeFiles/ispb_common.dir/cli.cpp.o.d"
+  "CMakeFiles/ispb_common.dir/error.cpp.o"
+  "CMakeFiles/ispb_common.dir/error.cpp.o.d"
+  "CMakeFiles/ispb_common.dir/stats.cpp.o"
+  "CMakeFiles/ispb_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ispb_common.dir/table.cpp.o"
+  "CMakeFiles/ispb_common.dir/table.cpp.o.d"
+  "CMakeFiles/ispb_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/ispb_common.dir/thread_pool.cpp.o.d"
+  "libispb_common.a"
+  "libispb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ispb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/ispb_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/ispb_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/ispb_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/ispb_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/region.cpp" "src/core/CMakeFiles/ispb_core.dir/region.cpp.o" "gcc" "src/core/CMakeFiles/ispb_core.dir/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ispb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/border/CMakeFiles/ispb_border.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ispb_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

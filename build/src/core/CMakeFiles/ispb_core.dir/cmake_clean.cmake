@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ispb_core.dir/model.cpp.o"
+  "CMakeFiles/ispb_core.dir/model.cpp.o.d"
+  "CMakeFiles/ispb_core.dir/partition.cpp.o"
+  "CMakeFiles/ispb_core.dir/partition.cpp.o.d"
+  "CMakeFiles/ispb_core.dir/region.cpp.o"
+  "CMakeFiles/ispb_core.dir/region.cpp.o.d"
+  "libispb_core.a"
+  "libispb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ispb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

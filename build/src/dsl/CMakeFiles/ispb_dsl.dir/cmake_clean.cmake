@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ispb_dsl.dir/compile.cpp.o"
+  "CMakeFiles/ispb_dsl.dir/compile.cpp.o.d"
+  "CMakeFiles/ispb_dsl.dir/hipacc.cpp.o"
+  "CMakeFiles/ispb_dsl.dir/hipacc.cpp.o.d"
+  "CMakeFiles/ispb_dsl.dir/runtime.cpp.o"
+  "CMakeFiles/ispb_dsl.dir/runtime.cpp.o.d"
+  "CMakeFiles/ispb_dsl.dir/trace.cpp.o"
+  "CMakeFiles/ispb_dsl.dir/trace.cpp.o.d"
+  "libispb_dsl.a"
+  "libispb_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ispb_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ispb_filters.dir/filters.cpp.o"
+  "CMakeFiles/ispb_filters.dir/filters.cpp.o.d"
+  "libispb_filters.a"
+  "libispb_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ispb_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

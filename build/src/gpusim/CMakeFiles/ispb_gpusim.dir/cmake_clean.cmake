@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ispb_gpusim.dir/device.cpp.o"
+  "CMakeFiles/ispb_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/ispb_gpusim.dir/launcher.cpp.o"
+  "CMakeFiles/ispb_gpusim.dir/launcher.cpp.o.d"
+  "CMakeFiles/ispb_gpusim.dir/warp.cpp.o"
+  "CMakeFiles/ispb_gpusim.dir/warp.cpp.o.d"
+  "libispb_gpusim.a"
+  "libispb_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ispb_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

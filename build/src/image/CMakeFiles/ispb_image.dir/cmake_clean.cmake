@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ispb_image.dir/compare.cpp.o"
+  "CMakeFiles/ispb_image.dir/compare.cpp.o.d"
+  "CMakeFiles/ispb_image.dir/generators.cpp.o"
+  "CMakeFiles/ispb_image.dir/generators.cpp.o.d"
+  "CMakeFiles/ispb_image.dir/image_io.cpp.o"
+  "CMakeFiles/ispb_image.dir/image_io.cpp.o.d"
+  "libispb_image.a"
+  "libispb_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ispb_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

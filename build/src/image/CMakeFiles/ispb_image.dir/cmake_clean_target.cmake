@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libispb_image.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cpp" "src/ir/CMakeFiles/ispb_ir.dir/builder.cpp.o" "gcc" "src/ir/CMakeFiles/ispb_ir.dir/builder.cpp.o.d"
+  "/root/repo/src/ir/instr.cpp" "src/ir/CMakeFiles/ispb_ir.dir/instr.cpp.o" "gcc" "src/ir/CMakeFiles/ispb_ir.dir/instr.cpp.o.d"
+  "/root/repo/src/ir/interp.cpp" "src/ir/CMakeFiles/ispb_ir.dir/interp.cpp.o" "gcc" "src/ir/CMakeFiles/ispb_ir.dir/interp.cpp.o.d"
+  "/root/repo/src/ir/inventory.cpp" "src/ir/CMakeFiles/ispb_ir.dir/inventory.cpp.o" "gcc" "src/ir/CMakeFiles/ispb_ir.dir/inventory.cpp.o.d"
+  "/root/repo/src/ir/passes.cpp" "src/ir/CMakeFiles/ispb_ir.dir/passes.cpp.o" "gcc" "src/ir/CMakeFiles/ispb_ir.dir/passes.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/ispb_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/ispb_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/ir/CMakeFiles/ispb_ir.dir/program.cpp.o" "gcc" "src/ir/CMakeFiles/ispb_ir.dir/program.cpp.o.d"
+  "/root/repo/src/ir/regalloc.cpp" "src/ir/CMakeFiles/ispb_ir.dir/regalloc.cpp.o" "gcc" "src/ir/CMakeFiles/ispb_ir.dir/regalloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ispb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

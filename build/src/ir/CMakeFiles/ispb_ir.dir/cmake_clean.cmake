@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ispb_ir.dir/builder.cpp.o"
+  "CMakeFiles/ispb_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/ispb_ir.dir/instr.cpp.o"
+  "CMakeFiles/ispb_ir.dir/instr.cpp.o.d"
+  "CMakeFiles/ispb_ir.dir/interp.cpp.o"
+  "CMakeFiles/ispb_ir.dir/interp.cpp.o.d"
+  "CMakeFiles/ispb_ir.dir/inventory.cpp.o"
+  "CMakeFiles/ispb_ir.dir/inventory.cpp.o.d"
+  "CMakeFiles/ispb_ir.dir/passes.cpp.o"
+  "CMakeFiles/ispb_ir.dir/passes.cpp.o.d"
+  "CMakeFiles/ispb_ir.dir/printer.cpp.o"
+  "CMakeFiles/ispb_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/ispb_ir.dir/program.cpp.o"
+  "CMakeFiles/ispb_ir.dir/program.cpp.o.d"
+  "CMakeFiles/ispb_ir.dir/regalloc.cpp.o"
+  "CMakeFiles/ispb_ir.dir/regalloc.cpp.o.d"
+  "libispb_ir.a"
+  "libispb_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ispb_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

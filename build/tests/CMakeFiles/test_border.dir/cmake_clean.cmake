@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_border.dir/test_border.cpp.o"
+  "CMakeFiles/test_border.dir/test_border.cpp.o.d"
+  "test_border"
+  "test_border.pdb"
+  "test_border[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_border.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

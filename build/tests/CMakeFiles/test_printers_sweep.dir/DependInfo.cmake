@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_printers_sweep.cpp" "tests/CMakeFiles/test_printers_sweep.dir/test_printers_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_printers_sweep.dir/test_printers_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/filters/CMakeFiles/ispb_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/ispb_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/ispb_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ispb_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ispb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/border/CMakeFiles/ispb_border.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/ispb_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ispb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ispb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_printers_sweep.dir/test_printers_sweep.cpp.o"
+  "CMakeFiles/test_printers_sweep.dir/test_printers_sweep.cpp.o.d"
+  "test_printers_sweep"
+  "test_printers_sweep.pdb"
+  "test_printers_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_printers_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ispb_run.dir/ispb_run.cpp.o"
+  "CMakeFiles/ispb_run.dir/ispb_run.cpp.o.d"
+  "ispb_run"
+  "ispb_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ispb_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
