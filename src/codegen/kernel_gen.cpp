@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "common/error.hpp"
+#include "ir/analysis/checkers.hpp"
 #include "ir/builder.hpp"
 #include "ir/passes.hpp"
 
@@ -418,6 +419,9 @@ ir::Program generate_kernel(const StencilSpec& spec,
   ir::Program prog = b.finish();
   if (opt.optimize) {
     (void)ir::optimize(prog);
+#ifndef NDEBUG
+    analysis::assert_optimized_clean(prog);
+#endif
   }
   return prog;
 }
@@ -474,6 +478,9 @@ ir::Program generate_region_kernel(const StencilSpec& spec,
   ir::Program prog = b.finish();
   if (opt.optimize) {
     (void)ir::optimize(prog);
+#ifndef NDEBUG
+    analysis::assert_optimized_clean(prog);
+#endif
   }
   return prog;
 }

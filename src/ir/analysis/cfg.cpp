@@ -1,0 +1,75 @@
+#include "ir/analysis/cfg.hpp"
+
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace ispb::analysis {
+
+using ir::Instr;
+using ir::Op;
+
+Cfg build_cfg(const ir::Program& prog) {
+  Cfg cfg;
+  const u32 n = static_cast<u32>(prog.code.size());
+  if (n == 0) return cfg;
+
+  // Leaders: pc 0, every branch target, and the instruction after any
+  // branch or ret.
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  for (u32 pc = 0; pc < n; ++pc) {
+    const Instr& ins = prog.code[pc];
+    if (ins.op == Op::kBra) {
+      ISPB_EXPECTS(ins.target < n);
+      leader[ins.target] = true;
+      if (pc + 1 < n) leader[pc + 1] = true;
+    } else if (ins.op == Op::kRet && pc + 1 < n) {
+      leader[pc + 1] = true;
+    }
+  }
+
+  cfg.block_of.assign(n, 0);
+  for (u32 pc = 0; pc < n; ++pc) {
+    if (leader[pc]) {
+      cfg.blocks.push_back(BasicBlock{pc, pc + 1, {}, {}});
+    }
+    BasicBlock& current = cfg.blocks.back();
+    current.end = pc + 1;
+    cfg.block_of[pc] = static_cast<u32>(cfg.blocks.size() - 1);
+  }
+
+  for (u32 b = 0; b < cfg.blocks.size(); ++b) {
+    BasicBlock& blk = cfg.blocks[b];
+    const Instr& last = prog.code[blk.end - 1];
+    if (last.op == Op::kRet) continue;
+    if (last.op == Op::kBra) {
+      blk.succ.push_back(cfg.block_of[last.target]);
+      if (last.is_conditional_branch() && blk.end < n) {
+        blk.succ.push_back(cfg.block_of[blk.end]);
+      }
+    } else if (blk.end < n) {
+      blk.succ.push_back(cfg.block_of[blk.end]);
+    }
+  }
+  for (u32 b = 0; b < cfg.blocks.size(); ++b) {
+    for (u32 s : cfg.blocks[b].succ) cfg.blocks[s].pred.push_back(b);
+  }
+
+  cfg.reachable.assign(cfg.blocks.size(), false);
+  std::deque<u32> work{0};
+  cfg.reachable[0] = true;
+  while (!work.empty()) {
+    const u32 b = work.front();
+    work.pop_front();
+    for (u32 s : cfg.blocks[b].succ) {
+      if (!cfg.reachable[s]) {
+        cfg.reachable[s] = true;
+        work.push_back(s);
+      }
+    }
+  }
+  return cfg;
+}
+
+}  // namespace ispb::analysis

@@ -1,0 +1,39 @@
+// Control-flow graph recovery over flat IR programs.
+//
+// The optimizer passes only ever needed basic-block *leader* flags; the
+// static analyzers need the full graph: blocks with explicit successor /
+// predecessor edges and reachability from the entry, so that the interval
+// dataflow can propagate along edges and the lint can report dead code.
+#pragma once
+
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ispb::analysis {
+
+/// A maximal straight-line run of instructions [begin, end). The terminator
+/// (if any) is the last instruction; blocks without a branch/ret fall
+/// through to the next block.
+struct BasicBlock {
+  u32 begin = 0;
+  u32 end = 0;  ///< one past the last instruction
+  std::vector<u32> succ;
+  std::vector<u32> pred;
+};
+
+/// CFG of one program. Block 0 is the entry (pc 0).
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  std::vector<u32> block_of;    ///< pc -> owning block index
+  std::vector<bool> reachable;  ///< per block, from the entry
+
+  [[nodiscard]] std::size_t num_blocks() const { return blocks.size(); }
+};
+
+/// Recovers basic blocks, edges and entry-reachability. The program must be
+/// structurally valid (in-range branch targets); run ir::verify first when
+/// in doubt.
+[[nodiscard]] Cfg build_cfg(const ir::Program& prog);
+
+}  // namespace ispb::analysis

@@ -1,0 +1,504 @@
+#include "ir/analysis/checkers.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "image/image.hpp"
+
+namespace ispb::analysis {
+
+using ir::Instr;
+using ir::Op;
+using ir::Type;
+
+std::string_view to_string(FindingKind k) {
+  switch (k) {
+    case FindingKind::kOutOfBounds:
+      return "out-of-bounds";
+    case FindingKind::kCoverageGap:
+      return "coverage-gap";
+    case FindingKind::kCoverageOverlap:
+      return "coverage-overlap";
+    case FindingKind::kDegenerateGeometry:
+      return "degenerate-geometry";
+    case FindingKind::kUnreachableCode:
+      return "unreachable-code";
+    case FindingKind::kUnusedInput:
+      return "unused-input";
+    case FindingKind::kUnusedRegister:
+      return "unused-register";
+    case FindingKind::kConstantGuard:
+      return "constant-guard";
+  }
+  return "?";
+}
+
+namespace {
+
+bool declares_param(const ir::Program& prog, std::string_view name) {
+  return std::any_of(prog.param_names.begin(), prog.param_names.end(),
+                     [&](const std::string& p) { return p == name; });
+}
+
+std::string interval_str(Interval v) {
+  if (v.is_empty()) return "[]";
+  return "[" + std::to_string(v.lo) + "," + std::to_string(v.hi) + "]";
+}
+
+/// [begin, end) of the section opened by `marker`: up to the next marker in
+/// program order (the convention of measure_costs and the sim's attribution).
+std::pair<u32, u32> section_range(const ir::Program& prog,
+                                  std::string_view marker) {
+  const u32 begin = prog.marker_pc(marker);
+  u32 end = static_cast<u32>(prog.code.size());
+  for (const auto& [name, pc] : prog.markers) {
+    (void)name;
+    if (pc > begin && pc < end) end = pc;
+  }
+  return {begin, end};
+}
+
+/// One launch scenario: thread-identity intervals plus (for region-switch
+/// kernels) the region its blocks must be routed to.
+struct Scenario {
+  Interval bx, by, tx, ty;
+  Region region = Region::kBody;
+  bool routed = false;
+  std::string label;
+};
+
+/// Half-open index range [lo, hi) along one grid axis with the side its
+/// blocks must check.
+struct AxisCell {
+  i32 lo = 0;
+  i32 hi = 0;
+  Side side = Side::kNone;
+};
+
+std::vector<AxisCell> axis_cells(i32 bh_lo, i32 bh_hi, i32 n, Side low,
+                                 Side high) {
+  const auto clamp = [n](i32 v) { return std::clamp(v, 0, n); };
+  std::vector<AxisCell> cells;
+  const AxisCell raw[3] = {{0, clamp(bh_lo), low},
+                           {clamp(bh_lo), clamp(bh_hi), Side::kNone},
+                           {clamp(bh_hi), n, high}};
+  for (const AxisCell& c : raw) {
+    if (c.lo < c.hi) cells.push_back(c);
+  }
+  return cells;
+}
+
+std::string cell_label(const AxisCell& cx, const AxisCell& cy) {
+  return "bx=[" + std::to_string(cx.lo) + "," + std::to_string(cx.hi - 1) +
+         "] by=[" + std::to_string(cy.lo) + "," + std::to_string(cy.hi - 1) +
+         "]";
+}
+
+/// Enumerates the scenarios for a naive or fat kernel. `degenerate` is set
+/// when the partition cannot be expressed by the 9-region switch (the
+/// runtime falls back to the naive kernel in that case).
+std::vector<Scenario> enumerate_scenarios(const ir::Program& prog,
+                                          const LaunchGeometry& geom,
+                                          bool& degenerate) {
+  degenerate = false;
+  const GridDims grid = make_grid(geom.image, geom.block);
+  const Interval tid_x_all = {0, geom.block.tx - 1};
+  const Interval tid_y_all = {0, geom.block.ty - 1};
+
+  if (!declares_param(prog, "bh_l")) {
+    Scenario s;
+    s.bx = {0, grid.nbx - 1};
+    s.by = {0, grid.nby - 1};
+    s.tx = tid_x_all;
+    s.ty = tid_y_all;
+    s.label = "full grid";
+    return {s};
+  }
+
+  const BlockBounds bounds =
+      compute_block_bounds(geom.image, geom.block, geom.window);
+  if (bounds.bh_l > bounds.bh_r || bounds.bh_t > bounds.bh_b) {
+    degenerate = true;
+    return {};
+  }
+
+  WarpBounds wb;
+  if (declares_param(prog, "w_l")) {
+    wb = compute_warp_bounds(geom.image, geom.block, geom.window,
+                             geom.warp_width);
+  }
+
+  std::vector<Scenario> scenarios;
+  for (const AxisCell& cy : axis_cells(bounds.bh_t, bounds.bh_b, grid.nby,
+                                       Side::kTop, Side::kBottom)) {
+    for (const AxisCell& cx : axis_cells(bounds.bh_l, bounds.bh_r, grid.nbx,
+                                         Side::kLeft, Side::kRight)) {
+      const Side cell_sides = cx.side | cy.side;
+      Scenario base;
+      base.bx = {cx.lo, cx.hi - 1};
+      base.by = {cy.lo, cy.hi - 1};
+      base.ty = tid_y_all;
+      base.routed = true;
+      if (!wb.enabled) {
+        base.tx = tid_x_all;
+        base.region = region_from_sides(cell_sides);
+        base.label = cell_label(cx, cy);
+        scenarios.push_back(std::move(base));
+        continue;
+      }
+      // Warp-refined kernel: one scenario per warp column, so the warp
+      // index wx = tid.x >> log2(warp) folds to a point and the Listing 5
+      // redirection resolves statically.
+      for (i32 wx = 0; wx < wb.warps_x; ++wx) {
+        Scenario s = base;
+        s.tx = {i64{wx} * geom.warp_width,
+                i64{wx + 1} * geom.warp_width - 1};
+        s.region = region_from_sides(classify_warp(wb, cell_sides, wx));
+        s.label = cell_label(cx, cy) + " wx=" + std::to_string(wx);
+        scenarios.push_back(std::move(s));
+      }
+    }
+  }
+  return scenarios;
+}
+
+/// Block rectangle of one region's sub-launch (dsl::launch_per_region).
+Rect region_rect(const BlockBounds& bounds, const GridDims& grid, Region r) {
+  const Side s = region_sides(r);
+  const i32 x0 = has_side(s, Side::kLeft)    ? 0
+                 : has_side(s, Side::kRight) ? bounds.bh_r
+                                             : bounds.bh_l;
+  const i32 x1 = has_side(s, Side::kLeft)    ? bounds.bh_l
+                 : has_side(s, Side::kRight) ? grid.nbx
+                                             : bounds.bh_r;
+  const i32 y0 = has_side(s, Side::kTop)      ? 0
+                 : has_side(s, Side::kBottom) ? bounds.bh_b
+                                              : bounds.bh_t;
+  const i32 y1 = has_side(s, Side::kTop)      ? bounds.bh_t
+                 : has_side(s, Side::kBottom) ? grid.nby
+                                              : bounds.bh_b;
+  return Rect{x0, y0, x1, y1};
+}
+
+/// Appends bounds findings for every reached memory access of one analyzed
+/// scenario.
+void collect_access_findings(const ir::Program& prog, const Facts& facts,
+                             const RangeResult& result,
+                             const std::string& label, CheckReport& report) {
+  for (u32 pc = 0; pc < prog.code.size(); ++pc) {
+    const Instr& ins = prog.code[pc];
+    if (ins.op != Op::kLd && ins.op != Op::kSt) continue;
+    if (!result.reached[pc]) continue;
+    const i64 size = facts.buffer_sizes[ins.buffer];
+    const Interval addr = result.addr[pc];
+    if (!addr.is_empty() && addr.lo >= 0 && addr.hi < size) {
+      ++report.proven_accesses;
+      continue;
+    }
+    report.findings.push_back(Finding{
+        FindingKind::kOutOfBounds, pc,
+        "scenario " + label + ": " +
+            (ins.op == Op::kLd ? std::string("load") : std::string("store")) +
+            " address " + interval_str(addr) + " vs buffer " +
+            std::to_string(ins.buffer) + " size " + std::to_string(size)});
+  }
+}
+
+}  // namespace
+
+Facts make_launch_facts(const ir::Program& prog, const LaunchGeometry& geom,
+                        Interval ctaid_x, Interval ctaid_y, Interval tid_x,
+                        Interval tid_y) {
+  ISPB_EXPECTS(geom.image.x > 0 && geom.image.y > 0);
+  ISPB_EXPECTS(geom.block.tx > 0 && geom.block.ty > 0);
+  Facts f = Facts::unconstrained(prog);
+
+  const i32 pitch = round_up(geom.image.x, Image<f32>::kRowAlign);
+  f.buffer_sizes.assign(prog.num_buffers, i64{pitch} * geom.image.y);
+
+  f.set_input(prog, "tid.x", tid_x);
+  f.set_input(prog, "tid.y", tid_y);
+  f.set_input(prog, "ctaid.x", ctaid_x);
+  f.set_input(prog, "ctaid.y", ctaid_y);
+
+  f.set_input(prog, "sx", Interval::point(geom.image.x));
+  f.set_input(prog, "sy", Interval::point(geom.image.y));
+  for (const std::string& p : prog.param_names) {
+    if (p.rfind("pitch_in", 0) == 0) {
+      f.set_input(prog, p, Interval::point(pitch));
+    }
+  }
+  f.set_input(prog, "pitch_out", Interval::point(pitch));
+  f.set_input(prog, "ntid.x", Interval::point(geom.block.tx));
+  f.set_input(prog, "ntid.y", Interval::point(geom.block.ty));
+
+  if (declares_param(prog, "bh_l")) {
+    const BlockBounds bounds =
+        compute_block_bounds(geom.image, geom.block, geom.window);
+    f.set_input(prog, "bh_l", Interval::point(bounds.bh_l));
+    f.set_input(prog, "bh_r", Interval::point(bounds.bh_r));
+    f.set_input(prog, "bh_t", Interval::point(bounds.bh_t));
+    f.set_input(prog, "bh_b", Interval::point(bounds.bh_b));
+  }
+  if (declares_param(prog, "w_l")) {
+    const WarpBounds wb = compute_warp_bounds(geom.image, geom.block,
+                                              geom.window, geom.warp_width);
+    // Vacuous fallback exactly as dsl::build_params: no warp may skip its
+    // block's checks.
+    f.set_input(prog, "w_l",
+                Interval::point(wb.enabled ? wb.w_l : geom.block.tx));
+    f.set_input(prog, "w_r", Interval::point(wb.enabled ? wb.w_r : 0));
+  }
+  return f;
+}
+
+CheckReport check_bounds(const ir::Program& prog, const LaunchGeometry& geom) {
+  CheckReport report;
+  bool degenerate = false;
+  const std::vector<Scenario> scenarios =
+      enumerate_scenarios(prog, geom, degenerate);
+  if (degenerate) {
+    report.findings.push_back(
+        Finding{FindingKind::kDegenerateGeometry, kNoPc,
+                "block bounds are degenerate for this geometry; the runtime "
+                "launches the naive kernel instead"});
+    return report;
+  }
+  for (const Scenario& s : scenarios) {
+    const Facts facts = make_launch_facts(prog, geom, s.bx, s.by, s.tx, s.ty);
+    const RangeResult result = analyze_ranges(prog, facts);
+    collect_access_findings(prog, facts, result, s.label, report);
+    ++report.scenarios;
+  }
+  return report;
+}
+
+CheckReport check_bounds_region(const ir::Program& prog,
+                                const LaunchGeometry& geom, Region region) {
+  ISPB_EXPECTS(declares_param(prog, "boff_x"));
+  CheckReport report;
+  const GridDims grid = make_grid(geom.image, geom.block);
+  const BlockBounds bounds =
+      compute_block_bounds(geom.image, geom.block, geom.window);
+  if (bounds.bh_l > bounds.bh_r || bounds.bh_t > bounds.bh_b) {
+    report.findings.push_back(
+        Finding{FindingKind::kDegenerateGeometry, kNoPc,
+                "block bounds are degenerate for this geometry; per-region "
+                "launches are not used"});
+    return report;
+  }
+  const Rect rect = region_rect(bounds, grid, region);
+  if (rect.empty()) return report;  // region never launched
+
+  Facts facts =
+      make_launch_facts(prog, geom, Interval{0, rect.width() - 1},
+                        Interval{0, rect.height() - 1},
+                        Interval{0, geom.block.tx - 1},
+                        Interval{0, geom.block.ty - 1});
+  facts.set_input(prog, "boff_x", Interval::point(rect.x0));
+  facts.set_input(prog, "boff_y", Interval::point(rect.y0));
+
+  const RangeResult result = analyze_ranges(prog, facts);
+  collect_access_findings(prog, facts, result,
+                          std::string(to_string(region)) + " sub-grid",
+                          report);
+  report.scenarios = 1;
+  return report;
+}
+
+CheckReport check_coverage(const ir::Program& prog,
+                           const LaunchGeometry& geom) {
+  CheckReport report;
+  bool degenerate = false;
+  const std::vector<Scenario> scenarios =
+      enumerate_scenarios(prog, geom, degenerate);
+  if (degenerate) {
+    report.findings.push_back(
+        Finding{FindingKind::kDegenerateGeometry, kNoPc,
+                "block bounds are degenerate for this geometry; the runtime "
+                "launches the naive kernel instead"});
+    return report;
+  }
+
+  const bool switched = declares_param(prog, "bh_l");
+  if (switched) {
+    // The scenario cells must tile the blockIdx grid exactly (no gap, no
+    // overlap at the grid level); cells are disjoint by construction, so an
+    // area check suffices.
+    const GridDims grid = make_grid(geom.image, geom.block);
+    i64 covered = 0;
+    for (const Scenario& s : scenarios) {
+      // Warp-column scenarios share their cell's blocks; count each cell
+      // once via its first column (tid.x starting at lane 0).
+      if (s.tx.lo != 0) continue;
+      covered += (s.bx.hi - s.bx.lo + 1) * (s.by.hi - s.by.lo + 1);
+    }
+    if (covered != grid.total()) {
+      report.findings.push_back(
+          Finding{FindingKind::kCoverageGap, kNoPc,
+                  "partition cells cover " + std::to_string(covered) +
+                      " blocks of a " + std::to_string(grid.total()) +
+                      "-block grid"});
+    }
+  }
+
+  for (const Scenario& s : scenarios) {
+    const Facts facts = make_launch_facts(prog, geom, s.bx, s.by, s.tx, s.ty);
+    const RangeResult result = analyze_ranges(prog, facts);
+    ++report.scenarios;
+
+    const auto section_reached = [&](std::string_view marker) {
+      const auto [begin, end] = section_range(prog, marker);
+      for (u32 pc = begin; pc < end; ++pc) {
+        if (result.reached[pc]) return true;
+      }
+      return false;
+    };
+
+    if (!s.routed) {
+      // No region switch: some marked section must be executable.
+      bool any = prog.markers.empty();
+      for (const auto& [name, pc] : prog.markers) {
+        (void)pc;
+        if (name != "Exit" && section_reached(name)) any = true;
+      }
+      if (!any) {
+        report.findings.push_back(Finding{FindingKind::kCoverageGap, kNoPc,
+                                          "scenario " + s.label +
+                                              ": no section is reachable"});
+      }
+      continue;
+    }
+
+    std::vector<Region> reached;
+    for (Region r : kAllRegions) {
+      if (section_reached(to_string(r))) reached.push_back(r);
+    }
+    if (reached.empty()) {
+      report.findings.push_back(
+          Finding{FindingKind::kCoverageGap, kNoPc,
+                  "scenario " + s.label + ": no region section is reachable"});
+      continue;
+    }
+    if (reached.size() != 1 || reached.front() != s.region) {
+      std::string got;
+      for (Region r : reached) {
+        if (!got.empty()) got += ",";
+        got += to_string(r);
+      }
+      report.findings.push_back(
+          Finding{FindingKind::kCoverageOverlap, kNoPc,
+                  "scenario " + s.label + ": expected region " +
+                      std::string(to_string(s.region)) + ", switch reaches {" +
+                      got + "}"});
+    }
+  }
+  return report;
+}
+
+CheckReport lint(const ir::Program& prog) {
+  CheckReport report;
+  report.scenarios = 0;
+
+  const Cfg cfg = build_cfg(prog);
+  for (u32 b = 0; b < cfg.num_blocks(); ++b) {
+    if (cfg.reachable[b]) continue;
+    const BasicBlock& blk = cfg.blocks[b];
+    report.findings.push_back(
+        Finding{FindingKind::kUnreachableCode, blk.begin,
+                "instructions [" + std::to_string(blk.begin) + "," +
+                    std::to_string(blk.end) + ") are unreachable"});
+  }
+
+  std::vector<u32> uses(prog.num_regs, 0);
+  std::vector<u32> first_def(prog.num_regs, kNoPc);
+  for (u32 pc = 0; pc < prog.code.size(); ++pc) {
+    const Instr& ins = prog.code[pc];
+    const auto count = [&](const ir::Operand& o) {
+      if (o.is_reg()) ++uses[o.reg];
+    };
+    count(ins.a);
+    count(ins.b);
+    count(ins.c);
+    if (op_has_dst(ins.op) && first_def[ins.dst] == kNoPc) {
+      first_def[ins.dst] = pc;
+    }
+  }
+  for (u32 r = 0; r < prog.num_inputs(); ++r) {
+    if (uses[r] != 0) continue;
+    const std::string name =
+        r < prog.num_special()
+            ? prog.special_names[r]
+            : prog.param_names[r - prog.num_special()];
+    report.findings.push_back(Finding{FindingKind::kUnusedInput, kNoPc,
+                                      "input '" + name + "' is never read"});
+  }
+  for (u32 r = prog.num_inputs(); r < prog.num_regs; ++r) {
+    if (first_def[r] == kNoPc || uses[r] != 0) continue;
+    report.findings.push_back(
+        Finding{FindingKind::kUnusedRegister, first_def[r],
+                "r" + std::to_string(r) + " defined at pc " +
+                    std::to_string(first_def[r]) + " is never used"});
+  }
+  return report;
+}
+
+CheckReport lint(const ir::Program& prog, const Facts& facts) {
+  CheckReport report = lint(prog);
+  const RangeResult result = analyze_ranges(prog, facts);
+  report.scenarios = 1;
+  for (u32 pc = 0; pc < prog.code.size(); ++pc) {
+    if (!prog.code[pc].is_conditional_branch()) continue;
+    if (!result.reached[pc]) continue;
+    const Interval p = result.branch_pred[pc];
+    if (!p.is_point()) continue;
+    report.findings.push_back(
+        Finding{FindingKind::kConstantGuard, pc,
+                std::string("guard at pc ") + std::to_string(pc) +
+                    " is provably " +
+                    (p.lo == 0 ? "never taken" : "always taken")});
+  }
+  return report;
+}
+
+u32 count_residual_guards(const ir::Program& prog, std::string_view marker) {
+  const auto [begin, end] = section_range(prog, marker);
+  u32 count = 0;
+  for (u32 pc = begin; pc < end; ++pc) {
+    const Instr& ins = prog.code[pc];
+    switch (ins.op) {
+      case Op::kBra:
+        if (ins.is_conditional_branch()) ++count;
+        break;
+      case Op::kSetp:
+        // For setp, `type` is the *operand* type; border checks compare i32
+        // coordinates while stencil arithmetic never compares at all.
+        if (ins.type == Type::kI32) ++count;
+        break;
+      case Op::kSelp:
+      case Op::kMin:
+      case Op::kMax:
+        // i32 select/clamp only arises from border remapping; the stencil
+        // computation itself is all f32.
+        if (ins.type == Type::kI32) ++count;
+        break;
+      default:
+        break;
+    }
+  }
+  return count;
+}
+
+void assert_optimized_clean(const ir::Program& prog) {
+  const CheckReport report = lint(prog);
+  for (const Finding& f : report.findings) {
+    if (f.kind != FindingKind::kUnreachableCode &&
+        f.kind != FindingKind::kUnusedRegister) {
+      continue;
+    }
+    throw VerifyError("optimized program '" + prog.name + "' fails lint (" +
+                      std::string(to_string(f.kind)) + "): " + f.detail);
+  }
+}
+
+}  // namespace ispb::analysis

@@ -1,0 +1,114 @@
+// Static checkers over generated kernels (the analyzer's user-facing layer).
+//
+// Three checkers built on the interval dataflow of range_analysis.hpp:
+//  - bounds:   every load/store address provably stays inside its buffer,
+//              per region specialization (paper Section III-C's safety
+//              claim, proven per launch geometry instead of tested),
+//  - coverage: the region switch of Listing 3/5 routes every threadblock of
+//              the grid to exactly one region section — no gap, no overlap,
+//  - lint:     unreachable code, unused inputs/registers, and branch guards
+//              that are provably constant (residual border checks).
+//
+// The checkers seed the analysis exactly like dsl::build_params seeds a real
+// launch (same Eq. (2) block bounds, same Listing 5 warp bounds including the
+// vacuous fallback), so a proof here is a statement about the code the
+// simulator actually runs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "ir/analysis/range_analysis.hpp"
+
+namespace ispb::analysis {
+
+/// Launch geometry a kernel is checked against; mirrors the knobs of
+/// dsl::launch_on_sim.
+struct LaunchGeometry {
+  Size2 image{};
+  BlockSize block{};
+  Window window{};
+  i32 warp_width = 32;
+};
+
+inline constexpr u32 kNoPc = static_cast<u32>(-1);
+
+enum class FindingKind : u8 {
+  kOutOfBounds,        ///< a memory access may leave its buffer
+  kCoverageGap,        ///< a grid cell reaches no region section
+  kCoverageOverlap,    ///< a grid cell reaches the wrong / multiple sections
+  kDegenerateGeometry, ///< partition unusable (runtime falls back to naive)
+  kUnreachableCode,    ///< instructions no path reaches
+  kUnusedInput,        ///< declared special/param register never read
+  kUnusedRegister,     ///< computed value never used
+  kConstantGuard,      ///< conditional branch provably always/never taken
+};
+
+[[nodiscard]] std::string_view to_string(FindingKind k);
+
+struct Finding {
+  FindingKind kind{};
+  u32 pc = kNoPc;  ///< anchor instruction, when one exists
+  std::string detail;
+};
+
+struct CheckReport {
+  std::vector<Finding> findings;
+  u32 scenarios = 0;         ///< launch scenarios analyzed
+  u32 proven_accesses = 0;   ///< ld/st proven in-bounds across scenarios
+
+  [[nodiscard]] bool ok() const { return findings.empty(); }
+};
+
+/// Builds launch facts mirroring dsl::build_params: image extents, pitches
+/// (Image<f32> row alignment), block extents, Eq. (2) block bounds and
+/// Listing 5 warp bounds when the program declares them, plus the given
+/// thread-identity intervals. Buffer sizes are set to the padded image size.
+[[nodiscard]] Facts make_launch_facts(const ir::Program& prog,
+                                      const LaunchGeometry& geom,
+                                      Interval ctaid_x, Interval ctaid_y,
+                                      Interval tid_x, Interval tid_y);
+
+/// Proves every reachable load/store of a naive or fat (region-switch)
+/// kernel in-bounds for the geometry, one scenario per partition grid cell
+/// (and per warp column for warp-refined kernels).
+[[nodiscard]] CheckReport check_bounds(const ir::Program& prog,
+                                       const LaunchGeometry& geom);
+
+/// Same proof for a standalone per-region kernel (generate_region_kernel),
+/// launched on its region's block rectangle via boff_x/boff_y.
+[[nodiscard]] CheckReport check_bounds_region(const ir::Program& prog,
+                                              const LaunchGeometry& geom,
+                                              Region region);
+
+/// Proves the region switch partitions the blockIdx grid: the partition
+/// cells tile the grid exactly, and each cell's blocks reach exactly the
+/// region section classify_block/classify_warp assigns them. For kernels
+/// without a region switch, checks that some marked section is reachable.
+[[nodiscard]] CheckReport check_coverage(const ir::Program& prog,
+                                         const LaunchGeometry& geom);
+
+/// Structural lint: CFG-unreachable code, unused inputs, unused registers.
+[[nodiscard]] CheckReport lint(const ir::Program& prog);
+
+/// Lint under launch facts: adds conditional branches whose predicate is
+/// provably constant (e.g. residual border checks specialization left
+/// behind).
+[[nodiscard]] CheckReport lint(const ir::Program& prog, const Facts& facts);
+
+/// Static count of residual border guards inside one marker-delimited
+/// section: conditional branches plus i32 select/min/max — the instruction
+/// shapes border remapping compiles to, none of which the stencil arithmetic
+/// itself (all f32) produces. The paper's specialization claim is that the
+/// Body section counts zero.
+[[nodiscard]] u32 count_residual_guards(const ir::Program& prog,
+                                        std::string_view marker);
+
+/// Debug-build verification gate run after ir::optimize(): throws
+/// VerifyError when the optimized program still contains unreachable code or
+/// unused registers (both are invariants the pass pipeline must establish).
+void assert_optimized_clean(const ir::Program& prog);
+
+}  // namespace ispb::analysis

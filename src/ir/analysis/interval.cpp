@@ -1,0 +1,310 @@
+#include "ir/analysis/interval.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ispb::analysis {
+
+using ir::Cmp;
+using ir::Instr;
+using ir::Op;
+using ir::Type;
+
+Interval join(Interval a, Interval b) {
+  if (a.is_empty()) return b;
+  if (b.is_empty()) return a;
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval meet(Interval a, Interval b) {
+  return {std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+Interval wrap_range(i64 lo, i64 hi) {
+  if (lo < Interval::kMin || hi > Interval::kMax) return Interval::top();
+  return {lo, hi};
+}
+
+Cmp negate_cmp(Cmp c) {
+  switch (c) {
+    case Cmp::kLt:
+      return Cmp::kGe;
+    case Cmp::kLe:
+      return Cmp::kGt;
+    case Cmp::kGt:
+      return Cmp::kLe;
+    case Cmp::kGe:
+      return Cmp::kLt;
+    case Cmp::kEq:
+      return Cmp::kNe;
+    case Cmp::kNe:
+      return Cmp::kEq;
+  }
+  return c;
+}
+
+Cmp swap_cmp(Cmp c) {
+  switch (c) {
+    case Cmp::kLt:
+      return Cmp::kGt;
+    case Cmp::kLe:
+      return Cmp::kGe;
+    case Cmp::kGt:
+      return Cmp::kLt;
+    case Cmp::kGe:
+      return Cmp::kLe;
+    case Cmp::kEq:
+    case Cmp::kNe:
+      return c;
+  }
+  return c;
+}
+
+int decide_cmp(Cmp cmp, Interval a, Interval b) {
+  if (a.is_empty() || b.is_empty()) return -1;
+  switch (cmp) {
+    case Cmp::kLt:
+      if (a.hi < b.lo) return 1;
+      if (a.lo >= b.hi) return 0;
+      return -1;
+    case Cmp::kLe:
+      if (a.hi <= b.lo) return 1;
+      if (a.lo > b.hi) return 0;
+      return -1;
+    case Cmp::kGt:
+      return decide_cmp(Cmp::kLt, b, a);
+    case Cmp::kGe:
+      return decide_cmp(Cmp::kLe, b, a);
+    case Cmp::kEq:
+      if (a.is_point() && a == b) return 1;
+      if (meet(a, b).is_empty()) return 0;
+      return -1;
+    case Cmp::kNe: {
+      const int eq = decide_cmp(Cmp::kEq, a, b);
+      return eq < 0 ? -1 : 1 - eq;
+    }
+  }
+  return -1;
+}
+
+Interval refine_cmp(Interval x, Cmp cmp, Interval y) {
+  if (x.is_empty() || y.is_empty()) return Interval::empty();
+  switch (cmp) {
+    case Cmp::kLt:
+      return meet(x, {Interval::kMin, y.hi - 1});
+    case Cmp::kLe:
+      return meet(x, {Interval::kMin, y.hi});
+    case Cmp::kGt:
+      return meet(x, {y.lo + 1, Interval::kMax});
+    case Cmp::kGe:
+      return meet(x, {y.lo, Interval::kMax});
+    case Cmp::kEq:
+      return meet(x, y);
+    case Cmp::kNe: {
+      if (!y.is_point()) return x;
+      Interval r = x;
+      if (r.lo == y.lo) ++r.lo;
+      if (r.hi == y.lo) --r.hi;
+      return r;
+    }
+  }
+  return x;
+}
+
+namespace {
+
+/// True when both operand ranges fit the 0/1 predicate domain.
+bool pred_like(Interval a, Interval b) {
+  return Interval::pred().contains(a) && Interval::pred().contains(b);
+}
+
+Interval transfer_div(Interval a, Interval b) {
+  // Matches ir::eval_pure: truncating division, x/0 = 0, INT32_MIN/-1 =
+  // INT32_MIN (the wrapped value).
+  const auto divi = [](i64 x, i64 d) -> i64 {
+    if (d == 0) return 0;
+    if (d == -1 && x == Interval::kMin) return Interval::kMin;
+    return x / d;
+  };
+  if (b.is_point()) {
+    const i64 d = b.lo;
+    if (d == 0) return Interval::point(0);
+    Interval r{std::min(divi(a.lo, d), divi(a.hi, d)),
+               std::max(divi(a.lo, d), divi(a.hi, d))};
+    // INT32_MIN / -1 wraps to INT32_MIN and breaks the corner argument.
+    if (d == -1 && a.contains(Interval::kMin)) r = join(r, Interval::top());
+    return r;
+  }
+  if (b.lo > 0 || b.hi < 0) {
+    // Truncating division is monotone in the dividend for a fixed divisor
+    // sign, and |x/d| shrinks as |d| grows, so corners bound the result.
+    i64 lo = Interval::kMax;
+    i64 hi = Interval::kMin;
+    for (const i64 x : {a.lo, a.hi}) {
+      for (const i64 d : {b.lo, b.hi}) {
+        const i64 v = divi(x, d);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    Interval r{lo, hi};
+    if (b.contains(-1) && a.contains(Interval::kMin)) r = join(r, Interval::top());
+    return r;
+  }
+  // Divisor range crosses 0: |result| <= |dividend|, plus 0 for x/0.
+  const Interval mag = wrap_range(std::min({a.lo, -a.hi, i64{0}}),
+                                  std::max({a.hi, -a.lo, i64{0}}));
+  return mag;
+}
+
+Interval transfer_rem(Interval a, Interval b) {
+  // C++ truncating remainder: result sign follows the dividend, |r| < |d|.
+  // eval_pure defines x % 0 = 0 and INT32_MIN % -1 = 0.
+  const i64 dmax = std::max(std::abs(b.lo), std::abs(b.hi));
+  if (dmax == 0) return Interval::point(0);
+  Interval r{-(dmax - 1), dmax - 1};
+  if (a.lo >= 0) r.lo = 0;
+  if (a.hi <= 0) r.hi = 0;
+  r = meet(r, {std::min(a.lo, i64{0}), std::max(a.hi, i64{0})});
+  return r;
+}
+
+Interval transfer_shr(Interval a, Interval b) {
+  if (b.is_point()) {
+    const i32 k = static_cast<i32>(static_cast<u32>(b.lo) & 31u);
+    return {a.lo >> k, a.hi >> k};
+  }
+  // The effective shift is masked into [0, 31]; arithmetic shift moves any
+  // value toward {-1, 0}, so the hull of shift-by-0 and shift-by-31 bounds
+  // every intermediate amount.
+  return {std::min(a.lo, a.lo >> 31), std::max(a.hi, a.hi >> 31)};
+}
+
+Interval transfer_bitwise(Op op, Interval a, Interval b) {
+  if (pred_like(a, b)) {
+    switch (op) {
+      case Op::kAnd:
+        return {a.lo == 1 && b.lo == 1 ? 1 : 0, std::min(a.hi, b.hi)};
+      case Op::kOr:
+        return {std::max(a.lo, b.lo), a.hi == 0 && b.hi == 0 ? 0 : 1};
+      case Op::kXor:
+        if (a.is_point() && b.is_point()) return Interval::point(a.lo ^ b.lo);
+        return Interval::pred();
+      default:
+        break;
+    }
+  }
+  if (op == Op::kXor && b.is_point() && b.lo == -1) {
+    return {~a.hi, ~a.lo};  // ~x == -x - 1, exact and monotone decreasing
+  }
+  if (op == Op::kXor && a.is_point() && a.lo == -1) {
+    return {~b.hi, ~b.lo};
+  }
+  if (op == Op::kAnd && a.lo >= 0 && b.lo >= 0) {
+    return {0, std::min(a.hi, b.hi)};
+  }
+  if (a.is_point() && b.is_point()) {
+    const u32 x = static_cast<u32>(static_cast<i32>(a.lo));
+    const u32 y = static_cast<u32>(static_cast<i32>(b.lo));
+    u32 v = 0;
+    if (op == Op::kAnd) v = x & y;
+    if (op == Op::kOr) v = x | y;
+    if (op == Op::kXor) v = x ^ y;
+    return Interval::point(static_cast<i32>(v));
+  }
+  return Interval::top();
+}
+
+}  // namespace
+
+Interval transfer(const Instr& ins, Interval a, Interval b, Interval c) {
+  if (a.is_empty() || b.is_empty() || c.is_empty()) return Interval::empty();
+
+  // Float results: any 32-bit pattern, i.e. Top — except the structural ops
+  // below whose result is bitwise one of the inputs regardless of type.
+  const bool f32 = ins.type == Type::kF32;
+  switch (ins.op) {
+    case Op::kMov:
+      return a;
+    case Op::kSelp:
+      return join(a, b);
+    case Op::kSetp: {
+      if (f32) return Interval::pred();
+      const int d = decide_cmp(ins.cmp, a, b);
+      return d < 0 ? Interval::pred() : Interval::point(d);
+    }
+    default:
+      break;
+  }
+  if (f32) return Interval::top();
+
+  switch (ins.op) {
+    case Op::kAdd:
+      return wrap_range(a.lo + b.lo, a.hi + b.hi);
+    case Op::kSub:
+      return wrap_range(a.lo - b.hi, a.hi - b.lo);
+    case Op::kMul: {
+      const i64 p1 = a.lo * b.lo;
+      const i64 p2 = a.lo * b.hi;
+      const i64 p3 = a.hi * b.lo;
+      const i64 p4 = a.hi * b.hi;
+      return wrap_range(std::min({p1, p2, p3, p4}), std::max({p1, p2, p3, p4}));
+    }
+    case Op::kMad: {
+      // Intermediate wraps cancel: the result equals (a*b + c) mod 2^32, so
+      // it is exact whenever the exact range fits i32.
+      const i64 p1 = a.lo * b.lo;
+      const i64 p2 = a.lo * b.hi;
+      const i64 p3 = a.hi * b.lo;
+      const i64 p4 = a.hi * b.hi;
+      return wrap_range(std::min({p1, p2, p3, p4}) + c.lo,
+                        std::max({p1, p2, p3, p4}) + c.hi);
+    }
+    case Op::kDiv:
+      return transfer_div(a, b);
+    case Op::kRem:
+      return transfer_rem(a, b);
+    case Op::kMin:
+      return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+    case Op::kMax:
+      return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+      return transfer_bitwise(ins.op, a, b);
+    case Op::kShl: {
+      if (!b.is_point()) return Interval::top();
+      const i32 k = static_cast<i32>(static_cast<u32>(b.lo) & 31u);
+      return wrap_range(a.lo << k, a.hi << k);
+    }
+    case Op::kShr:
+      return transfer_shr(a, b);
+    case Op::kNeg:
+      return wrap_range(-a.hi, -a.lo);
+    case Op::kAbs:
+      if (a.lo >= 0) return a;
+      if (a.hi <= 0) return wrap_range(-a.hi, -a.lo);
+      return wrap_range(0, std::max(-a.lo, a.hi));
+    case Op::kCvt:
+      // i32 <-> f32 conversions produce a value range we do not track
+      // (float bit patterns / unknown float magnitudes).
+      return ins.src_type == ins.type ? a : Interval::top();
+    case Op::kEx2:
+    case Op::kLg2:
+    case Op::kRcp:
+    case Op::kSqrt:
+      return Interval::top();
+    case Op::kMov:
+    case Op::kSelp:
+    case Op::kSetp:
+    case Op::kLd:
+    case Op::kSt:
+    case Op::kBra:
+    case Op::kRet:
+      break;
+  }
+  throw ContractError("interval transfer called on unsupported opcode");
+}
+
+}  // namespace ispb::analysis

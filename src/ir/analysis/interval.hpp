@@ -1,0 +1,77 @@
+// Interval (value-range) abstract domain over 32-bit register words.
+//
+// Registers hold 32-bit words; the domain tracks the word reinterpreted as a
+// signed i32 (Word::as_i32), which is the only view address arithmetic and
+// predicates use. Float-producing instructions are abstracted to Top: any
+// 32-bit pattern still lies in [INT32_MIN, INT32_MAX], so containment claims
+// remain sound for every register. All transfer functions over-approximate
+// the wrapping semantics of ir::eval_pure: whenever an exact i64 result range
+// leaves the i32 range (the operation may wrap), the result widens to Top.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/instr.hpp"
+
+namespace ispb::analysis {
+
+/// A closed interval [lo, hi] of i32 values; empty when lo > hi. Bounds are
+/// kept in i64 so transfer arithmetic cannot itself overflow, but non-empty
+/// intervals always satisfy INT32_MIN <= lo <= hi <= INT32_MAX.
+struct Interval {
+  static constexpr i64 kMin = INT32_MIN;
+  static constexpr i64 kMax = INT32_MAX;
+
+  i64 lo = kMin;
+  i64 hi = kMax;
+
+  [[nodiscard]] static constexpr Interval top() { return {kMin, kMax}; }
+  [[nodiscard]] static constexpr Interval empty() { return {1, 0}; }
+  [[nodiscard]] static constexpr Interval point(i64 v) { return {v, v}; }
+  [[nodiscard]] static constexpr Interval pred() { return {0, 1}; }
+
+  [[nodiscard]] constexpr bool is_empty() const { return lo > hi; }
+  [[nodiscard]] constexpr bool is_top() const {
+    return lo == kMin && hi == kMax;
+  }
+  [[nodiscard]] constexpr bool is_point() const { return lo == hi; }
+  [[nodiscard]] constexpr bool contains(i64 v) const {
+    return lo <= v && v <= hi;
+  }
+  [[nodiscard]] constexpr bool contains(const Interval& o) const {
+    return o.is_empty() || (lo <= o.lo && o.hi <= hi);
+  }
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Least upper bound (interval hull).
+[[nodiscard]] Interval join(Interval a, Interval b);
+
+/// Greatest lower bound (intersection; may be empty).
+[[nodiscard]] Interval meet(Interval a, Interval b);
+
+/// Lifts an exact i64 result range into the domain: identity while the range
+/// fits i32, Top once the operation may have wrapped.
+[[nodiscard]] Interval wrap_range(i64 lo, i64 hi);
+
+/// Logical negation of a comparison (lt <-> ge, ...).
+[[nodiscard]] ir::Cmp negate_cmp(ir::Cmp c);
+
+/// Argument swap of a comparison (lt <-> gt, le <-> ge, eq/ne fixed).
+[[nodiscard]] ir::Cmp swap_cmp(ir::Cmp c);
+
+/// Decides `a cmp b` over intervals: 1 = definitely true for every value
+/// pair, 0 = definitely false, -1 = undecided.
+[[nodiscard]] int decide_cmp(ir::Cmp cmp, Interval a, Interval b);
+
+/// Refines `x` under the constraint `x cmp y`; may return empty when the
+/// constraint is unsatisfiable.
+[[nodiscard]] Interval refine_cmp(Interval x, ir::Cmp cmp, Interval y);
+
+/// Transfer function of a pure value instruction (not ld/st/bra/ret) over
+/// its operand intervals. Unused operands may be passed as anything.
+[[nodiscard]] Interval transfer(const ir::Instr& ins, Interval a, Interval b,
+                                Interval c);
+
+}  // namespace ispb::analysis

@@ -1,0 +1,649 @@
+#include "ir/analysis/range_analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace ispb::analysis {
+
+using ir::Cmp;
+using ir::Instr;
+using ir::Op;
+using ir::Operand;
+using ir::RegId;
+using ir::Type;
+
+Facts Facts::unconstrained(const ir::Program& prog) {
+  Facts f;
+  f.inputs.assign(prog.num_inputs(), Interval::top());
+  f.buffer_sizes.assign(prog.num_buffers, -1);
+  return f;
+}
+
+bool Facts::set_input(const ir::Program& prog, std::string_view name,
+                      Interval v) {
+  for (u32 i = 0; i < prog.num_special(); ++i) {
+    if (prog.special_names[i] == name) {
+      if (inputs.size() < prog.num_inputs()) {
+        inputs.resize(prog.num_inputs(), Interval::top());
+      }
+      inputs[i] = v;
+      return true;
+    }
+  }
+  for (u32 i = 0; i < prog.num_params(); ++i) {
+    if (prog.param_names[i] == name) {
+      if (inputs.size() < prog.num_inputs()) {
+        inputs.resize(prog.num_inputs(), Interval::top());
+      }
+      inputs[prog.num_special() + i] = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// One atom of a symbolic predicate: `a cmp b` over i32 operands, possibly
+/// negated. `pc` is the defining setp, used to reject refinements whose
+/// operand registers may have been redefined since the compare.
+struct PredAtom {
+  Cmp cmp = Cmp::kLt;
+  Operand a{};
+  Operand b{};
+  bool negate = false;
+  u32 pc = 0;
+};
+
+/// A predicate register's symbolic value: the conjunction (kAnd) or
+/// disjunction (kOr) of its atoms. Empty atoms = unknown predicate. `chain`
+/// lists every register on the def chain from the root down to the setps;
+/// the atoms only describe the register's value at uses where all of them
+/// are definitely assigned (an unexecuted def leaves 0, not the compare).
+struct PredInfo {
+  enum class Shape : u8 { kAnd, kOr };
+  Shape shape = Shape::kAnd;
+  std::vector<PredAtom> atoms;
+  std::vector<RegId> chain;
+};
+
+/// De Morgan negation; always representable in the and/or-of-literals form.
+PredInfo negate(PredInfo info) {
+  info.shape = info.shape == PredInfo::Shape::kAnd ? PredInfo::Shape::kOr
+                                                   : PredInfo::Shape::kAnd;
+  for (PredAtom& atom : info.atoms) atom.negate = !atom.negate;
+  return info;
+}
+
+inline constexpr u32 kNoSlot = static_cast<u32>(-1);
+
+/// Abstract machine state: one interval per *tracked* register (see
+/// Analyzer::slot_). `dead` marks a contradictory path state (some register
+/// has no possible value), i.e. the path is infeasible.
+struct Env {
+  std::vector<Interval> regs;
+  bool dead = false;
+};
+
+class Analyzer {
+ public:
+  Analyzer(const ir::Program& prog, const Facts& facts)
+      : prog_(prog), cfg_(build_cfg(prog)) {
+    in_code_defs_.assign(prog.num_regs, 0);
+    def_pc_.assign(prog.num_regs, kNoSlot);
+    for (u32 pc = 0; pc < prog.code.size(); ++pc) {
+      const Instr& ins = prog.code[pc];
+      if (op_has_dst(ins.op)) {
+        ++in_code_defs_[ins.dst];
+        if (def_pc_[ins.dst] == kNoSlot) def_pc_[ins.dst] = pc;
+      }
+    }
+    pred_info_.assign(prog.num_regs, std::nullopt);
+    pred_info_done_.assign(prog.num_regs, false);
+    assign_slots(facts);
+    compute_heads();
+    compute_assigned();
+  }
+
+  RangeResult run() {
+    RangeResult result;
+    const std::size_t n = prog_.code.size();
+    result.reached.assign(n, false);
+    result.def_out.assign(n, Interval::empty());
+    result.addr.assign(n, Interval::empty());
+    result.branch_pred.assign(n, Interval::empty());
+    if (n == 0) {
+      result.cfg = cfg_;
+      return result;
+    }
+
+    block_in_.assign(cfg_.num_blocks(), std::nullopt);
+    visits_.assign(cfg_.num_blocks(), 0);
+    block_in_[0] = entry_;
+    std::deque<u32> work{0};
+    std::vector<bool> queued(cfg_.num_blocks(), false);
+    queued[0] = true;
+
+    while (!work.empty()) {
+      const u32 b = work.front();
+      work.pop_front();
+      queued[b] = false;
+      Env env = *block_in_[b];
+      process_unit(b, env, nullptr);
+      for (auto& [succ, out] : pending_edges_) {
+        if (propagate(succ, out) && !queued[succ]) {
+          queued[succ] = true;
+          work.push_back(succ);
+        }
+      }
+    }
+
+    // Recording pass: walk every feasible unit once from its fixpoint
+    // in-state and capture per-instruction intervals.
+    for (u32 b = 0; b < cfg_.num_blocks(); ++b) {
+      if (!head_[b] || !block_in_[b].has_value()) continue;
+      Env env = *block_in_[b];
+      process_unit(b, env, &result);
+    }
+    result.cfg = std::move(cfg_);
+    return result;
+  }
+
+ private:
+  // -- tracked-register compaction --------------------------------------
+  /// Registers whose value can only ever be Top (float stencil arithmetic,
+  /// loads, cross-type converts) are excluded from the environment: copies
+  /// and joins then scale with the address/predicate slice of the program
+  /// instead of its full register count.
+  void assign_slots(const Facts& facts) {
+    slot_.assign(prog_.num_regs, kNoSlot);
+    const auto top_only_def = [](const Instr& ins) {
+      switch (ins.op) {
+        case Op::kLd:
+        case Op::kEx2:
+        case Op::kLg2:
+        case Op::kRcp:
+        case Op::kSqrt:
+          return true;
+        case Op::kCvt:
+          return ins.src_type != ins.type;
+        case Op::kMov:
+        case Op::kSelp:
+        case Op::kSetp:
+          // Structural: the result is bitwise one of the operands (or 0/1).
+          return false;
+        default:
+          return ins.type == Type::kF32;
+      }
+    };
+    u32 next = 0;
+    for (u32 r = 0; r < prog_.num_inputs(); ++r) slot_[r] = next++;
+    for (const Instr& ins : prog_.code) {
+      if (!op_has_dst(ins.op) || slot_[ins.dst] != kNoSlot) continue;
+      if (!top_only_def(ins)) slot_[ins.dst] = next++;
+    }
+    // Registers whose every def is Top-producing keep kNoSlot. A register
+    // with both kinds of defs got a slot above (Top flows through transfer).
+    num_slots_ = next;
+
+    entry_.regs.assign(num_slots_, Interval::top());
+    for (u32 i = 0; i < prog_.num_inputs() && i < facts.inputs.size(); ++i) {
+      entry_.regs[slot_[i]] = facts.inputs[i];
+    }
+  }
+
+  [[nodiscard]] Interval get(const Env& env, RegId r) const {
+    const u32 s = slot_[r];
+    return s == kNoSlot ? Interval::top() : env.regs[s];
+  }
+
+  void set(Env& env, RegId r, Interval v) const {
+    const u32 s = slot_[r];
+    if (s == kNoSlot) return;
+    env.regs[s] = v;
+    if (v.is_empty()) env.dead = true;
+  }
+
+  // -- superblock chaining ----------------------------------------------
+  /// A block is a unit head unless it has exactly one predecessor and that
+  /// predecessor has exactly one successor — such chains (row boundaries,
+  /// straight-line falls) are walked inline without storing or joining an
+  /// in-state.
+  void compute_heads() {
+    head_.assign(cfg_.num_blocks(), true);
+    for (u32 b = 0; b < cfg_.num_blocks(); ++b) {
+      const BasicBlock& blk = cfg_.blocks[b];
+      if (b != 0 && blk.pred.size() == 1 &&
+          cfg_.blocks[blk.pred[0]].succ.size() == 1) {
+        head_[b] = false;
+      }
+    }
+  }
+
+  // -- definite assignment ----------------------------------------------
+  /// Forward must-analysis: which registers are assigned on EVERY path into
+  /// each block. Single-def reasoning (re_eval, predicate atoms) is only
+  /// sound where the definition provably executed — an unexecuted def
+  /// leaves the register at its initial 0, not at the defined value.
+  void compute_assigned() {
+    const u32 nb = cfg_.num_blocks();
+    da_words_ = (prog_.num_regs + 63) / 64;
+    assigned_in_.assign(std::size_t{nb} * da_words_, ~u64{0});
+    std::fill_n(assigned_in_.begin(), da_words_, u64{0});
+    for (u32 r = 0; r < prog_.num_inputs(); ++r) {
+      assigned_in_[r / 64] |= u64{1} << (r % 64);
+    }
+    std::deque<u32> work;
+    std::vector<bool> queued(nb, false);
+    for (u32 b = 0; b < nb; ++b) {
+      work.push_back(b);
+      queued[b] = true;
+    }
+    std::vector<u64> out(da_words_);
+    while (!work.empty()) {
+      const u32 b = work.front();
+      work.pop_front();
+      queued[b] = false;
+      const auto in_b = assigned_in_.begin() + std::size_t{b} * da_words_;
+      std::copy(in_b, in_b + da_words_, out.begin());
+      const BasicBlock& blk = cfg_.blocks[b];
+      for (u32 pc = blk.begin; pc < blk.end; ++pc) {
+        const Instr& ins = prog_.code[pc];
+        if (op_has_dst(ins.op)) out[ins.dst / 64] |= u64{1} << (ins.dst % 64);
+      }
+      for (const u32 s : blk.succ) {
+        u64* sin = &assigned_in_[std::size_t{s} * da_words_];
+        bool changed = false;
+        for (u32 w = 0; w < da_words_; ++w) {
+          const u64 met = sin[w] & out[w];
+          if (met != sin[w]) {
+            sin[w] = met;
+            changed = true;
+          }
+        }
+        if (changed && !queued[s]) {
+          queued[s] = true;
+          work.push_back(s);
+        }
+      }
+    }
+  }
+
+  /// Is `r` assigned on every path reaching `use_pc`?
+  [[nodiscard]] bool is_assigned(RegId r, u32 use_pc) const {
+    if (is_input(r)) return true;
+    const u32 b = cfg_.block_of[use_pc];
+    if (assigned_in_[std::size_t{b} * da_words_ + r / 64] >> (r % 64) & 1) {
+      return true;
+    }
+    const BasicBlock& blk = cfg_.blocks[b];
+    for (u32 pc = use_pc; pc-- > blk.begin;) {
+      const Instr& ins = prog_.code[pc];
+      if (op_has_dst(ins.op) && ins.dst == r) return true;
+    }
+    return false;
+  }
+
+  // -- definition bookkeeping -------------------------------------------
+  [[nodiscard]] bool is_input(RegId r) const { return r < prog_.num_inputs(); }
+
+  /// One definition total: either an input never redefined in code, or a
+  /// non-input defined exactly once.
+  [[nodiscard]] bool single_def(RegId r) const {
+    return is_input(r) ? in_code_defs_[r] == 0 : in_code_defs_[r] == 1;
+  }
+
+  /// True when the register provably holds the same value at `use_pc` as it
+  /// did at `def_site`: single definition, or no redefinition on the
+  /// straight line between the two pcs within one block.
+  [[nodiscard]] bool stable_between(RegId r, u32 def_site, u32 use_pc) const {
+    if (single_def(r)) return true;
+    if (cfg_.block_of[def_site] != cfg_.block_of[use_pc]) return false;
+    if (def_site > use_pc) return false;
+    for (u32 pc = def_site + 1; pc < use_pc; ++pc) {
+      const Instr& ins = prog_.code[pc];
+      if (op_has_dst(ins.op) && ins.dst == r) return false;
+    }
+    return true;
+  }
+
+  // -- symbolic predicates ----------------------------------------------
+  const std::optional<PredInfo>& pred_info(RegId r) {
+    return pred_info_at(r, 0);
+  }
+
+  const std::optional<PredInfo>& pred_info_at(RegId r, int depth) {
+    static const std::optional<PredInfo> kNone;
+    if (pred_info_done_[r]) return pred_info_[r];
+    if (depth > 16 || !single_def(r) || is_input(r)) return kNone;
+    pred_info_done_[r] = true;
+
+    const u32 pc = def_pc_[r];
+    if (pc == kNoSlot) return pred_info_[r];
+    const Instr& ins = prog_.code[pc];
+    switch (ins.op) {
+      case Op::kSetp: {
+        if (ins.type == Type::kF32) break;  // cannot refine i32 ranges
+        PredInfo info;
+        info.atoms.push_back(PredAtom{ins.cmp, ins.a, ins.b, false, pc});
+        info.chain.push_back(r);
+        pred_info_[r] = std::move(info);
+        break;
+      }
+      case Op::kXor: {
+        // Predicate flip: p ^ 1 (the br_unless lowering).
+        if (ins.a.is_reg() && ins.b.is_imm() && ins.b.imm.bits == 1) {
+          const auto inner = pred_info_at(ins.a.reg, depth + 1);
+          if (inner.has_value()) {
+            pred_info_[r] = negate(*inner);
+            pred_info_[r]->chain.push_back(r);
+          }
+        }
+        break;
+      }
+      case Op::kAnd:
+      case Op::kOr: {
+        if (!ins.a.is_reg() || !ins.b.is_reg()) break;
+        const auto shape = ins.op == Op::kAnd ? PredInfo::Shape::kAnd
+                                              : PredInfo::Shape::kOr;
+        const auto lhs = pred_info_at(ins.a.reg, depth + 1);
+        const auto rhs = pred_info_at(ins.b.reg, depth + 1);
+        if (!lhs.has_value() || !rhs.has_value()) break;
+        const auto merges = [&](const PredInfo& p) {
+          return p.shape == shape || p.atoms.size() == 1;
+        };
+        if (!merges(*lhs) || !merges(*rhs)) break;
+        PredInfo info;
+        info.shape = shape;
+        info.atoms = lhs->atoms;
+        info.atoms.insert(info.atoms.end(), rhs->atoms.begin(),
+                          rhs->atoms.end());
+        info.chain = lhs->chain;
+        info.chain.insert(info.chain.end(), rhs->chain.begin(),
+                          rhs->chain.end());
+        info.chain.push_back(r);
+        pred_info_[r] = std::move(info);
+        break;
+      }
+      case Op::kMov: {
+        if (ins.a.is_reg()) {
+          const auto inner = pred_info_at(ins.a.reg, depth + 1);
+          if (inner.has_value()) {
+            pred_info_[r] = *inner;
+            pred_info_[r]->chain.push_back(r);
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    return pred_info_[r];
+  }
+
+  // -- evaluation helpers -----------------------------------------------
+  /// True when the interval admits any nonzero value (Word::as_pred truth).
+  [[nodiscard]] static bool may_be_true(Interval p) {
+    return !p.is_empty() && !(p.lo == 0 && p.hi == 0);
+  }
+
+  [[nodiscard]] Interval value_of(const Operand& o, const Env& env) const {
+    if (o.is_imm()) return Interval::point(o.imm.as_i32());
+    ISPB_ASSERT(o.is_reg());
+    return get(env, o.reg);
+  }
+
+  /// Re-evaluates an operand's defining chain under a (refined) environment,
+  /// so that e.g. the reflected coordinate `~ix` of the Mirror pattern is
+  /// recomputed from the branch-refined `ix` rather than read stale from the
+  /// environment. Falls back to the environment value beyond single-def
+  /// chains, the depth budget, or defs that may not have executed on every
+  /// path to `use_pc`; the result is always met with the environment value.
+  Interval re_eval(const Operand& o, const Env& env, u32 use_pc, int depth) {
+    if (o.is_imm()) return Interval::point(o.imm.as_i32());
+    ISPB_ASSERT(o.is_reg());
+    const Interval from_env = get(env, o.reg);
+    if (depth <= 0 || !single_def(o.reg) || is_input(o.reg) ||
+        !is_assigned(o.reg, use_pc)) {
+      return from_env;
+    }
+    const u32 pc = def_pc_[o.reg];
+    if (pc == kNoSlot) return from_env;
+    const Instr& ins = prog_.code[pc];
+    if (!op_has_dst(ins.op) || ins.op == Op::kLd) return from_env;
+    // An operand redefined between the chain instruction and the use held an
+    // unknowable def-time value — its current environment interval does not
+    // apply.
+    const auto operand_val = [&](const Operand& oo) {
+      if (oo.is_reg() && !stable_between(oo.reg, pc, use_pc)) {
+        return Interval::top();
+      }
+      return re_eval(oo, env, use_pc, depth - 1);
+    };
+    const i32 arity = op_arity(ins.op);
+    const Interval a = arity >= 1 ? operand_val(ins.a) : Interval::top();
+    const Interval b = arity >= 2 ? operand_val(ins.b) : Interval::top();
+    const Interval c = arity >= 3 ? operand_val(ins.c) : Interval::top();
+    return meet(from_env, transfer(ins, a, b, c));
+  }
+
+  /// Applies one atom with the given truth value to the environment. Both
+  /// operands must provably hold their setp-time values at `use_pc`,
+  /// otherwise the comparison says nothing about the current environment.
+  void apply_atom(Env& env, const PredAtom& atom, bool holds, u32 use_pc) {
+    const auto stable = [&](const Operand& o) {
+      return !o.is_reg() || stable_between(o.reg, atom.pc, use_pc);
+    };
+    if (!stable(atom.a) || !stable(atom.b)) return;
+    const Cmp eff = holds != atom.negate ? atom.cmp : negate_cmp(atom.cmp);
+    if (atom.a.is_reg()) {
+      set(env, atom.a.reg,
+          refine_cmp(get(env, atom.a.reg), eff, value_of(atom.b, env)));
+    }
+    if (atom.b.is_reg()) {
+      set(env, atom.b.reg, refine_cmp(get(env, atom.b.reg), swap_cmp(eff),
+                                      value_of(atom.a, env)));
+    }
+  }
+
+  /// Refines `env` under "predicate register `r` is `holds`" at `use_pc`.
+  /// The truth test is `bits != 0` (ir::Word::as_pred), so false pins the
+  /// register to 0 unconditionally; true pins it to 1 only when the value is
+  /// known to live in the 0/1 domain (a tracked predicate or a pred-shaped
+  /// interval) and otherwise just excludes 0.
+  void apply_pred(Env& env, RegId r, bool holds, u32 use_pc) {
+    const auto& info = pred_info(r);
+    const bool zero_one =
+        info.has_value() || Interval::pred().contains(get(env, r));
+    if (!holds) {
+      set(env, r, meet(get(env, r), Interval::point(0)));
+    } else if (zero_one) {
+      set(env, r, meet(get(env, r), Interval::point(1)));
+    } else {
+      set(env, r, refine_cmp(get(env, r), Cmp::kNe, Interval::point(0)));
+    }
+    if (!info.has_value()) return;
+    // The atoms describe the register only where the whole def chain down to
+    // the setps executed; an unexecuted def leaves 0 regardless of the
+    // comparison. (The 0/1-domain claim above survives either way: every
+    // chain op maps 0/1 or unassigned-0 operands back into 0/1.)
+    for (const RegId chain_reg : info->chain) {
+      if (!is_assigned(chain_reg, use_pc)) return;
+    }
+    // AND true / OR false pin every atom; the single-atom case pins the one.
+    const bool conj = info->shape == PredInfo::Shape::kAnd;
+    if (holds == conj || info->atoms.size() == 1) {
+      for (const PredAtom& atom : info->atoms) {
+        apply_atom(env, atom, holds, use_pc);
+      }
+    }
+  }
+
+  // -- the transfer walk -------------------------------------------------
+  /// Runs one unit — the head block `b` plus any single-entry chain hanging
+  /// off it — over `env`. Successor out-states are collected into
+  /// pending_edges_. When `result` is non-null the walk also records
+  /// per-instruction intervals (the final reporting pass).
+  void process_unit(u32 b, Env& env, RangeResult* result) {
+    pending_edges_.clear();
+    u32 cur = b;
+    for (;;) {
+      const BasicBlock& blk = cfg_.blocks[cur];
+      for (u32 pc = blk.begin; pc < blk.end; ++pc) {
+        if (env.dead) return;  // contradictory path state: dead code
+        const Instr& ins = prog_.code[pc];
+        if (result) result->reached[pc] = true;
+
+        switch (ins.op) {
+          case Op::kRet:
+            return;
+          case Op::kBra: {
+            if (!ins.c.is_reg()) {
+              const u32 s = cfg_.block_of[ins.target];
+              if (!head_[s]) break;  // chain continues below
+              pending_edges_.emplace_back(s, std::move(env));
+              return;
+            }
+            const Interval p = get(env, ins.c.reg);
+            if (result) result->branch_pred[pc] = p;
+            // Taken edge (predicate true: any nonzero value).
+            if (may_be_true(p)) {
+              Env taken = env;
+              apply_pred(taken, ins.c.reg, true, pc);
+              if (!taken.dead) {
+                pending_edges_.emplace_back(cfg_.block_of[ins.target],
+                                            std::move(taken));
+              }
+            }
+            // Fall-through edge (predicate false: value is exactly 0).
+            if (p.contains(0) && pc + 1 < prog_.code.size()) {
+              apply_pred(env, ins.c.reg, false, pc);
+              if (!env.dead) {
+                pending_edges_.emplace_back(cfg_.block_of[pc + 1],
+                                            std::move(env));
+              }
+            }
+            return;
+          }
+          case Op::kLd: {
+            if (result) result->addr[pc] = value_of(ins.a, env);
+            set(env, ins.dst, Interval::top());
+            break;
+          }
+          case Op::kSt: {
+            if (result) result->addr[pc] = value_of(ins.a, env);
+            break;
+          }
+          case Op::kSelp: {
+            const Interval p = value_of(ins.c, env);
+            Interval out = Interval::empty();
+            if (may_be_true(p)) {
+              Env taken = env;
+              if (ins.c.is_reg()) apply_pred(taken, ins.c.reg, true, pc);
+              if (!taken.dead) {
+                out = join(out, re_eval(ins.a, taken, pc, kReEvalDepth));
+              }
+            }
+            if (p.contains(0)) {
+              Env fall = env;
+              if (ins.c.is_reg()) apply_pred(fall, ins.c.reg, false, pc);
+              if (!fall.dead) {
+                out = join(out, re_eval(ins.b, fall, pc, kReEvalDepth));
+              }
+            }
+            set(env, ins.dst, out);
+            break;
+          }
+          default: {
+            const i32 arity = op_arity(ins.op);
+            const Interval a =
+                arity >= 1 ? value_of(ins.a, env) : Interval::top();
+            const Interval bb =
+                arity >= 2 ? value_of(ins.b, env) : Interval::top();
+            const Interval c =
+                arity >= 3 ? value_of(ins.c, env) : Interval::top();
+            set(env, ins.dst, transfer(ins, a, bb, c));
+            break;
+          }
+        }
+        if (result && op_has_dst(ins.op)) {
+          result->def_out[pc] = get(env, ins.dst);
+        }
+      }
+
+      // End of block: continue the chain inline or emit the edge.
+      const Instr& last = prog_.code[blk.end - 1];
+      u32 next;
+      if (last.op == Op::kBra && !last.is_conditional_branch()) {
+        next = cfg_.block_of[last.target];
+      } else if (blk.end < prog_.code.size()) {
+        next = cfg_.block_of[blk.end];
+      } else {
+        return;
+      }
+      if (head_[next]) {
+        pending_edges_.emplace_back(next, std::move(env));
+        return;
+      }
+      cur = next;
+    }
+  }
+
+  /// Joins `out` into the successor's in-state; widens after repeated
+  /// visits so loops terminate. Returns true when the in-state grew.
+  bool propagate(u32 succ, const Env& out) {
+    ISPB_ASSERT(head_[succ]);
+    if (!block_in_[succ].has_value()) {
+      block_in_[succ] = out;
+      ++visits_[succ];
+      return true;
+    }
+    Env& in = *block_in_[succ];
+    bool changed = false;
+    const bool widen = visits_[succ] >= kWidenAfter;
+    for (std::size_t s = 0; s < in.regs.size(); ++s) {
+      const Interval joined = join(in.regs[s], out.regs[s]);
+      if (joined == in.regs[s]) continue;
+      changed = true;
+      in.regs[s] = widen ? widen_interval(in.regs[s], joined) : joined;
+    }
+    if (changed) ++visits_[succ];
+    return changed;
+  }
+
+  /// Widening: any bound that moved jumps to the domain extreme.
+  [[nodiscard]] static Interval widen_interval(Interval old, Interval grown) {
+    return {grown.lo < old.lo ? Interval::kMin : grown.lo,
+            grown.hi > old.hi ? Interval::kMax : grown.hi};
+  }
+
+  static constexpr u32 kWidenAfter = 16;
+  static constexpr int kReEvalDepth = 6;
+
+  const ir::Program& prog_;
+  Cfg cfg_;
+  std::vector<u32> in_code_defs_;
+  std::vector<u32> def_pc_;
+  std::vector<std::optional<PredInfo>> pred_info_;
+  std::vector<bool> pred_info_done_;
+  std::vector<u32> slot_;
+  u32 num_slots_ = 0;
+  std::vector<bool> head_;
+  std::vector<u64> assigned_in_;  ///< per-block definite-assignment bitsets
+  u32 da_words_ = 0;
+  Env entry_;
+  std::vector<std::optional<Env>> block_in_;
+  std::vector<u32> visits_;
+  std::vector<std::pair<u32, Env>> pending_edges_;
+};
+
+}  // namespace
+
+RangeResult analyze_ranges(const ir::Program& prog, const Facts& facts) {
+  Analyzer analyzer(prog, facts);
+  return analyzer.run();
+}
+
+}  // namespace ispb::analysis

@@ -1,0 +1,66 @@
+// Interval dataflow analysis over IR programs.
+//
+// A forward worklist analysis on the CFG of cfg.hpp with the domain of
+// interval.hpp. The launcher-defined input registers (thread identity and
+// kernel parameters) are seeded from caller-provided Facts; everything the
+// program computes is propagated through the transfer functions, and
+// conditional branches refine operand ranges along their outgoing edges
+// (e.g. the fall-through edge of the iteration-space guard `gx < sx` caps
+// gx at sx-1). Predicates are tracked symbolically as and/or trees of setp
+// atoms so that the region-switch chain of Listing 3 and the guarded-load
+// pattern of the Constant border mode both resolve.
+//
+// The result reports, per instruction, whether it is reachable under the
+// facts and the value interval it produces — the substrate for the bounds /
+// coverage / lint checkers in checkers.hpp.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "ir/analysis/cfg.hpp"
+#include "ir/analysis/interval.hpp"
+
+namespace ispb::analysis {
+
+/// Caller-provided facts about one launch scenario.
+struct Facts {
+  /// Value interval per input register (specials then params, by register
+  /// index); missing / short vectors default to Top.
+  std::vector<Interval> inputs;
+  /// Element count per bound buffer index; negative = unknown.
+  std::vector<i64> buffer_sizes;
+
+  /// Facts with every input unconstrained and all buffer sizes unknown.
+  [[nodiscard]] static Facts unconstrained(const ir::Program& prog);
+
+  /// Sets the interval of a special or parameter register by name; returns
+  /// false (and changes nothing) when the program does not declare it.
+  bool set_input(const ir::Program& prog, std::string_view name, Interval v);
+};
+
+/// Fixpoint analysis result.
+struct RangeResult {
+  Cfg cfg;
+  /// Per pc: executable under the facts (CFG-reachable and on a feasible
+  /// path — edges whose refinement is contradictory are pruned).
+  std::vector<bool> reached;
+  /// Per pc: interval of the destination register right after the
+  /// instruction executes (empty when unreached or no destination).
+  std::vector<Interval> def_out;
+  /// Per pc: for ld/st, the interval of the address operand (empty
+  /// otherwise / unreached).
+  std::vector<Interval> addr;
+  /// Per pc: for conditional branches, the predicate interval (empty
+  /// otherwise / unreached). A point interval means the guard is provably
+  /// constant — a residual check.
+  std::vector<Interval> branch_pred;
+};
+
+/// Runs the analysis to a (widened) fixpoint. The program must pass
+/// ir::verify.
+[[nodiscard]] RangeResult analyze_ranges(const ir::Program& prog,
+                                         const Facts& facts);
+
+}  // namespace ispb::analysis

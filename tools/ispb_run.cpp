@@ -3,17 +3,28 @@
 // chosen border pattern / variant / device, write the result as PGM and
 // print per-stage statistics.
 //
-//   ispb_run --app=sobel --pattern=mirror --variant=isp+m \
-//            [--in=input.pgm | --size=1024] [--device=rtx2080] \
+//   ispb_run --app=sobel --pattern=mirror --variant=isp+m
+//            [--in=input.pgm | --size=1024] [--device=rtx2080]
 //            [--block=32x4] [--out=result.pgm] [--reference]
+//
+// The `analyze` subcommand runs the static checkers instead of the
+// simulator: per stage kernel it proves loads/stores in bounds, the region
+// switch a partition of the grid, and the Body section free of residual
+// border guards, and reports the results as a table (exit 1 on any finding).
+//
+//   ispb_run analyze --app=bilateral --pattern=mirror --variant=isp
+//            [--size=512] [--block=32x4]
 #include <iostream>
+#include <set>
 
+#include "codegen/kernel_gen.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "filters/filters.hpp"
 #include "image/compare.hpp"
 #include "image/generators.hpp"
 #include "image/image_io.hpp"
+#include "ir/analysis/checkers.hpp"
 
 using namespace ispb;
 
@@ -34,6 +45,81 @@ BlockSize parse_block(const std::string& text) {
                    std::stoi(text.substr(x + 1))};
 }
 
+codegen::Variant parse_variant(const std::string& name, bool* use_model) {
+  if (use_model != nullptr) *use_model = false;
+  if (name == "naive") return codegen::Variant::kNaive;
+  if (name == "isp") return codegen::Variant::kIsp;
+  if (name == "isp-warp") return codegen::Variant::kIspWarp;
+  if (name == "isp+m") {
+    if (use_model != nullptr) *use_model = true;
+    return codegen::Variant::kIsp;
+  }
+  throw IoError("unknown --variant '" + name + "'");
+}
+
+/// The `analyze` subcommand: static bounds/coverage/lint verdicts for every
+/// stage kernel of an app under one launch geometry.
+int run_analyze(const Cli& cli) {
+  const filters::MultiKernelApp app =
+      app_by_name(cli.get_string("app", "gaussian"));
+  const auto pattern = parse_border_pattern(cli.get_string("pattern", "clamp"));
+  if (!pattern.has_value()) throw IoError("unknown --pattern");
+  const codegen::Variant variant =
+      parse_variant(cli.get_string("variant", "isp"), nullptr);
+
+  analysis::LaunchGeometry geom;
+  const i32 size = static_cast<i32>(cli.get_int("size", 512));
+  geom.image = {size, size};
+  geom.block = parse_block(cli.get_string("block", "32x4"));
+
+  AsciiTable table("static analysis: " + app.name + " on " +
+                   std::to_string(size) + "x" + std::to_string(size) + ", " +
+                   std::string(to_string(*pattern)) + ", " +
+                   std::string(codegen::to_string(variant)));
+  table.set_header({"kernel", "bounds", "proven accesses", "coverage",
+                    "scenarios", "Body guards", "lint"});
+  std::vector<std::pair<std::string, analysis::Finding>> findings;
+  bool ok = true;
+  for (const auto& stage : app.stages) {
+    geom.window = stage.spec.window();
+    codegen::CodegenOptions opt;
+    opt.pattern = *pattern;
+    opt.variant = variant;
+    const ir::Program prog = codegen::generate_kernel(stage.spec, opt);
+
+    const analysis::CheckReport bounds = analysis::check_bounds(prog, geom);
+    const analysis::CheckReport coverage = analysis::check_coverage(prog, geom);
+    const analysis::CheckReport lint_report = analysis::lint(prog);
+    const u32 guards = variant == codegen::Variant::kNaive
+                           ? 0
+                           : analysis::count_residual_guards(prog, "Body");
+    const bool stage_ok = bounds.ok() && coverage.ok() && lint_report.ok() &&
+                          guards == 0;
+    ok = ok && stage_ok;
+    for (const auto* report : {&bounds, &coverage, &lint_report}) {
+      for (const analysis::Finding& f : report->findings) {
+        findings.emplace_back(prog.name, f);
+      }
+    }
+    table.add_row({prog.name, bounds.ok() ? "proven" : "FAIL",
+                   std::to_string(bounds.proven_accesses),
+                   coverage.ok() ? "proven" : "FAIL",
+                   std::to_string(bounds.scenarios),
+                   variant == codegen::Variant::kNaive ? "-"
+                                                       : std::to_string(guards),
+                   lint_report.ok() ? "clean" : "FAIL"});
+  }
+  table.print(std::cout);
+  std::set<std::string> printed;  // bounds + coverage can report the same fact
+  for (const auto& [kernel, f] : findings) {
+    const std::string line = kernel + ": [" + std::string(to_string(f.kind)) +
+                             "] " + f.detail;
+    if (printed.insert(line).second) std::cout << line << "\n";
+  }
+  std::cout << (ok ? "all checks proven\n" : "ANALYSIS FAILED\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -50,8 +136,18 @@ int main(int argc, char** argv) {
         .option("out", "output PGM path (default result.pgm)")
         .option("reference", "also run the CPU reference and compare");
     if (cli.finish()) {
-      std::cout << cli.help();
+      std::cout << cli.help()
+                << "subcommand:\n"
+                   "  analyze\tstatically prove bounds, coverage and Body\n"
+                   "         \tspecialization instead of running the app\n";
       return 0;
+    }
+    if (!cli.positional().empty()) {
+      if (cli.positional()[0] != "analyze") {
+        throw IoError("unknown subcommand '" + cli.positional()[0] +
+                      "' (did you mean 'analyze'?)");
+      }
+      return run_analyze(cli);
     }
 
     const filters::MultiKernelApp app =
@@ -68,18 +164,7 @@ int main(int argc, char** argv) {
                      ? sim::make_rtx2080()
                      : sim::make_gtx680();
     const std::string variant = cli.get_string("variant", "isp+m");
-    if (variant == "naive") {
-      cfg.variant = codegen::Variant::kNaive;
-    } else if (variant == "isp") {
-      cfg.variant = codegen::Variant::kIsp;
-    } else if (variant == "isp-warp") {
-      cfg.variant = codegen::Variant::kIspWarp;
-    } else if (variant == "isp+m") {
-      cfg.variant = codegen::Variant::kIsp;
-      cfg.use_model = true;
-    } else {
-      throw IoError("unknown --variant '" + variant + "'");
-    }
+    cfg.variant = parse_variant(variant, &cfg.use_model);
 
     const std::string in_path = cli.get_string("in", "");
     const Image<f32> source =
