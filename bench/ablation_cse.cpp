@@ -55,10 +55,12 @@ Sizes measure(const codegen::StencilSpec& spec, BorderPattern pattern,
 
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
+  cli.option("json", "write results as JSON rows to this path");
   if (cli.finish()) {
     std::cout << cli.help();
     return 0;
   }
+  BenchJson json("ablation_cse");
 
   std::cout << "Ablation: how compiler CSE shapes the naive-vs-Body gap "
                "(static section sizes).\n\n";
@@ -83,12 +85,16 @@ int run(int argc, char** argv) {
         table.add_row({std::string(to_string(pattern)), cfg.label,
                        std::to_string(s.naive), std::to_string(s.body),
                        AsciiTable::num(s.naive_vs_body, 3)});
+        json.add({.app = name, .pattern = std::string(to_string(pattern)),
+                  .variant = cfg.label, .metric = "naive_vs_body",
+                  .value = s.naive_vs_body});
       }
       table.add_separator();
     }
     table.print(std::cout);
     std::cout << "\n";
   }
+  json.write(cli.get_string("json", ""));
   std::cout << "Expected: the naive/body ratio collapses toward ~1 when the "
                "window is fully unrolled (cross-tap CSE), and is largest "
                "without passes — bracketing the paper's Table I effect.\n";

@@ -21,10 +21,12 @@ namespace {
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   cli.option("pattern", "border pattern (default clamp)");
+  cli.option("json", "write results as JSON rows to this path");
   if (cli.finish()) {
     std::cout << cli.help();
     return 0;
   }
+  BenchJson json("ablation_separate_kernels");
   const auto pattern =
       parse_border_pattern(cli.get_string("pattern", "clamp"));
   const sim::DeviceSpec dev = sim::make_gtx680();
@@ -69,8 +71,17 @@ int run(int argc, char** argv) {
                                        region_run.total_time_ms,
                                    1) +
                        "%"});
+    json.add({.device = dev.name, .app = "laplace",
+              .pattern = std::string(to_string(*pattern)), .variant = "isp",
+              .metric = "fat_kernel_ms", .size = size,
+              .value = fat_run.stats.time_ms});
+    json.add({.device = dev.name, .app = "laplace",
+              .pattern = std::string(to_string(*pattern)),
+              .variant = "separate", .metric = "nine_launch_ms", .size = size,
+              .value = region_run.total_time_ms});
   }
   table.print(std::cout);
+  json.write(cli.get_string("json", ""));
   std::cout << "\nExpected: the 9-launch variant loses at small sizes "
                "(launch overhead share high) and converges toward the fat "
                "kernel as images grow.\n";

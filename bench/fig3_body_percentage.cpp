@@ -10,6 +10,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/partition.hpp"
+#include "harness.hpp"
 
 namespace ispb::bench {
 namespace {
@@ -17,10 +18,12 @@ namespace {
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   cli.option("max", "largest image extent (default 4096)");
+  cli.option("json", "write results as JSON rows to this path");
   if (cli.finish()) {
     std::cout << cli.help();
     return 0;
   }
+  BenchJson json("fig3_body_percentage");
   const i32 max_size = static_cast<i32>(cli.get_int("max", 4096));
   const Window window{5, 5};
   const BlockSize a{32, 4};
@@ -50,7 +53,12 @@ int run(int argc, char** argv) {
         count_region_blocks({size, size}, b, window).body_fraction();
     std::cout << size << ',' << AsciiTable::num(100.0 * frac_a, 3) << ','
               << AsciiTable::num(100.0 * frac_b, 3) << '\n';
+    json.add({.metric = "body_pct_32x4", .size = size,
+              .value = 100.0 * frac_a});
+    json.add({.metric = "body_pct_128x1", .size = size,
+              .value = 100.0 * frac_b});
   }
+  json.write(cli.get_string("json", ""));
   std::cout << "\nExpected: monotone growth toward 100%; 128x1 below 32x4 "
                "for small images.\n";
   return 0;

@@ -17,10 +17,12 @@ namespace {
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   cli.option("quick", "only the four paper sizes");
+  cli.option("json", "write results as JSON rows to this path");
   if (cli.finish()) {
     std::cout << cli.help();
     return 0;
   }
+  BenchJson json("fig4_bilateral_speedup");
   std::vector<i32> sizes;
   if (cli.get_flag("quick")) {
     sizes = kPaperSizes;
@@ -47,10 +49,15 @@ int run(int argc, char** argv) {
     for (AppRunner& runner : runners) {
       const AppTiming t = runner.time_app(dev, {size, size}, block);
       row.push_back(AsciiTable::num(t.speedup_isp(), 3));
+      json.add({.device = dev.name, .app = "bilateral",
+                .pattern = std::string(to_string(runner.pattern())),
+                .variant = "isp", .metric = "speedup", .size = size,
+                .value = t.speedup_isp()});
     }
     table.add_row(row);
   }
   table.print(std::cout);
+  json.write(cli.get_string("json", ""));
   std::cout << "\nExpected: < 1.0 at 512 for clamp/mirror/constant "
                "(occupancy cost), rising with size; repeat highest.\n";
   return 0;

@@ -18,10 +18,12 @@ int run(int argc, char** argv) {
   Cli cli(argc, argv);
   cli.option("quick", "only 512 and 2048 image sizes");
   cli.option("app", "run a single application by name");
+  cli.option("json", "write results as JSON rows to this path");
   if (cli.finish()) {
     std::cout << cli.help();
     return 0;
   }
+  BenchJson json("fig6_all_apps");
   std::vector<i32> sizes = kPaperSizes;
   if (cli.get_flag("quick")) sizes = {512, 2048};
   const BlockSize block{32, 4};
@@ -48,6 +50,14 @@ int run(int argc, char** argv) {
           const AppTiming t = runner.time_app(dev, {size, size}, block);
           row.push_back(AsciiTable::num(t.speedup_isp(), 3));
           row.push_back(AsciiTable::num(t.speedup_isp_model(), 3));
+          json.add({.device = dev.name, .app = app.name,
+                    .pattern = std::string(to_string(pattern)),
+                    .variant = "isp", .metric = "speedup", .size = size,
+                    .value = t.speedup_isp()});
+          json.add({.device = dev.name, .app = app.name,
+                    .pattern = std::string(to_string(pattern)),
+                    .variant = "isp+m", .metric = "speedup", .size = size,
+                    .value = t.speedup_isp_model()});
         }
         table.add_row(row);
       }
@@ -55,6 +65,7 @@ int run(int argc, char** argv) {
       std::cout << "\n";
     }
   }
+  json.write(cli.get_string("json", ""));
   std::cout << "Expected: speedups grow with image size; repeat > other "
                "patterns; isp+m >= min(1, isp) everywhere it matters.\n";
   return 0;

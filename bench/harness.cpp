@@ -1,8 +1,36 @@
 #include "harness.hpp"
 
+#include <fstream>
+
+#include "common/error.hpp"
 #include "image/generators.hpp"
 
 namespace ispb::bench {
+
+obs::Json BenchJson::to_json() const {
+  obs::Json rows = obs::Json::array();
+  for (const Row& r : rows_) {
+    obs::Json row = obs::Json::object();
+    row["bench"] = bench_;
+    if (!r.device.empty()) row["device"] = r.device;
+    if (!r.app.empty()) row["app"] = r.app;
+    if (!r.pattern.empty()) row["pattern"] = r.pattern;
+    if (r.size != 0) row["size"] = r.size;
+    if (!r.variant.empty()) row["variant"] = r.variant;
+    row["metric"] = r.metric;
+    row["value"] = r.value;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void BenchJson::write(const std::string& path) const {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
+  out << to_json().dump(1) << "\n";
+  if (!out) throw IoError("write to '" + path + "' failed");
+}
 
 std::vector<sim::DeviceSpec> paper_devices() {
   return {sim::make_gtx680(), sim::make_rtx2080()};

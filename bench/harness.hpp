@@ -12,8 +12,44 @@
 
 #include "dsl/compile.hpp"
 #include "filters/filters.hpp"
+#include "obs/json.hpp"
 
 namespace ispb::bench {
+
+/// Machine-readable bench output: the `--json=<path>` option every
+/// table/figure bench supports. Rows share one flat schema so sweep scripts
+/// can concatenate outputs of different benches:
+///   {"bench": ..., "device": ..., "app": ..., "pattern": ..., "size": ...,
+///    "variant": ..., "metric": ..., "value": ...}
+/// Dimensions a bench does not sweep stay at their empty/zero defaults and
+/// are omitted from the emitted row.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  struct Row {
+    std::string device;
+    std::string app;
+    std::string pattern;
+    std::string variant;
+    std::string metric;  ///< what `value` measures, e.g. "speedup_isp"
+    i32 size = 0;        ///< image extent, 0 when not applicable
+    f64 value = 0.0;
+  };
+
+  void add(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Serializes all rows as a JSON array.
+  [[nodiscard]] obs::Json to_json() const;
+
+  /// Writes `to_json()` to `path`; no-op when `path` is empty (the option
+  /// was not given). Throws IoError when the file cannot be written.
+  void write(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::vector<Row> rows_;
+};
 
 /// The paper's evaluation grid.
 inline const std::vector<i32> kPaperSizes{512, 1024, 2048, 4096};

@@ -56,10 +56,12 @@ sim::WarpResult run_region_block(const sim::DeviceSpec& dev,
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   cli.option("size", "image extent (default 1024)");
+  cli.option("json", "write results as JSON rows to this path");
   if (cli.finish()) {
     std::cout << cli.help();
     return 0;
   }
+  BenchJson json("table1_ptx_inventory");
   const i32 extent = static_cast<i32>(cli.get_int("size", 1024));
   const Size2 size{extent, extent};
   const BlockSize block{32, 4};
@@ -139,16 +141,22 @@ int run(int argc, char** argv) {
   for (const auto& c : col_order) {
     i64 total = 0;
     for (const auto& [kw, count] : columns[c]) {
-      (void)kw;
+      json.add({.app = "bilateral", .pattern = "clamp", .variant = c,
+                .metric = "issued_" + kw, .size = extent,
+                .value = static_cast<f64>(count)});
       total += count;
     }
     totals.push_back(std::to_string(total));
     ratio.push_back(AsciiTable::num(
         static_cast<f64>(total) / static_cast<f64>(naive_total), 3));
+    json.add({.app = "bilateral", .pattern = "clamp", .variant = c,
+              .metric = "issued_total", .size = extent,
+              .value = static_cast<f64>(total)});
   }
   table.add_row(totals);
   table.add_row(ratio);
   table.print(std::cout);
+  json.write(cli.get_string("json", ""));
 
   std::cout << "\nObservations to check against the paper:\n"
             << "  * T, B and Body show the clear reductions; corners and L/R "

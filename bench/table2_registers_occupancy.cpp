@@ -19,10 +19,12 @@ namespace {
 
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
+  cli.option("json", "write results as JSON rows to this path");
   if (cli.finish()) {
     std::cout << cli.help();
     return 0;
   }
+  BenchJson json("table2_registers_occupancy");
   const BlockSize block{32, 4};
   const codegen::StencilSpec spec = filters::bilateral_spec(13);
 
@@ -52,10 +54,24 @@ int run(int argc, char** argv) {
                      AsciiTable::num(occ_naive.fraction, 3),
                      AsciiTable::num(occ_isp.fraction, 3),
                      occ_isp.fraction < occ_naive.fraction ? "yes" : "no"});
+      const std::string pname(to_string(pattern));
+      json.add({.device = dev.name, .app = "bilateral", .pattern = pname,
+                .variant = "naive", .metric = "registers",
+                .value = static_cast<f64>(regs_naive)});
+      json.add({.device = dev.name, .app = "bilateral", .pattern = pname,
+                .variant = "isp", .metric = "registers",
+                .value = static_cast<f64>(regs_isp)});
+      json.add({.device = dev.name, .app = "bilateral", .pattern = pname,
+                .variant = "naive", .metric = "occupancy",
+                .value = occ_naive.fraction});
+      json.add({.device = dev.name, .app = "bilateral", .pattern = pname,
+                .variant = "isp", .metric = "occupancy",
+                .value = occ_isp.fraction});
     }
     table.print(std::cout);
     std::cout << "\n";
   }
+  json.write(cli.get_string("json", ""));
   std::cout << "Expected: ISP raises register usage under every pattern; on "
             << "Kepler that reduces theoretical occupancy for most patterns, "
             << "on Turing it does not (64 regs/thread headroom).\n";

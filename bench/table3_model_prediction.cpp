@@ -22,10 +22,12 @@ int run(int argc, char** argv) {
   Cli cli(argc, argv);
   cli.option("quick", "coarser size grid (step 512)");
   cli.option("step", "size step (default 256)");
+  cli.option("json", "write results as JSON rows to this path");
   if (cli.finish()) {
     std::cout << cli.help();
     return 0;
   }
+  BenchJson json("table3_model_prediction");
   const i32 step =
       cli.get_flag("quick") ? 512 : static_cast<i32>(cli.get_int("step", 256));
   const sim::DeviceSpec dev = sim::make_gtx680();
@@ -68,6 +70,13 @@ int run(int argc, char** argv) {
       const bool predicted_isp = decisions[0].use_isp;
       measured_speedup[pattern].push_back(speedup);
       predicted_gain[pattern].push_back(decisions[0].model.gain);
+      json.add({.device = dev.name, .app = "bilateral",
+                .pattern = std::string(to_string(pattern)), .variant = "isp",
+                .metric = "measured_speedup", .size = size, .value = speedup});
+      json.add({.device = dev.name, .app = "bilateral",
+                .pattern = std::string(to_string(pattern)), .variant = "isp",
+                .metric = "model_gain", .size = size,
+                .value = decisions[0].model.gain});
       const bool match = measured_isp == predicted_isp;
       if (!match) {
         ++mispredictions[pattern];
@@ -92,9 +101,18 @@ int run(int argc, char** argv) {
                                           predicted_gain[p]),
                                   3),
                   std::to_string(mispredictions[p]), std::to_string(rows)});
+    json.add({.device = dev.name, .app = "bilateral",
+              .pattern = std::string(to_string(p)), .variant = "isp",
+              .metric = "pearson_r",
+              .value = pearson(measured_speedup[p], predicted_gain[p])});
+    json.add({.device = dev.name, .app = "bilateral",
+              .pattern = std::string(to_string(p)), .variant = "isp",
+              .metric = "mispredictions",
+              .value = static_cast<f64>(mispredictions[p])});
   }
   std::cout << "\n";
   corr.print(std::cout);
+  json.write(cli.get_string("json", ""));
   std::cout << "\nExpected: few mispredictions, located near the crossover "
                "(speedup ~ 1.0); strong positive correlation.\n";
   return 0;

@@ -18,10 +18,12 @@ namespace {
 int run(int argc, char** argv) {
   Cli cli(argc, argv);
   cli.option("quick", "only 512 and 2048 image sizes");
+  cli.option("json", "write results as JSON rows to this path");
   if (cli.finish()) {
     std::cout << cli.help();
     return 0;
   }
+  BenchJson json("table4_geomean");
   std::vector<i32> sizes = kPaperSizes;
   if (cli.get_flag("quick")) sizes = {512, 2048};
   const BlockSize block{32, 4};
@@ -50,8 +52,18 @@ int run(int argc, char** argv) {
     table.add_row({app.name, AsciiTable::num(geometric_mean(model_speedups), 3),
                    AsciiTable::num(s.min, 3), AsciiTable::num(s.max, 3),
                    AsciiTable::num(geometric_mean(isp_speedups), 3)});
+    json.add({.app = app.name, .variant = "isp+m",
+              .metric = "geomean_speedup",
+              .value = geometric_mean(model_speedups)});
+    json.add({.app = app.name, .variant = "isp", .metric = "geomean_speedup",
+              .value = geometric_mean(isp_speedups)});
+    json.add({.app = app.name, .variant = "isp+m", .metric = "min_speedup",
+              .value = s.min});
+    json.add({.app = app.name, .variant = "isp+m", .metric = "max_speedup",
+              .value = s.max});
   }
   table.print(std::cout);
+  json.write(cli.get_string("json", ""));
   std::cout << "\nPaper reference (geomeans): gaussian 1.438, laplace 1.422, "
                "bilateral 1.355, sobel 1.877, night 1.102.\n"
                "Expected shape: all > 1; cheap kernels > expensive kernels; "

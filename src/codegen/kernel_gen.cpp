@@ -7,6 +7,7 @@
 #include "ir/analysis/checkers.hpp"
 #include "ir/builder.hpp"
 #include "ir/passes.hpp"
+#include "obs/trace.hpp"
 
 namespace ispb::codegen {
 
@@ -305,6 +306,7 @@ void emit_section(Builder& b, const StencilSpec& spec, const KernelCtx& ctx,
 ir::Program generate_kernel(const StencilSpec& spec,
                             const CodegenOptions& opt) {
   spec.validate();
+  obs::ScopedSpan span("codegen.generate_kernel", "compile");
   Builder b(spec.name + "_" + std::string(to_string(opt.variant)) + "_" +
             std::string(to_string(opt.pattern)));
 
@@ -423,12 +425,17 @@ ir::Program generate_kernel(const StencilSpec& spec,
     analysis::assert_optimized_clean(prog);
 #endif
   }
+  if (span.recording()) {
+    span.arg("kernel", prog.name);
+    span.arg("instrs", static_cast<i64>(prog.code.size()));
+  }
   return prog;
 }
 
 ir::Program generate_region_kernel(const StencilSpec& spec,
                                    const CodegenOptions& opt, Region region) {
   spec.validate();
+  obs::ScopedSpan span("codegen.generate_region_kernel", "compile");
   Builder b(spec.name + "_region_" + std::string(to_string(region)) + "_" +
             std::string(to_string(opt.pattern)));
 
@@ -481,6 +488,10 @@ ir::Program generate_region_kernel(const StencilSpec& spec,
 #ifndef NDEBUG
     analysis::assert_optimized_clean(prog);
 #endif
+  }
+  if (span.recording()) {
+    span.arg("kernel", prog.name);
+    span.arg("instrs", static_cast<i64>(prog.code.size()));
   }
   return prog;
 }

@@ -64,6 +64,18 @@ f64 median(std::span<const f64> values) {
   return 0.5 * (lo + hi);
 }
 
+f64 percentile(std::span<const f64> values, f64 p) {
+  ISPB_EXPECTS(p >= 0.0 && p <= 100.0);
+  if (values.empty()) return 0.0;
+  std::vector<f64> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  const f64 pos = p / 100.0 * static_cast<f64>(copy.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, copy.size() - 1);
+  const f64 frac = pos - static_cast<f64>(lo);
+  return copy[lo] + (copy[hi] - copy[lo]) * frac;
+}
+
 Summary summarize(std::span<const f64> values) {
   Summary s;
   if (values.empty()) return s;

@@ -25,6 +25,12 @@ namespace ispb {
 /// Median (of a copy; input untouched). Empty input -> 0.0.
 [[nodiscard]] f64 median(std::span<const f64> values);
 
+/// The p-th percentile (p in [0, 100]) with linear interpolation between
+/// closest ranks (numpy's default): position p/100 * (n-1) in the sorted
+/// copy. p=0 is the minimum, p=100 the maximum, p=50 matches median().
+/// Empty input -> 0.0; single element -> that element.
+[[nodiscard]] f64 percentile(std::span<const f64> values, f64 p);
+
 /// Min/max/mean/median bundle for reporting.
 struct Summary {
   f64 min = 0.0;

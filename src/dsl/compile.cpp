@@ -2,12 +2,15 @@
 
 #include <array>
 
+#include "obs/trace.hpp"
+
 namespace ispb::dsl {
 
 PlanDecision plan_variant(const sim::DeviceSpec& dev,
                           const codegen::StencilSpec& spec, Size2 image,
                           BlockSize block, BorderPattern pattern,
                           bool prefer_warp) {
+  obs::ScopedSpan span("dsl.plan_variant", "compile");
   PlanDecision d;
 
   codegen::CodegenOptions naive_opt;
@@ -51,6 +54,12 @@ PlanDecision plan_variant(const sim::DeviceSpec& dev,
 
   d.variant = (d.model.use_isp && !degenerate) ? isp_opt.variant
                                                : codegen::Variant::kNaive;
+  if (span.recording()) {
+    span.arg("stencil", spec.name);
+    span.arg("variant", std::string(codegen::to_string(d.variant)));
+    span.arg("regs_naive", static_cast<i64>(d.regs_naive));
+    span.arg("regs_isp", static_cast<i64>(d.regs_isp));
+  }
   return d;
 }
 

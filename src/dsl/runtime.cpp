@@ -4,16 +4,23 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace ispb::dsl {
 
 CompiledKernel compile_kernel(const codegen::StencilSpec& spec,
                               const codegen::CodegenOptions& options) {
+  obs::ScopedSpan span("dsl.compile_kernel", "compile");
   CompiledKernel k;
   k.spec = spec;
   k.options = options;
   k.program = codegen::generate_kernel(spec, options);
   k.regs_per_thread = sim::estimate_kernel_registers(k.program);
+  if (span.recording()) {
+    span.arg("kernel", k.program.name);
+    span.arg("instrs", static_cast<i64>(k.program.code.size()));
+    span.arg("regs", static_cast<i64>(k.regs_per_thread));
+  }
   return k;
 }
 
@@ -134,13 +141,17 @@ SimRun launch_on_sim(const sim::DeviceSpec& dev, const CompiledKernel& kernel,
       to_run->options.warp_width);
   const sim::LaunchConfig cfg{image, block, to_run->regs_per_thread};
 
+  // Both modes classify blocks by side mask: sampled execution needs the
+  // classes to pick representatives, and full execution uses them to fill
+  // LaunchStats::per_region (attribution only; aggregates are unaffected).
+  const BlockBounds bounds = compute_block_bounds(image, block, window);
+  const sim::BlockClassFn classify = [bounds](i32 bx, i32 by) {
+    return static_cast<u32>(classify_block(bounds, bx, by));
+  };
   if (!sampled) {
-    run.stats = sim::launch_full(dev, to_run->program, cfg, params, buffers);
+    run.stats = sim::launch_full(dev, to_run->program, cfg, params, buffers,
+                                 classify);
   } else {
-    const BlockBounds bounds = compute_block_bounds(image, block, window);
-    const sim::BlockClassFn classify = [bounds](i32 bx, i32 by) {
-      return static_cast<u32>(classify_block(bounds, bx, by));
-    };
     run.stats = sim::launch_sampled(dev, to_run->program, cfg, params,
                                     buffers, classify);
   }

@@ -372,8 +372,8 @@ AppSimResult run_app_simulated(const MultiKernelApp& app,
         dsl::launch_on_sim(config.device, kernel, inputs, out, config.block,
                            config.sampled);
     result.total_time_ms += run.stats.time_ms;
-    result.stages.push_back(
-        AppSimResult::Stage{stage.spec.name, run.variant_used, run.stats});
+    result.stages.push_back(AppSimResult::Stage{
+        stage.spec.name, run.variant_used, kernel.regs_per_thread, run.stats});
     images.push_back(std::move(out));
   }
   result.output = std::move(images.back());

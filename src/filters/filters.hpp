@@ -91,6 +91,7 @@ struct AppSimResult {
   struct Stage {
     std::string kernel;
     codegen::Variant variant_used = codegen::Variant::kNaive;
+    i32 regs_per_thread = 0;  ///< allocator estimate for the kernel run
     sim::LaunchStats stats;
   };
   std::vector<Stage> stages;

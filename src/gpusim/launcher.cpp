@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ispb::sim {
 
@@ -132,10 +134,32 @@ f64 model_time_ms(const DeviceSpec& dev, const Occupancy& occ,
 
 namespace {
 
+/// Publishes one launch's counters into the installed metrics registry (the
+/// null check is the whole fast path: nothing happens without a registry).
+void publish_launch_metrics(const ir::Program& prog, std::string_view mode,
+                            const LaunchStats& stats) {
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::installed();
+  if (reg == nullptr) return;
+  const obs::Labels labels{{"kernel", prog.name}, {"mode", std::string(mode)}};
+  reg->add("sim.launches", 1.0, labels);
+  reg->add("sim.blocks_executed", static_cast<f64>(stats.blocks_executed),
+           labels);
+  reg->add("sim.issue_slots", static_cast<f64>(stats.warps.issue_slots),
+           labels);
+  reg->add("sim.divergent_branches",
+           static_cast<f64>(stats.warps.divergent_branches), labels);
+  reg->add("sim.mem_transactions",
+           static_cast<f64>(stats.warps.mem_transactions), labels);
+  reg->add("sim.mem_cache_misses",
+           static_cast<f64>(stats.warps.mem_cache_misses), labels);
+  reg->observe("sim.launch_time_ms", stats.time_ms, labels);
+}
+
 LaunchStats launch_grid_impl(const DeviceSpec& dev, const ir::Program& prog,
                              const LaunchConfig& cfg, const ParamMap& params,
                              std::span<const ir::BufferBinding> buffers,
-                             i32 nbx, i32 nby) {
+                             i32 nbx, i32 nby,
+                             const BlockClassFn& classify = {}) {
   const InputResolver resolver(prog, params, cfg.block);
   const i64 total = i64{nbx} * i64{nby};
 
@@ -143,6 +167,9 @@ LaunchStats launch_grid_impl(const DeviceSpec& dev, const ir::Program& prog,
   std::vector<WarpResult> block_stats(static_cast<std::size_t>(total));
 
   parallel_for(0, total, [&](i64 b) {
+    // Per-block span: records into the worker thread's own sink, so the
+    // pool loop traces without contention; a no-op when tracing is off.
+    obs::ScopedSpan block_span("sim.block", "sim");
     const i32 bx = static_cast<i32>(b % nbx);
     const i32 by = static_cast<i32>(b / nbx);
     WarpResult r =
@@ -158,6 +185,16 @@ LaunchStats launch_grid_impl(const DeviceSpec& dev, const ir::Program& prog,
   stats.blocks_total = total;
   stats.occupancy = compute_occupancy(dev, cfg.block, cfg.regs_per_thread);
   stats.time_ms = model_time_ms(dev, stats.occupancy, block_cycles);
+  if (classify) {
+    for (i64 b = 0; b < total; ++b) {
+      const i32 bx = static_cast<i32>(b % nbx);
+      const i32 by = static_cast<i32>(b / nbx);
+      RegionCounters& rc = stats.per_region[classify(bx, by)];
+      rc.warps += block_stats[static_cast<std::size_t>(b)];
+      rc.cycles += block_cycles[static_cast<std::size_t>(b)];
+      ++rc.blocks;
+    }
+  }
   return stats;
 }
 
@@ -165,10 +202,19 @@ LaunchStats launch_grid_impl(const DeviceSpec& dev, const ir::Program& prog,
 
 LaunchStats launch_full(const DeviceSpec& dev, const ir::Program& prog,
                         const LaunchConfig& cfg, const ParamMap& params,
-                        std::span<const ir::BufferBinding> buffers) {
+                        std::span<const ir::BufferBinding> buffers,
+                        const BlockClassFn& classify) {
+  obs::ScopedSpan span("sim.launch_full", "sim");
   const GridDims grid = make_grid(cfg.image, cfg.block);
-  return launch_grid_impl(dev, prog, cfg, params, buffers, grid.nbx,
-                          grid.nby);
+  LaunchStats stats = launch_grid_impl(dev, prog, cfg, params, buffers,
+                                       grid.nbx, grid.nby, classify);
+  if (span.recording()) {
+    span.arg("kernel", prog.name);
+    span.arg("blocks", stats.blocks_total);
+    span.arg("time_ms", stats.time_ms);
+  }
+  publish_launch_metrics(prog, "full", stats);
+  return stats;
 }
 
 LaunchStats launch_subgrid(const DeviceSpec& dev, const ir::Program& prog,
@@ -176,7 +222,16 @@ LaunchStats launch_subgrid(const DeviceSpec& dev, const ir::Program& prog,
                            std::span<const ir::BufferBinding> buffers,
                            i32 nbx, i32 nby) {
   ISPB_EXPECTS(nbx > 0 && nby > 0);
-  return launch_grid_impl(dev, prog, cfg, params, buffers, nbx, nby);
+  obs::ScopedSpan span("sim.launch_subgrid", "sim");
+  LaunchStats stats =
+      launch_grid_impl(dev, prog, cfg, params, buffers, nbx, nby);
+  if (span.recording()) {
+    span.arg("kernel", prog.name);
+    span.arg("blocks", stats.blocks_total);
+    span.arg("time_ms", stats.time_ms);
+  }
+  publish_launch_metrics(prog, "subgrid", stats);
+  return stats;
 }
 
 LaunchStats launch_sampled(const DeviceSpec& dev, const ir::Program& prog,
@@ -185,6 +240,7 @@ LaunchStats launch_sampled(const DeviceSpec& dev, const ir::Program& prog,
                            const BlockClassFn& classify,
                            i32 samples_per_class) {
   ISPB_EXPECTS(samples_per_class >= 1);
+  obs::ScopedSpan span("sim.launch_sampled", "sim");
   const GridDims grid = make_grid(cfg.image, cfg.block);
   const InputResolver resolver(prog, params, cfg.block);
 
@@ -210,7 +266,6 @@ LaunchStats launch_sampled(const DeviceSpec& dev, const ir::Program& prog,
   scaled_cycles.reserve(static_cast<std::size_t>(grid.total()));
 
   for (const auto& [key, info_ref] : classes) {
-    (void)key;
     const ClassInfo* info = &info_ref;
     const i64 n = static_cast<i64>(info->members.size());
     const i32 samples = static_cast<i32>(
@@ -245,9 +300,23 @@ LaunchStats launch_sampled(const DeviceSpec& dev, const ir::Program& prog,
     stats.warps += scaled;
     stats.total_warp_cycles += mean_cycles * static_cast<f64>(info->count);
     for (i64 i = 0; i < info->count; ++i) scaled_cycles.push_back(mean_cycles);
+
+    // Per-class attribution reuses the exact scaled object added to the
+    // aggregate, so region totals match the whole-grid counters bit for bit.
+    RegionCounters& rc = stats.per_region[key];
+    rc.warps += scaled;
+    rc.cycles += mean_cycles * static_cast<f64>(info->count);
+    rc.blocks += info->count;
   }
 
   stats.time_ms = model_time_ms(dev, stats.occupancy, scaled_cycles);
+  if (span.recording()) {
+    span.arg("kernel", prog.name);
+    span.arg("blocks", stats.blocks_total);
+    span.arg("sampled", stats.blocks_executed);
+    span.arg("time_ms", stats.time_ms);
+  }
+  publish_launch_metrics(prog, "sampled", stats);
   return stats;
 }
 

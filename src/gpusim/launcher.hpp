@@ -24,6 +24,16 @@ struct LaunchConfig {
   i32 regs_per_thread = 0;  ///< register demand (from ir::allocate_registers)
 };
 
+/// Per-class attribution of one launch: the aggregate warp counters, issue
+/// cycles and block count of the blocks a BlockClassFn mapped to one key.
+/// For the canonical use — classify_block side masks — this is the paper's
+/// per-region breakdown (Table I / Fig. 3) produced by the launcher itself.
+struct RegionCounters {
+  WarpResult warps;
+  f64 cycles = 0.0;  ///< summed per-block warp-issue cycles
+  i64 blocks = 0;
+};
+
 /// Statistics of one kernel launch.
 struct LaunchStats {
   WarpResult warps;              ///< aggregate over all executed warps
@@ -32,22 +42,31 @@ struct LaunchStats {
   i64 blocks_total = 0;          ///< blocks in the grid
   Occupancy occupancy;           ///< theoretical occupancy used for timing
   f64 time_ms = 0.0;             ///< modeled execution time
+  /// Per-class breakdown, keyed by the classifier's value; empty when the
+  /// launch ran without a classifier. Counters sum exactly to `warps` /
+  /// `total_warp_cycles` / `blocks_total` (extrapolated for sampled
+  /// launches, where per-class rounding matches the aggregate's).
+  std::map<u32, RegionCounters> per_region;
 };
 
-/// Classifies a block for sampled execution; blocks mapping to the same key
-/// are assumed cost-homogeneous and only a few representatives run.
+/// Classifies a block for sampled execution and per-region attribution;
+/// blocks mapping to the same key are assumed cost-homogeneous.
 using BlockClassFn = std::function<u32(i32 bx, i32 by)>;
 
 /// Executes every block of the grid (functional mode). Output buffers hold
 /// the complete kernel result afterwards. Blocks run in parallel on the host
-/// thread pool; they are independent by construction.
+/// thread pool; they are independent by construction. A non-empty `classify`
+/// additionally fills LaunchStats::per_region (attribution only; the
+/// aggregate statistics are bit-identical with and without it).
 LaunchStats launch_full(const DeviceSpec& dev, const ir::Program& prog,
                         const LaunchConfig& cfg, const ParamMap& params,
-                        std::span<const ir::BufferBinding> buffers);
+                        std::span<const ir::BufferBinding> buffers,
+                        const BlockClassFn& classify = {});
 
 /// Executes only `samples_per_class` representative blocks per class and
 /// extrapolates cycles and counts to the full grid (timing mode for large
-/// images). Output buffers are only partially written.
+/// images). Output buffers are only partially written. Fills
+/// LaunchStats::per_region with the extrapolated per-class counters.
 LaunchStats launch_sampled(const DeviceSpec& dev, const ir::Program& prog,
                            const LaunchConfig& cfg, const ParamMap& params,
                            std::span<const ir::BufferBinding> buffers,

@@ -37,6 +37,11 @@ struct WarpResult {
   u64 mem_cache_misses = 0;
   u64 divergent_branches = 0;  ///< conditional branches splitting the warp
 
+  /// Transactions served from the (modeled) L1: issued minus first-touch.
+  [[nodiscard]] u64 l1_hits() const {
+    return mem_transactions - mem_cache_misses;
+  }
+
   WarpResult& operator+=(const WarpResult& o);
 };
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace ispb::ir {
 
@@ -345,18 +346,39 @@ PassStats dead_code_elim(Program& prog) {
 }
 
 PassStats optimize(Program& prog) {
+  obs::ScopedSpan opt_span("ir.optimize", "compile");
+  // Runs one pass under its own span, recording the instruction-count delta
+  // it produced (the span is free when tracing is off).
+  const auto traced = [&prog](const char* name, PassStats (*pass)(Program&)) {
+    obs::ScopedSpan span(name, "compile.pass");
+    const std::size_t before = prog.code.size();
+    const PassStats stats = pass(prog);
+    if (span.recording()) {
+      span.arg("instrs_before", static_cast<i64>(before));
+      span.arg("instrs_after", static_cast<i64>(prog.code.size()));
+      span.arg("changed", static_cast<i64>(stats.total()));
+    }
+    return stats;
+  };
   PassStats total;
+  int rounds = 0;
   for (int round = 0; round < 4; ++round) {
+    ++rounds;
     PassStats round_stats;
-    round_stats += constant_fold(prog);
-    round_stats += copy_propagate(prog);
-    round_stats += local_cse(prog);
-    round_stats += copy_propagate(prog);
-    round_stats += dead_code_elim(prog);
+    round_stats += traced("ir.constant_fold", constant_fold);
+    round_stats += traced("ir.copy_propagate", copy_propagate);
+    round_stats += traced("ir.local_cse", local_cse);
+    round_stats += traced("ir.copy_propagate", copy_propagate);
+    round_stats += traced("ir.dead_code_elim", dead_code_elim);
     total += round_stats;
     if (round_stats.total() == 0) break;
   }
   verify(prog);
+  if (opt_span.recording()) {
+    opt_span.arg("kernel", prog.name);
+    opt_span.arg("rounds", static_cast<i64>(rounds));
+    opt_span.arg("instrs", static_cast<i64>(prog.code.size()));
+  }
   return total;
 }
 

@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace ispb::ir {
 
 RegAllocResult allocate_registers(const Program& prog) {
+  obs::ScopedSpan span("ir.allocate_registers", "compile");
   constexpr i32 kNoPos = -2;
   // def position (first write; -1 for inputs) and last read position.
   std::vector<i32> first_def(prog.num_regs, kNoPos);
@@ -75,6 +77,11 @@ RegAllocResult allocate_registers(const Program& prog) {
     peak = std::max(peak, live);
   }
   ISPB_ENSURES(live == 0);
+  if (span.recording()) {
+    span.arg("kernel", prog.name);
+    span.arg("registers", static_cast<i64>(peak));
+    span.arg("intervals", static_cast<i64>(intervals));
+  }
   return RegAllocResult{peak, intervals};
 }
 

@@ -1,0 +1,87 @@
+// Minimal JSON document model for the observability layer.
+//
+// The profiler report, the Chrome trace export and the bench --json output
+// all need to emit machine-readable JSON, and the round-trip tests and CI
+// validation need to read it back. This is a deliberately small tree model
+// (no SAX, no allocator tuning): documents are assembled as values, dumped
+// with deterministic formatting, and parsed strictly (trailing garbage and
+// malformed escapes throw IoError). Object keys keep insertion order so
+// emitted reports are stable across runs and easy to diff.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ispb::obs {
+
+/// One JSON value: null, bool, number, string, array or object.
+class Json {
+ public:
+  enum class Kind : u8 { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(std::nullptr_t) : kind_(Kind::kNull) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT
+  Json(f64 v) : kind_(Kind::kNumber), num_(v) {}  // NOLINT
+  Json(i64 v) : kind_(Kind::kNumber), num_(static_cast<f64>(v)), is_int_(true) {}  // NOLINT
+  Json(i32 v) : Json(static_cast<i64>(v)) {}      // NOLINT
+  Json(u64 v) : Json(static_cast<i64>(v)) {}      // NOLINT
+  Json(u32 v) : Json(static_cast<i64>(v)) {}      // NOLINT
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+  Json(std::string_view s) : kind_(Kind::kString), str_(s) {}        // NOLINT
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}             // NOLINT
+
+  [[nodiscard]] static Json array();
+  [[nodiscard]] static Json object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+
+  // Typed accessors; throw ContractError on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] f64 as_number() const;
+  [[nodiscard]] i64 as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Json>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Object access: inserts a null member on first use (object/null only).
+  Json& operator[](std::string_view key);
+  /// Object lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Array append (array/null only).
+  void push_back(Json v);
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serializes. `indent` > 0 pretty-prints with that many spaces per level.
+  void dump(std::ostream& os, int indent = 0) const;
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Strict parser; throws IoError on malformed input (including trailing
+  /// non-whitespace). Numbers parse as f64; integral values round-trip.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  void dump_impl(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  f64 num_ = 0.0;
+  bool is_int_ = false;  ///< emit without a decimal point
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/// JSON string escaping (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace ispb::obs

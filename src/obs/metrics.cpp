@@ -1,0 +1,130 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace ispb::obs {
+
+std::atomic<MetricsRegistry*> MetricsRegistry::g_installed{nullptr};
+
+std::string_view to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Canonical series key: name{k1=v1,k2=v2} with labels sorted by key.
+std::string canonical_key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  if (labels.empty()) return key;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ',';
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+}  // namespace
+
+MetricsRegistry::Series& MetricsRegistry::series_locked(std::string_view name,
+                                                        const Labels& labels,
+                                                        MetricKind kind) {
+  const std::string key = canonical_key(name, labels);
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    Series s;
+    s.name = name;
+    s.labels = labels;
+    std::sort(s.labels.begin(), s.labels.end());
+    s.kind = kind;
+    it = series_.emplace(key, std::move(s)).first;
+  } else if (it->second.kind != kind) {
+    throw ContractError("metric '" + std::string(name) +
+                        "' re-registered with a different kind");
+  }
+  return it->second;
+}
+
+void MetricsRegistry::add(std::string_view name, f64 delta,
+                          const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_locked(name, labels, MetricKind::kCounter).value += delta;
+}
+
+void MetricsRegistry::set(std::string_view name, f64 value,
+                          const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_locked(name, labels, MetricKind::kGauge).value = value;
+}
+
+void MetricsRegistry::observe(std::string_view name, f64 sample,
+                              const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_locked(name, labels, MetricKind::kHistogram).samples.push_back(sample);
+}
+
+f64 MetricsRegistry::value(std::string_view name, const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = series_.find(canonical_key(name, labels));
+  return it == series_.end() ? 0.0 : it->second.value;
+}
+
+std::vector<f64> MetricsRegistry::samples(std::string_view name,
+                                          const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = series_.find(canonical_key(name, labels));
+  return it == series_.end() ? std::vector<f64>{} : it->second.samples;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+Json MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json arr = Json::array();
+  for (const auto& [key, s] : series_) {
+    (void)key;
+    Json m = Json::object();
+    m["name"] = s.name;
+    m["kind"] = to_string(s.kind);
+    if (!s.labels.empty()) {
+      Json labels = Json::object();
+      for (const auto& [k, v] : s.labels) labels[k] = v;
+      m["labels"] = std::move(labels);
+    }
+    if (s.kind == MetricKind::kHistogram) {
+      const Summary sum = summarize(s.samples);
+      m["count"] = static_cast<i64>(s.samples.size());
+      m["min"] = sum.min;
+      m["max"] = sum.max;
+      m["mean"] = sum.mean;
+      m["p50"] = percentile(s.samples, 50.0);
+      m["p90"] = percentile(s.samples, 90.0);
+      m["p99"] = percentile(s.samples, 99.0);
+    } else {
+      m["value"] = s.value;
+    }
+    arr.push_back(std::move(m));
+  }
+  return arr;
+}
+
+}  // namespace ispb::obs

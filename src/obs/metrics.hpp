@@ -1,0 +1,95 @@
+// Metrics registry: named counters, gauges and histograms with labels.
+//
+// The simulator publishes per-launch counters (issue slots, divergence,
+// memory transactions, modeled time) labeled by kernel name; the profiler
+// installs a registry around a pipeline run and reports the aggregate.
+//
+// Null fast path: nothing is recorded — and nothing allocated — unless a
+// registry is installed; `MetricsRegistry::installed()` is one relaxed
+// atomic load, checked once per publication site.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ispb::obs {
+
+/// Label set of one metric series, e.g. {{"kernel", "gauss_isp_clamp"}}.
+/// Order-insensitive: labels are canonicalized (sorted by key) so the same
+/// set given in any order addresses the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// What a metric series is.
+enum class MetricKind : u8 { kCounter, kGauge, kHistogram };
+[[nodiscard]] std::string_view to_string(MetricKind k);
+
+/// Thread-safe registry of metric series. Counters accumulate, gauges keep
+/// the last value, histograms keep every sample (summarized on export).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to a counter series (created at 0 on first use).
+  void add(std::string_view name, f64 delta, const Labels& labels = {});
+  /// Sets a gauge series to `value`.
+  void set(std::string_view name, f64 value, const Labels& labels = {});
+  /// Records one histogram sample.
+  void observe(std::string_view name, f64 sample, const Labels& labels = {});
+
+  /// Point reads (0 / empty when the series does not exist).
+  [[nodiscard]] f64 value(std::string_view name,
+                          const Labels& labels = {}) const;
+  [[nodiscard]] std::vector<f64> samples(std::string_view name,
+                                         const Labels& labels = {}) const;
+  [[nodiscard]] std::size_t series_count() const;
+
+  /// Flat export: array of {name, kind, labels, value | summary}.
+  /// Histograms report count/min/max/mean/p50/p90/p99.
+  [[nodiscard]] Json to_json() const;
+
+  /// The process-wide installed registry, or nullptr (the null-sink path).
+  [[nodiscard]] static MetricsRegistry* installed() {
+    return g_installed.load(std::memory_order_relaxed);
+  }
+
+  /// RAII installation; restores the previous registry on destruction.
+  class ScopedInstall {
+   public:
+    explicit ScopedInstall(MetricsRegistry& reg)
+        : prev_(g_installed.exchange(&reg, std::memory_order_release)) {}
+    ~ScopedInstall() { g_installed.store(prev_, std::memory_order_release); }
+    ScopedInstall(const ScopedInstall&) = delete;
+    ScopedInstall& operator=(const ScopedInstall&) = delete;
+
+   private:
+    MetricsRegistry* prev_;
+  };
+
+ private:
+  struct Series {
+    std::string name;
+    Labels labels;
+    MetricKind kind = MetricKind::kCounter;
+    f64 value = 0.0;
+    std::vector<f64> samples;
+  };
+
+  Series& series_locked(std::string_view name, const Labels& labels,
+                        MetricKind kind);
+
+  static std::atomic<MetricsRegistry*> g_installed;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Series> series_;  ///< by canonical key (stable order)
+};
+
+}  // namespace ispb::obs

@@ -1,0 +1,155 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/stats.hpp"
+
+namespace ispb::obs {
+
+namespace detail {
+
+std::atomic<bool> g_trace_active{false};
+
+namespace {
+
+struct ThreadBuf {
+  u32 tid = 0;
+  std::vector<TraceEvent> events;
+};
+
+struct SessionState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuf>> bufs;
+  u64 start_ns = 0;
+};
+
+SessionState& session() {
+  static SessionState state;
+  return state;
+}
+
+// Each session bumps the generation; thread-local buffer pointers from an
+// earlier session are detected as stale and re-registered.
+std::atomic<u64> g_generation{0};
+thread_local ThreadBuf* t_buf = nullptr;
+thread_local u64 t_gen = 0;
+
+ThreadBuf* this_thread_buf() {
+  const u64 gen = g_generation.load(std::memory_order_acquire);
+  if (t_buf != nullptr && t_gen == gen) return t_buf;
+  SessionState& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!g_trace_active.load(std::memory_order_relaxed)) return nullptr;
+  auto buf = std::make_unique<ThreadBuf>();
+  buf->tid = static_cast<u32>(s.bufs.size());
+  t_buf = buf.get();
+  t_gen = gen;
+  s.bufs.push_back(std::move(buf));
+  return t_buf;
+}
+
+}  // namespace
+
+u64 now_ns() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void record(TraceEvent&& ev, u64 start_ns, u64 end_ns) {
+  if (!g_trace_active.load(std::memory_order_relaxed)) return;
+  ThreadBuf* buf = this_thread_buf();
+  if (buf == nullptr) return;  // session stopped while we were registering
+  const u64 base = session().start_ns;
+  ev.ts_us = static_cast<f64>(start_ns - base) * 1e-3;
+  ev.dur_us = static_cast<f64>(end_ns - start_ns) * 1e-3;
+  ev.tid = buf->tid;
+  buf->events.push_back(std::move(ev));
+}
+
+}  // namespace detail
+
+void TraceSession::start() {
+  using namespace detail;
+  SessionState& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.bufs.clear();
+  s.start_ns = now_ns();
+  g_generation.fetch_add(1, std::memory_order_release);
+  g_trace_active.store(true, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceSession::stop() {
+  using namespace detail;
+  g_trace_active.store(false, std::memory_order_release);
+  SessionState& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<TraceEvent> merged;
+  std::size_t total = 0;
+  for (const auto& buf : s.bufs) total += buf->events.size();
+  merged.reserve(total);
+  for (auto& buf : s.bufs) {
+    for (TraceEvent& ev : buf->events) merged.push_back(std::move(ev));
+  }
+  s.bufs.clear();
+  // Deterministic order: by start time, stable for ties (per-thread buffers
+  // are already in emission order).
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return merged;
+}
+
+Json chrome_trace_json(std::span<const TraceEvent> events) {
+  Json doc = Json::object();
+  Json arr = Json::array();
+  for (const TraceEvent& ev : events) {
+    Json e = Json::object();
+    e["name"] = ev.name;
+    if (!ev.cat.empty()) e["cat"] = ev.cat;
+    e["ph"] = "X";
+    e["ts"] = ev.ts_us;
+    e["dur"] = ev.dur_us;
+    e["pid"] = 1;
+    e["tid"] = ev.tid;
+    if (!ev.args.empty()) {
+      Json args = Json::object();
+      for (const auto& [k, v] : ev.args) args[k] = v;
+      e["args"] = std::move(args);
+    }
+    arr.push_back(std::move(e));
+  }
+  doc["traceEvents"] = std::move(arr);
+  doc["displayTimeUnit"] = "ms";
+  return doc;
+}
+
+std::vector<SpanSummary> summarize_spans(std::span<const TraceEvent> events) {
+  std::map<std::string, std::vector<f64>> by_name;
+  for (const TraceEvent& ev : events) by_name[ev.name].push_back(ev.dur_us);
+  std::vector<SpanSummary> out;
+  out.reserve(by_name.size());
+  for (auto& [name, durations] : by_name) {
+    SpanSummary s;
+    s.name = name;
+    s.count = static_cast<i64>(durations.size());
+    for (f64 d : durations) s.total_us += d;
+    s.p50_us = percentile(durations, 50.0);
+    s.p90_us = percentile(durations, 90.0);
+    s.p99_us = percentile(durations, 99.0);
+    out.push_back(std::move(s));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanSummary& a, const SpanSummary& b) {
+                     return a.total_us > b.total_us;
+                   });
+  return out;
+}
+
+}  // namespace ispb::obs

@@ -203,6 +203,41 @@ TEST(Stats, Summarize) {
   EXPECT_DOUBLE_EQ(s.median, 2.5);
 }
 
+TEST(Stats, PercentileInterpolatesLinearly) {
+  const std::vector<f64> v{10, 20, 30, 40};  // positions 0, 1, 2, 3
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);   // pos 1.5
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 17.5);   // pos 0.75
+  EXPECT_DOUBLE_EQ(percentile(v, 90.0), 37.0);   // pos 2.7
+}
+
+TEST(Stats, PercentileMatchesMedian) {
+  const std::vector<f64> odd{3, 1, 2};
+  EXPECT_DOUBLE_EQ(percentile(odd, 50.0), median(odd));
+  const std::vector<f64> even{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(percentile(even, 50.0), median(even));
+}
+
+TEST(Stats, PercentileIgnoresInputOrder) {
+  const std::vector<f64> shuffled{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(percentile(shuffled, 75.0), 32.5);
+}
+
+TEST(Stats, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);  // empty: defined as 0
+  const std::vector<f64> one{7.5};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 50.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 100.0), 7.5);
+}
+
+TEST(Stats, PercentileRejectsOutOfRangeP) {
+  const std::vector<f64> v{1, 2};
+  EXPECT_THROW((void)percentile(v, -1.0), ContractError);
+  EXPECT_THROW((void)percentile(v, 100.5), ContractError);
+}
+
 TEST(Table, RendersAlignedCells) {
   AsciiTable t("demo");
   t.set_header({"name", "value"});

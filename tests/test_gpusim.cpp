@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "core/partition.hpp"
 #include "gpusim/launcher.hpp"
 #include "ir/builder.hpp"
 
@@ -490,6 +491,119 @@ TEST(Launcher, SampledMatchesFullOnUniformGrid) {
   EXPECT_EQ(sampled.warps.issue_slots, full.warps.issue_slots);
   EXPECT_NEAR(sampled.total_warp_cycles, full.total_warp_cycles, 1e-6);
   EXPECT_NEAR(sampled.time_ms, full.time_ms, full.time_ms * 0.01);
+}
+
+TEST(Launcher, PerRegionCountersSumToWholeGridStats) {
+  // A 9-region classified full launch: the per-region breakdown must
+  // partition the aggregate counters exactly — same warp counters, same
+  // cycles, same block count — with all nine canonical regions present.
+  const DeviceSpec dev = make_gtx680();
+  const ir::Program prog = grid_kernel();
+  const Size2 image{96, 36};  // grid 3x9 with 32x4 blocks
+  const BlockSize block{32, 4};
+  const i32 pitch = 96;
+  std::vector<f32> out(static_cast<std::size_t>(pitch) * image.y, 0.0f);
+  const ir::BufferBinding buf{out.data(), out.size(), true};
+  const LaunchConfig cfg{image, block, 12};
+
+  const BlockBounds bounds = compute_block_bounds(image, block, {5, 5});
+  const BlockClassFn classify = [bounds](i32 bx, i32 by) {
+    return static_cast<u32>(classify_block(bounds, bx, by));
+  };
+  const LaunchStats stats = launch_full(
+      dev, prog, cfg, grid_params(image, pitch, block), {&buf, 1}, classify);
+
+  ASSERT_EQ(stats.per_region.size(), kAllRegions.size());
+  for (Region r : kAllRegions) {
+    EXPECT_TRUE(stats.per_region.contains(
+        static_cast<u32>(region_sides(r))))
+        << "missing region " << to_string(r);
+  }
+
+  WarpResult warp_sum;
+  f64 cycle_sum = 0.0;
+  i64 block_sum = 0;
+  for (const auto& [key, rc] : stats.per_region) {
+    (void)key;
+    EXPECT_GT(rc.blocks, 0);
+    warp_sum += rc.warps;
+    cycle_sum += rc.cycles;
+    block_sum += rc.blocks;
+  }
+  EXPECT_EQ(warp_sum.issue_slots, stats.warps.issue_slots);
+  EXPECT_EQ(warp_sum.lane_instructions, stats.warps.lane_instructions);
+  EXPECT_EQ(warp_sum.mem_transactions, stats.warps.mem_transactions);
+  EXPECT_EQ(warp_sum.mem_cache_misses, stats.warps.mem_cache_misses);
+  EXPECT_EQ(warp_sum.divergent_branches, stats.warps.divergent_branches);
+  EXPECT_DOUBLE_EQ(cycle_sum, stats.total_warp_cycles);
+  EXPECT_EQ(block_sum, stats.blocks_total);
+}
+
+TEST(Launcher, ClassifierDoesNotChangeAggregates) {
+  // The classifier is attribution only: aggregate LaunchStats must be
+  // bit-identical with and without it.
+  const DeviceSpec dev = make_gtx680();
+  const ir::Program prog = grid_kernel();
+  const Size2 image{70, 35};
+  const BlockSize block{32, 4};
+  const i32 pitch = 96;
+  std::vector<f32> out(static_cast<std::size_t>(pitch) * image.y, 0.0f);
+  const ir::BufferBinding buf{out.data(), out.size(), true};
+  const LaunchConfig cfg{image, block, 12};
+  const ParamMap params = grid_params(image, pitch, block);
+
+  const LaunchStats plain = launch_full(dev, prog, cfg, params, {&buf, 1});
+  const LaunchStats classified = launch_full(
+      dev, prog, cfg, params, {&buf, 1},
+      [](i32 bx, i32 by) { return static_cast<u32>(bx * 31 + by); });
+
+  EXPECT_TRUE(plain.per_region.empty());
+  EXPECT_FALSE(classified.per_region.empty());
+  EXPECT_EQ(plain.warps.issue_slots, classified.warps.issue_slots);
+  EXPECT_EQ(plain.warps.lane_instructions,
+            classified.warps.lane_instructions);
+  EXPECT_EQ(plain.warps.mem_transactions, classified.warps.mem_transactions);
+  EXPECT_EQ(plain.warps.divergent_branches,
+            classified.warps.divergent_branches);
+  EXPECT_EQ(plain.total_warp_cycles, classified.total_warp_cycles);
+  EXPECT_EQ(plain.time_ms, classified.time_ms);
+}
+
+TEST(Launcher, SampledPerRegionSumsToAggregate) {
+  // Sampled launches extrapolate per class; the per-class rows reuse the
+  // scaled counters added to the aggregate, so the partition is exact even
+  // with rounding.
+  const DeviceSpec dev = make_gtx680();
+  const ir::Program prog = grid_kernel();
+  const Size2 image{96, 36};
+  const BlockSize block{32, 4};
+  const i32 pitch = 96;
+  std::vector<f32> out(static_cast<std::size_t>(pitch) * image.y, 0.0f);
+  const ir::BufferBinding buf{out.data(), out.size(), true};
+  const LaunchConfig cfg{image, block, 12};
+
+  const BlockBounds bounds = compute_block_bounds(image, block, {5, 5});
+  const LaunchStats stats = launch_sampled(
+      dev, prog, cfg, grid_params(image, pitch, block), {&buf, 1},
+      [bounds](i32 bx, i32 by) {
+        return static_cast<u32>(classify_block(bounds, bx, by));
+      },
+      2);
+
+  ASSERT_EQ(stats.per_region.size(), kAllRegions.size());
+  WarpResult warp_sum;
+  f64 cycle_sum = 0.0;
+  i64 block_sum = 0;
+  for (const auto& [key, rc] : stats.per_region) {
+    (void)key;
+    warp_sum += rc.warps;
+    cycle_sum += rc.cycles;
+    block_sum += rc.blocks;
+  }
+  EXPECT_EQ(warp_sum.issue_slots, stats.warps.issue_slots);
+  EXPECT_EQ(warp_sum.mem_transactions, stats.warps.mem_transactions);
+  EXPECT_NEAR(cycle_sum, stats.total_warp_cycles, 1e-9);
+  EXPECT_EQ(block_sum, stats.blocks_total);
 }
 
 TEST(Launcher, RunBlockIsolatesOneBlock) {

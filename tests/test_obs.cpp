@@ -1,0 +1,269 @@
+// Unit tests for the observability layer: the Json document model, the
+// tracing session (null sink, deterministic merge order under the thread
+// pool, Chrome trace export) and the metrics registry (label
+// canonicalization, counter/gauge/histogram semantics, null sink).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ispb::obs {
+namespace {
+
+// --------------------------------------------------------------------------
+// Json
+
+TEST(Json, DumpPrimitives) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(i64{42}).dump(), "42");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  Json obj = Json::object();
+  obj["zebra"] = 1;
+  obj["apple"] = 2;
+  obj["mid"] = 3;
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"apple\":2,\"mid\":3}");
+}
+
+TEST(Json, ParseDumpRoundTrip) {
+  const std::string text =
+      "{\"name\":\"gauss\",\"count\":9,\"ratio\":0.25,"
+      "\"flags\":[true,false,null],\"nested\":{\"a\":\"b\\\"c\"}}";
+  const Json doc = Json::parse(text);
+  EXPECT_EQ(doc.dump(), text);
+  // Integral values round-trip without a decimal point.
+  EXPECT_EQ(doc.find("count")->as_int(), 9);
+  EXPECT_DOUBLE_EQ(doc.find("ratio")->as_number(), 0.25);
+  EXPECT_EQ(doc.find("nested")->find("a")->as_string(), "b\"c");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse(""), IoError);
+  EXPECT_THROW((void)Json::parse("{"), IoError);
+  EXPECT_THROW((void)Json::parse("[1,]"), IoError);
+  EXPECT_THROW((void)Json::parse("{\"a\":1} trailing"), IoError);
+  EXPECT_THROW((void)Json::parse("\"bad\\q\""), IoError);
+}
+
+TEST(Json, EscapesControlCharacters) {
+  EXPECT_EQ(Json("a\"b\\c\n\t").dump(), "\"a\\\"b\\\\c\\n\\t\"");
+  const Json back = Json::parse("\"a\\\"b\\\\c\\n\\t\"");
+  EXPECT_EQ(back.as_string(), "a\"b\\c\n\t");
+}
+
+// --------------------------------------------------------------------------
+// Trace
+
+TEST(Trace, NullSinkRecordsNothing) {
+  ASSERT_FALSE(TraceSession::active());
+  {
+    ScopedSpan span("should.not.appear", "test");
+    span.arg("k", 1);
+    EXPECT_FALSE(span.recording());
+  }
+  // stop() without a start() is an empty session.
+  EXPECT_TRUE(TraceSession::stop().empty());
+}
+
+TEST(Trace, CapturesSpansWithArgs) {
+  TraceSession::start();
+  {
+    ScopedSpan outer("outer", "test");
+    outer.arg("kernel", "gauss");
+    outer.arg("blocks", i64{12});
+    ScopedSpan inner("inner", "test");
+  }
+  const std::vector<TraceEvent> events = TraceSession::stop();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start timestamp: outer starts before inner, but inner is
+  // destroyed (recorded) first — order must reflect start order.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_GE(events[1].ts_us, events[0].ts_us);
+  ASSERT_EQ(events[0].args.size(), 2u);
+  EXPECT_EQ(events[0].args[0].first, "kernel");
+  EXPECT_EQ(events[0].args[0].second.as_string(), "gauss");
+  EXPECT_EQ(events[0].args[1].second.as_int(), 12);
+}
+
+TEST(Trace, DeterministicOrderUnderThreadPool) {
+  constexpr i64 kSpans = 64;
+  TraceSession::start();
+  parallel_for(0, kSpans, [](i64 i) {
+    ScopedSpan span("pool.span", "test");
+    span.arg("i", i);
+  });
+  const std::vector<TraceEvent> events = TraceSession::stop();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kSpans));
+  // Merged order is sorted by start timestamp (stable for ties), so the
+  // sequence must be non-decreasing regardless of which worker emitted what.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);
+  }
+  // Every index recorded exactly once.
+  std::vector<int> seen(kSpans, 0);
+  for (const TraceEvent& ev : events) {
+    ASSERT_EQ(ev.args.size(), 1u);
+    seen[static_cast<std::size_t>(ev.args[0].second.as_int())]++;
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Trace, SessionRestartDropsOldEvents) {
+  TraceSession::start();
+  { ScopedSpan span("first", "test"); }
+  TraceSession::start();  // restart without stop(): resets the buffers
+  { ScopedSpan span("second", "test"); }
+  const std::vector<TraceEvent> events = TraceSession::stop();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "second");
+}
+
+TEST(Trace, ChromeTraceJsonRoundTrips) {
+  TraceSession::start();
+  {
+    ScopedSpan span("compile", "compile");
+    span.arg("instrs", i64{33});
+  }
+  const std::vector<TraceEvent> events = TraceSession::stop();
+  const Json doc = chrome_trace_json(events);
+  const Json back = Json::parse(doc.dump(2));
+  const Json* arr = back.find("traceEvents");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->size(), 1u);
+  const Json& ev = arr->items()[0];
+  EXPECT_EQ(ev.find("name")->as_string(), "compile");
+  EXPECT_EQ(ev.find("ph")->as_string(), "X");
+  EXPECT_EQ(ev.find("pid")->as_int(), 1);
+  EXPECT_GE(ev.find("dur")->as_number(), 0.0);
+  EXPECT_EQ(ev.find("args")->find("instrs")->as_int(), 33);
+  EXPECT_EQ(back.find("displayTimeUnit")->as_string(), "ms");
+}
+
+TEST(Trace, SummarizeSpansGroupsByName) {
+  TraceSession::start();
+  for (int i = 0; i < 3; ++i) {
+    ScopedSpan span("repeat", "test");
+  }
+  { ScopedSpan span("once", "test"); }
+  const std::vector<TraceEvent> events = TraceSession::stop();
+  const std::vector<SpanSummary> summary = summarize_spans(events);
+  ASSERT_EQ(summary.size(), 2u);
+  i64 total = 0;
+  for (const SpanSummary& s : summary) {
+    total += s.count;
+    if (s.name == "repeat") {
+      EXPECT_EQ(s.count, 3);
+    }
+    if (s.name == "once") {
+      EXPECT_EQ(s.count, 1);
+    }
+    EXPECT_GE(s.p99_us, s.p50_us);
+  }
+  EXPECT_EQ(total, 4);
+}
+
+// --------------------------------------------------------------------------
+// Metrics
+
+TEST(Metrics, NullSinkWhenNotInstalled) {
+  EXPECT_EQ(MetricsRegistry::installed(), nullptr);
+  MetricsRegistry reg;
+  {
+    MetricsRegistry::ScopedInstall install(reg);
+    EXPECT_EQ(MetricsRegistry::installed(), &reg);
+  }
+  EXPECT_EQ(MetricsRegistry::installed(), nullptr);
+  EXPECT_EQ(reg.series_count(), 0u);
+}
+
+TEST(Metrics, CounterAccumulatesAndGaugeOverwrites) {
+  MetricsRegistry reg;
+  reg.add("sim.launches", 1.0);
+  reg.add("sim.launches", 2.0);
+  reg.set("occupancy", 0.5);
+  reg.set("occupancy", 0.75);
+  EXPECT_DOUBLE_EQ(reg.value("sim.launches"), 3.0);
+  EXPECT_DOUBLE_EQ(reg.value("occupancy"), 0.75);
+  EXPECT_EQ(reg.series_count(), 2u);
+  // Unknown series read as zero / empty.
+  EXPECT_DOUBLE_EQ(reg.value("missing"), 0.0);
+  EXPECT_TRUE(reg.samples("missing").empty());
+}
+
+TEST(Metrics, LabelsAggregateRegardlessOfOrder) {
+  MetricsRegistry reg;
+  const Labels ab = {{"kernel", "gauss"}, {"mode", "full"}};
+  const Labels ba = {{"mode", "full"}, {"kernel", "gauss"}};
+  reg.add("sim.blocks", 10.0, ab);
+  reg.add("sim.blocks", 5.0, ba);
+  // Same label set in either order addresses the same series.
+  EXPECT_EQ(reg.series_count(), 1u);
+  EXPECT_DOUBLE_EQ(reg.value("sim.blocks", ab), 15.0);
+  EXPECT_DOUBLE_EQ(reg.value("sim.blocks", ba), 15.0);
+  // A different label value is a different series.
+  reg.add("sim.blocks", 1.0, {{"kernel", "sobel"}, {"mode", "full"}});
+  EXPECT_EQ(reg.series_count(), 2u);
+  EXPECT_DOUBLE_EQ(reg.value("sim.blocks", ab), 15.0);
+}
+
+TEST(Metrics, HistogramKeepsSamplesAndSummarizes) {
+  MetricsRegistry reg;
+  for (f64 v : {1.0, 2.0, 3.0, 4.0}) reg.observe("launch_ms", v);
+  const std::vector<f64> samples = reg.samples("launch_ms");
+  ASSERT_EQ(samples.size(), 4u);
+  const Json doc = reg.to_json();
+  ASSERT_EQ(doc.size(), 1u);
+  const Json& series = doc.items()[0];
+  EXPECT_EQ(series.find("name")->as_string(), "launch_ms");
+  EXPECT_EQ(series.find("kind")->as_string(), "histogram");
+  EXPECT_EQ(series.find("count")->as_int(), 4);
+  EXPECT_DOUBLE_EQ(series.find("min")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(series.find("max")->as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(series.find("mean")->as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(series.find("p50")->as_number(), 2.5);
+}
+
+TEST(Metrics, ThreadSafeUnderConcurrentAdds) {
+  MetricsRegistry reg;
+  constexpr i64 kIters = 256;
+  parallel_for(0, kIters, [&reg](i64 i) {
+    reg.add("concurrent", 1.0, {{"kernel", "k"}});
+    reg.observe("samples", static_cast<f64>(i));
+  });
+  EXPECT_DOUBLE_EQ(reg.value("concurrent", {{"kernel", "k"}}),
+                   static_cast<f64>(kIters));
+  EXPECT_EQ(reg.samples("samples").size(), static_cast<std::size_t>(kIters));
+}
+
+TEST(Metrics, ToJsonExportsLabelsAndValues) {
+  MetricsRegistry reg;
+  reg.add("sim.issue_slots", 128.0, {{"kernel", "gauss"}});
+  const Json doc = reg.to_json();
+  ASSERT_EQ(doc.size(), 1u);
+  const Json& series = doc.items()[0];
+  EXPECT_EQ(series.find("name")->as_string(), "sim.issue_slots");
+  EXPECT_EQ(series.find("kind")->as_string(), "counter");
+  EXPECT_DOUBLE_EQ(series.find("value")->as_number(), 128.0);
+  const Json* labels = series.find("labels");
+  ASSERT_NE(labels, nullptr);
+  EXPECT_EQ(labels->find("kernel")->as_string(), "gauss");
+  // The export itself must be valid JSON.
+  const Json back = Json::parse(doc.dump(2));
+  EXPECT_EQ(back.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ispb::obs

@@ -1,19 +1,33 @@
-// ispb_run — command-line front end to the whole stack: load (or
-// synthesize) an image, run one of the five evaluation applications under a
-// chosen border pattern / variant / device, write the result as PGM and
-// print per-stage statistics.
+// ispb_run — command-line front end to the whole stack. Subcommands:
 //
-//   ispb_run --app=sobel --pattern=mirror --variant=isp+m
-//            [--in=input.pgm | --size=1024] [--device=rtx2080]
-//            [--block=32x4] [--out=result.pgm] [--reference]
+//   (default)  load (or synthesize) an image, run one of the five evaluation
+//              applications under a chosen border pattern / variant / device,
+//              write the result as PGM and print per-stage statistics:
 //
-// The `analyze` subcommand runs the static checkers instead of the
-// simulator: per stage kernel it proves loads/stores in bounds, the region
-// switch a partition of the grid, and the Body section free of residual
-// border guards, and reports the results as a table (exit 1 on any finding).
+//     ispb_run --app=sobel --pattern=mirror --variant=isp+m
+//              [--in=input.pgm | --size=1024] [--device=rtx2080]
+//              [--block=32x4] [--out=result.pgm] [--reference]
 //
-//   ispb_run analyze --app=bilateral --pattern=mirror --variant=isp
-//            [--size=512] [--block=32x4]
+//   analyze    run the static checkers instead of the simulator: per stage
+//              kernel it proves loads/stores in bounds, the region switch a
+//              partition of the grid, and the Body section free of residual
+//              border guards (exit 1 on any finding):
+//
+//     ispb_run analyze --app=bilateral --pattern=mirror --variant=isp
+//              [--size=512] [--block=32x4]
+//
+//   profile    run the pipeline under tracing and metrics collection and
+//              emit a JSON report (compile-stage timings, per-kernel
+//              registers/occupancy, per-region counters) plus an optional
+//              Chrome trace loadable in Perfetto:
+//
+//     ispb_run profile --app=sobel --pattern=mirror --variant=isp
+//              [--device=gtx680] [--size=2048] [--block=32x4]
+//              [--json=profile.json] [--trace=trace.json]
+//
+//   help       print this overview.
+#include <array>
+#include <fstream>
 #include <iostream>
 #include <set>
 
@@ -25,6 +39,8 @@
 #include "image/generators.hpp"
 #include "image/image_io.hpp"
 #include "ir/analysis/checkers.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace ispb;
 
@@ -57,9 +73,98 @@ codegen::Variant parse_variant(const std::string& name, bool* use_model) {
   throw IoError("unknown --variant '" + name + "'");
 }
 
-/// The `analyze` subcommand: static bounds/coverage/lint verdicts for every
-/// stage kernel of an app under one launch geometry.
-int run_analyze(const Cli& cli) {
+std::string_view limiter_name(sim::Occupancy::Limiter l) {
+  switch (l) {
+    case sim::Occupancy::Limiter::kWarps:
+      return "warps";
+    case sim::Occupancy::Limiter::kBlocks:
+      return "blocks";
+    case sim::Occupancy::Limiter::kRegisters:
+      return "registers";
+    case sim::Occupancy::Limiter::kNone:
+      return "none";
+  }
+  return "none";
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
+  out << text << "\n";
+  if (!out) throw IoError("write to '" + path + "' failed");
+}
+
+/// Shared option set of the subcommands that drive the app pipeline.
+Cli& declare_pipeline_options(Cli& cli) {
+  return cli
+      .option("app", "gaussian|laplace|bilateral|sobel|night (default gaussian)")
+      .option("pattern", "clamp|mirror|repeat|constant (default clamp)")
+      .option("device", "gtx680|rtx2080 (default gtx680)")
+      .option("size", "synthetic image extent (default 512)")
+      .option("block", "threadblock TXxTY (default 32x4)")
+      .option("constant", "border constant for the constant pattern");
+}
+
+filters::AppSimConfig pipeline_config(const Cli& cli,
+                                      const std::string& default_variant) {
+  filters::AppSimConfig cfg;
+  const auto pattern = parse_border_pattern(cli.get_string("pattern", "clamp"));
+  if (!pattern.has_value()) throw IoError("unknown --pattern");
+  cfg.pattern = *pattern;
+  cfg.constant = static_cast<f32>(cli.get_double("constant", 0.0));
+  cfg.block = parse_block(cli.get_string("block", "32x4"));
+  cfg.device = cli.get_string("device", "gtx680") == "rtx2080"
+                   ? sim::make_rtx2080()
+                   : sim::make_gtx680();
+  cfg.variant =
+      parse_variant(cli.get_string("variant", default_variant), &cfg.use_model);
+  return cfg;
+}
+
+// ---- subcommands ------------------------------------------------------------
+
+/// Default subcommand: simulate an app end to end and write the result.
+int run_simulate(int argc, char** argv);
+/// `analyze`: static bounds/coverage/lint verdicts for every stage kernel.
+int run_analyze(int argc, char** argv);
+/// `profile`: traced + metered pipeline run with a JSON report.
+int run_profile(int argc, char** argv);
+
+struct Subcommand {
+  std::string_view name;
+  std::string_view summary;
+  int (*fn)(int argc, char** argv);
+};
+
+constexpr std::array<Subcommand, 3> kSubcommands = {{
+    {"run", "simulate an application end to end (the default)", run_simulate},
+    {"analyze", "statically prove bounds, coverage and Body specialization",
+     run_analyze},
+    {"profile", "traced run emitting a JSON report (+ optional Chrome trace)",
+     run_profile},
+}};
+
+std::string subcommand_overview() {
+  std::string out = "subcommands (ispb_run <subcommand> --help for options):\n";
+  for (const Subcommand& s : kSubcommands) {
+    out += "  " + std::string(s.name);
+    out.append(s.name.size() < 8 ? 8 - s.name.size() : 1, ' ');
+    out += std::string(s.summary) + "\n";
+  }
+  return out;
+}
+
+int run_analyze(int argc, char** argv) {
+  Cli cli(argc, argv);
+  cli.option("app", "gaussian|laplace|bilateral|sobel|night (default gaussian)")
+      .option("pattern", "clamp|mirror|repeat|constant (default clamp)")
+      .option("variant", "naive|isp|isp-warp (default isp)")
+      .option("size", "image extent the launch geometry covers (default 512)")
+      .option("block", "threadblock TXxTY (default 32x4)");
+  if (cli.finish()) {
+    std::cout << cli.help();
+    return 0;
+  }
   const filters::MultiKernelApp app =
       app_by_name(cli.get_string("app", "gaussian"));
   const auto pattern = parse_border_pattern(cli.get_string("pattern", "clamp"));
@@ -120,95 +225,253 @@ int run_analyze(const Cli& cli) {
   return ok ? 0 : 1;
 }
 
+int run_profile(int argc, char** argv) {
+  Cli cli(argc, argv);
+  declare_pipeline_options(cli)
+      .option("variant", "naive|isp|isp-warp|isp+m (default isp)")
+      .option("json", "report output path (default profile.json)")
+      .option("trace", "also write a Chrome trace-event JSON to this path");
+  if (cli.finish()) {
+    std::cout << cli.help();
+    return 0;
+  }
+
+  const filters::MultiKernelApp app =
+      app_by_name(cli.get_string("app", "gaussian"));
+  const filters::AppSimConfig cfg = pipeline_config(cli, "isp");
+  const i32 size = static_cast<i32>(cli.get_int("size", 512));
+  const Image<f32> source = make_noise_image({size, size}, 4242);
+
+  // Observe the whole pipeline: spans land in the trace session, launch
+  // counters in the registry. Both are uninstalled before the report is
+  // assembled, so report generation never observes itself.
+  obs::MetricsRegistry registry;
+  std::vector<obs::TraceEvent> events;
+  filters::AppSimResult result;
+  {
+    obs::MetricsRegistry::ScopedInstall install(registry);
+    obs::TraceSession::start();
+    result = filters::run_app_simulated(app, source, cfg);
+    events = obs::TraceSession::stop();
+  }
+
+  obs::Json report = obs::Json::object();
+  report["app"] = app.name;
+  report["pattern"] = std::string(to_string(cfg.pattern));
+  report["variant"] = cli.get_string("variant", "isp");
+  report["device"] = cfg.device.name;
+  report["size"] = size;
+  report["block"] = std::to_string(cfg.block.tx) + "x" +
+                    std::to_string(cfg.block.ty);
+  report["total_time_ms"] = result.total_time_ms;
+
+  // Compile-stage timings: one summary row per span name (pass spans carry
+  // the "compile.pass" category, pipeline stages "compile").
+  std::vector<obs::TraceEvent> compile_events;
+  for (const obs::TraceEvent& ev : events) {
+    if (ev.cat.rfind("compile", 0) == 0) compile_events.push_back(ev);
+  }
+  obs::Json compile = obs::Json::array();
+  for (const obs::SpanSummary& s : obs::summarize_spans(compile_events)) {
+    obs::Json row = obs::Json::object();
+    row["span"] = s.name;
+    row["count"] = s.count;
+    row["total_us"] = s.total_us;
+    row["p50_us"] = s.p50_us;
+    row["p99_us"] = s.p99_us;
+    compile.push_back(std::move(row));
+  }
+  report["compile_spans"] = std::move(compile);
+
+  obs::Json stages = obs::Json::array();
+  for (const auto& stage : result.stages) {
+    obs::Json st = obs::Json::object();
+    st["kernel"] = stage.kernel;
+    st["variant"] = std::string(codegen::to_string(stage.variant_used));
+    st["regs_per_thread"] = stage.regs_per_thread;
+    obs::Json occ = obs::Json::object();
+    occ["fraction"] = stage.stats.occupancy.fraction;
+    occ["active_blocks_per_sm"] = stage.stats.occupancy.active_blocks_per_sm;
+    occ["active_warps_per_sm"] = stage.stats.occupancy.active_warps_per_sm;
+    occ["limiter"] = std::string(limiter_name(stage.stats.occupancy.limiter));
+    st["occupancy"] = std::move(occ);
+    st["time_ms"] = stage.stats.time_ms;
+    obs::Json totals = obs::Json::object();
+    totals["blocks"] = stage.stats.blocks_total;
+    totals["issue_slots"] = stage.stats.warps.issue_slots;
+    totals["lane_instructions"] = stage.stats.warps.lane_instructions;
+    totals["mem_transactions"] = stage.stats.warps.mem_transactions;
+    totals["mem_cache_misses"] = stage.stats.warps.mem_cache_misses;
+    totals["divergent_branches"] = stage.stats.warps.divergent_branches;
+    totals["warp_cycles"] = stage.stats.total_warp_cycles;
+    st["totals"] = std::move(totals);
+
+    // All nine canonical regions, zeros where the launch had no such blocks
+    // (point-op stages classify everything as Body), so rows always sum to
+    // the totals above.
+    obs::Json regions = obs::Json::array();
+    for (Region r : kAllRegions) {
+      const u32 key = static_cast<u32>(region_sides(r));
+      const auto it = stage.stats.per_region.find(key);
+      static const sim::RegionCounters kEmpty;
+      const sim::RegionCounters& rc =
+          it != stage.stats.per_region.end() ? it->second : kEmpty;
+      obs::Json row = obs::Json::object();
+      row["region"] = std::string(to_string(r));
+      row["blocks"] = rc.blocks;
+      row["issue_slots"] = rc.warps.issue_slots;
+      row["lane_instructions"] = rc.warps.lane_instructions;
+      row["mem_transactions"] = rc.warps.mem_transactions;
+      row["mem_cache_misses"] = rc.warps.mem_cache_misses;
+      row["divergent_branches"] = rc.warps.divergent_branches;
+      row["warp_cycles"] = rc.cycles;
+      regions.push_back(std::move(row));
+    }
+    st["regions"] = std::move(regions);
+    stages.push_back(std::move(st));
+  }
+  report["stages"] = std::move(stages);
+  report["metrics"] = registry.to_json();
+
+  const std::string json_path = cli.get_string("json", "profile.json");
+  write_text_file(json_path, report.dump(2));
+
+  const std::string trace_path = cli.get_string("trace", "");
+  if (!trace_path.empty()) {
+    write_text_file(trace_path, obs::chrome_trace_json(events).dump());
+  }
+
+  // Human-readable summary of the same data.
+  AsciiTable spans_table("compile spans (" + app.name + ", " +
+                         std::to_string(size) + "x" + std::to_string(size) +
+                         ")");
+  spans_table.set_header({"span", "count", "total ms", "p50 us", "p99 us"});
+  for (const obs::SpanSummary& s : obs::summarize_spans(compile_events)) {
+    spans_table.add_row({s.name, std::to_string(s.count),
+                         AsciiTable::num(s.total_us / 1000.0, 3),
+                         AsciiTable::num(s.p50_us, 1),
+                         AsciiTable::num(s.p99_us, 1)});
+  }
+  spans_table.print(std::cout);
+
+  AsciiTable stage_table("per-stage results");
+  stage_table.set_header(
+      {"stage", "variant", "regs", "occupancy", "limiter", "time ms"});
+  for (const auto& stage : result.stages) {
+    stage_table.add_row(
+        {stage.kernel, std::string(codegen::to_string(stage.variant_used)),
+         std::to_string(stage.regs_per_thread),
+         AsciiTable::num(stage.stats.occupancy.fraction, 2),
+         std::string(limiter_name(stage.stats.occupancy.limiter)),
+         AsciiTable::num(stage.stats.time_ms, 4)});
+  }
+  stage_table.print(std::cout);
+
+  for (const auto& stage : result.stages) {
+    AsciiTable region_table("per-region counters: " + stage.kernel);
+    region_table.set_header(
+        {"region", "blocks", "issue slots", "divergent", "transactions"});
+    for (Region r : kAllRegions) {
+      const auto it =
+          stage.stats.per_region.find(static_cast<u32>(region_sides(r)));
+      if (it == stage.stats.per_region.end()) continue;
+      region_table.add_row({std::string(to_string(r)),
+                            std::to_string(it->second.blocks),
+                            std::to_string(it->second.warps.issue_slots),
+                            std::to_string(it->second.warps.divergent_branches),
+                            std::to_string(it->second.warps.mem_transactions)});
+    }
+    region_table.print(std::cout);
+  }
+
+  std::cout << "wrote " << json_path;
+  if (!trace_path.empty()) std::cout << " and " << trace_path;
+  std::cout << "\n";
+  return 0;
+}
+
+int run_simulate(int argc, char** argv) {
+  Cli cli(argc, argv);
+  declare_pipeline_options(cli)
+      .option("variant", "naive|isp|isp-warp|isp+m (default isp+m)")
+      .option("in", "input PGM (default: synthetic noise)")
+      .option("out", "output PGM path (default result.pgm)")
+      .option("reference", "also run the CPU reference and compare");
+  if (cli.finish()) {
+    std::cout << cli.help() << subcommand_overview();
+    return 0;
+  }
+  if (!cli.positional().empty()) {
+    throw IoError("unknown subcommand '" + cli.positional()[0] + "'\n" +
+                  subcommand_overview());
+  }
+
+  const filters::MultiKernelApp app =
+      app_by_name(cli.get_string("app", "gaussian"));
+  const filters::AppSimConfig cfg = pipeline_config(cli, "isp+m");
+
+  const std::string in_path = cli.get_string("in", "");
+  const Image<f32> source =
+      in_path.empty()
+          ? make_noise_image({static_cast<i32>(cli.get_int("size", 512)),
+                              static_cast<i32>(cli.get_int("size", 512))},
+                             4242)
+          : read_pgm(in_path);
+
+  std::cout << "running " << app.name << " (" << app.stages.size()
+            << " kernel(s)) on " << cfg.device.name << ", " << source.size()
+            << ", " << to_string(cfg.pattern) << ", variant "
+            << cli.get_string("variant", "isp+m") << "\n\n";
+
+  const filters::AppSimResult result =
+      filters::run_app_simulated(app, source, cfg);
+
+  AsciiTable table("per-stage results");
+  table.set_header({"stage", "variant", "time ms", "occupancy",
+                    "warp instructions", "divergent branches"});
+  for (const auto& stage : result.stages) {
+    table.add_row({stage.kernel,
+                   std::string(codegen::to_string(stage.variant_used)),
+                   AsciiTable::num(stage.stats.time_ms, 4),
+                   AsciiTable::num(stage.stats.occupancy.fraction, 2),
+                   std::to_string(stage.stats.warps.issue_slots),
+                   std::to_string(stage.stats.warps.divergent_branches)});
+  }
+  table.print(std::cout);
+  std::cout << "total modeled time: " << result.total_time_ms << " ms\n";
+
+  if (cli.get_flag("reference")) {
+    const Image<f32> expect =
+        filters::run_app_reference(app, source, cfg.pattern, cfg.constant);
+    const CompareResult diff = compare(result.output, expect);
+    std::cout << "simulator vs CPU reference: max abs diff = " << diff.max_abs
+              << (diff.max_abs == 0.0 ? " (bit-exact)" : "") << "\n";
+  }
+
+  const std::string out_path = cli.get_string("out", "result.pgm");
+  write_pgm(result.output, out_path);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    Cli cli(argc, argv);
-    cli.option("app", "gaussian|laplace|bilateral|sobel|night (default gaussian)")
-        .option("pattern", "clamp|mirror|repeat|constant (default clamp)")
-        .option("variant", "naive|isp|isp-warp|isp+m (default isp+m)")
-        .option("device", "gtx680|rtx2080 (default gtx680)")
-        .option("in", "input PGM (default: synthetic noise)")
-        .option("size", "synthetic image extent (default 512)")
-        .option("block", "threadblock TXxTY (default 32x4)")
-        .option("constant", "border constant for the constant pattern")
-        .option("out", "output PGM path (default result.pgm)")
-        .option("reference", "also run the CPU reference and compare");
-    if (cli.finish()) {
-      std::cout << cli.help()
-                << "subcommand:\n"
-                   "  analyze\tstatically prove bounds, coverage and Body\n"
-                   "         \tspecialization instead of running the app\n";
-      return 0;
-    }
-    if (!cli.positional().empty()) {
-      if (cli.positional()[0] != "analyze") {
-        throw IoError("unknown subcommand '" + cli.positional()[0] +
-                      "' (did you mean 'analyze'?)");
+    if (argc > 1 && argv[1][0] != '-') {
+      const std::string sub = argv[1];
+      if (sub == "help") {
+        std::cout << "ispb_run — front end to the ISP border-handling stack\n\n"
+                  << subcommand_overview();
+        return 0;
       }
-      return run_analyze(cli);
+      for (const Subcommand& s : kSubcommands) {
+        if (sub == s.name) return s.fn(argc - 1, argv + 1);
+      }
+      throw IoError("unknown subcommand '" + sub + "'\n" +
+                    subcommand_overview());
     }
-
-    const filters::MultiKernelApp app =
-        app_by_name(cli.get_string("app", "gaussian"));
-    const auto pattern =
-        parse_border_pattern(cli.get_string("pattern", "clamp"));
-    if (!pattern.has_value()) throw IoError("unknown --pattern");
-
-    filters::AppSimConfig cfg;
-    cfg.pattern = *pattern;
-    cfg.constant = static_cast<f32>(cli.get_double("constant", 0.0));
-    cfg.block = parse_block(cli.get_string("block", "32x4"));
-    cfg.device = cli.get_string("device", "gtx680") == "rtx2080"
-                     ? sim::make_rtx2080()
-                     : sim::make_gtx680();
-    const std::string variant = cli.get_string("variant", "isp+m");
-    cfg.variant = parse_variant(variant, &cfg.use_model);
-
-    const std::string in_path = cli.get_string("in", "");
-    const Image<f32> source =
-        in_path.empty()
-            ? make_noise_image({static_cast<i32>(cli.get_int("size", 512)),
-                                static_cast<i32>(cli.get_int("size", 512))},
-                               4242)
-            : read_pgm(in_path);
-
-    std::cout << "running " << app.name << " (" << app.stages.size()
-              << " kernel(s)) on " << cfg.device.name << ", "
-              << source.size() << ", " << to_string(*pattern) << ", variant "
-              << variant << "\n\n";
-
-    const filters::AppSimResult result =
-        filters::run_app_simulated(app, source, cfg);
-
-    AsciiTable table("per-stage results");
-    table.set_header({"stage", "variant", "time ms", "occupancy",
-                      "warp instructions", "divergent branches"});
-    for (const auto& stage : result.stages) {
-      table.add_row({stage.kernel,
-                     std::string(codegen::to_string(stage.variant_used)),
-                     AsciiTable::num(stage.stats.time_ms, 4),
-                     AsciiTable::num(stage.stats.occupancy.fraction, 2),
-                     std::to_string(stage.stats.warps.issue_slots),
-                     std::to_string(stage.stats.warps.divergent_branches)});
-    }
-    table.print(std::cout);
-    std::cout << "total modeled time: " << result.total_time_ms << " ms\n";
-
-    if (cli.get_flag("reference")) {
-      const Image<f32> expect = filters::run_app_reference(
-          app, source, *pattern, cfg.constant);
-      const CompareResult diff = compare(result.output, expect);
-      std::cout << "simulator vs CPU reference: max abs diff = "
-                << diff.max_abs << (diff.max_abs == 0.0 ? " (bit-exact)" : "")
-                << "\n";
-    }
-
-    const std::string out_path = cli.get_string("out", "result.pgm");
-    write_pgm(result.output, out_path);
-    std::cout << "wrote " << out_path << "\n";
-    return 0;
+    return run_simulate(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
