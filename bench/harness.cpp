@@ -55,13 +55,14 @@ AppRunner::AppRunner(filters::MultiKernelApp app, BorderPattern pattern)
   kernels_.reserve(app_.stages.size());
   for (const auto& stage : app_.stages) {
     StageKernels sk;
+    pipeline::KernelCache& cache = pipeline::KernelCache::global();
     codegen::CodegenOptions naive_opt;
     naive_opt.pattern = pattern;
     naive_opt.variant = codegen::Variant::kNaive;
-    sk.naive = dsl::compile_kernel(stage.spec, naive_opt);
+    sk.naive = cache.get_or_compile(stage.spec, naive_opt);
     codegen::CodegenOptions isp_opt = naive_opt;
     isp_opt.variant = codegen::Variant::kIsp;
-    sk.isp = dsl::compile_kernel(stage.spec, isp_opt);
+    sk.isp = cache.get_or_compile(stage.spec, isp_opt);
     sk.costs = codegen::measure_costs(stage.spec, pattern);
     kernels_.push_back(std::move(sk));
   }
@@ -89,7 +90,7 @@ f64 AppRunner::run_pipeline(const sim::DeviceSpec& dev, Size2 size,
       inputs.push_back(&images[static_cast<std::size_t>(binding)]);
     }
     const dsl::CompiledKernel& kernel =
-        pick_isp[s] ? kernels_[s].isp : kernels_[s].naive;
+        pick_isp[s] ? *kernels_[s].isp : *kernels_[s].naive;
     Image<f32> out(size);
     const dsl::SimRun run =
         dsl::launch_on_sim(dev, kernel, inputs, out, block, /*sampled=*/true);
@@ -117,11 +118,11 @@ std::vector<AppRunner::StageDecision> AppRunner::decide(
     // Eq. (10) uses theoretical occupancy directly (paper-faithful; see
     // dsl::plan_variant for the rationale).
     in.occupancy_naive = std::max(
-        1e-6, sim::compute_occupancy(dev, block, sk.naive.regs_per_thread)
+        1e-6, sim::compute_occupancy(dev, block, sk.naive->regs_per_thread)
                   .fraction);
     in.occupancy_isp = std::max(
         1e-6,
-        sim::compute_occupancy(dev, block, sk.isp.regs_per_thread).fraction);
+        sim::compute_occupancy(dev, block, sk.isp->regs_per_thread).fraction);
 
     StageDecision d;
     d.kernel = app_.stages[s].spec.name;

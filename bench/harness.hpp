@@ -13,6 +13,7 @@
 #include "dsl/compile.hpp"
 #include "filters/filters.hpp"
 #include "obs/json.hpp"
+#include "pipeline/kernel_cache.hpp"
 
 namespace ispb::bench {
 
@@ -100,9 +101,11 @@ class AppRunner {
   [[nodiscard]] BorderPattern pattern() const { return pattern_; }
 
  private:
+  /// Kernels are shared with the process-wide pipeline::KernelCache: a
+  /// second AppRunner for the same (app, pattern) compiles nothing.
   struct StageKernels {
-    dsl::CompiledKernel naive;
-    dsl::CompiledKernel isp;
+    pipeline::KernelCache::KernelPtr naive;
+    pipeline::KernelCache::KernelPtr isp;
     codegen::MeasuredCosts costs;
   };
 

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "dsl/compile.hpp"
+#include "pipeline/kernel_cache.hpp"
 
 namespace ispb::filters {
 
@@ -358,8 +359,11 @@ AppSimResult run_app_simulated(const MultiKernelApp& app,
     options.pattern = config.pattern;
     options.variant = variant;
     options.border_constant = config.constant;
-    const dsl::CompiledKernel kernel =
-        dsl::compile_kernel(stage.spec, options);
+    // Identical (spec, options) compiles happen once per process: every
+    // pipeline run in the repo funnels through the shared kernel cache.
+    const pipeline::KernelCache::KernelPtr kernel =
+        pipeline::KernelCache::global().get_or_compile(stage.spec, options,
+                                                       config.device.name);
 
     std::vector<const Image<f32>*> inputs;
     inputs.reserve(stage.input_bindings.size());
@@ -369,11 +373,11 @@ AppSimResult run_app_simulated(const MultiKernelApp& app,
     }
     Image<f32> out(source.size());
     const dsl::SimRun run =
-        dsl::launch_on_sim(config.device, kernel, inputs, out, config.block,
+        dsl::launch_on_sim(config.device, *kernel, inputs, out, config.block,
                            config.sampled);
     result.total_time_ms += run.stats.time_ms;
     result.stages.push_back(AppSimResult::Stage{
-        stage.spec.name, run.variant_used, kernel.regs_per_thread, run.stats});
+        stage.spec.name, run.variant_used, kernel->regs_per_thread, run.stats});
     images.push_back(std::move(out));
   }
   result.output = std::move(images.back());

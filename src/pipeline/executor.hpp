@@ -1,0 +1,66 @@
+// PipelineExecutor: runs a KernelGraph on the simulator, scheduling stages
+// whose dependencies are satisfied concurrently on a common::ThreadPool.
+//
+// Sobel's two derivative kernels execute in parallel and the magnitude
+// stage starts the moment both finish; Night's Atrous chain degrades to
+// sequential execution naturally (each stage unblocks the next). Stage
+// results are bit-identical to filters::run_app_reference regardless of
+// schedule: stages only share images through completed dependencies, and
+// each simulated launch is deterministic.
+//
+// Threading: the executor owns a pool sized to the graph's parallelism. It
+// deliberately does NOT run stage bodies on ThreadPool::global() — the
+// simulator's block loop parallelizes over that pool via parallel_for, and
+// parallel_for's wait would self-deadlock if its caller occupied a global
+// worker slot. With concurrency 1 stages run inline on the caller's thread
+// (no pool at all) — the right mode for serving, where parallelism comes
+// from concurrent requests instead.
+#pragma once
+
+#include "pipeline/kernel_cache.hpp"
+#include "pipeline/kernel_graph.hpp"
+
+namespace ispb::pipeline {
+
+/// How the executor runs one graph.
+struct ExecutorConfig {
+  /// Device/block/variant/pattern knobs, as for filters::run_app_simulated.
+  filters::AppSimConfig sim;
+  /// Max stages in flight: 1 = inline (no pool), 0 = one worker per
+  /// independent root, capped at 8.
+  i32 concurrency = 0;
+  /// Compile cache; nullptr = KernelCache::global(). Ignored when
+  /// use_cache is false (every stage compiles from scratch — the
+  /// cold-compile baseline the benches compare against).
+  KernelCache* cache = nullptr;
+  bool use_cache = true;
+};
+
+/// Per-stage and aggregate outcome; mirrors filters::AppSimResult.
+struct ExecutorResult {
+  Image<f32> output;
+  f64 total_time_ms = 0.0;  ///< summed modeled stage time
+  struct Stage {
+    std::string kernel;
+    codegen::Variant variant_used = codegen::Variant::kNaive;
+    i32 regs_per_thread = 0;
+    sim::LaunchStats stats;
+  };
+  std::vector<Stage> stages;  ///< in graph stage order
+};
+
+class PipelineExecutor {
+ public:
+  explicit PipelineExecutor(ExecutorConfig config = {});
+
+  /// Runs every stage of `graph` over `source`, honoring the dependency
+  /// structure. Rethrows the first stage failure after in-flight stages
+  /// drain.
+  [[nodiscard]] ExecutorResult run(const KernelGraph& graph,
+                                   const Image<f32>& source) const;
+
+ private:
+  ExecutorConfig config_;
+};
+
+}  // namespace ispb::pipeline

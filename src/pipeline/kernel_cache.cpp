@@ -1,0 +1,190 @@
+#include "pipeline/kernel_cache.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ispb::pipeline {
+
+namespace {
+
+constexpr u64 kFnvOffset = 14695981039346656037ull;
+constexpr u64 kFnvPrime = 1099511628211ull;
+
+void fnv_bytes(u64& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+template <typename T>
+void fnv_value(u64& h, const T& v) {
+  fnv_bytes(h, &v, sizeof(v));
+}
+
+std::string hex64(u64 v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (i32 i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+u64 spec_fingerprint(const codegen::StencilSpec& spec) {
+  u64 h = kFnvOffset;
+  fnv_bytes(h, spec.name.data(), spec.name.size());
+  fnv_value(h, spec.num_inputs);
+  fnv_value(h, spec.output);
+  for (const codegen::Node& n : spec.nodes) {
+    fnv_value(h, n.kind);
+    // Hash the exact bit pattern so 0.0f and -0.0f constants stay distinct.
+    fnv_value(h, std::bit_cast<u32>(n.value));
+    fnv_value(h, n.input);
+    fnv_value(h, n.dx);
+    fnv_value(h, n.dy);
+    fnv_value(h, n.lhs);
+    fnv_value(h, n.rhs);
+  }
+  return h;
+}
+
+std::string cache_key(const codegen::StencilSpec& spec,
+                      const codegen::CodegenOptions& options,
+                      std::string_view device) {
+  std::string key;
+  key.reserve(64 + spec.name.size() + device.size());
+  key += spec.name;
+  key += '/';
+  key += hex64(spec_fingerprint(spec));
+  key += '/';
+  key += to_string(options.pattern);
+  key += '/';
+  key += codegen::to_string(options.variant);
+  key += "/c";
+  key += hex64(std::bit_cast<u32>(options.border_constant));
+  key += options.optimize ? "/opt" : "/noopt";
+  key += options.row_blocks ? "/rows" : "/flat";
+  key += "/w";
+  key += std::to_string(options.warp_width);
+  if (!device.empty()) {
+    key += '@';
+    key += device;
+  }
+  return key;
+}
+
+KernelCache::KernelCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+KernelCache::KernelPtr KernelCache::get_or_compile(
+    const codegen::StencilSpec& spec, const codegen::CodegenOptions& options,
+    std::string_view device) {
+  const std::string key = cache_key(spec, options, device);
+
+  std::promise<KernelPtr> promise;
+  {
+    std::unique_lock lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (it->second.ready) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      } else {
+        ++stats_.coalesced;
+      }
+      publish_counters_locked();
+      std::shared_future<KernelPtr> future = it->second.future;
+      lock.unlock();
+      return future.get();  // ready entries return immediately
+    }
+    ++stats_.misses;
+    publish_counters_locked();
+    Entry entry;
+    entry.future = promise.get_future().share();
+    entries_.emplace(key, std::move(entry));
+  }
+
+  // Compile outside the lock: concurrent misses on *different* keys compile
+  // in parallel; concurrent requests for *this* key wait on the future.
+  KernelPtr kernel;
+  try {
+    obs::ScopedSpan span("pipeline.cache.compile", "compile");
+    span.arg("key", key);
+    kernel =
+        std::make_shared<const dsl::CompiledKernel>(dsl::compile_kernel(spec, options));
+  } catch (...) {
+    // Hand the failure to every waiter, then forget the key so a later
+    // request can retry.
+    promise.set_exception(std::current_exception());
+    {
+      std::lock_guard lock(mu_);
+      entries_.erase(key);
+    }
+    throw;
+  }
+  promise.set_value(kernel);
+
+  {
+    std::lock_guard lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end() && !it->second.ready) {
+      // clear() may have dropped the entry mid-compile; only then is the
+      // key absent and the result simply not cached.
+      lru_.push_front(key);
+      it->second.lru_it = lru_.begin();
+      it->second.ready = true;
+      while (lru_.size() > capacity_) {
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+        ++stats_.evictions;
+      }
+    }
+    publish_counters_locked();
+  }
+  return kernel;
+}
+
+KernelCacheStats KernelCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::size_t KernelCache::size() const {
+  std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+void KernelCache::clear() {
+  std::lock_guard lock(mu_);
+  // Drop ready entries only; an in-flight compile still owns its map slot
+  // (erasing it would let a concurrent miss start a duplicate compile whose
+  // publication then collides with the first one's).
+  for (const std::string& key : lru_) entries_.erase(key);
+  lru_.clear();
+  stats_ = KernelCacheStats{};
+}
+
+void KernelCache::publish_counters_locked() const {
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::installed();
+  if (reg == nullptr) return;
+  reg->set("pipeline.cache.hits", static_cast<f64>(stats_.hits));
+  reg->set("pipeline.cache.misses", static_cast<f64>(stats_.misses));
+  reg->set("pipeline.cache.coalesced", static_cast<f64>(stats_.coalesced));
+  reg->set("pipeline.cache.evictions", static_cast<f64>(stats_.evictions));
+  reg->set("pipeline.cache.size", static_cast<f64>(lru_.size()));
+}
+
+KernelCache& KernelCache::global() {
+  static KernelCache cache;
+  return cache;
+}
+
+}  // namespace ispb::pipeline

@@ -1,0 +1,105 @@
+// Compiled-kernel cache: memoizes dsl::compile_kernel results.
+//
+// Compiling a StencilSpec (trace -> IR -> pass pipeline -> regalloc) costs
+// orders of magnitude more than a sampled launch, and the serving workloads
+// of the pipeline runtime compile the same handful of kernels over and over.
+// The cache keys on the *structure* of the spec (a 64-bit FNV-1a fingerprint
+// over name, inputs and every DAG node), the full CodegenOptions (pattern,
+// variant, constant, optimization toggles, warp width) and a device label,
+// so two structurally identical specs traced independently share one entry.
+//
+// Concurrency contract (single-flight): when several threads request the
+// same missing key at once, exactly one compiles while the rest block on a
+// shared future — a key is never compiled twice. Ready entries are returned
+// without blocking. Eviction is LRU over ready entries only; in-flight
+// compiles are never evicted (the map may transiently exceed capacity).
+//
+// Observability: each compile runs under a ScopedSpan ("pipeline.cache
+// .compile") and hit/miss/eviction counters plus a size gauge are published
+// to the installed obs::MetricsRegistry (null fast path when none is).
+#pragma once
+
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "dsl/runtime.hpp"
+
+namespace ispb::pipeline {
+
+/// Structural fingerprint of a spec: FNV-1a over name, num_inputs, output
+/// id and every node (kind, f32 bit pattern, input, offsets, operand ids).
+[[nodiscard]] u64 spec_fingerprint(const codegen::StencilSpec& spec);
+
+/// The full cache key: fingerprint + every CodegenOptions field + device.
+[[nodiscard]] std::string cache_key(const codegen::StencilSpec& spec,
+                                    const codegen::CodegenOptions& options,
+                                    std::string_view device);
+
+/// Monotonic cache counters. `coalesced` counts requests that arrived while
+/// the same key was compiling and waited for it instead of recompiling.
+struct KernelCacheStats {
+  u64 hits = 0;
+  u64 misses = 0;  ///< actual compiles
+  u64 coalesced = 0;
+  u64 evictions = 0;
+  /// Fraction of lookups served without compiling (coalesced waits count as
+  /// served). 0 when there were no lookups.
+  [[nodiscard]] f64 hit_rate() const {
+    const u64 total = hits + coalesced + misses;
+    return total == 0 ? 0.0 : static_cast<f64>(hits + coalesced) /
+                                  static_cast<f64>(total);
+  }
+};
+
+/// Thread-safe LRU cache of compiled kernels with single-flight compiles.
+class KernelCache {
+ public:
+  using KernelPtr = std::shared_ptr<const dsl::CompiledKernel>;
+
+  /// Keeps at most `capacity` ready entries (>= 1).
+  explicit KernelCache(std::size_t capacity = 256);
+
+  KernelCache(const KernelCache&) = delete;
+  KernelCache& operator=(const KernelCache&) = delete;
+
+  /// Returns the cached kernel for (spec, options, device), compiling it on
+  /// first use. Blocks only when another thread is already compiling the
+  /// same key. Rethrows the compiler's exception to every waiter.
+  [[nodiscard]] KernelPtr get_or_compile(const codegen::StencilSpec& spec,
+                                         const codegen::CodegenOptions& options,
+                                         std::string_view device = {});
+
+  [[nodiscard]] KernelCacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;      ///< ready entries
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Drops all ready entries and resets the counters. In-flight compiles
+  /// finish and publish into the cleared cache.
+  void clear();
+
+  /// Process-wide cache shared by filters::run_app_simulated and the bench
+  /// harness, so identical (app, variant) compiles happen once per process.
+  [[nodiscard]] static KernelCache& global();
+
+ private:
+  struct Entry {
+    std::shared_future<KernelPtr> future;
+    std::list<std::string>::iterator lru_it;  ///< valid iff ready
+    bool ready = false;
+  };
+
+  void publish_counters_locked() const;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< most recently used first; ready keys only
+  KernelCacheStats stats_;
+};
+
+}  // namespace ispb::pipeline

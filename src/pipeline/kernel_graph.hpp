@@ -1,0 +1,55 @@
+// KernelGraph: a MultiKernelApp as an explicit DAG of stages.
+//
+// filters::MultiKernelApp orders stages linearly and encodes data flow in
+// input_bindings (image 0 is the source, image k > 0 the output of stage
+// k-1). The graph makes the dependencies first-class: each stage lists the
+// stage indices it reads from, so independent branches — Sobel's dx and dy
+// derivative kernels both reading the source — are visible to a scheduler
+// instead of hidden behind the linear order. Night's Atrous chain derives
+// as a pure sequence; Gaussian/Laplace/Bilateral are single nodes.
+//
+// Stage indices are a topological order by construction (a stage may only
+// read images produced by earlier stages), which validate() re-checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "filters/filters.hpp"
+
+namespace ispb::pipeline {
+
+/// A stage DAG over one source image. Image ids follow the MultiKernelApp
+/// convention: 0 is the source, stage i writes image i + 1.
+struct KernelGraph {
+  struct Stage {
+    codegen::StencilSpec spec;
+    std::vector<i32> input_images;  ///< image ids read, in accessor order
+    std::vector<i32> deps;          ///< producing stage indices, deduplicated
+  };
+
+  std::string name;
+  std::vector<Stage> stages;
+
+  /// Source + one output per stage.
+  [[nodiscard]] i32 image_count() const {
+    return static_cast<i32>(stages.size()) + 1;
+  }
+
+  /// Stages with no producing dependency (they read only the source).
+  [[nodiscard]] std::vector<i32> roots() const;
+
+  /// Number of dependency levels: 1 for a single stage or a pure fan-out,
+  /// stages.size() for a chain. The executor can run one level's stages
+  /// concurrently.
+  [[nodiscard]] i32 depth() const;
+
+  /// Structural checks: nonempty, every input image id in [0, stage image),
+  /// deps consistent with input_images. Throws ContractError on violation.
+  void validate() const;
+};
+
+/// Derives the DAG from the linear app form.
+[[nodiscard]] KernelGraph build_graph(const filters::MultiKernelApp& app);
+
+}  // namespace ispb::pipeline

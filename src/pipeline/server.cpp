@@ -1,0 +1,181 @@
+#include "pipeline/server.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ispb::pipeline {
+
+namespace {
+
+f64 ms_between(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<f64, std::milli>(b - a).count();
+}
+
+void publish_status(ServeStatus status) {
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::installed();
+  if (reg == nullptr) return;
+  reg->add("pipeline.server.requests", 1.0,
+           {{"status", std::string(to_string(status))}});
+}
+
+}  // namespace
+
+std::string_view to_string(ServeStatus s) {
+  switch (s) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kRejected:
+      return "rejected";
+    case ServeStatus::kDeadlineExpired:
+      return "deadline_expired";
+    case ServeStatus::kError:
+      return "error";
+  }
+  return "?";
+}
+
+PipelineServer::PipelineServer(ServerConfig config)
+    : config_(std::move(config)),
+      executor_(config_.executor),
+      paused_(config_.start_paused) {
+  ISPB_EXPECTS(config_.workers >= 1);
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (i32 i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PipelineServer::~PipelineServer() { shutdown(); }
+
+std::future<ServeResponse> PipelineServer::submit(ServeRequest request) {
+  ISPB_EXPECTS(request.graph != nullptr && request.source != nullptr);
+  Item item;
+  item.request = std::move(request);
+  item.submitted_at = Clock::now();
+  std::future<ServeResponse> future = item.promise.get_future();
+
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.submitted;
+    if (!accepting_ || queue_.size() >= config_.queue_capacity) {
+      ++stats_.rejected;
+      ServeResponse response;
+      response.status = ServeStatus::kRejected;
+      response.error = accepting_ ? "queue full" : "server shut down";
+      publish_status(response.status);
+      item.promise.set_value(std::move(response));
+      return future;
+    }
+    ++stats_.accepted;
+    queue_.push_back(std::move(item));
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+void PipelineServer::resume() {
+  {
+    std::lock_guard lock(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void PipelineServer::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    accepting_ = false;
+    draining_ = true;
+    paused_ = false;  // a paused server still drains its queue
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+ServerStats PipelineServer::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void PipelineServer::worker_loop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return draining_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty()) {
+        if (draining_) return;
+        continue;  // spurious wake while paused
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    process(std::move(item));
+  }
+}
+
+void PipelineServer::process(Item item) {
+  const Clock::time_point dequeued_at = Clock::now();
+  ServeResponse response;
+  response.queue_ms = ms_between(item.submitted_at, dequeued_at);
+
+  if (item.request.deadline_ms > 0.0 &&
+      response.queue_ms > item.request.deadline_ms) {
+    response.status = ServeStatus::kDeadlineExpired;
+    response.error = "deadline expired after " +
+                     std::to_string(response.queue_ms) + " ms queued";
+  } else {
+    try {
+      obs::ScopedSpan span("pipeline.server.request", "pipeline");
+      span.arg("graph", item.request.graph->name);
+      ExecutorResult result =
+          executor_.run(*item.request.graph, *item.request.source);
+      response.output = std::move(result.output);
+      response.sim_time_ms = result.total_time_ms;
+    } catch (const std::exception& e) {
+      response.status = ServeStatus::kError;
+      response.error = e.what();
+    }
+  }
+
+  const Clock::time_point finished_at = Clock::now();
+  response.exec_ms = ms_between(dequeued_at, finished_at);
+  response.total_ms = ms_between(item.submitted_at, finished_at);
+
+  {
+    std::lock_guard lock(mu_);
+    switch (response.status) {
+      case ServeStatus::kOk:
+        ++stats_.completed;
+        stats_.total_latency_ms.push_back(response.total_ms);
+        stats_.queue_latency_ms.push_back(response.queue_ms);
+        stats_.exec_latency_ms.push_back(response.exec_ms);
+        break;
+      case ServeStatus::kDeadlineExpired:
+        ++stats_.deadline_expired;
+        break;
+      case ServeStatus::kError:
+        ++stats_.errors;
+        break;
+      case ServeStatus::kRejected:
+        break;  // counted at submit()
+    }
+  }
+  publish_status(response.status);
+  if (obs::MetricsRegistry* reg = obs::MetricsRegistry::installed();
+      reg != nullptr && response.status == ServeStatus::kOk) {
+    reg->observe("pipeline.server.latency_ms", response.total_ms);
+    reg->observe("pipeline.server.queue_ms", response.queue_ms);
+  }
+  item.promise.set_value(std::move(response));
+}
+
+}  // namespace ispb::pipeline

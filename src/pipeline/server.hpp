@@ -1,0 +1,129 @@
+// PipelineServer: async batched serving driver over the pipeline runtime.
+//
+// Requests (a kernel graph + a source image) enter a bounded queue and are
+// drained by N worker threads, each running a PipelineExecutor. The queue
+// rejects gracefully on overflow — submit() returns an already-satisfied
+// future carrying kRejected instead of blocking or throwing — and requests
+// may carry a deadline: one that expires while queued is answered
+// kDeadlineExpired without executing (load shedding, so a burst cannot make
+// every response late).
+//
+// Workers execute stages inline (executor concurrency 1) by default:
+// throughput comes from request-level parallelism, and the simulator's
+// block loop still parallelizes each launch over the global pool.
+//
+// Latency accounting per request: queue wait, execution time and total
+// submit-to-finish wall time, retained as samples for percentile reporting
+// (ServerStats) and published to the installed obs::MetricsRegistry.
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "pipeline/executor.hpp"
+
+namespace ispb::pipeline {
+
+/// One unit of work. Graph and source are shared_ptr so a caller can submit
+/// the same graph/image to many requests without copying specs or pixels.
+struct ServeRequest {
+  std::shared_ptr<const KernelGraph> graph;
+  std::shared_ptr<const Image<f32>> source;
+  /// Queue-wait budget in wall milliseconds; 0 = none. Measured from
+  /// submit(); checked when a worker dequeues the request.
+  f64 deadline_ms = 0.0;
+};
+
+enum class ServeStatus : u8 {
+  kOk,
+  kRejected,         ///< queue full or server shut down
+  kDeadlineExpired,  ///< spent longer queued than deadline_ms
+  kError,            ///< the pipeline threw; see error text
+};
+[[nodiscard]] std::string_view to_string(ServeStatus s);
+
+struct ServeResponse {
+  ServeStatus status = ServeStatus::kOk;
+  Image<f32> output;        ///< valid iff status == kOk
+  f64 sim_time_ms = 0.0;    ///< modeled GPU time (kOk only)
+  f64 queue_ms = 0.0;       ///< submit -> dequeue wall time
+  f64 exec_ms = 0.0;        ///< dequeue -> finish wall time
+  f64 total_ms = 0.0;       ///< submit -> finish wall time
+  std::string error;        ///< kError / kRejected detail
+};
+
+/// Aggregate serving counters and latency samples (kOk requests only).
+struct ServerStats {
+  u64 submitted = 0;
+  u64 accepted = 0;
+  u64 rejected = 0;
+  u64 completed = 0;
+  u64 deadline_expired = 0;
+  u64 errors = 0;
+  std::vector<f64> total_latency_ms;
+  std::vector<f64> queue_latency_ms;
+  std::vector<f64> exec_latency_ms;
+};
+
+struct ServerConfig {
+  i32 workers = 4;                ///< >= 1
+  std::size_t queue_capacity = 64;  ///< pending requests before rejection
+  ExecutorConfig executor{.sim = {}, .concurrency = 1};
+  /// When true the workers start idle; queued requests run only after
+  /// resume(). Gives tests deterministic control over overflow and
+  /// deadline paths.
+  bool start_paused = false;
+};
+
+class PipelineServer {
+ public:
+  explicit PipelineServer(ServerConfig config);
+  /// Shuts down (drains the queue) if the caller has not already.
+  ~PipelineServer();
+
+  PipelineServer(const PipelineServer&) = delete;
+  PipelineServer& operator=(const PipelineServer&) = delete;
+
+  /// Enqueues a request. Never blocks: on overflow (or after shutdown) the
+  /// returned future is already satisfied with kRejected.
+  [[nodiscard]] std::future<ServeResponse> submit(ServeRequest request);
+
+  /// Starts processing when constructed with start_paused. Idempotent.
+  void resume();
+
+  /// Stops accepting, drains every queued request, joins the workers.
+  /// Idempotent.
+  void shutdown();
+
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Item {
+    ServeRequest request;
+    std::promise<ServeResponse> promise;
+    Clock::time_point submitted_at;
+  };
+
+  void worker_loop();
+  void process(Item item);
+
+  ServerConfig config_;
+  PipelineExecutor executor_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Item> queue_;
+  bool paused_ = false;
+  bool accepting_ = true;
+  bool draining_ = false;
+  ServerStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ispb::pipeline

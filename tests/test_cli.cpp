@@ -1,0 +1,89 @@
+// Black-box CLI contract of the ispb_run front end: bad arguments must
+// fail with a nonzero exit and an error naming the offending value and the
+// accepted ones — for the subcommand itself and for every enumerated option
+// (app, pattern, variant, device). Runs the real binary via popen.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct CmdResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+CmdResult run_cmd(const std::string& args) {
+  const std::string cmd = std::string(ISPB_RUN_PATH) + " " + args + " 2>&1";
+  CmdResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buf[256];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) result.output += buf;
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(IspbRunCli, UnknownSubcommandFailsAndNamesIt) {
+  const CmdResult r = run_cmd("bogus");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown subcommand 'bogus'"), std::string::npos)
+      << r.output;
+  // The error doubles as help: it lists what would have been accepted.
+  EXPECT_NE(r.output.find("serve"), std::string::npos) << r.output;
+}
+
+TEST(IspbRunCli, UnknownAppFailsAndListsValidNames) {
+  const CmdResult r = run_cmd("run --app=nope --size=32");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown --app 'nope'"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("gaussian"), std::string::npos) << r.output;
+}
+
+TEST(IspbRunCli, UnknownPatternFailsConsistently) {
+  const CmdResult r = run_cmd("analyze --pattern=weird");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown --pattern 'weird'"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("clamp|mirror|repeat|constant"), std::string::npos)
+      << r.output;
+}
+
+TEST(IspbRunCli, UnknownVariantFailsConsistently) {
+  const CmdResult r = run_cmd("analyze --variant=weird --size=32");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown --variant 'weird'"), std::string::npos)
+      << r.output;
+}
+
+TEST(IspbRunCli, UnknownDeviceFailsInsteadOfSilentlyDefaulting) {
+  const CmdResult r = run_cmd("run --device=weird --size=32");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown --device 'weird'"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("gtx680|rtx2080"), std::string::npos) << r.output;
+}
+
+TEST(IspbRunCli, HelpListsAllSubcommands) {
+  const CmdResult r = run_cmd("help");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* sub : {"run", "analyze", "profile", "serve"}) {
+    EXPECT_NE(r.output.find(sub), std::string::npos) << sub << "\n" << r.output;
+  }
+}
+
+TEST(IspbRunCli, ServeEmitsJsonReport) {
+  const CmdResult r = run_cmd(
+      "serve --requests=4 --concurrency=2 --size=32 --sampled --json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* field :
+       {"throughput_rps", "p99_ms", "hit_rate", "completed"}) {
+    EXPECT_NE(r.output.find(field), std::string::npos)
+        << field << "\n" << r.output;
+  }
+}
+
+}  // namespace

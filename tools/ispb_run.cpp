@@ -25,14 +25,24 @@
 //              [--device=gtx680] [--size=2048] [--block=32x4]
 //              [--json=profile.json] [--trace=trace.json]
 //
+//   serve      drive the batched pipeline server: submit N requests against
+//              K worker threads through the compiled-kernel cache and report
+//              throughput, latency percentiles and the cache hit-rate:
+//
+//     ispb_run serve --app=sobel --requests=64 --concurrency=8
+//              [--pattern=clamp] [--variant=isp] [--size=256] [--queue=64]
+//              [--deadline-ms=50] [--sampled] [--json | --json=report.json]
+//
 //   help       print this overview.
 #include <array>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <set>
 
 #include "codegen/kernel_gen.hpp"
 #include "common/cli.hpp"
+#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "filters/filters.hpp"
 #include "image/compare.hpp"
@@ -41,6 +51,7 @@
 #include "ir/analysis/checkers.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "pipeline/server.hpp"
 
 using namespace ispb;
 
@@ -52,6 +63,23 @@ filters::MultiKernelApp app_by_name(const std::string& name) {
   }
   throw IoError("unknown --app '" + name +
                 "' (gaussian|laplace|bilateral|sobel|night)");
+}
+
+// Bad subcommand *arguments* fail the same way everywhere: nonzero exit and
+// an error naming the unknown value plus the accepted ones.
+BorderPattern parse_pattern_arg(const std::string& name) {
+  const auto pattern = parse_border_pattern(name);
+  if (!pattern.has_value()) {
+    throw IoError("unknown --pattern '" + name +
+                  "' (clamp|mirror|repeat|constant)");
+  }
+  return *pattern;
+}
+
+sim::DeviceSpec parse_device(const std::string& name) {
+  if (name == "gtx680") return sim::make_gtx680();
+  if (name == "rtx2080") return sim::make_rtx2080();
+  throw IoError("unknown --device '" + name + "' (gtx680|rtx2080)");
 }
 
 BlockSize parse_block(const std::string& text) {
@@ -70,7 +98,7 @@ codegen::Variant parse_variant(const std::string& name, bool* use_model) {
     if (use_model != nullptr) *use_model = true;
     return codegen::Variant::kIsp;
   }
-  throw IoError("unknown --variant '" + name + "'");
+  throw IoError("unknown --variant '" + name + "' (naive|isp|isp-warp|isp+m)");
 }
 
 std::string_view limiter_name(sim::Occupancy::Limiter l) {
@@ -108,14 +136,10 @@ Cli& declare_pipeline_options(Cli& cli) {
 filters::AppSimConfig pipeline_config(const Cli& cli,
                                       const std::string& default_variant) {
   filters::AppSimConfig cfg;
-  const auto pattern = parse_border_pattern(cli.get_string("pattern", "clamp"));
-  if (!pattern.has_value()) throw IoError("unknown --pattern");
-  cfg.pattern = *pattern;
+  cfg.pattern = parse_pattern_arg(cli.get_string("pattern", "clamp"));
   cfg.constant = static_cast<f32>(cli.get_double("constant", 0.0));
   cfg.block = parse_block(cli.get_string("block", "32x4"));
-  cfg.device = cli.get_string("device", "gtx680") == "rtx2080"
-                   ? sim::make_rtx2080()
-                   : sim::make_gtx680();
+  cfg.device = parse_device(cli.get_string("device", "gtx680"));
   cfg.variant =
       parse_variant(cli.get_string("variant", default_variant), &cfg.use_model);
   return cfg;
@@ -129,6 +153,8 @@ int run_simulate(int argc, char** argv);
 int run_analyze(int argc, char** argv);
 /// `profile`: traced + metered pipeline run with a JSON report.
 int run_profile(int argc, char** argv);
+/// `serve`: batched serving driver reporting throughput/latency/cache stats.
+int run_serve(int argc, char** argv);
 
 struct Subcommand {
   std::string_view name;
@@ -136,12 +162,14 @@ struct Subcommand {
   int (*fn)(int argc, char** argv);
 };
 
-constexpr std::array<Subcommand, 3> kSubcommands = {{
+constexpr std::array<Subcommand, 4> kSubcommands = {{
     {"run", "simulate an application end to end (the default)", run_simulate},
     {"analyze", "statically prove bounds, coverage and Body specialization",
      run_analyze},
     {"profile", "traced run emitting a JSON report (+ optional Chrome trace)",
      run_profile},
+    {"serve", "batched pipeline serving: throughput/latency/cache report",
+     run_serve},
 }};
 
 std::string subcommand_overview() {
@@ -167,8 +195,8 @@ int run_analyze(int argc, char** argv) {
   }
   const filters::MultiKernelApp app =
       app_by_name(cli.get_string("app", "gaussian"));
-  const auto pattern = parse_border_pattern(cli.get_string("pattern", "clamp"));
-  if (!pattern.has_value()) throw IoError("unknown --pattern");
+  const BorderPattern pattern =
+      parse_pattern_arg(cli.get_string("pattern", "clamp"));
   const codegen::Variant variant =
       parse_variant(cli.get_string("variant", "isp"), nullptr);
 
@@ -179,7 +207,7 @@ int run_analyze(int argc, char** argv) {
 
   AsciiTable table("static analysis: " + app.name + " on " +
                    std::to_string(size) + "x" + std::to_string(size) + ", " +
-                   std::string(to_string(*pattern)) + ", " +
+                   std::string(to_string(pattern)) + ", " +
                    std::string(codegen::to_string(variant)));
   table.set_header({"kernel", "bounds", "proven accesses", "coverage",
                     "scenarios", "Body guards", "lint"});
@@ -188,7 +216,7 @@ int run_analyze(int argc, char** argv) {
   for (const auto& stage : app.stages) {
     geom.window = stage.spec.window();
     codegen::CodegenOptions opt;
-    opt.pattern = *pattern;
+    opt.pattern = pattern;
     opt.variant = variant;
     const ir::Program prog = codegen::generate_kernel(stage.spec, opt);
 
@@ -387,6 +415,146 @@ int run_profile(int argc, char** argv) {
   std::cout << "wrote " << json_path;
   if (!trace_path.empty()) std::cout << " and " << trace_path;
   std::cout << "\n";
+  return 0;
+}
+
+int run_serve(int argc, char** argv) {
+  Cli cli(argc, argv);
+  declare_pipeline_options(cli)
+      .option("variant", "naive|isp|isp-warp|isp+m (default isp)")
+      .option("requests", "requests to submit (default 64)")
+      .option("concurrency", "server worker threads (default 4)")
+      .option("queue", "bounded queue capacity (default: requests, no drops)")
+      .option("deadline-ms", "per-request queue deadline, 0 = none")
+      .option("sampled", "timing-only sampled launches (max throughput)")
+      .option("json", "report as JSON: --json to stdout, --json=PATH to file");
+  if (cli.finish()) {
+    std::cout << cli.help();
+    return 0;
+  }
+
+  const filters::MultiKernelApp app =
+      app_by_name(cli.get_string("app", "gaussian"));
+  filters::AppSimConfig cfg = pipeline_config(cli, "isp");
+  cfg.sampled = cli.get_flag("sampled");
+  const i32 size = static_cast<i32>(cli.get_int("size", 256));
+  const i32 requests = static_cast<i32>(cli.get_int("requests", 64));
+  const i32 concurrency = static_cast<i32>(cli.get_int("concurrency", 4));
+  if (requests <= 0) throw IoError("--requests must be positive");
+  if (concurrency <= 0) throw IoError("--concurrency must be positive");
+  const auto queue_capacity = static_cast<std::size_t>(
+      cli.get_int("queue", requests));
+  const f64 deadline_ms = cli.get_double("deadline-ms", 0.0);
+
+  const auto graph = std::make_shared<const pipeline::KernelGraph>(
+      pipeline::build_graph(app));
+  const auto source = std::make_shared<const Image<f32>>(
+      make_noise_image({size, size}, 4242));
+
+  // A fresh cache per invocation so the reported hit-rate describes this
+  // serving run, not whatever the process did before.
+  pipeline::KernelCache cache;
+  pipeline::ServerConfig server_cfg;
+  server_cfg.workers = concurrency;
+  server_cfg.queue_capacity = queue_capacity;
+  server_cfg.executor.sim = cfg;
+  server_cfg.executor.concurrency = 1;  // parallelism across requests
+  server_cfg.executor.cache = &cache;
+
+  using Clock = std::chrono::steady_clock;
+  pipeline::ServerStats stats;
+  u64 ok_count = 0;
+  const Clock::time_point t0 = Clock::now();
+  {
+    pipeline::PipelineServer server(server_cfg);
+    std::vector<std::future<pipeline::ServeResponse>> futures;
+    futures.reserve(static_cast<std::size_t>(requests));
+    for (i32 i = 0; i < requests; ++i) {
+      futures.push_back(server.submit({graph, source, deadline_ms}));
+    }
+    for (auto& f : futures) {
+      if (f.get().status == pipeline::ServeStatus::kOk) ++ok_count;
+    }
+    server.shutdown();
+    stats = server.stats();
+  }
+  const f64 wall_ms =
+      std::chrono::duration<f64, std::milli>(Clock::now() - t0).count();
+  const f64 throughput_rps =
+      wall_ms > 0.0 ? static_cast<f64>(ok_count) / (wall_ms / 1000.0) : 0.0;
+  const pipeline::KernelCacheStats cache_stats = cache.stats();
+
+  obs::Json report = obs::Json::object();
+  report["app"] = app.name;
+  report["pattern"] = std::string(to_string(cfg.pattern));
+  report["variant"] = cli.get_string("variant", "isp");
+  report["device"] = cfg.device.name;
+  report["size"] = size;
+  report["requests"] = static_cast<i64>(requests);
+  report["concurrency"] = static_cast<i64>(concurrency);
+  report["queue_capacity"] = static_cast<i64>(queue_capacity);
+  report["sampled"] = cfg.sampled;
+  report["wall_ms"] = wall_ms;
+  report["throughput_rps"] = throughput_rps;
+  obs::Json latency = obs::Json::object();
+  latency["p50_ms"] = percentile(stats.total_latency_ms, 50.0);
+  latency["p95_ms"] = percentile(stats.total_latency_ms, 95.0);
+  latency["p99_ms"] = percentile(stats.total_latency_ms, 99.0);
+  latency["mean_ms"] = mean(stats.total_latency_ms);
+  latency["max_ms"] = percentile(stats.total_latency_ms, 100.0);
+  latency["queue_p50_ms"] = percentile(stats.queue_latency_ms, 50.0);
+  latency["exec_p50_ms"] = percentile(stats.exec_latency_ms, 50.0);
+  report["latency"] = std::move(latency);
+  obs::Json statuses = obs::Json::object();
+  statuses["completed"] = stats.completed;
+  statuses["rejected"] = stats.rejected;
+  statuses["deadline_expired"] = stats.deadline_expired;
+  statuses["errors"] = stats.errors;
+  report["statuses"] = std::move(statuses);
+  obs::Json cache_json = obs::Json::object();
+  cache_json["hits"] = cache_stats.hits;
+  cache_json["misses"] = cache_stats.misses;
+  cache_json["coalesced"] = cache_stats.coalesced;
+  cache_json["evictions"] = cache_stats.evictions;
+  cache_json["hit_rate"] = cache_stats.hit_rate();
+  report["cache"] = std::move(cache_json);
+
+  const std::string json_arg = cli.get_string("json", "");
+  if (json_arg == "true") {
+    std::cout << report.dump(2) << "\n";  // bare --json: report to stdout
+    return 0;
+  }
+  if (!json_arg.empty()) write_text_file(json_arg, report.dump(2));
+
+  AsciiTable table("serving " + app.name + " (" +
+                   std::to_string(app.stages.size()) + " kernel(s)) on " +
+                   cfg.device.name + ", " + std::to_string(size) + "x" +
+                   std::to_string(size));
+  table.set_header({"metric", "value"});
+  table.add_row({"requests", std::to_string(requests)});
+  table.add_row({"workers", std::to_string(concurrency)});
+  table.add_row({"completed", std::to_string(stats.completed)});
+  table.add_row({"rejected", std::to_string(stats.rejected)});
+  table.add_row({"deadline expired", std::to_string(stats.deadline_expired)});
+  table.add_row({"errors", std::to_string(stats.errors)});
+  table.add_row({"wall time ms", AsciiTable::num(wall_ms, 2)});
+  table.add_row({"throughput req/s", AsciiTable::num(throughput_rps, 1)});
+  table.add_row(
+      {"latency p50 ms",
+       AsciiTable::num(percentile(stats.total_latency_ms, 50.0), 3)});
+  table.add_row(
+      {"latency p95 ms",
+       AsciiTable::num(percentile(stats.total_latency_ms, 95.0), 3)});
+  table.add_row(
+      {"latency p99 ms",
+       AsciiTable::num(percentile(stats.total_latency_ms, 99.0), 3)});
+  table.add_row({"cache hits / misses", std::to_string(cache_stats.hits) +
+                                            " / " +
+                                            std::to_string(cache_stats.misses)});
+  table.add_row(
+      {"cache hit rate", AsciiTable::num(cache_stats.hit_rate(), 3)});
+  table.print(std::cout);
+  if (!json_arg.empty()) std::cout << "wrote " << json_arg << "\n";
   return 0;
 }
 
