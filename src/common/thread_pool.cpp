@@ -53,7 +53,15 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // A throwing task must neither take down the process (an exception
+    // escaping a thread's start function is std::terminate) nor skip the
+    // in_flight_ decrement below (wait_idle would deadlock). The pool has
+    // no channel to deliver the error, so it is dropped; callers that care
+    // catch inside the task — as parallel_for does.
+    try {
+      task();
+    } catch (...) {
+    }
     {
       std::lock_guard lock(mutex_);
       --in_flight_;

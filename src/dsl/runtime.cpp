@@ -5,12 +5,19 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/trace.hpp"
+#include "resilience/fault_injector.hpp"
 
 namespace ispb::dsl {
 
 CompiledKernel compile_kernel(const codegen::StencilSpec& spec,
                               const codegen::CodegenOptions& options) {
   obs::ScopedSpan span("dsl.compile_kernel", "compile");
+  // Fault point at the same site the compile span instruments. The detail
+  // carries the variant so a plan can fail ISP lowering while naive
+  // compiles keep working (the breaker-fallback scenario).
+  resilience::fault_point(
+      "compile.lower",
+      spec.name + "/" + std::string(codegen::to_string(options.variant)));
   CompiledKernel k;
   k.spec = spec;
   k.options = options;
@@ -100,6 +107,7 @@ SimRun launch_on_sim(const sim::DeviceSpec& dev, const CompiledKernel& kernel,
                      Image<f32>& output, BlockSize block, bool sampled) {
   validate_geometry(kernel.spec, kernel.options.pattern, inputs,
                     output.size());
+  resilience::fault_point("launcher.launch", kernel.program.name);
   const Size2 image = output.size();
   const Window window = kernel.spec.window();
 

@@ -38,6 +38,23 @@ i32 read_pnm_int(std::istream& in, const std::string& what) {
   return v;
 }
 
+// Header dimensions are attacker-controlled: a hostile (or corrupt) header
+// like "P5 2000000000 2000000000" must be rejected before Image<f32>
+// allocates width*height*4 bytes. The product is checked in 64-bit so the
+// i32*i32 multiply can never itself overflow.
+constexpr i32 kMaxPgmDimension = 1 << 20;           // 1M pixels per side
+constexpr i64 kMaxPgmPixels = i64{1} << 26;         // 64 Mpixel = 256 MiB f32
+
+void check_pgm_dimensions(i32 width, i32 height) {
+  if (width <= 0 || height <= 0) throw IoError("PGM: bad dimensions");
+  if (width > kMaxPgmDimension || height > kMaxPgmDimension ||
+      i64{width} * i64{height} > kMaxPgmPixels) {
+    throw IoError("PGM: dimensions " + std::to_string(width) + "x" +
+                  std::to_string(height) + " exceed the " +
+                  std::to_string(kMaxPgmPixels) + "-pixel cap");
+  }
+}
+
 }  // namespace
 
 void write_pgm(const Image<f32>& img, const std::string& path) {
@@ -62,7 +79,7 @@ Image<f32> read_pgm(const std::string& path) {
   const i32 width = read_pnm_int(in, "width");
   const i32 height = read_pnm_int(in, "height");
   const i32 maxval = read_pnm_int(in, "maxval");
-  if (width <= 0 || height <= 0) throw IoError("PGM: bad dimensions");
+  check_pgm_dimensions(width, height);
   if (maxval <= 0 || maxval > 255) throw IoError("PGM: unsupported maxval");
   in.get();  // single whitespace after maxval
 

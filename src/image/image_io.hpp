@@ -15,7 +15,9 @@ namespace ispb {
 void write_pgm(const Image<f32>& img, const std::string& path);
 
 /// Reads a binary PGM (P5) with maxval <= 255 into a float image.
-/// Throws IoError on malformed input.
+/// Throws IoError on malformed input, including truncated headers and
+/// headers whose claimed dimensions exceed a 64-Mpixel cap (the dimensions
+/// are untrusted input and size the allocation).
 Image<f32> read_pgm(const std::string& path);
 
 /// Writes three planes as binary PPM (P6). All planes must share a size.

@@ -8,25 +8,23 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "dsl/compile.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "resilience/fault_injector.hpp"
 
 namespace ispb::pipeline {
 
 namespace {
 
-/// Runs one stage: variant planning, (cached) compile, simulated launch.
-ExecutorResult::Stage run_stage(const KernelGraph::Stage& stage,
-                                const ExecutorConfig& config,
-                                const std::vector<Image<f32>>& images,
-                                Image<f32>& out) {
+/// Compiles (through the cache) and launches one stage with a fixed
+/// variant; the building block both the primary path and the breaker's
+/// naive fallback share.
+ExecutorResult::Stage launch_stage_variant(const KernelGraph::Stage& stage,
+                                           const ExecutorConfig& config,
+                                           const std::vector<Image<f32>>& images,
+                                           Image<f32>& out,
+                                           codegen::Variant variant) {
   const filters::AppSimConfig& sim_cfg = config.sim;
-  codegen::Variant variant = sim_cfg.variant;
-  if (sim_cfg.use_model) {
-    const dsl::PlanDecision plan = dsl::plan_variant(
-        sim_cfg.device, stage.spec, out.size(), sim_cfg.block, sim_cfg.pattern,
-        sim_cfg.variant == codegen::Variant::kIspWarp);
-    variant = plan.variant;
-  }
   codegen::CodegenOptions options;
   options.pattern = sim_cfg.pattern;
   options.variant = variant;
@@ -52,6 +50,92 @@ ExecutorResult::Stage run_stage(const KernelGraph::Stage& stage,
                                              sim_cfg.sampled);
   return ExecutorResult::Stage{stage.spec.name, run.variant_used,
                                kernel->regs_per_thread, run.stats};
+}
+
+/// One attempt at a stage: breaker gating, variant planning, compile,
+/// launch, and — when the specialized path fails under an active breaker —
+/// the transparent naive fallback (the runtime isp+m).
+ExecutorResult::Stage run_stage_once(const KernelGraph::Stage& stage,
+                                     const ExecutorConfig& config,
+                                     const std::vector<Image<f32>>& images,
+                                     Image<f32>& out) {
+  const filters::AppSimConfig& sim_cfg = config.sim;
+
+  resilience::CircuitBreaker* breaker = nullptr;
+  if (config.breakers != nullptr &&
+      sim_cfg.variant != codegen::Variant::kNaive) {
+    breaker = &config.breakers->get(stage.spec.name);
+    if (!breaker->allow()) {
+      // Open breaker: serve the naive variant without planning or touching
+      // the (still failing) specialized path at all.
+      ExecutorResult::Stage s = launch_stage_variant(
+          stage, config, images, out, codegen::Variant::kNaive);
+      s.served_by_fallback = true;
+      return s;
+    }
+  }
+
+  resilience::fault_point("executor.stage", stage.spec.name);
+  try {
+    codegen::Variant variant = sim_cfg.variant;
+    if (sim_cfg.use_model) {
+      const dsl::PlanDecision plan = dsl::plan_variant(
+          sim_cfg.device, stage.spec, out.size(), sim_cfg.block,
+          sim_cfg.pattern, sim_cfg.variant == codegen::Variant::kIspWarp);
+      variant = plan.variant;
+    }
+    ExecutorResult::Stage s =
+        launch_stage_variant(stage, config, images, out, variant);
+    if (breaker != nullptr) breaker->record_success();
+    return s;
+  } catch (const ContractError&) {
+    throw;  // geometry/contract violations: the naive kernel cannot help
+  } catch (...) {
+    if (breaker == nullptr) throw;
+    breaker->record_failure();
+    // Abandon the specialized path for this request and serve naive; the
+    // caller still sees kOk, with the degradation visible in variant_used.
+    ExecutorResult::Stage s = launch_stage_variant(
+        stage, config, images, out, codegen::Variant::kNaive);
+    s.served_by_fallback = true;
+    return s;
+  }
+}
+
+/// Runs one stage under the retry policy and publishes resilience metrics.
+ExecutorResult::Stage run_stage(const KernelGraph::Stage& stage,
+                                const ExecutorConfig& config,
+                                const std::vector<Image<f32>>& images,
+                                Image<f32>& out) {
+  resilience::RetryOutcome outcome;
+  ExecutorResult::Stage s;
+  try {
+    s = resilience::retry_call(
+        config.retry, config.clock,
+        [&] { return run_stage_once(stage, config, images, out); }, &outcome);
+  } catch (...) {
+    if (obs::MetricsRegistry* reg = obs::MetricsRegistry::installed();
+        reg != nullptr && outcome.attempts > 1) {
+      reg->add("resilience.retry.attempts",
+               static_cast<f64>(outcome.attempts - 1),
+               {{"site", "executor.stage"}});
+    }
+    throw;
+  }
+  s.attempts = outcome.attempts;
+  if (obs::MetricsRegistry* reg = obs::MetricsRegistry::installed();
+      reg != nullptr) {
+    if (outcome.attempts > 1) {
+      reg->add("resilience.retry.attempts",
+               static_cast<f64>(outcome.attempts - 1),
+               {{"site", "executor.stage"}});
+    }
+    if (s.served_by_fallback) {
+      reg->add("resilience.fallback.served", 1.0,
+               {{"kernel", stage.spec.name}});
+    }
+  }
+  return s;
 }
 
 }  // namespace

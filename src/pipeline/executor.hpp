@@ -19,6 +19,8 @@
 
 #include "pipeline/kernel_cache.hpp"
 #include "pipeline/kernel_graph.hpp"
+#include "resilience/circuit_breaker.hpp"
+#include "resilience/retry.hpp"
 
 namespace ispb::pipeline {
 
@@ -34,6 +36,19 @@ struct ExecutorConfig {
   /// cold-compile baseline the benches compare against).
   KernelCache* cache = nullptr;
   bool use_cache = true;
+
+  // ---- resilience ----------------------------------------------------------
+  /// Per-stage retry (the whole compile+launch attempt is the retried
+  /// unit). Default: one attempt, i.e. the pre-resilience behavior.
+  resilience::RetryPolicy retry;
+  /// Per-kernel circuit breakers. When set, a stage whose specialized
+  /// (non-naive) path keeps failing is served by the naive variant — the
+  /// runtime generalization of the paper's isp+m static fallback — and the
+  /// breaker's half-open probes restore the ISP path once it heals.
+  /// nullptr disables breaking (failures propagate as before).
+  resilience::BreakerRegistry* breakers = nullptr;
+  /// Clock for retry backoff (and nothing else); nullptr = wall clock.
+  resilience::Clock* clock = nullptr;
 };
 
 /// Per-stage and aggregate outcome; mirrors filters::AppSimResult.
@@ -45,6 +60,10 @@ struct ExecutorResult {
     codegen::Variant variant_used = codegen::Variant::kNaive;
     i32 regs_per_thread = 0;
     sim::LaunchStats stats;
+    u32 attempts = 1;  ///< tries the retry policy spent on this stage
+    /// True when the breaker served the naive variant in place of a failing
+    /// (or tripped) specialized path.
+    bool served_by_fallback = false;
   };
   std::vector<Stage> stages;  ///< in graph stage order
 };

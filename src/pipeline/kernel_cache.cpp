@@ -5,10 +5,17 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "resilience/fault_injector.hpp"
 
 namespace ispb::pipeline {
 
 namespace {
+
+/// A poisoned entry (cache.insert corruption fault, or the bit rot it
+/// models). Negative register demand can never come out of the compiler.
+bool is_poisoned(const KernelCache::KernelPtr& k) {
+  return k == nullptr || k->regs_per_thread < 0;
+}
 
 constexpr u64 kFnvOffset = 14695981039346656037ull;
 constexpr u64 kFnvPrime = 1099511628211ull;
@@ -90,20 +97,36 @@ KernelCache::KernelPtr KernelCache::get_or_compile(
   const std::string key = cache_key(spec, options, device);
 
   std::promise<KernelPtr> promise;
+  resilience::RetryPolicy retry;
+  resilience::Clock* retry_clock = nullptr;
   {
     std::unique_lock lock(mu_);
-    const auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      if (it->second.ready) {
+    retry = retry_;
+    retry_clock = retry_clock_;
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.ready) {
+      // Validate before serving: a poisoned entry (cache.insert corruption)
+      // must be detected here and healed by recompiling — it can never
+      // reach a launch.
+      KernelPtr cached = it->second.future.get();  // ready: no blocking
+      if (is_poisoned(cached)) {
+        ++stats_.poisoned;
+        lru_.erase(it->second.lru_it);
+        entries_.erase(it);
+        it = entries_.end();  // fall through to the miss path
+      } else {
         ++stats_.hits;
         lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-      } else {
-        ++stats_.coalesced;
+        publish_counters_locked();
+        return cached;
       }
+    }
+    if (it != entries_.end()) {
+      ++stats_.coalesced;
       publish_counters_locked();
       std::shared_future<KernelPtr> future = it->second.future;
       lock.unlock();
-      return future.get();  // ready entries return immediately
+      return future.get();
     }
     ++stats_.misses;
     publish_counters_locked();
@@ -114,30 +137,55 @@ KernelCache::KernelPtr KernelCache::get_or_compile(
 
   // Compile outside the lock: concurrent misses on *different* keys compile
   // in parallel; concurrent requests for *this* key wait on the future.
+  // The fill is retried per set_retry(); the cache.insert fault point sits
+  // inside the retried unit so an injected insert failure is recoverable.
   KernelPtr kernel;
+  resilience::RetryOutcome fill;
   try {
     obs::ScopedSpan span("pipeline.cache.compile", "compile");
     span.arg("key", key);
-    kernel =
-        std::make_shared<const dsl::CompiledKernel>(dsl::compile_kernel(spec, options));
+    kernel = resilience::retry_call(
+        retry, retry_clock,
+        [&]() -> KernelPtr {
+          auto compiled = std::make_shared<const dsl::CompiledKernel>(
+              dsl::compile_kernel(spec, options));
+          resilience::fault_point("cache.insert", key);
+          return compiled;
+        },
+        &fill);
   } catch (...) {
     // Hand the failure to every waiter, then forget the key so a later
     // request can retry.
     promise.set_exception(std::current_exception());
     {
       std::lock_guard lock(mu_);
+      stats_.fill_retries += fill.attempts > 0 ? fill.attempts - 1 : 0;
       entries_.erase(key);
+      publish_counters_locked();
     }
     throw;
   }
   promise.set_value(kernel);
 
+  // A corruption fault poisons the *stored* entry only: the filling caller
+  // (and every coalesced waiter on the promise above) still gets the good
+  // kernel; the next lookup detects the poison and heals it.
+  const bool corrupt = resilience::fault_corrupt("cache.insert", key);
+
   {
     std::lock_guard lock(mu_);
+    stats_.fill_retries += fill.attempts > 0 ? fill.attempts - 1 : 0;
     const auto it = entries_.find(key);
     if (it != entries_.end() && !it->second.ready) {
       // clear() may have dropped the entry mid-compile; only then is the
       // key absent and the result simply not cached.
+      if (corrupt) {
+        auto bad = std::make_shared<dsl::CompiledKernel>(*kernel);
+        bad->regs_per_thread = -1;
+        std::promise<KernelPtr> poisoned;
+        poisoned.set_value(KernelPtr(std::move(bad)));
+        it->second.future = poisoned.get_future().share();
+      }
       lru_.push_front(key);
       it->second.lru_it = lru_.begin();
       it->second.ready = true;
@@ -150,6 +198,13 @@ KernelCache::KernelPtr KernelCache::get_or_compile(
     publish_counters_locked();
   }
   return kernel;
+}
+
+void KernelCache::set_retry(resilience::RetryPolicy policy,
+                            resilience::Clock* clock) {
+  std::lock_guard lock(mu_);
+  retry_ = policy;
+  retry_clock_ = clock;
 }
 
 KernelCacheStats KernelCache::stats() const {
@@ -179,6 +234,9 @@ void KernelCache::publish_counters_locked() const {
   reg->set("pipeline.cache.misses", static_cast<f64>(stats_.misses));
   reg->set("pipeline.cache.coalesced", static_cast<f64>(stats_.coalesced));
   reg->set("pipeline.cache.evictions", static_cast<f64>(stats_.evictions));
+  reg->set("pipeline.cache.poisoned", static_cast<f64>(stats_.poisoned));
+  reg->set("pipeline.cache.fill_retries",
+           static_cast<f64>(stats_.fill_retries));
   reg->set("pipeline.cache.size", static_cast<f64>(lru_.size()));
 }
 

@@ -17,6 +17,15 @@
 // Observability: each compile runs under a ScopedSpan ("pipeline.cache
 // .compile") and hit/miss/eviction counters plus a size gauge are published
 // to the installed obs::MetricsRegistry (null fast path when none is).
+//
+// Resilience: the publication step is the `cache.insert` fault point. A
+// kThrow rule fails the fill exactly like a compiler error (waiters get the
+// exception, the key is forgotten so a later request retries); a kCorrupt
+// rule poisons the *stored* entry while the filling caller still gets the
+// good kernel — every lookup validates the entry it is about to serve and
+// heals a poisoned one by recompiling (counted in stats().poisoned), so a
+// corrupt entry can never reach a launch. Fills can be wrapped in a
+// RetryPolicy via set_retry(); ContractError/VerifyError are never retried.
 #pragma once
 
 #include <future>
@@ -28,6 +37,7 @@
 #include <unordered_map>
 
 #include "dsl/runtime.hpp"
+#include "resilience/retry.hpp"
 
 namespace ispb::pipeline {
 
@@ -47,6 +57,8 @@ struct KernelCacheStats {
   u64 misses = 0;  ///< actual compiles
   u64 coalesced = 0;
   u64 evictions = 0;
+  u64 poisoned = 0;      ///< corrupt entries detected and healed on lookup
+  u64 fill_retries = 0;  ///< compile attempts beyond the first (set_retry)
   /// Fraction of lookups served without compiling (coalesced waits count as
   /// served). 0 when there were no lookups.
   [[nodiscard]] f64 hit_rate() const {
@@ -82,6 +94,11 @@ class KernelCache {
   /// finish and publish into the cleared cache.
   void clear();
 
+  /// Wraps every fill (compile) in `policy` with backoff slept on `clock`
+  /// (nullptr = wall clock). Default: one attempt, no retry.
+  void set_retry(resilience::RetryPolicy policy,
+                 resilience::Clock* clock = nullptr);
+
   /// Process-wide cache shared by filters::run_app_simulated and the bench
   /// harness, so identical (app, variant) compiles happen once per process.
   [[nodiscard]] static KernelCache& global();
@@ -97,6 +114,8 @@ class KernelCache {
 
   const std::size_t capacity_;
   mutable std::mutex mu_;
+  resilience::RetryPolicy retry_;  ///< guarded by mu_
+  resilience::Clock* retry_clock_ = nullptr;  ///< guarded by mu_
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  ///< most recently used first; ready keys only
   KernelCacheStats stats_;

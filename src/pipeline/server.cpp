@@ -1,10 +1,12 @@
 #include "pipeline/server.hpp"
 
+#include <exception>
 #include <utility>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "resilience/fault_injector.hpp"
 
 namespace ispb::pipeline {
 
@@ -20,6 +22,41 @@ void publish_status(ServeStatus status) {
   if (reg == nullptr) return;
   reg->add("pipeline.server.requests", 1.0,
            {{"status", std::string(to_string(status))}});
+}
+
+/// Runs one request to a ServeResponse (kOk or kError) and aggregates the
+/// per-stage resilience outcome: attempts beyond the first into `retries`,
+/// whether any stage was served by the breaker's naive fallback, and the
+/// variant that reached the caller (kNaive if *any* stage degraded to it —
+/// the conservative answer to "what quality of service did I get").
+void execute_request(const PipelineExecutor& executor, const KernelGraph& graph,
+                     const Image<f32>& source, ServeResponse& response,
+                     u64& retries) {
+  try {
+    obs::ScopedSpan span("pipeline.server.request", "pipeline");
+    span.arg("graph", graph.name);
+    resilience::fault_point("server.exec", graph.name);
+    ExecutorResult result = executor.run(graph, source);
+    response.sim_time_ms = result.total_time_ms;
+    codegen::Variant variant = result.stages.empty()
+                                   ? codegen::Variant::kNaive
+                                   : result.stages.back().variant_used;
+    for (const ExecutorResult::Stage& stage : result.stages) {
+      retries += stage.attempts > 0 ? stage.attempts - 1 : 0;
+      response.served_by_fallback |= stage.served_by_fallback;
+      if (stage.variant_used == codegen::Variant::kNaive) {
+        variant = codegen::Variant::kNaive;
+      }
+    }
+    response.variant_used = variant;
+    response.output = std::move(result.output);
+  } catch (const std::exception& e) {
+    response.status = ServeStatus::kError;
+    response.error = e.what();
+  } catch (...) {
+    response.status = ServeStatus::kError;
+    response.error = "unknown execution error";
+  }
 }
 
 }  // namespace
@@ -40,13 +77,22 @@ std::string_view to_string(ServeStatus s) {
 
 PipelineServer::PipelineServer(ServerConfig config)
     : config_(std::move(config)),
-      executor_(config_.executor),
+      breakers_(config_.breaker, config_.clock),
+      executor_([this] {
+        ExecutorConfig ec = config_.executor;
+        if (config_.breakers_enabled && ec.breakers == nullptr) {
+          ec.breakers = &breakers_;
+        }
+        if (ec.clock == nullptr) ec.clock = config_.clock;
+        return ec;
+      }()),
       paused_(config_.start_paused) {
   ISPB_EXPECTS(config_.workers >= 1);
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (i32 i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 PipelineServer::~PipelineServer() { shutdown(); }
@@ -56,6 +102,7 @@ std::future<ServeResponse> PipelineServer::submit(ServeRequest request) {
   Item item;
   item.request = std::move(request);
   item.submitted_at = Clock::now();
+  const bool has_deadline = item.has_deadline();
   std::future<ServeResponse> future = item.promise.get_future();
 
   {
@@ -74,6 +121,8 @@ std::future<ServeResponse> PipelineServer::submit(ServeRequest request) {
     queue_.push_back(std::move(item));
   }
   work_cv_.notify_one();
+  // The deadline watchdog may need to wake earlier than it planned to.
+  if (has_deadline) watchdog_cv_.notify_one();
   return future;
 }
 
@@ -93,14 +142,37 @@ void PipelineServer::shutdown() {
     paused_ = false;  // a paused server still drains its queue
   }
   work_cv_.notify_all();
+  watchdog_cv_.notify_all();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
+  if (watchdog_.joinable()) watchdog_.join();
+  // Wait out watchdog-detached executions: they hold references to the
+  // executor (a member), so the server must not die under them.
+  std::unique_lock lock(orphan_mu_);
+  orphan_cv_.wait(lock, [this] { return orphans_active_ == 0; });
 }
 
 ServerStats PipelineServer::stats() const {
   std::lock_guard lock(mu_);
   return stats_;
+}
+
+resilience::HealthState PipelineServer::health() const {
+  resilience::HealthState h;
+  h.breakers = breakers_.snapshot();
+  {
+    std::lock_guard lock(mu_);
+    h.retries = retries_;
+    h.fallbacks_served = fallbacks_;
+    h.watchdog_expired = stats_.watchdog_expired;
+    h.queue_expired = stats_.deadline_expired - stats_.watchdog_expired;
+  }
+  {
+    std::lock_guard lock(orphan_mu_);
+    h.orphaned_executions = orphans_active_;
+  }
+  return h;
 }
 
 void PipelineServer::worker_loop() {
@@ -122,36 +194,171 @@ void PipelineServer::worker_loop() {
   }
 }
 
+void PipelineServer::watchdog_loop() {
+  // Sweeps the queue for requests whose deadline passed before any worker
+  // dequeued them — which a paused or saturated server would otherwise sit
+  // on indefinitely — and settles them kDeadlineExpired. Runs even while
+  // paused_; exits on drain (the drain itself settles whatever remains).
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (draining_) return;
+
+    bool any = false;
+    Clock::time_point next{};
+    for (const Item& it : queue_) {
+      if (!it.has_deadline()) continue;
+      const Clock::time_point d = it.deadline_at();
+      if (!any || d < next) next = d;
+      any = true;
+    }
+    if (!any) {
+      watchdog_cv_.wait(lock);  // woken by submit(deadline) or shutdown
+      continue;
+    }
+    const Clock::time_point now = Clock::now();
+    if (next > now) {
+      watchdog_cv_.wait_until(lock, next);
+      continue;
+    }
+
+    std::vector<Item> expired;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->has_deadline() && it->deadline_at() <= now) {
+        expired.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    lock.unlock();
+    for (Item& item : expired) expire_queued(std::move(item), now);
+    lock.lock();
+  }
+}
+
+void PipelineServer::expire_queued(Item item, Clock::time_point now) {
+  ServeResponse response;
+  response.status = ServeStatus::kDeadlineExpired;
+  response.queue_ms = ms_between(item.submitted_at, now);
+  response.total_ms = response.queue_ms;
+  response.error = "deadline expired after " +
+                   std::to_string(response.queue_ms) +
+                   " ms queued (never dequeued)";
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.deadline_expired;
+  }
+  publish_status(response.status);
+  item.promise.set_value(std::move(response));
+}
+
 void PipelineServer::process(Item item) {
   const Clock::time_point dequeued_at = Clock::now();
   ServeResponse response;
-  response.queue_ms = ms_between(item.submitted_at, dequeued_at);
+  bool watchdog_cut = false;
+  u64 retries = 0;
 
-  if (item.request.deadline_ms > 0.0 &&
-      response.queue_ms > item.request.deadline_ms) {
+  if (item.has_deadline() && dequeued_at >= item.deadline_at()) {
     response.status = ServeStatus::kDeadlineExpired;
     response.error = "deadline expired after " +
-                     std::to_string(response.queue_ms) + " ms queued";
+                     std::to_string(ms_between(item.submitted_at, dequeued_at)) +
+                     " ms queued";
+  } else if (!item.has_deadline()) {
+    execute_request(executor_, *item.request.graph, *item.request.source,
+                    response, retries);
   } else {
-    try {
-      obs::ScopedSpan span("pipeline.server.request", "pipeline");
-      span.arg("graph", item.request.graph->name);
-      ExecutorResult result =
-          executor_.run(*item.request.graph, *item.request.source);
-      response.output = std::move(result.output);
-      response.sim_time_ms = result.total_time_ms;
-    } catch (const std::exception& e) {
-      response.status = ServeStatus::kError;
-      response.error = e.what();
+    // Execution watchdog: run the request on a dedicated thread and wait
+    // only for the remaining budget. On overrun the stage is detached (it
+    // finishes in the background against the shared_ptr'd graph/source and
+    // its result is discarded) so this worker is freed immediately.
+    struct ExecSlot {
+      std::mutex mu;
+      bool finished = false;
+      bool orphaned = false;
+      std::promise<void> done;
+      ServeResponse response;
+      u64 retries = 0;
+    };
+    auto slot = std::make_shared<ExecSlot>();
+    std::shared_ptr<const KernelGraph> graph = item.request.graph;
+    std::shared_ptr<const Image<f32>> source = item.request.source;
+    std::future<void> done = slot->done.get_future();
+
+    std::thread exec_thread([this, slot, graph, source] {
+      ServeResponse resp;
+      u64 exec_retries = 0;
+      execute_request(executor_, *graph, *source, resp, exec_retries);
+      bool orphaned = false;
+      {
+        std::lock_guard lk(slot->mu);
+        slot->finished = true;
+        orphaned = slot->orphaned;
+        slot->response = std::move(resp);
+        slot->retries = exec_retries;
+      }
+      slot->done.set_value();
+      if (orphaned) {
+        std::lock_guard ol(orphan_mu_);
+        --orphans_active_;
+        orphan_cv_.notify_all();
+      }
+    });
+
+    if (done.wait_until(item.deadline_at()) == std::future_status::ready) {
+      exec_thread.join();
+      response = std::move(slot->response);
+      retries = slot->retries;
+    } else {
+      // Pre-register the orphan before marking the slot so the execution
+      // thread can never decrement a count we have not incremented yet.
+      {
+        std::lock_guard ol(orphan_mu_);
+        ++orphans_active_;
+      }
+      bool orphaned = false;
+      {
+        std::lock_guard lk(slot->mu);
+        if (!slot->finished) {
+          slot->orphaned = true;
+          orphaned = true;
+        }
+      }
+      if (orphaned) {
+        exec_thread.detach();
+        watchdog_cut = true;
+        response.status = ServeStatus::kDeadlineExpired;
+        response.error =
+            "watchdog: execution exceeded the remaining deadline budget";
+      } else {
+        // Finished in the window between wait_until and the orphan check.
+        {
+          std::lock_guard ol(orphan_mu_);
+          --orphans_active_;
+        }
+        done.wait();
+        exec_thread.join();
+        response = std::move(slot->response);
+        retries = slot->retries;
+      }
     }
   }
 
-  const Clock::time_point finished_at = Clock::now();
+  finalize(std::move(item), std::move(response), dequeued_at, Clock::now(),
+           watchdog_cut, retries);
+}
+
+void PipelineServer::finalize(Item item, ServeResponse response,
+                              Clock::time_point dequeued_at,
+                              Clock::time_point finished_at, bool watchdog_cut,
+                              u64 retries) {
+  response.queue_ms = ms_between(item.submitted_at, dequeued_at);
   response.exec_ms = ms_between(dequeued_at, finished_at);
   response.total_ms = ms_between(item.submitted_at, finished_at);
 
   {
     std::lock_guard lock(mu_);
+    retries_ += retries;
+    if (response.served_by_fallback) ++fallbacks_;
     switch (response.status) {
       case ServeStatus::kOk:
         ++stats_.completed;
@@ -161,6 +368,7 @@ void PipelineServer::process(Item item) {
         break;
       case ServeStatus::kDeadlineExpired:
         ++stats_.deadline_expired;
+        if (watchdog_cut) ++stats_.watchdog_expired;
         break;
       case ServeStatus::kError:
         ++stats_.errors;
@@ -171,9 +379,12 @@ void PipelineServer::process(Item item) {
   }
   publish_status(response.status);
   if (obs::MetricsRegistry* reg = obs::MetricsRegistry::installed();
-      reg != nullptr && response.status == ServeStatus::kOk) {
-    reg->observe("pipeline.server.latency_ms", response.total_ms);
-    reg->observe("pipeline.server.queue_ms", response.queue_ms);
+      reg != nullptr) {
+    if (response.status == ServeStatus::kOk) {
+      reg->observe("pipeline.server.latency_ms", response.total_ms);
+      reg->observe("pipeline.server.queue_ms", response.queue_ms);
+    }
+    if (watchdog_cut) reg->add("resilience.watchdog.expired", 1.0);
   }
   item.promise.set_value(std::move(response));
 }

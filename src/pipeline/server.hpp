@@ -4,9 +4,24 @@
 // drained by N worker threads, each running a PipelineExecutor. The queue
 // rejects gracefully on overflow — submit() returns an already-satisfied
 // future carrying kRejected instead of blocking or throwing — and requests
-// may carry a deadline: one that expires while queued is answered
-// kDeadlineExpired without executing (load shedding, so a burst cannot make
-// every response late).
+// may carry a deadline covering the *whole* request, submit to completion:
+//
+//   - a request that expires while queued is settled kDeadlineExpired by a
+//     watchdog thread (timely even while the server is paused, and during
+//     the shutdown drain) or by the dequeuing worker, without executing;
+//   - a request whose execution overruns the remaining budget is settled
+//     kDeadlineExpired by the execution watchdog: the stage is detached to
+//     finish in the background (its result discarded) so the worker is
+//     freed immediately instead of blocking behind a hung stage. Detached
+//     executions are accounted in HealthState and joined at shutdown.
+//
+// Resilience: the server owns a per-kernel resilience::BreakerRegistry that
+// it threads into every worker's executor (see ExecutorConfig::breakers) —
+// a kernel whose specialized ISP path keeps failing is served by the naive
+// variant and restored via half-open probes — plus the executor's
+// RetryPolicy for transient stage failures. health() snapshots breaker
+// states and retry/fallback/watchdog counters; the same counters go to the
+// installed obs::MetricsRegistry.
 //
 // Workers execute stages inline (executor concurrency 1) by default:
 // throughput comes from request-level parallelism, and the simulator's
@@ -18,13 +33,17 @@
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "pipeline/executor.hpp"
+#include "resilience/health.hpp"
 
 namespace ispb::pipeline {
 
@@ -33,15 +52,16 @@ namespace ispb::pipeline {
 struct ServeRequest {
   std::shared_ptr<const KernelGraph> graph;
   std::shared_ptr<const Image<f32>> source;
-  /// Queue-wait budget in wall milliseconds; 0 = none. Measured from
-  /// submit(); checked when a worker dequeues the request.
+  /// Whole-request budget in wall milliseconds, measured from submit();
+  /// 0 = none. Covers queue wait AND execution: expiry while queued is
+  /// settled without executing, expiry mid-execution detaches the stage.
   f64 deadline_ms = 0.0;
 };
 
 enum class ServeStatus : u8 {
   kOk,
   kRejected,         ///< queue full or server shut down
-  kDeadlineExpired,  ///< spent longer queued than deadline_ms
+  kDeadlineExpired,  ///< exceeded deadline_ms queued or executing
   kError,            ///< the pipeline threw; see error text
 };
 [[nodiscard]] std::string_view to_string(ServeStatus s);
@@ -54,6 +74,10 @@ struct ServeResponse {
   f64 exec_ms = 0.0;        ///< dequeue -> finish wall time
   f64 total_ms = 0.0;       ///< submit -> finish wall time
   std::string error;        ///< kError / kRejected detail
+  /// The variant that produced `output` (kOk, single-variant runs): stays
+  /// kIsp under normal serving, reads kNaive while the breaker degrades.
+  codegen::Variant variant_used = codegen::Variant::kNaive;
+  bool served_by_fallback = false;  ///< any stage degraded to naive
 };
 
 /// Aggregate serving counters and latency samples (kOk requests only).
@@ -62,21 +86,38 @@ struct ServerStats {
   u64 accepted = 0;
   u64 rejected = 0;
   u64 completed = 0;
-  u64 deadline_expired = 0;
+  u64 deadline_expired = 0;  ///< queued + mid-execution expiries
+  u64 watchdog_expired = 0;  ///< subset cut off mid-execution
   u64 errors = 0;
   std::vector<f64> total_latency_ms;
   std::vector<f64> queue_latency_ms;
   std::vector<f64> exec_latency_ms;
 };
 
+/// The executor defaults the server wants: stages inline, parallelism from
+/// concurrent requests (see the class comment).
+[[nodiscard]] inline ExecutorConfig serving_executor_config() {
+  ExecutorConfig config;
+  config.concurrency = 1;
+  return config;
+}
+
 struct ServerConfig {
   i32 workers = 4;                ///< >= 1
   std::size_t queue_capacity = 64;  ///< pending requests before rejection
-  ExecutorConfig executor{.sim = {}, .concurrency = 1};
+  ExecutorConfig executor = serving_executor_config();
   /// When true the workers start idle; queued requests run only after
   /// resume(). Gives tests deterministic control over overflow and
-  /// deadline paths.
+  /// deadline paths. (The deadline watchdog still runs while paused.)
   bool start_paused = false;
+  /// Server-owned per-kernel circuit breakers, threaded into the workers'
+  /// executor unless the caller already supplied executor.breakers.
+  /// Disable to restore fail-fast (errors propagate, no naive fallback).
+  bool breakers_enabled = true;
+  resilience::BreakerConfig breaker;
+  /// Clock for breaker cooldowns and retry backoff; nullptr = wall clock.
+  /// Latency accounting and deadlines always use steady_clock.
+  resilience::Clock* clock = nullptr;
 };
 
 class PipelineServer {
@@ -95,11 +136,16 @@ class PipelineServer {
   /// Starts processing when constructed with start_paused. Idempotent.
   void resume();
 
-  /// Stops accepting, drains every queued request, joins the workers.
-  /// Idempotent.
+  /// Stops accepting, drains every queued request (expired ones settle
+  /// kDeadlineExpired, the rest execute), joins the workers, then waits
+  /// for any watchdog-detached executions to finish. Idempotent.
   void shutdown();
 
   [[nodiscard]] ServerStats stats() const;
+
+  /// Resilience snapshot: breaker states, retry/fallback counters,
+  /// watchdog expiries, detached executions still running.
+  [[nodiscard]] resilience::HealthState health() const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -108,22 +154,48 @@ class PipelineServer {
     ServeRequest request;
     std::promise<ServeResponse> promise;
     Clock::time_point submitted_at;
+    [[nodiscard]] bool has_deadline() const {
+      return request.deadline_ms > 0.0;
+    }
+    [[nodiscard]] Clock::time_point deadline_at() const {
+      return submitted_at +
+             std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<f64, std::milli>(request.deadline_ms));
+    }
   };
 
   void worker_loop();
+  void watchdog_loop();
   void process(Item item);
+  /// Settles `item` kDeadlineExpired without executing (queued expiry).
+  void expire_queued(Item item, Clock::time_point now);
+  /// Accounts + publishes + settles. `watchdog_cut` marks a mid-execution
+  /// expiry; `retries` are the stage attempts beyond the first.
+  void finalize(Item item, ServeResponse response,
+                Clock::time_point dequeued_at, Clock::time_point finished_at,
+                bool watchdog_cut, u64 retries);
 
   ServerConfig config_;
+  resilience::BreakerRegistry breakers_;  ///< before executor_ (aliased)
   PipelineExecutor executor_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
+  std::condition_variable watchdog_cv_;
   std::deque<Item> queue_;
   bool paused_ = false;
   bool accepting_ = true;
   bool draining_ = false;
   ServerStats stats_;
+  u64 retries_ = 0;    ///< stage attempts beyond the first (health)
+  u64 fallbacks_ = 0;  ///< requests with any stage served by fallback
   std::vector<std::thread> workers_;
+  std::thread watchdog_;
+
+  // Watchdog-detached executions still running in the background.
+  mutable std::mutex orphan_mu_;
+  std::condition_variable orphan_cv_;
+  u64 orphans_active_ = 0;
 };
 
 }  // namespace ispb::pipeline

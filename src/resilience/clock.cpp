@@ -1,0 +1,10 @@
+#include "resilience/clock.hpp"
+
+namespace ispb::resilience {
+
+SystemClock& SystemClock::instance() {
+  static SystemClock clock;
+  return clock;
+}
+
+}  // namespace ispb::resilience

@@ -1,0 +1,32 @@
+// HealthState: one self-describing snapshot of the serving stack's
+// resilience machinery — what an operator (or the chaos harness) polls to
+// see whether the server is degraded and why.
+#pragma once
+
+#include <vector>
+
+#include "resilience/circuit_breaker.hpp"
+
+namespace ispb::resilience {
+
+struct HealthState {
+  /// Every breaker the server has touched, sorted by kernel name.
+  std::vector<BreakerSnapshot> breakers;
+
+  u64 retries = 0;            ///< stage attempts beyond the first
+  u64 fallbacks_served = 0;   ///< requests answered by the naive fallback
+  u64 watchdog_expired = 0;   ///< executions cut off by the watchdog
+  u64 queue_expired = 0;      ///< requests expired while still queued
+  u64 orphaned_executions = 0;  ///< detached stages still running
+
+  /// Degraded = any breaker not closed or any execution still orphaned.
+  [[nodiscard]] bool degraded() const {
+    if (orphaned_executions > 0) return true;
+    for (const BreakerSnapshot& b : breakers) {
+      if (b.state != BreakerState::kClosed) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace ispb::resilience

@@ -1,0 +1,25 @@
+#include "resilience/retry.hpp"
+
+namespace ispb::resilience {
+
+namespace {
+
+u64 mix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+u64 RetryPolicy::backoff_ms(u32 attempt, u64 prev_ms) const {
+  const u64 lo = base_delay_ms;
+  // Decorrelated jitter: uniform in [base, 3 * previous], capped.
+  const u64 hi = std::max(lo + 1, std::min(max_delay_ms, 3 * std::max<u64>(
+                                                             prev_ms, 1)));
+  const u64 h = mix64(seed ^ (static_cast<u64>(attempt) * 0xc2b2ae3d27d4eb4full));
+  return lo + h % (hi - lo + 1);
+}
+
+}  // namespace ispb::resilience

@@ -70,8 +70,37 @@ TEST(IspbRunCli, UnknownDeviceFailsInsteadOfSilentlyDefaulting) {
 TEST(IspbRunCli, HelpListsAllSubcommands) {
   const CmdResult r = run_cmd("help");
   EXPECT_EQ(r.exit_code, 0);
-  for (const char* sub : {"run", "analyze", "profile", "serve"}) {
+  for (const char* sub : {"run", "analyze", "profile", "serve", "chaos"}) {
     EXPECT_NE(r.output.find(sub), std::string::npos) << sub << "\n" << r.output;
+  }
+}
+
+TEST(IspbRunCli, ChaosGoodSeedsHoldInvariantsAndExitZero) {
+  // Two full seeded schedules across the 5 app x 4 pattern matrix: every
+  // future settles, every kOk response matches the reference bit-exactly.
+  const CmdResult r = run_cmd("chaos --schedules=2 --requests=1 --seed=1");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("chaos invariants hold"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("chaos violation"), std::string::npos) << r.output;
+}
+
+TEST(IspbRunCli, ChaosUnrecoverableFaultExitsOneNamingThePoint) {
+  const CmdResult r = run_cmd(
+      "chaos --schedules=1 --requests=1 --force-fail=compile.lower");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("fault point 'compile.lower'"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("chaos FAILED"), std::string::npos) << r.output;
+}
+
+TEST(IspbRunCli, ChaosEmitsJsonReport) {
+  const CmdResult r = run_cmd("chaos --schedules=1 --requests=1 --json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* field :
+       {"fault_fires", "violations", "ok_verdict", "fallbacks_served"}) {
+    EXPECT_NE(r.output.find(field), std::string::npos)
+        << field << "\n" << r.output;
   }
 }
 

@@ -134,6 +134,22 @@ TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
   SUCCEED();
 }
 
+TEST(ThreadPool, SurvivesThrowingTask) {
+  // A task that throws must not std::terminate the process, must not leak
+  // its worker thread, and must still count as finished (else wait_idle
+  // would deadlock on the stuck in_flight count).
+  ThreadPool pool(2);
+  std::atomic<int> after{0};
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  pool.wait_idle();
+  // The pool must still run subsequent tasks on its full complement.
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&after] { after.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(after.load(), 16);
+}
+
 TEST(ParallelFor, CoversRangeExactlyOnce) {
   std::vector<std::atomic<int>> hits(1000);
   parallel_for(0, 1000, [&](i64 i) { hits[static_cast<std::size_t>(i)]++; });

@@ -224,6 +224,42 @@ TEST_F(ImageIoTest, ReadRejectsTruncated) {
   EXPECT_THROW((void)read_pgm(path_.string()), IoError);
 }
 
+TEST_F(ImageIoTest, ReadRejectsTruncatedHeader) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "P5\n4";  // EOF mid-dimensions
+  }
+  EXPECT_THROW((void)read_pgm(path_.string()), IoError);
+}
+
+TEST_F(ImageIoTest, ReadRejectsOversizedDimensions) {
+  // A hostile header must be rejected before the pixel allocation, not
+  // by an OOM: 2e9 x 2e9 would be ~1.6e19 bytes of f32.
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "P5\n2000000000 2000000000\n255\n";
+  }
+  EXPECT_THROW((void)read_pgm(path_.string()), IoError);
+}
+
+TEST_F(ImageIoTest, ReadRejectsOversizedPixelProduct) {
+  // Each side is under the per-dimension cap but the product overflows the
+  // total-pixel budget — the check that must be done in 64-bit.
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "P5\n1000000 1000000\n255\n";
+  }
+  EXPECT_THROW((void)read_pgm(path_.string()), IoError);
+}
+
+TEST_F(ImageIoTest, ReadRejectsNegativeDimensions) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "P5\n-4 4\n255\n";
+  }
+  EXPECT_THROW((void)read_pgm(path_.string()), IoError);
+}
+
 TEST_F(ImageIoTest, ReadHonorsComments) {
   {
     std::ofstream out(path_, std::ios::binary);

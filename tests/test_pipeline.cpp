@@ -361,6 +361,54 @@ TEST(PipelineServer, ExpiresQueuedRequestsPastDeadline) {
   EXPECT_EQ(server.stats().deadline_expired, 1u);
 }
 
+TEST(PipelineServer, WatchdogSettlesMidQueueExpiryWhilePaused) {
+  const auto graph = std::make_shared<const pipeline::KernelGraph>(
+      pipeline::build_graph(filters::make_gaussian_app()));
+  const auto src =
+      std::make_shared<const Image<f32>>(make_gradient_image({16, 16}));
+
+  pipeline::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.start_paused = true;
+  cfg.executor.sim.sampled = true;
+  pipeline::PipelineServer server(cfg);
+
+  auto f = server.submit(make_request(graph, src, /*deadline_ms=*/2.0));
+  // The server is never resumed: no worker will ever dequeue this request,
+  // so only the deadline watchdog can settle it.
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(5)), std::future_status::ready)
+      << "watchdog did not settle an expired queued request";
+  EXPECT_EQ(f.get().status, pipeline::ServeStatus::kDeadlineExpired);
+  const resilience::HealthState health = server.health();
+  EXPECT_EQ(health.queue_expired, 1u);
+  EXPECT_EQ(health.watchdog_expired, 0u);  // it never started executing
+  server.shutdown();
+}
+
+TEST(PipelineServer, DrainSettlesExpiredRequestsWithoutExecuting) {
+  const auto graph = std::make_shared<const pipeline::KernelGraph>(
+      pipeline::build_graph(filters::make_gaussian_app()));
+  const auto src =
+      std::make_shared<const Image<f32>>(make_gradient_image({16, 16}));
+
+  pipeline::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.start_paused = true;
+  cfg.executor.sim.sampled = true;
+  pipeline::PipelineServer server(cfg);
+
+  auto strict = server.submit(make_request(graph, src, /*deadline_ms=*/1.0));
+  auto lax = server.submit(make_request(graph, src, /*deadline_ms=*/0.0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Shut down without ever resuming: the drain must settle the expired
+  // request kDeadlineExpired (not execute it, not abandon it) and still
+  // execute the one without a deadline.
+  server.shutdown();
+  EXPECT_EQ(strict.get().status, pipeline::ServeStatus::kDeadlineExpired);
+  EXPECT_EQ(lax.get().status, pipeline::ServeStatus::kOk);
+  EXPECT_EQ(server.stats().deadline_expired, 1u);
+}
+
 TEST(PipelineServer, ShutdownDrainsEveryQueuedRequest) {
   const auto graph = std::make_shared<const pipeline::KernelGraph>(
       pipeline::build_graph(filters::make_laplace_app()));

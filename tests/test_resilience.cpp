@@ -1,0 +1,539 @@
+// Resilience layer: injectable clocks, retry/backoff determinism, circuit
+// breaker state machine, deterministic fault injection, cache corrupt-and-
+// detect healing, the execution watchdog, and the end-to-end breaker
+// fallback (serve naive while ISP fails, restore ISP via half-open probe).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "filters/filters.hpp"
+#include "image/compare.hpp"
+#include "image/generators.hpp"
+#include "pipeline/executor.hpp"
+#include "pipeline/kernel_cache.hpp"
+#include "pipeline/kernel_graph.hpp"
+#include "pipeline/server.hpp"
+#include "resilience/circuit_breaker.hpp"
+#include "resilience/clock.hpp"
+#include "resilience/fault_injector.hpp"
+#include "resilience/health.hpp"
+#include "resilience/retry.hpp"
+
+namespace ispb {
+namespace {
+
+using resilience::BreakerState;
+using resilience::FaultKind;
+using resilience::FaultPlan;
+using resilience::FaultRule;
+
+// ---- clock ------------------------------------------------------------------
+
+TEST(VirtualClock, SleepAdvancesTime) {
+  resilience::VirtualClock clock(100);
+  EXPECT_EQ(clock.now_ms(), 100u);
+  clock.sleep_ms(25);
+  EXPECT_EQ(clock.now_ms(), 125u);
+  clock.advance(5);
+  EXPECT_EQ(clock.now_ms(), 130u);
+}
+
+TEST(VirtualClock, ClockOrSystemFallsBackToWallClock) {
+  resilience::Clock& wall = resilience::clock_or_system(nullptr);
+  EXPECT_GT(wall.now_ms(), 0u);
+  resilience::VirtualClock virt;
+  EXPECT_EQ(&resilience::clock_or_system(&virt), &virt);
+}
+
+// ---- retry ------------------------------------------------------------------
+
+TEST(RetryPolicy, BackoffIsDeterministicAndBounded) {
+  resilience::RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.base_delay_ms = 2;
+  policy.max_delay_ms = 50;
+  policy.seed = 7;
+
+  u64 prev = policy.base_delay_ms;
+  std::vector<u64> schedule;
+  for (u32 attempt = 1; attempt <= 7; ++attempt) {
+    const u64 sleep = policy.backoff_ms(attempt, prev);
+    EXPECT_GE(sleep, policy.base_delay_ms);
+    EXPECT_LE(sleep, policy.max_delay_ms);
+    schedule.push_back(sleep);
+    prev = sleep;
+  }
+  // Replaying the identical policy must reproduce the identical schedule.
+  prev = policy.base_delay_ms;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(policy.backoff_ms(static_cast<u32>(i) + 1, prev), schedule[i]);
+    prev = schedule[i];
+  }
+}
+
+TEST(RetryCall, SucceedsAfterTransientFailures) {
+  resilience::RetryPolicy policy;
+  policy.max_attempts = 5;
+  resilience::VirtualClock clock;
+  resilience::RetryOutcome outcome;
+  int calls = 0;
+  const int result = resilience::retry_call(
+      policy, &clock,
+      [&] {
+        if (++calls < 3) throw std::runtime_error("transient");
+        return 42;
+      },
+      &outcome);
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_TRUE(outcome.succeeded);
+  // Backoff was slept on the virtual clock, never the wall clock.
+  EXPECT_EQ(clock.elapsed_ms(), outcome.backoff_ms);
+  EXPECT_GT(outcome.backoff_ms, 0u);
+}
+
+TEST(RetryCall, GivesUpAfterMaxAttempts) {
+  resilience::RetryPolicy policy;
+  policy.max_attempts = 3;
+  resilience::VirtualClock clock;
+  resilience::RetryOutcome outcome;
+  int calls = 0;
+  EXPECT_THROW(resilience::retry_call(
+                   policy, &clock,
+                   [&]() -> int { ++calls; throw std::runtime_error("hard"); },
+                   &outcome),
+               std::runtime_error);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_FALSE(outcome.succeeded);
+}
+
+TEST(RetryCall, NeverRetriesContractErrors) {
+  resilience::RetryPolicy policy;
+  policy.max_attempts = 5;
+  resilience::VirtualClock clock;
+  int calls = 0;
+  EXPECT_THROW(resilience::retry_call(policy, &clock,
+                                      [&]() -> int {
+                                        ++calls;
+                                        throw ContractError("logic bug");
+                                      }),
+               ContractError);
+  EXPECT_EQ(calls, 1) << "a logic error must not be retried";
+  EXPECT_EQ(clock.elapsed_ms(), 0u);
+}
+
+// ---- fault injector ---------------------------------------------------------
+
+TEST(FaultInjector, CertainThrowRuleFiresAndNamesThePoint) {
+  FaultPlan plan;
+  plan.rules.push_back({"executor.stage", FaultKind::kThrow, "", 1.0, 0, 0});
+  resilience::FaultInjector injector(plan);
+  resilience::FaultInjector::ScopedInstall install(injector);
+  try {
+    resilience::fault_point("executor.stage", "gaussian3");
+    FAIL() << "expected InjectedFault";
+  } catch (const resilience::InjectedFault& e) {
+    EXPECT_EQ(e.point(), "executor.stage");
+  }
+  // Unrelated points are untouched.
+  resilience::fault_point("server.exec", "gaussian");
+}
+
+TEST(FaultInjector, MatchRestrictsRuleToDetailSubstring) {
+  FaultPlan plan;
+  plan.rules.push_back({"compile.lower", FaultKind::kThrow, "/isp", 1.0, 0, 0});
+  resilience::FaultInjector injector(plan);
+  resilience::FaultInjector::ScopedInstall install(injector);
+  EXPECT_THROW(resilience::fault_point("compile.lower", "gaussian3/isp"),
+               resilience::InjectedFault);
+  resilience::fault_point("compile.lower", "gaussian3/naive");  // must pass
+}
+
+TEST(FaultInjector, MaxFiresModelsATransientFault) {
+  FaultPlan plan;
+  plan.rules.push_back({"cache.insert", FaultKind::kThrow, "", 1.0, 2, 0});
+  resilience::FaultInjector injector(plan);
+  resilience::FaultInjector::ScopedInstall install(injector);
+  EXPECT_THROW(resilience::fault_point("cache.insert"),
+               resilience::InjectedFault);
+  EXPECT_THROW(resilience::fault_point("cache.insert"),
+               resilience::InjectedFault);
+  resilience::fault_point("cache.insert");  // fault has cleared
+  EXPECT_EQ(injector.total_fires(), 2u);
+}
+
+TEST(FaultInjector, DelayRuleSleepsOnInjectedClock) {
+  FaultPlan plan;
+  plan.rules.push_back({"launcher.launch", FaultKind::kDelay, "", 1.0, 0, 15});
+  resilience::VirtualClock clock;
+  resilience::FaultInjector injector(plan, &clock);
+  resilience::FaultInjector::ScopedInstall install(injector);
+  resilience::fault_point("launcher.launch", "k");
+  EXPECT_EQ(clock.elapsed_ms(), 15u);
+  const auto counters = injector.counters();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].delayed, 1u);
+}
+
+TEST(FaultInjector, CorruptRuleAnswersShouldCorrupt) {
+  FaultPlan plan;
+  plan.rules.push_back({"cache.insert", FaultKind::kCorrupt, "", 1.0, 1, 0});
+  resilience::FaultInjector injector(plan);
+  resilience::FaultInjector::ScopedInstall install(injector);
+  resilience::fault_point("cache.insert");  // kCorrupt never throws
+  EXPECT_TRUE(resilience::fault_corrupt("cache.insert"));
+  EXPECT_FALSE(resilience::fault_corrupt("cache.insert")) << "max_fires = 1";
+}
+
+TEST(FaultInjector, SameSeedSameFiringSequence) {
+  // The acceptance contract: identical plans produce identical firing logs
+  // and counters under an identical (single-threaded) drive.
+  const FaultPlan plan = FaultPlan::chaos(0xfeedu);
+  auto drive = [](resilience::FaultInjector& injector) {
+    resilience::FaultInjector::ScopedInstall install(injector);
+    for (int i = 0; i < 200; ++i) {
+      try {
+        resilience::fault_point("compile.lower", "gaussian3/isp");
+        resilience::fault_point("cache.insert", "gaussian3");
+        resilience::fault_point("executor.stage", "gaussian3");
+      } catch (const resilience::InjectedFault&) {
+      }
+      (void)resilience::fault_corrupt("cache.insert", "gaussian3");
+    }
+  };
+  resilience::VirtualClock clock_a, clock_b;
+  resilience::FaultInjector a(plan, &clock_a);
+  resilience::FaultInjector b(plan, &clock_b);
+  drive(a);
+  drive(b);
+  EXPECT_GT(a.total_fires(), 0u) << "chaos plan never fired in 200 rounds";
+  EXPECT_EQ(a.firing_log(), b.firing_log());
+  EXPECT_EQ(clock_a.elapsed_ms(), clock_b.elapsed_ms());
+  const auto ca = a.counters();
+  const auto cb = b.counters();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].point, cb[i].point);
+    EXPECT_EQ(ca[i].evaluated, cb[i].evaluated);
+    EXPECT_EQ(ca[i].thrown, cb[i].thrown);
+    EXPECT_EQ(ca[i].delayed, cb[i].delayed);
+    EXPECT_EQ(ca[i].corrupted, cb[i].corrupted);
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  auto fires_of = [](u64 seed) {
+    const FaultPlan plan = FaultPlan::chaos(seed);
+    resilience::VirtualClock clock;
+    resilience::FaultInjector injector(plan, &clock);
+    resilience::FaultInjector::ScopedInstall install(injector);
+    for (int i = 0; i < 200; ++i) {
+      try {
+        resilience::fault_point("executor.stage", "k");
+      } catch (const resilience::InjectedFault&) {
+      }
+    }
+    return injector.firing_log();
+  };
+  EXPECT_NE(fires_of(1), fires_of(2));
+}
+
+// ---- circuit breaker --------------------------------------------------------
+
+TEST(CircuitBreaker, TripsAfterThresholdAndShortCircuits) {
+  resilience::BreakerConfig config;
+  config.failure_threshold = 3;
+  config.open_cooldown_ms = 100;
+  resilience::VirtualClock clock;
+  resilience::CircuitBreaker breaker("gaussian3", config, &clock);
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(breaker.allow());
+    breaker.record_failure();
+  }
+  EXPECT_EQ(breaker.snapshot().state, BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow()) << "open breaker must short-circuit";
+  EXPECT_EQ(breaker.snapshot().trips, 1u);
+  EXPECT_EQ(breaker.snapshot().short_circuits, 1u);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeSuccessCloses) {
+  resilience::BreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_cooldown_ms = 50;
+  config.half_open_probes = 1;
+  resilience::VirtualClock clock;
+  resilience::CircuitBreaker breaker("k", config, &clock);
+
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_failure();  // trips
+  EXPECT_FALSE(breaker.allow());
+  clock.advance(60);  // cooldown elapses
+  EXPECT_TRUE(breaker.allow()) << "half-open must admit a probe";
+  EXPECT_EQ(breaker.snapshot().state, BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.allow()) << "only half_open_probes probes admitted";
+  breaker.record_success();
+  EXPECT_EQ(breaker.snapshot().state, BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow());
+}
+
+TEST(CircuitBreaker, HalfOpenProbeFailureReopens) {
+  resilience::BreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_cooldown_ms = 50;
+  resilience::VirtualClock clock;
+  resilience::CircuitBreaker breaker("k", config, &clock);
+
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_failure();
+  clock.advance(60);
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_failure();  // probe fails
+  EXPECT_EQ(breaker.snapshot().state, BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_EQ(breaker.snapshot().trips, 2u);
+  clock.advance(60);
+  EXPECT_TRUE(breaker.allow()) << "another cooldown, another probe";
+}
+
+TEST(BreakerRegistry, SharesBreakersByKernelName) {
+  resilience::VirtualClock clock;
+  resilience::BreakerRegistry registry({}, &clock);
+  resilience::CircuitBreaker& a = registry.get("gaussian3");
+  resilience::CircuitBreaker& b = registry.get("gaussian3");
+  EXPECT_EQ(&a, &b);
+  (void)registry.get("laplace5");
+  const auto snaps = registry.snapshot();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].kernel, "gaussian3");  // sorted by kernel name
+  EXPECT_EQ(snaps[1].kernel, "laplace5");
+}
+
+TEST(HealthState, DegradedWhenAnyBreakerNotClosed) {
+  resilience::HealthState h;
+  EXPECT_FALSE(h.degraded());
+  h.breakers.push_back({"k", BreakerState::kClosed, 0, 0, 0, 0});
+  EXPECT_FALSE(h.degraded());
+  h.breakers.push_back({"j", BreakerState::kOpen, 3, 1, 0, 0});
+  EXPECT_TRUE(h.degraded());
+  h.breakers.clear();
+  h.orphaned_executions = 1;
+  EXPECT_TRUE(h.degraded());
+}
+
+// ---- kernel cache: corrupt-and-detect, fill retry ---------------------------
+
+TEST(KernelCacheResilience, PoisonedEntryIsDetectedAndHealed) {
+  FaultPlan plan;
+  plan.rules.push_back({"cache.insert", FaultKind::kCorrupt, "", 1.0, 1, 0});
+  resilience::FaultInjector injector(plan);
+  resilience::FaultInjector::ScopedInstall install(injector);
+
+  pipeline::KernelCache cache(8);
+  const auto spec = filters::gaussian_spec(3);
+  codegen::CodegenOptions options;
+  options.variant = codegen::Variant::kIsp;
+
+  // The filler gets the good kernel even though the stored entry is
+  // poisoned behind it.
+  const auto first = cache.get_or_compile(spec, options);
+  ASSERT_NE(first, nullptr);
+  EXPECT_GE(first->regs_per_thread, 0);
+  EXPECT_EQ(cache.stats().poisoned, 0u) << "poison detected too early";
+
+  // The next lookup must detect the poison, heal by recompiling, and serve
+  // a valid kernel — a corrupt entry can never reach a launch.
+  const auto second = cache.get_or_compile(spec, options);
+  ASSERT_NE(second, nullptr);
+  EXPECT_GE(second->regs_per_thread, 0);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.poisoned, 1u);
+  EXPECT_EQ(stats.misses, 2u) << "healing recompiles";
+
+  // Healed: the third lookup is a plain hit.
+  (void)cache.get_or_compile(spec, options);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().poisoned, 1u);
+}
+
+TEST(KernelCacheResilience, FillRetriesRecoverInjectedInsertFailures) {
+  FaultPlan plan;
+  plan.rules.push_back({"cache.insert", FaultKind::kThrow, "", 1.0, 2, 0});
+  resilience::FaultInjector injector(plan);
+  resilience::FaultInjector::ScopedInstall install(injector);
+
+  pipeline::KernelCache cache(8);
+  resilience::RetryPolicy retry;
+  retry.max_attempts = 4;
+  resilience::VirtualClock clock;
+  cache.set_retry(retry, &clock);
+
+  const auto spec = filters::laplace_spec(5);
+  codegen::CodegenOptions options;
+  const auto kernel = cache.get_or_compile(spec, options);
+  ASSERT_NE(kernel, nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.fill_retries, 2u) << "two injected failures, then success";
+  EXPECT_GT(clock.elapsed_ms(), 0u) << "backoff slept on the virtual clock";
+}
+
+TEST(KernelCacheResilience, UnrecoverableFillFailureReachesEveryCaller) {
+  FaultPlan plan;
+  plan.rules.push_back({"cache.insert", FaultKind::kThrow, "", 1.0, 0, 0});
+  resilience::FaultInjector injector(plan);
+  resilience::FaultInjector::ScopedInstall install(injector);
+
+  pipeline::KernelCache cache(8);
+  const auto spec = filters::gaussian_spec(3);
+  codegen::CodegenOptions options;
+  EXPECT_THROW((void)cache.get_or_compile(spec, options),
+               resilience::InjectedFault);
+  // The failed key was forgotten: once the injector is gone a later request
+  // compiles cleanly.
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---- executor + server: breaker fallback, watchdog, health ------------------
+
+std::shared_ptr<const pipeline::KernelGraph> gaussian_graph() {
+  return std::make_shared<const pipeline::KernelGraph>(
+      pipeline::build_graph(filters::make_gaussian_app()));
+}
+
+TEST(ServerResilience, BreakerServesNaiveWhileIspFailsThenRestores) {
+  // The acceptance scenario: compile.lower forced to fail ISP-only. The
+  // server must keep answering kOk — first via per-request fallback, then
+  // via the tripped breaker — with variant_used == kNaive, and must restore
+  // kIsp through a half-open probe once the fault clears.
+  FaultPlan plan;
+  plan.rules.push_back({"compile.lower", FaultKind::kThrow, "/isp", 1.0,
+                        /*max_fires=*/2, 0});
+  resilience::VirtualClock clock;
+  resilience::FaultInjector injector(plan, &clock);
+  resilience::FaultInjector::ScopedInstall install(injector);
+
+  const auto graph = gaussian_graph();
+  // 64x64: comfortably wider than the 32x4 block, so the launcher's
+  // degenerate-partition fallback stays out of the way and variant_used
+  // reflects the breaker's decision alone.
+  const auto src =
+      std::make_shared<const Image<f32>>(make_gradient_image({64, 64}));
+  const Image<f32> expect = filters::run_app_reference(
+      filters::make_gaussian_app(), *src, BorderPattern::kClamp);
+
+  pipeline::KernelCache cache(8);  // private cache: no cross-test hits
+  pipeline::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.executor.cache = &cache;
+  cfg.breaker.failure_threshold = 2;
+  cfg.breaker.open_cooldown_ms = 100;
+  cfg.clock = &clock;
+  pipeline::PipelineServer server(cfg);
+
+  auto serve_one = [&] {
+    auto f = server.submit({graph, src, 0.0});
+    pipeline::ServeResponse resp = f.get();
+    EXPECT_EQ(resp.status, pipeline::ServeStatus::kOk) << resp.error;
+    EXPECT_EQ(compare(resp.output, expect).max_abs, 0.0)
+        << "fallback output must stay bit-identical to the reference";
+    return resp;
+  };
+
+  // Requests 1-2: ISP compile fails, per-request fallback serves naive and
+  // the second failure trips the breaker.
+  for (int i = 0; i < 2; ++i) {
+    const auto resp = serve_one();
+    EXPECT_EQ(resp.variant_used, codegen::Variant::kNaive);
+    EXPECT_TRUE(resp.served_by_fallback);
+  }
+  // Request 3: breaker is open; naive is served without touching the
+  // (cleared, but untrusted) ISP path.
+  {
+    const auto resp = serve_one();
+    EXPECT_EQ(resp.variant_used, codegen::Variant::kNaive);
+    EXPECT_TRUE(resp.served_by_fallback);
+  }
+  resilience::HealthState health = server.health();
+  ASSERT_EQ(health.breakers.size(), 1u);
+  EXPECT_EQ(health.breakers[0].state, BreakerState::kOpen);
+  EXPECT_TRUE(health.degraded());
+  EXPECT_EQ(health.fallbacks_served, 3u);
+
+  // Cooldown elapses on the virtual clock; the fault already cleared
+  // (max_fires = 2), so the half-open probe succeeds and ISP is restored.
+  clock.advance(150);
+  {
+    const auto resp = serve_one();
+    EXPECT_EQ(resp.variant_used, codegen::Variant::kIsp);
+    EXPECT_FALSE(resp.served_by_fallback);
+  }
+  health = server.health();
+  EXPECT_EQ(health.breakers[0].state, BreakerState::kClosed);
+  EXPECT_FALSE(health.degraded());
+  server.shutdown();
+}
+
+TEST(ServerResilience, WatchdogCutsOffOverrunningExecution) {
+  // A delay rule on the wall clock makes the stage overrun its remaining
+  // budget; the watchdog must settle kDeadlineExpired promptly and the
+  // orphaned execution must be fully reaped by shutdown.
+  FaultPlan plan;
+  plan.rules.push_back(
+      {"executor.stage", FaultKind::kDelay, "", 1.0, 0, /*delay_ms=*/300});
+  resilience::FaultInjector injector(plan);  // SystemClock: real sleep
+  resilience::FaultInjector::ScopedInstall install(injector);
+
+  const auto graph = gaussian_graph();
+  const auto src =
+      std::make_shared<const Image<f32>>(make_gradient_image({16, 16}));
+
+  pipeline::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.executor.sim.sampled = true;
+  pipeline::PipelineServer server(cfg);
+
+  auto f = server.submit({graph, src, /*deadline_ms=*/30.0});
+  const pipeline::ServeResponse resp = f.get();
+  EXPECT_EQ(resp.status, pipeline::ServeStatus::kDeadlineExpired);
+  EXPECT_LT(resp.total_ms, 290.0)
+      << "the worker must be freed before the delayed stage finishes";
+  EXPECT_EQ(server.stats().watchdog_expired, 1u);
+  server.shutdown();  // waits out the detached execution
+  EXPECT_EQ(server.health().orphaned_executions, 0u);
+}
+
+TEST(ServerResilience, RetriesRecoverTransientStageFaults) {
+  FaultPlan plan;
+  plan.rules.push_back({"executor.stage", FaultKind::kThrow, "", 1.0,
+                        /*max_fires=*/1, 0});
+  resilience::VirtualClock clock;
+  resilience::FaultInjector injector(plan, &clock);
+  resilience::FaultInjector::ScopedInstall install(injector);
+
+  const auto graph = gaussian_graph();
+  const auto src =
+      std::make_shared<const Image<f32>>(make_gradient_image({16, 16}));
+
+  pipeline::KernelCache cache(8);
+  pipeline::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.executor.cache = &cache;
+  cfg.executor.retry.max_attempts = 3;
+  cfg.breakers_enabled = false;  // isolate the retry path
+  cfg.clock = &clock;
+  pipeline::PipelineServer server(cfg);
+
+  auto f = server.submit({graph, src, 0.0});
+  const pipeline::ServeResponse resp = f.get();
+  EXPECT_EQ(resp.status, pipeline::ServeStatus::kOk) << resp.error;
+  EXPECT_FALSE(resp.served_by_fallback);
+  const resilience::HealthState health = server.health();
+  EXPECT_EQ(health.retries, 1u) << "one retry recovered the injected fault";
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace ispb

@@ -33,11 +33,24 @@
 //              [--pattern=clamp] [--variant=isp] [--size=256] [--queue=64]
 //              [--deadline-ms=50] [--sampled] [--json | --json=report.json]
 //
+//   chaos      resilience harness: run N seeded fault schedules (deterministic
+//              FaultPlans over compile/cache/executor/server/launcher fault
+//              points) against the 5-app x 4-pattern serving matrix and
+//              assert the invariants — every future settles, no deadlock, no
+//              leaked watchdog orphan, and every kOk response bit-identical
+//              to the CPU reference. Exit 1 names the dominant fault point
+//              when a schedule serves nothing but failures:
+//
+//     ispb_run chaos [--schedules=64] [--seed=1] [--requests=2] [--size=64]
+//              [--deadline-ms=0] [--force-fail=POINT] [--json]
+//
 //   help       print this overview.
 #include <array>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <set>
 
 #include "codegen/kernel_gen.hpp"
@@ -52,6 +65,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/server.hpp"
+#include "resilience/fault_injector.hpp"
 
 using namespace ispb;
 
@@ -155,6 +169,8 @@ int run_analyze(int argc, char** argv);
 int run_profile(int argc, char** argv);
 /// `serve`: batched serving driver reporting throughput/latency/cache stats.
 int run_serve(int argc, char** argv);
+/// `chaos`: seeded fault schedules asserting the serving invariants.
+int run_chaos(int argc, char** argv);
 
 struct Subcommand {
   std::string_view name;
@@ -162,7 +178,7 @@ struct Subcommand {
   int (*fn)(int argc, char** argv);
 };
 
-constexpr std::array<Subcommand, 4> kSubcommands = {{
+constexpr std::array<Subcommand, 5> kSubcommands = {{
     {"run", "simulate an application end to end (the default)", run_simulate},
     {"analyze", "statically prove bounds, coverage and Body specialization",
      run_analyze},
@@ -170,6 +186,8 @@ constexpr std::array<Subcommand, 4> kSubcommands = {{
      run_profile},
     {"serve", "batched pipeline serving: throughput/latency/cache report",
      run_serve},
+    {"chaos", "seeded fault-injection schedules asserting serving invariants",
+     run_chaos},
 }};
 
 std::string subcommand_overview() {
@@ -555,6 +573,275 @@ int run_serve(int argc, char** argv) {
       {"cache hit rate", AsciiTable::num(cache_stats.hit_rate(), 3)});
   table.print(std::cout);
   if (!json_arg.empty()) std::cout << "wrote " << json_arg << "\n";
+  return 0;
+}
+
+/// Extracts the fault-point name from an InjectedFault message ("injected
+/// fault at '<point>' ..."), or "" when the error is not an injected one.
+std::string injected_point(const std::string& error) {
+  static constexpr std::string_view kMarker = "injected fault at '";
+  const auto at = error.find(kMarker);
+  if (at == std::string::npos) return {};
+  const auto start = at + kMarker.size();
+  const auto end = error.find('\'', start);
+  if (end == std::string::npos) return {};
+  return error.substr(start, end - start);
+}
+
+int run_chaos(int argc, char** argv) {
+  Cli cli(argc, argv);
+  cli.option("schedules", "seeded fault schedules to run (default 64)")
+      .option("seed", "base seed; schedule s uses seed + s (default 1)")
+      .option("requests", "requests per app x pattern combination (default 2)")
+      .option("size", "synthetic image extent, >= 64 (default 64)")
+      .option("deadline-ms", "whole-request deadline per request, 0 = none")
+      .option("force-fail",
+              "fault point to fail unrecoverably: compile.lower|cache.insert|"
+              "executor.stage|server.exec|launcher.launch")
+      .option("json", "report as JSON: --json to stdout, --json=PATH to file");
+  if (cli.finish()) {
+    std::cout << cli.help();
+    return 0;
+  }
+
+  const i32 schedules = static_cast<i32>(cli.get_int("schedules", 64));
+  const u64 seed_base = static_cast<u64>(cli.get_int("seed", 1));
+  const i32 requests = static_cast<i32>(cli.get_int("requests", 2));
+  const i32 size = static_cast<i32>(cli.get_int("size", 64));
+  const f64 deadline_ms = cli.get_double("deadline-ms", 0.0);
+  const std::string force_fail = cli.get_string("force-fail", "");
+  if (schedules <= 0) throw IoError("--schedules must be positive");
+  if (requests <= 0) throw IoError("--requests must be positive");
+  // Below the 32x4 block footprint the launcher's degenerate-partition
+  // fallback forces naive everywhere and the ISP paths go untested.
+  if (size < 64) throw IoError("--size must be >= 64");
+
+  // The matrix: all five evaluation apps under all four border patterns,
+  // with per-combo CPU references computed fault-free up front.
+  const std::vector<filters::MultiKernelApp> apps = filters::all_apps();
+  const f32 border_constant = 32.5f;
+  const Image<f32> source_img = make_noise_image({size, size}, 4242);
+  const auto source = std::make_shared<const Image<f32>>(source_img);
+
+  struct Combo {
+    const filters::MultiKernelApp* app;
+    BorderPattern pattern;
+    std::shared_ptr<const pipeline::KernelGraph> graph;
+    Image<f32> reference;
+  };
+  std::vector<Combo> combos;
+  for (const filters::MultiKernelApp& app : apps) {
+    const auto graph = std::make_shared<const pipeline::KernelGraph>(
+        pipeline::build_graph(app));
+    for (BorderPattern pattern : kAllBorderPatterns) {
+      combos.push_back({&app, pattern, graph,
+                        filters::run_app_reference(app, source_img, pattern,
+                                                   border_constant)});
+    }
+  }
+
+  u64 total_requests = 0;
+  u64 ok = 0, errors = 0, expired = 0, rejected = 0;
+  u64 fallbacks = 0, retries = 0, watchdog_expired = 0;
+  std::map<std::string, u64> fires_by_point;
+  std::map<std::string, u64> error_points;  ///< injected points seen in kError
+  std::vector<std::string> violations;
+
+  for (i32 s = 0; s < schedules; ++s) {
+    const u64 seed = seed_base + static_cast<u64>(s);
+    resilience::FaultPlan plan = resilience::FaultPlan::chaos(seed);
+    if (!force_fail.empty()) {
+      // Unlimited, probability-1 throw: no retry budget or breaker fallback
+      // can absorb it, so the schedule must end with zero successes.
+      resilience::FaultRule rule;
+      rule.point = force_fail;
+      rule.kind = resilience::FaultKind::kThrow;
+      plan.rules.push_back(rule);
+    }
+    resilience::VirtualClock vclock;  // delays, backoff and cooldowns: free
+    resilience::FaultInjector injector(plan, &vclock);
+    resilience::FaultInjector::ScopedInstall install(injector);
+
+    u64 schedule_ok = 0;
+    for (const Combo& combo : combos) {
+      // Fresh cache per combo so corrupt/poison state never leaks between
+      // schedules and every combo exercises the fill path.
+      pipeline::KernelCache cache;
+      resilience::RetryPolicy retry;
+      retry.max_attempts = 3;
+      retry.seed = seed;
+      cache.set_retry(retry, &vclock);
+
+      pipeline::ServerConfig server_cfg;
+      server_cfg.workers = 2;
+      server_cfg.queue_capacity = static_cast<std::size_t>(requests);
+      server_cfg.executor.sim.pattern = combo.pattern;
+      server_cfg.executor.sim.constant = border_constant;
+      server_cfg.executor.cache = &cache;
+      server_cfg.executor.retry = retry;
+      server_cfg.breaker.open_cooldown_ms = 50;
+      server_cfg.clock = &vclock;
+
+      pipeline::PipelineServer server(server_cfg);
+      std::vector<std::future<pipeline::ServeResponse>> futures;
+      futures.reserve(static_cast<std::size_t>(requests));
+      for (i32 i = 0; i < requests; ++i) {
+        futures.push_back(server.submit({combo.graph, source, deadline_ms}));
+      }
+
+      for (auto& f : futures) {
+        ++total_requests;
+        // Invariant: every future settles. Simulated launches take
+        // milliseconds; a future still pending after 60s is a deadlock.
+        if (f.wait_for(std::chrono::seconds(60)) !=
+            std::future_status::ready) {
+          std::cerr << "chaos violation: request did not settle within 60s "
+                    << "(seed " << seed << ", " << combo.app->name << "/"
+                    << to_string(combo.pattern) << ") — likely deadlock\n";
+          std::_Exit(1);  // unwinding would block on the hung server
+        }
+        const pipeline::ServeResponse resp = f.get();
+        switch (resp.status) {
+          case pipeline::ServeStatus::kOk: {
+            ++ok;
+            ++schedule_ok;
+            if (resp.served_by_fallback) ++fallbacks;
+            // Invariant: every kOk answer is bit-identical to the CPU
+            // reference — retried, breaker-degraded and healed paths
+            // included.
+            const CompareResult diff = compare(resp.output, combo.reference);
+            if (diff.max_abs != 0.0) {
+              violations.push_back(
+                  "seed " + std::to_string(seed) + ": " + combo.app->name +
+                  "/" + std::string(to_string(combo.pattern)) +
+                  " kOk output diverges from reference (max abs " +
+                  std::to_string(diff.max_abs) + ")");
+            }
+            break;
+          }
+          case pipeline::ServeStatus::kError: {
+            ++errors;
+            const std::string point = injected_point(resp.error);
+            if (point.empty()) {
+              violations.push_back("seed " + std::to_string(seed) +
+                                   ": non-injected error: " + resp.error);
+            } else {
+              ++error_points[point];
+            }
+            break;
+          }
+          case pipeline::ServeStatus::kDeadlineExpired:
+            ++expired;
+            break;
+          case pipeline::ServeStatus::kRejected:
+            ++rejected;
+            break;
+        }
+      }
+
+      server.shutdown();
+      const resilience::HealthState health = server.health();
+      retries += health.retries;
+      watchdog_expired += health.watchdog_expired;
+      // Invariant: shutdown reaps every watchdog-detached execution — a
+      // surviving orphan means a worker thread leaked past join.
+      if (health.orphaned_executions != 0) {
+        violations.push_back("seed " + std::to_string(seed) + ": " +
+                             std::to_string(health.orphaned_executions) +
+                             " orphaned execution(s) survived shutdown");
+      }
+    }
+
+    for (const resilience::FaultPointCounters& c : injector.counters()) {
+      fires_by_point[c.point] += c.thrown + c.delayed + c.corrupted;
+    }
+
+    // Invariant: the stack absorbs the schedule. Chaos plans fire hard, but
+    // retries, breaker fallbacks and cache healing must keep at least one
+    // request succeeding; zero successes means an unrecoverable fault.
+    if (schedule_ok == 0) {
+      std::string worst;
+      u64 worst_count = 0;
+      for (const auto& [point, count] : error_points) {
+        if (count > worst_count) {
+          worst = point;
+          worst_count = count;
+        }
+      }
+      violations.push_back(
+          "seed " + std::to_string(seed) +
+          ": no request succeeded — unrecoverable fault" +
+          (worst.empty() ? std::string()
+                         : " at fault point '" + worst + "'"));
+    }
+  }
+
+  obs::Json report = obs::Json::object();
+  report["schedules"] = static_cast<i64>(schedules);
+  report["seed_base"] = static_cast<i64>(seed_base);
+  report["apps"] = static_cast<i64>(apps.size());
+  report["patterns"] = static_cast<i64>(kAllBorderPatterns.size());
+  report["requests_per_combo"] = static_cast<i64>(requests);
+  report["size"] = size;
+  report["deadline_ms"] = deadline_ms;
+  if (!force_fail.empty()) report["force_fail"] = force_fail;
+  obs::Json totals = obs::Json::object();
+  totals["requests"] = total_requests;
+  totals["ok"] = ok;
+  totals["errors"] = errors;
+  totals["deadline_expired"] = expired;
+  totals["rejected"] = rejected;
+  totals["fallbacks_served"] = fallbacks;
+  totals["retries"] = retries;
+  totals["watchdog_expired"] = watchdog_expired;
+  report["totals"] = std::move(totals);
+  obs::Json fires = obs::Json::object();
+  for (const auto& [point, count] : fires_by_point) fires[point] = count;
+  report["fault_fires"] = std::move(fires);
+  obs::Json violations_json = obs::Json::array();
+  for (const std::string& v : violations) violations_json.push_back(v);
+  report["violations"] = std::move(violations_json);
+  report["ok_verdict"] = violations.empty();
+
+  const std::string json_arg = cli.get_string("json", "");
+  if (json_arg == "true") {
+    std::cout << report.dump(2) << "\n";  // bare --json: report to stdout
+  } else {
+    if (!json_arg.empty()) write_text_file(json_arg, report.dump(2));
+
+    AsciiTable table("chaos: " + std::to_string(schedules) + " schedule(s) x " +
+                     std::to_string(apps.size()) + " apps x " +
+                     std::to_string(kAllBorderPatterns.size()) +
+                     " patterns x " + std::to_string(requests) + " request(s)");
+    table.set_header({"metric", "value"});
+    table.add_row({"requests", std::to_string(total_requests)});
+    table.add_row({"ok", std::to_string(ok)});
+    table.add_row({"errors (injected)", std::to_string(errors)});
+    table.add_row({"deadline expired", std::to_string(expired)});
+    table.add_row({"rejected", std::to_string(rejected)});
+    table.add_row({"fallbacks served", std::to_string(fallbacks)});
+    table.add_row({"stage retries", std::to_string(retries)});
+    table.add_row({"watchdog expired", std::to_string(watchdog_expired)});
+    for (const auto& [point, count] : fires_by_point) {
+      table.add_row({"fires: " + point, std::to_string(count)});
+    }
+    table.print(std::cout);
+    if (!json_arg.empty()) std::cout << "wrote " << json_arg << "\n";
+  }
+
+  if (!violations.empty()) {
+    constexpr std::size_t kMaxPrinted = 8;
+    for (std::size_t i = 0; i < violations.size() && i < kMaxPrinted; ++i) {
+      std::cerr << "chaos violation: " << violations[i] << "\n";
+    }
+    if (violations.size() > kMaxPrinted) {
+      std::cerr << "... and " << violations.size() - kMaxPrinted << " more\n";
+    }
+    std::cerr << "chaos FAILED: " << violations.size() << " violation(s)\n";
+    return 1;
+  }
+  std::cout << "chaos invariants hold across " << schedules
+            << " schedule(s)\n";
   return 0;
 }
 
