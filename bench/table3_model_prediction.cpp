@@ -8,12 +8,15 @@
 //
 // Expected shape: mispredictions only near the crossover where the two
 // implementations are within a few percent; high correlation everywhere.
+#include <algorithm>
 #include <iostream>
 
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "dsl/runtime.hpp"
 #include "harness.hpp"
+#include "ir/analysis/static_cost.hpp"
 
 namespace ispb::bench {
 namespace {
@@ -112,6 +115,62 @@ int run(int argc, char** argv) {
   }
   std::cout << "\n";
   corr.print(std::cout);
+
+  // Static-cycle cross-check: Eq. (10) evaluated with the static analyzer's
+  // counter-exact cycles instead of the analytic Eq. (3) estimate. The
+  // static evaluation walks every block of the grid, so it runs at one
+  // calibration size rather than the whole sweep; one point per pattern is
+  // enough to see whether the two predictors agree on the verdict.
+  const i32 cal = cli.get_flag("quick") ? 128 : 256;
+  const filters::MultiKernelApp cal_app = filters::make_bilateral_app();
+  const codegen::StencilSpec& cal_spec = cal_app.stages[0].spec;
+  AsciiTable stat("Eq. (10) with static cycles, calibration size " +
+                  std::to_string(cal));
+  stat.set_header(
+      {"pattern", "static G", "model G", "static", "model", "agree"});
+  for (BorderPattern p : kAllBorderPatterns) {
+    codegen::CodegenOptions opt;
+    opt.pattern = p;
+    opt.variant = codegen::Variant::kNaive;
+    const dsl::CompiledKernel knaive = dsl::compile_kernel(cal_spec, opt);
+    opt.variant = codegen::Variant::kIsp;
+    const dsl::CompiledKernel kisp = dsl::compile_kernel(cal_spec, opt);
+
+    analysis::LaunchGeometry geom;
+    geom.image = {cal, cal};
+    geom.block = block;
+    geom.window = cal_spec.window();
+    geom.warp_width = knaive.options.warp_width;
+    const analysis::StaticLaunchCost cost_naive =
+        analysis::compute_static_cost(knaive.program, geom, dev);
+    const analysis::StaticLaunchCost cost_isp =
+        analysis::compute_static_cost(kisp.program, geom, dev);
+
+    const dsl::PlanDecision plan =
+        dsl::plan_variant(dev, cal_spec, {cal, cal}, block, p, false);
+    const analysis::StaticGain sg = analysis::static_gain(
+        cost_naive, cost_isp, std::max(1e-6, plan.occ_naive.fraction),
+        std::max(1e-6, plan.occ_isp.fraction));
+    const bool exact = cost_naive.exact && cost_isp.exact;
+    const bool agree = plan.model.use_isp == sg.use_isp;
+    // '*' marks a lower bound: some scenario fell back (e.g. the repeat
+    // pattern's wrap loops), so the true static gain can only be lower.
+    stat.add_row({std::string(to_string(p)),
+                  AsciiTable::num(sg.gain, 3) + (exact ? "" : " *"),
+                  AsciiTable::num(plan.model.gain, 3),
+                  sg.use_isp ? "isp" : "naive",
+                  plan.model.use_isp ? "isp" : "naive",
+                  agree ? "yes" : "NO"});
+    json.add({.device = dev.name, .app = "bilateral",
+              .pattern = std::string(to_string(p)), .variant = "isp",
+              .metric = "static_gain", .size = cal, .value = sg.gain});
+    json.add({.device = dev.name, .app = "bilateral",
+              .pattern = std::string(to_string(p)), .variant = "isp",
+              .metric = "static_model_agree", .size = cal,
+              .value = agree ? 1.0 : 0.0});
+  }
+  std::cout << "\n";
+  stat.print(std::cout);
   json.write(cli.get_string("json", ""));
   std::cout << "\nExpected: few mispredictions, located near the crossover "
                "(speedup ~ 1.0); strong positive correlation.\n";

@@ -419,6 +419,12 @@ ir::Program generate_kernel(const StencilSpec& spec,
   b.ret();
 
   ir::Program prog = b.finish();
+  prog.annotations.emplace_back("app", spec.name);
+  prog.annotations.emplace_back("variant", std::string(to_string(opt.variant)));
+  prog.annotations.emplace_back("pattern", std::string(to_string(opt.pattern)));
+  if (opt.variant == Variant::kIspWarp) {
+    prog.annotations.emplace_back("warp_width", std::to_string(opt.warp_width));
+  }
   if (opt.optimize) {
     (void)ir::optimize(prog);
 #ifndef NDEBUG
@@ -483,6 +489,9 @@ ir::Program generate_region_kernel(const StencilSpec& spec,
   b.ret();
 
   ir::Program prog = b.finish();
+  prog.annotations.emplace_back("app", spec.name);
+  prog.annotations.emplace_back("region", std::string(to_string(region)));
+  prog.annotations.emplace_back("pattern", std::string(to_string(opt.pattern)));
   if (opt.optimize) {
     (void)ir::optimize(prog);
 #ifndef NDEBUG

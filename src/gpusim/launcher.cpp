@@ -150,6 +150,8 @@ void publish_launch_metrics(const ir::Program& prog, std::string_view mode,
            static_cast<f64>(stats.warps.divergent_branches), labels);
   reg->add("sim.mem_transactions",
            static_cast<f64>(stats.warps.mem_transactions), labels);
+  reg->add("sim.mem_transactions_wide",
+           static_cast<f64>(stats.warps.mem_transactions_wide), labels);
   reg->add("sim.mem_cache_misses",
            static_cast<f64>(stats.warps.mem_cache_misses), labels);
   reg->observe("sim.launch_time_ms", stats.time_ms, labels);
@@ -294,6 +296,7 @@ LaunchStats launch_sampled(const DeviceSpec& dev, const ir::Program& prog,
     scaled.issue_slots = scale_u64(class_total.issue_slots);
     scaled.lane_instructions = scale_u64(class_total.lane_instructions);
     scaled.mem_transactions = scale_u64(class_total.mem_transactions);
+    scaled.mem_transactions_wide = scale_u64(class_total.mem_transactions_wide);
     scaled.mem_cache_misses = scale_u64(class_total.mem_cache_misses);
     scaled.divergent_branches = scale_u64(class_total.divergent_branches);
     for (auto& v : scaled.issued_per_pipe) v = scale_u64(v);

@@ -16,6 +16,7 @@ WarpResult& WarpResult::operator+=(const WarpResult& o) {
   issue_slots += o.issue_slots;
   lane_instructions += o.lane_instructions;
   mem_transactions += o.mem_transactions;
+  mem_transactions_wide += o.mem_transactions_wide;
   mem_cache_misses += o.mem_cache_misses;
   divergent_branches += o.divergent_branches;
   return *this;
@@ -71,6 +72,7 @@ WarpResult run_warp(const ir::Program& prog, const DeviceSpec& dev,
   // Scratch for memory-transaction dedup (addresses of active lanes) and
   // the warp-lifetime cache of 32-byte segments already fetched.
   std::array<i64, 32> segments{};
+  std::array<i64, 32> segments_wide{};
   SegmentCache local_cache;
   SegmentCache& cache = shared_cache != nullptr ? *shared_cache : local_cache;
 
@@ -91,8 +93,22 @@ WarpResult run_warp(const ir::Program& prog, const DeviceSpec& dev,
         pipe_class(ins.op, ins.type))];
 
     u32 seg_count = 0;
+    u32 wide_count = 0;
     u32 taken = 0;
     u32 active = 0;
+    const auto note_segment = [&](u8 buffer, i32 idx) {
+      const i64 base = static_cast<i64>(buffer) * (1ll << 40);
+      const i64 seg = base + idx / dev.transaction_elems;
+      bool seen = false;
+      for (u32 s = 0; s < seg_count; ++s) seen = seen || segments[s] == seg;
+      if (!seen) segments[seg_count++] = seg;
+      const i64 wseg = base + idx / (4 * dev.transaction_elems);
+      seen = false;
+      for (u32 s = 0; s < wide_count; ++s) {
+        seen = seen || segments_wide[s] == wseg;
+      }
+      if (!seen) segments_wide[wide_count++] = wseg;
+    };
     for (u32 lane = 0; lane < lanes; ++lane) {
       if (pc[lane] != warp_pc) continue;
       ++active;
@@ -123,11 +139,7 @@ WarpResult run_warp(const ir::Program& prog, const DeviceSpec& dev,
                                 "': index " + std::to_string(idx));
           }
           lane_regs[ins.dst] = ir::Word::from_f32(buf.data[idx]);
-          const i64 seg = static_cast<i64>(ins.buffer) * (1ll << 40) +
-                          idx / dev.transaction_elems;
-          bool seen = false;
-          for (u32 s = 0; s < seg_count; ++s) seen = seen || segments[s] == seg;
-          if (!seen) segments[seg_count++] = seg;
+          note_segment(ins.buffer, idx);
           break;
         }
         case ir::Op::kSt: {
@@ -142,11 +154,7 @@ WarpResult run_warp(const ir::Program& prog, const DeviceSpec& dev,
                                 "': index " + std::to_string(idx));
           }
           buf.data[idx] = read_operand(ins.b, lane_regs).as_f32();
-          const i64 seg = static_cast<i64>(ins.buffer) * (1ll << 40) +
-                          idx / dev.transaction_elems;
-          bool seen = false;
-          for (u32 s = 0; s < seg_count; ++s) seen = seen || segments[s] == seg;
-          if (!seen) segments[seg_count++] = seg;
+          note_segment(ins.buffer, idx);
           break;
         }
         default: {
@@ -165,6 +173,7 @@ WarpResult run_warp(const ir::Program& prog, const DeviceSpec& dev,
     }
 
     result.mem_transactions += seg_count;
+    result.mem_transactions_wide += wide_count;
     for (u32 sidx = 0; sidx < seg_count; ++sidx) {
       if (cache.insert(segments[sidx]).second) {
         ++result.mem_cache_misses;

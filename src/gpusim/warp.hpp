@@ -30,6 +30,9 @@ struct WarpResult {
   u64 issue_slots = 0;
   u64 lane_instructions = 0;   ///< per-lane executed instruction total
   u64 mem_transactions = 0;    ///< 32-byte segments touched by ld/st
+  /// 128-byte segments touched by ld/st (the wide-transaction granularity
+  /// coalescing analyses reason about; 4x transaction_elems per segment).
+  u64 mem_transactions_wide = 0;
   /// First-touch transactions over the warp's lifetime: the stencil working
   /// set is tiny and heavily reused, so an L1-resident segment costs only
   /// its issue slot after the first access. Misses carry the transaction

@@ -1,0 +1,677 @@
+#include "ir/analysis/access_analysis.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "gpusim/device.hpp"
+
+namespace ispb::analysis {
+
+using ir::Cmp;
+using ir::Instr;
+using ir::Op;
+using ir::Type;
+
+PredExpr PredExpr::binary(Kind k, PredExpr a, PredExpr b) {
+  ISPB_EXPECTS(k == Kind::kAnd || k == Kind::kOr || k == Kind::kXor);
+  PredExpr p;
+  p.kind = k;
+  p.kids.reserve(2);
+  p.kids.push_back(std::move(a));
+  p.kids.push_back(std::move(b));
+  return p;
+}
+
+namespace {
+
+bool apply_cmp(Cmp c, i64 v) {
+  switch (c) {
+    case Cmp::kLt:
+      return v < 0;
+    case Cmp::kLe:
+      return v <= 0;
+    case Cmp::kGt:
+      return v > 0;
+    case Cmp::kGe:
+      return v >= 0;
+    case Cmp::kEq:
+      return v == 0;
+    case Cmp::kNe:
+      return v != 0;
+  }
+  return false;
+}
+
+PredExpr pred_not(PredExpr p) {
+  return PredExpr::binary(PredExpr::Kind::kXor, std::move(p),
+                          PredExpr::constant(true));
+}
+
+PredExpr pred_and(PredExpr a, PredExpr b) {
+  if (a.kind == PredExpr::Kind::kConst) return a.value ? b : a;
+  if (b.kind == PredExpr::Kind::kConst) return b.value ? a : b;
+  return PredExpr::binary(PredExpr::Kind::kAnd, std::move(a), std::move(b));
+}
+
+}  // namespace
+
+bool PredExpr::eval(i64 tidx, i64 tidy, i64 bx, i64 by) const {
+  switch (kind) {
+    case Kind::kConst:
+      return value;
+    case Kind::kCmp:
+      return apply_cmp(cmp, form.eval(tidx, tidy, bx, by));
+    case Kind::kAnd:
+      return kids[0].eval(tidx, tidy, bx, by) &&
+             kids[1].eval(tidx, tidy, bx, by);
+    case Kind::kOr:
+      return kids[0].eval(tidx, tidy, bx, by) ||
+             kids[1].eval(tidx, tidy, bx, by);
+    case Kind::kXor:
+      return kids[0].eval(tidx, tidy, bx, by) !=
+             kids[1].eval(tidx, tidy, bx, by);
+  }
+  return false;
+}
+
+i64 AffineValue::eval(i64 tidx, i64 tidy, i64 bx, i64 by) const {
+  for (const AffinePiece& p : pieces) {
+    if (p.guard.eval(tidx, tidy, bx, by)) return p.form.eval(tidx, tidy, bx, by);
+  }
+  ISPB_ASSERT(false);  // the last piece's guard is the constant true
+  return 0;
+}
+
+namespace {
+
+using AV = AbstractValue;
+
+AV non_affine(std::string reason, u32 pc) {
+  AV v;
+  v.kind = AV::Kind::kNonAffine;
+  v.reason = std::move(reason);
+  v.reason_pc = pc;
+  return v;
+}
+
+AV affine_value(AffineValue val) {
+  AV v;
+  v.kind = AV::Kind::kAffine;
+  v.affine = std::move(val);
+  return v;
+}
+
+AV pred_value(PredExpr p) {
+  AV v;
+  v.kind = AV::Kind::kPred;
+  v.pred = std::move(p);
+  return v;
+}
+
+/// Pairwise combine of two piecewise values under ordered first-match
+/// semantics: pair (i, j) in lexicographic order is selected exactly when i
+/// is the first matching piece of `a` and j the first of `b`, because every
+/// earlier pair has a false conjunct.
+template <typename F>
+bool combine_pieces(const AffineValue& a, const AffineValue& b,
+                    AffineValue& out, F&& emit) {
+  for (const AffinePiece& pa : a.pieces) {
+    for (const AffinePiece& pb : b.pieces) {
+      PredExpr both = pred_and(pa.guard, pb.guard);
+      emit(std::move(both), pa.form, pb.form, out);
+      if (out.pieces.size() > AffineValue::kMaxPieces) return false;
+    }
+  }
+  return true;
+}
+
+AV add_values(const AffineValue& a, const AffineValue& b, i64 sign, u32 pc) {
+  AffineValue out;
+  const bool ok = combine_pieces(
+      a, b, out,
+      [sign](PredExpr g, const AffineForm& fa, const AffineForm& fb,
+             AffineValue& o) {
+        o.pieces.push_back({std::move(g), sign > 0 ? fa + fb : fa - fb});
+      });
+  if (!ok) return non_affine("piecewise blow-up", pc);
+  return affine_value(std::move(out));
+}
+
+AV minmax_values(const AffineValue& a, const AffineValue& b, bool is_min,
+                 u32 pc) {
+  AffineValue out;
+  const bool ok = combine_pieces(
+      a, b, out,
+      [is_min](PredExpr g, const AffineForm& fa, const AffineForm& fb,
+               AffineValue& o) {
+        // min: a when a - b <= 0, else b (and symmetrically for max).
+        PredExpr pick_a = pred_and(
+            g, PredExpr::compare(is_min ? Cmp::kLe : Cmp::kGe, fa - fb));
+        o.pieces.push_back({std::move(pick_a), fa});
+        o.pieces.push_back({std::move(g), fb});
+      });
+  if (!ok) return non_affine("piecewise blow-up", pc);
+  return affine_value(std::move(out));
+}
+
+/// dst = p ? a : b with an affine-decidable predicate: a's pieces guarded by
+/// p come first; when p is false none of them match (their last guard is
+/// And(p, true) == p) and evaluation falls through to b's pieces.
+AV select_values(const PredExpr& p, const AffineValue& a, const AffineValue& b,
+                 u32 pc) {
+  AffineValue out;
+  for (const AffinePiece& pa : a.pieces) {
+    out.pieces.push_back({pred_and(p, pa.guard), pa.form});
+  }
+  for (const AffinePiece& pb : b.pieces) out.pieces.push_back(pb);
+  if (out.pieces.size() > AffineValue::kMaxPieces) {
+    return non_affine("piecewise blow-up", pc);
+  }
+  return affine_value(std::move(out));
+}
+
+/// Scale by a piecewise constant factor (or scale a constant by a piecewise
+/// value). At least one side must be piece-wise constant.
+AV mul_values(const AffineValue& a, const AffineValue& b, u32 pc) {
+  const auto all_const = [](const AffineValue& v) {
+    return std::all_of(v.pieces.begin(), v.pieces.end(),
+                       [](const AffinePiece& p) { return p.form.is_constant(); });
+  };
+  const AffineValue* val = &a;
+  const AffineValue* k = &b;
+  if (!all_const(*k)) std::swap(val, k);
+  if (!all_const(*k)) return non_affine("non-linear multiply", pc);
+  AffineValue out;
+  const bool ok = combine_pieces(
+      *val, *k, out,
+      [](PredExpr g, const AffineForm& fv, const AffineForm& fk,
+         AffineValue& o) {
+        o.pieces.push_back({std::move(g), fv.scaled(fk.c0)});
+      });
+  if (!ok) return non_affine("piecewise blow-up", pc);
+  return affine_value(std::move(out));
+}
+
+/// Comparison of two piecewise values as a predicate: a first-match chain
+///   (g_1 && c_1) || (!g_1 && ((g_2 && c_2) || ...))
+/// over the lexicographic piece pairs, mirroring AffineValue::eval.
+AV compare_values(Cmp cmp, const AffineValue& a, const AffineValue& b) {
+  struct Case {
+    PredExpr guard;
+    PredExpr value;
+  };
+  std::vector<Case> cases;
+  for (const AffinePiece& pa : a.pieces) {
+    for (const AffinePiece& pb : b.pieces) {
+      cases.push_back({pred_and(pa.guard, pb.guard),
+                       PredExpr::compare(cmp, pa.form - pb.form)});
+    }
+  }
+  ISPB_ASSERT(!cases.empty());
+  PredExpr chain = cases.back().value;  // last guard is constant true
+  for (auto it = cases.rbegin() + 1; it != cases.rend(); ++it) {
+    chain = PredExpr::binary(
+        PredExpr::Kind::kOr, pred_and(it->guard, it->value),
+        pred_and(pred_not(it->guard), std::move(chain)));
+  }
+  return pred_value(std::move(chain));
+}
+
+class Extractor {
+ public:
+  Extractor(const ir::Program& prog, const Facts& facts)
+      : prog_(prog), result_{} {
+    result_.regs.resize(prog.num_regs);
+    seed(facts);
+    count_defs();
+  }
+
+  /// Path-mode constructor: carries over only the input registers (specials
+  /// and params) from an existing extraction; every other register starts
+  /// kUnset and is populated by step() as the trace executes its definition.
+  Extractor(const ir::Program& prog, const AffineExtraction& seeds)
+      : prog_(prog), result_{} {
+    result_.regs.resize(prog.num_regs);
+    const u32 n = std::min<u32>(prog.num_inputs(),
+                                static_cast<u32>(seeds.regs.size()));
+    for (u32 r = 0; r < n; ++r) result_.regs[r] = seeds.regs[r];
+  }
+
+  /// Reads an operand against the current (path-mode) register state.
+  AV read(const ir::Operand& o, u32 pc, bool as_pred) const {
+    return operand(o, pc, as_pred);
+  }
+
+  /// Applies one instruction's transfer function in path order, overwriting
+  /// any previous definition (flow-sensitive: the path's most recent def
+  /// wins). Exception: a redefinition while divergence guards are active is
+  /// demoted — lanes parked at the guard keep the old value past the rejoin,
+  /// so no single abstract value is valid for the whole warp.
+  void step(u32 pc, bool under_guard) {
+    const Instr& ins = prog_.code[pc];
+    if (!ir::op_has_dst(ins.op)) return;
+    AV v = transfer(pc, ins);
+    if (under_guard && result_.regs[ins.dst].kind != AV::Kind::kUnset) {
+      v = non_affine("redefinition under a divergence guard", pc);
+    }
+    result_.regs[ins.dst] = std::move(v);
+  }
+
+  AffineExtraction run() {
+    for (u32 pc = 0; pc < prog_.code.size(); ++pc) {
+      const Instr& ins = prog_.code[pc];
+      if (ins.op == Op::kLd || ins.op == Op::kSt) record_access(pc, ins);
+      if (!ir::op_has_dst(ins.op)) continue;
+      if (def_count_[ins.dst] > 1) {
+        // Loop-carried or predicated re-definition: no single linear value.
+        result_.regs[ins.dst] = non_affine("multiply defined register", pc);
+        continue;
+      }
+      result_.regs[ins.dst] = transfer(pc, ins);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void seed(const Facts& facts) {
+    for (u32 r = 0; r < prog_.num_special(); ++r) {
+      const std::string& name = prog_.special_names[r];
+      AffineForm f;
+      if (name == "tid.x") {
+        f.c_tidx = 1;
+      } else if (name == "tid.y") {
+        f.c_tidy = 1;
+      } else if (name == "ctaid.x") {
+        f.c_bx = 1;
+      } else if (name == "ctaid.y") {
+        f.c_by = 1;
+      } else {
+        result_.regs[r] = non_affine("unknown special '" + name + "'", 0);
+        continue;
+      }
+      result_.regs[r] = affine_value(AffineValue::single(f));
+    }
+    for (u32 r = prog_.num_special(); r < prog_.num_inputs(); ++r) {
+      const Interval v = r < facts.inputs.size() ? facts.inputs[r]
+                                                 : Interval::top();
+      if (v.is_point()) {
+        result_.regs[r] =
+            affine_value(AffineValue::single(AffineForm::constant(v.lo)));
+      } else {
+        result_.regs[r] = non_affine(
+            "parameter '" + prog_.param_names[r - prog_.num_special()] +
+                "' is not point-valued",
+            0);
+      }
+    }
+  }
+
+  void count_defs() {
+    def_count_.assign(prog_.num_regs, 0);
+    for (const Instr& ins : prog_.code) {
+      if (ir::op_has_dst(ins.op)) ++def_count_[ins.dst];
+    }
+  }
+
+  AV operand(const ir::Operand& o, u32 pc, bool as_pred) const {
+    if (o.is_imm()) {
+      if (as_pred) return pred_value(PredExpr::constant(o.imm.as_pred()));
+      return affine_value(
+          AffineValue::single(AffineForm::constant(o.imm.as_i32())));
+    }
+    if (!o.is_reg()) return non_affine("missing operand", pc);
+    return result_.regs[o.reg];
+  }
+
+  void record_access(u32 pc, const Instr& ins) {
+    AccessSite site;
+    site.pc = pc;
+    site.is_load = ins.op == Op::kLd;
+    site.buffer = ins.buffer;
+    const AV addr = operand(ins.a, pc, /*as_pred=*/false);
+    if (addr.kind == AV::Kind::kAffine) {
+      site.affine = true;
+      site.addr = addr.affine;
+    } else {
+      site.affine = false;
+      site.reason = addr.kind == AV::Kind::kNonAffine
+                        ? addr.reason
+                        : std::string("address register has no value");
+    }
+    result_.accesses.push_back(std::move(site));
+  }
+
+  AV transfer(u32 pc, const Instr& ins) {
+    // Only i32 values and predicates are modeled; every f32 producer —
+    // including the stencil arithmetic and loaded pixels — is non-affine.
+    if (ins.op == Op::kLd) return non_affine("loaded value", pc);
+    if (ins.type == Type::kF32 && ins.op != Op::kSetp) {
+      return non_affine("f32 value", pc);
+    }
+    if (ins.type == Type::kPred) return transfer_pred(pc, ins);
+
+    const auto aff = [&](const ir::Operand& o) { return operand(o, pc, false); };
+    const auto need = [&](const AV& v) { return v.kind == AV::Kind::kAffine; };
+
+    switch (ins.op) {
+      case Op::kMov: {
+        AV a = aff(ins.a);
+        return need(a) ? a : non_affine(a.reason, pc);
+      }
+      case Op::kAdd:
+      case Op::kSub: {
+        const AV a = aff(ins.a);
+        const AV b = aff(ins.b);
+        if (!need(a) || !need(b)) return non_affine("non-affine operand", pc);
+        return add_values(a.affine, b.affine, ins.op == Op::kAdd ? 1 : -1, pc);
+      }
+      case Op::kMul: {
+        const AV a = aff(ins.a);
+        const AV b = aff(ins.b);
+        if (!need(a) || !need(b)) return non_affine("non-affine operand", pc);
+        return mul_values(a.affine, b.affine, pc);
+      }
+      case Op::kMad: {
+        const AV a = aff(ins.a);
+        const AV b = aff(ins.b);
+        const AV c = aff(ins.c);
+        if (!need(a) || !need(b) || !need(c)) {
+          return non_affine("non-affine operand", pc);
+        }
+        AV prod = mul_values(a.affine, b.affine, pc);
+        if (!need(prod)) return prod;
+        return add_values(prod.affine, c.affine, 1, pc);
+      }
+      case Op::kShl: {
+        const AV a = aff(ins.a);
+        const AV b = aff(ins.b);
+        if (!need(a) || !need(b)) return non_affine("non-affine operand", pc);
+        if (!b.affine.is_single() || !b.affine.pieces[0].form.is_constant()) {
+          return non_affine("variable shift", pc);
+        }
+        const i64 k = b.affine.pieces[0].form.c0 & 31;
+        return mul_values(a.affine,
+                          AffineValue::single(AffineForm::constant(i64{1} << k)),
+                          pc);
+      }
+      case Op::kNeg: {
+        const AV a = aff(ins.a);
+        if (!need(a)) return non_affine("non-affine operand", pc);
+        return mul_values(a.affine,
+                          AffineValue::single(AffineForm::constant(-1)), pc);
+      }
+      case Op::kAbs: {
+        const AV a = aff(ins.a);
+        if (!need(a)) return non_affine("non-affine operand", pc);
+        // |x| = max(x, -x)
+        AV neg = mul_values(a.affine,
+                            AffineValue::single(AffineForm::constant(-1)), pc);
+        if (!need(neg)) return neg;
+        return minmax_values(a.affine, neg.affine, /*is_min=*/false, pc);
+      }
+      case Op::kMin:
+      case Op::kMax: {
+        const AV a = aff(ins.a);
+        const AV b = aff(ins.b);
+        if (!need(a) || !need(b)) return non_affine("non-affine operand", pc);
+        return minmax_values(a.affine, b.affine, ins.op == Op::kMin, pc);
+      }
+      case Op::kSelp: {
+        const AV a = aff(ins.a);
+        const AV b = aff(ins.b);
+        const AV c = operand(ins.c, pc, true);
+        if (!need(a) || !need(b)) return non_affine("non-affine operand", pc);
+        if (c.kind != AV::Kind::kPred) {
+          return non_affine("undecidable select predicate", pc);
+        }
+        return select_values(c.pred, a.affine, b.affine, pc);
+      }
+      case Op::kXor: {
+        // ~x compiles to x ^ -1, which is affine: -x - 1.
+        const AV a = aff(ins.a);
+        if (need(a) && ins.b.is_imm() && ins.b.imm.as_i32() == -1) {
+          AV neg = mul_values(a.affine,
+                              AffineValue::single(AffineForm::constant(-1)), pc);
+          if (neg.kind != AV::Kind::kAffine) return neg;
+          return add_values(neg.affine,
+                            AffineValue::single(AffineForm::constant(-1)), 1,
+                            pc);
+        }
+        return non_affine("bitwise operation", pc);
+      }
+      case Op::kSetp: {
+        const AV a = aff(ins.a);
+        const AV b = aff(ins.b);
+        if (!need(a) || !need(b)) {
+          return non_affine("undecidable comparison operand", pc);
+        }
+        return compare_values(ins.cmp, a.affine, b.affine);
+      }
+      default:
+        return non_affine(std::string("opcode ") +
+                              std::string(ir::op_keyword(ins.op)) +
+                              " outside the affine fragment",
+                          pc);
+    }
+  }
+
+  AV transfer_pred(u32 pc, const Instr& ins) {
+    const auto prd = [&](const ir::Operand& o) { return operand(o, pc, true); };
+    switch (ins.op) {
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor: {
+        const AV a = prd(ins.a);
+        const AV b = prd(ins.b);
+        if (a.kind != AV::Kind::kPred || b.kind != AV::Kind::kPred) {
+          return non_affine("undecidable predicate operand", pc);
+        }
+        const PredExpr::Kind k = ins.op == Op::kAnd   ? PredExpr::Kind::kAnd
+                                 : ins.op == Op::kOr ? PredExpr::Kind::kOr
+                                                     : PredExpr::Kind::kXor;
+        return pred_value(PredExpr::binary(k, a.pred, b.pred));
+      }
+      case Op::kMov:
+      case Op::kSelp: {
+        const AV a = prd(ins.a);
+        if (ins.op == Op::kMov) {
+          return a.kind == AV::Kind::kPred
+                     ? a
+                     : non_affine("undecidable predicate operand", pc);
+        }
+        const AV b = prd(ins.b);
+        const AV c = prd(ins.c);
+        if (a.kind != AV::Kind::kPred || b.kind != AV::Kind::kPred ||
+            c.kind != AV::Kind::kPred) {
+          return non_affine("undecidable predicate operand", pc);
+        }
+        // c ? a : b == (c && a) || (!c && b)
+        return pred_value(PredExpr::binary(
+            PredExpr::Kind::kOr, pred_and(c.pred, a.pred),
+            pred_and(pred_not(c.pred), b.pred)));
+      }
+      default:
+        return non_affine("predicate-typed opcode outside the fragment", pc);
+    }
+  }
+
+  const ir::Program& prog_;
+  AffineExtraction result_;
+  std::vector<u32> def_count_;
+};
+
+}  // namespace
+
+AffineExtraction extract_affine(const ir::Program& prog, const Facts& facts) {
+  return Extractor(prog, facts).run();
+}
+
+KernelPath trace_path(const ir::Program& prog,
+                      const AffineExtraction& extraction,
+                      const RangeResult& ranges) {
+  static_assert(static_cast<std::size_t>(sim::Pipe::kMem) + 1 == 6,
+                "PathSegment::per_pipe mirrors sim::Pipe");
+  KernelPath path;
+
+  // Flow-sensitive register state along the path: seeded from the linear
+  // extraction's input registers, every other definition applied as the
+  // trace passes it. This keeps registers the linear pass demotes as
+  // multiply-defined (the Repeat wrap loops mutate coordinates in place in
+  // border sections) affine on paths that skip the redefinitions.
+  Extractor state(prog, extraction);
+
+  std::vector<u32> active;  // indices into path.guards, targets not yet hit
+  u32 seg_begin = 0;
+  std::array<u64, 6> per_pipe{};
+  bool poisoned = false;
+
+  const auto poison = [&](u32 pc, std::string reason) {
+    if (poisoned) return;
+    poisoned = true;
+    path.complete = false;
+    path.poison_pc = pc;
+    path.poison_reason = std::move(reason);
+  };
+
+  const auto close_segment = [&](u32 end) {
+    if (poisoned) return;
+    if (end > seg_begin) {
+      PathSegment seg;
+      seg.begin = seg_begin;
+      seg.end = end;
+      seg.guards = active;
+      seg.per_pipe = per_pipe;
+      path.segments.push_back(std::move(seg));
+    }
+    per_pipe = {};
+  };
+
+  // Follow a (resolved or unconditional) jump. Jumping past a pending guard
+  // target would interleave with parked lanes min-pc style, which the
+  // linear trace cannot express.
+  const auto jump_ok = [&](u32 target) {
+    return std::all_of(active.begin(), active.end(), [&](u32 g) {
+      return path.guards[g].target >= target;
+    });
+  };
+
+  u32 pc = 0;
+  for (std::size_t steps = 0; steps <= prog.code.size(); ++steps) {
+    // Rejoin: guard intervals are (branch_pc, target) — lanes that took the
+    // branch participate again from the target on.
+    bool rejoined = false;
+    for (std::size_t i = active.size(); i-- > 0;) {
+      if (path.guards[active[i]].target == pc) {
+        if (!rejoined) close_segment(pc);
+        rejoined = true;
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+    if (rejoined) seg_begin = pc;
+
+    const Instr& ins = prog.code[pc];
+
+    if (ins.op == Op::kRet) {
+      close_segment(pc);
+      path.ret_pc = pc;
+      return path;
+    }
+
+    ++per_pipe[static_cast<std::size_t>(sim::pipe_class(ins.op, ins.type))];
+
+    if (ins.op == Op::kLd || ins.op == Op::kSt) {
+      const AbstractValue addr = state.read(ins.a, pc, /*as_pred=*/false);
+      PathAccess acc;
+      acc.pc = pc;
+      acc.is_load = ins.op == Op::kLd;
+      acc.buffer = ins.buffer;
+      if (poisoned) {
+        acc.countable = false;
+        acc.reason = "after unanalyzable control (" + path.poison_reason + ")";
+      } else if (addr.kind == AbstractValue::Kind::kAffine) {
+        acc.countable = true;
+        acc.addr = addr.affine;
+        acc.guards = active;
+      } else {
+        acc.countable = false;
+        acc.reason = addr.kind == AbstractValue::Kind::kNonAffine
+                         ? addr.reason
+                         : std::string("address register has no on-path value");
+      }
+      path.accesses.push_back(std::move(acc));
+      state.step(pc, !active.empty());  // a load defines its (f32) dst
+      ++pc;
+      continue;
+    }
+
+    if (ins.op != Op::kBra) {
+      state.step(pc, !active.empty());
+      ++pc;
+      continue;
+    }
+
+    // Branches.
+    if (!ins.is_conditional_branch()) {
+      if (ins.target <= pc) {
+        poison(pc, "backward branch");
+        ++pc;
+        continue;
+      }
+      if (!jump_ok(ins.target)) {
+        poison(pc, "jump past a pending guard target");
+        ++pc;
+        continue;
+      }
+      close_segment(pc + 1);
+      pc = ins.target;
+      seg_begin = pc;
+      continue;
+    }
+
+    const Interval bp = ranges.branch_pred[pc];
+    if (!bp.is_empty() && bp.is_point()) {
+      // Scenario-constant: every lane reaching the branch goes one way.
+      if (bp.lo != 0) {
+        if (ins.target <= pc) {
+          poison(pc, "backward branch");
+          ++pc;
+          continue;
+        }
+        if (!jump_ok(ins.target)) {
+          poison(pc, "jump past a pending guard target");
+          ++pc;
+          continue;
+        }
+        close_segment(pc + 1);
+        pc = ins.target;
+        seg_begin = pc;
+      } else {
+        ++pc;
+      }
+      continue;
+    }
+
+    const AbstractValue pv = state.read(ins.c, pc, /*as_pred=*/true);
+    if (pv.kind == AbstractValue::Kind::kPred && ins.target > pc) {
+      GuardEvent ev;
+      ev.branch_pc = pc;
+      ev.target = ins.target;
+      ev.taken = pv.pred;
+      close_segment(pc + 1);
+      path.guards.push_back(std::move(ev));
+      active.push_back(static_cast<u32>(path.guards.size() - 1));
+      seg_begin = pc + 1;
+      ++pc;
+      continue;
+    }
+
+    poison(pc, ins.target <= pc ? "data-dependent loop"
+                                : "undecidable branch predicate");
+    ++pc;
+  }
+  // A verified program ends in ret; the forward-only walk must reach it.
+  throw ContractError("trace_path did not reach ret in '" + prog.name + "'");
+}
+
+}  // namespace ispb::analysis

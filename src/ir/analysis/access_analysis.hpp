@@ -1,0 +1,237 @@
+// Affine memory-access extraction over IR kernels.
+//
+// Derives each load/store address as a (piecewise) affine function of the
+// thread identity — tid.x, tid.y, ctaid.x, ctaid.y — with the kernel
+// parameters substituted from launch Facts. The domain is deliberately
+// richer than plain affine forms: border remapping compiles to min/max
+// (Clamp), setp+selp (Mirror) and predicated loads (Constant), all of which
+// are *piecewise* affine with affine-decidable guards, so a static analyzer
+// restricted to single affine forms would lose exactly the accesses the
+// paper's border regions are about. Only genuinely data-dependent shapes —
+// the Repeat pattern's normalization loops (multiply-defined registers) and
+// anything derived from loaded values — fall back to "non-affine", with the
+// reason recorded rather than the access silently dropped.
+//
+// Soundness of the linear pass (extract_affine): ir::verify enforces
+// linear-order def-before-use, so a register's value at a use site is the
+// value of its unique preceding definition; registers with more than one
+// definition (loop counters, in-place remapping) are conservatively
+// non-affine everywhere in the linear view.
+//
+// On top of the per-register extraction, trace_path() linearizes the one
+// concrete control path a launch scenario executes: branches the interval
+// analysis proves constant are folded, forward branches with affine-decidable
+// predicates become per-lane guard events (the iteration-space guards and the
+// Constant pattern's predicated loads), and everything else poisons the
+// remainder of the trace. Along that path the transfer functions are re-run
+// flow-sensitively — each use sees its most recent on-path definition — so a
+// register the linear pass demotes as multiply-defined (the Repeat wrap loops
+// rewrite the pixel coordinates in place inside border sections) stays affine
+// on paths that never execute the redefinition, e.g. the Body section. A
+// redefinition under an active divergence guard is still demoted: after the
+// rejoin the value differs per lane. The result is the substrate for the
+// static transaction/divergence counting in static_cost.hpp.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "ir/analysis/range_analysis.hpp"
+
+namespace ispb::analysis {
+
+/// An affine function of the thread identity:
+///   c0 + c_tidx * tid.x + c_tidy * tid.y + c_bx * ctaid.x + c_by * ctaid.y
+/// Coefficients are i64 so parameter-scaled terms never wrap during
+/// extraction; the generated kernels only form addresses that fit i32.
+struct AffineForm {
+  i64 c0 = 0;
+  i64 c_tidx = 0;
+  i64 c_tidy = 0;
+  i64 c_bx = 0;
+  i64 c_by = 0;
+
+  [[nodiscard]] static AffineForm constant(i64 v) { return {v, 0, 0, 0, 0}; }
+
+  [[nodiscard]] bool is_constant() const {
+    return c_tidx == 0 && c_tidy == 0 && c_bx == 0 && c_by == 0;
+  }
+
+  [[nodiscard]] i64 eval(i64 tidx, i64 tidy, i64 bx, i64 by) const {
+    return c0 + c_tidx * tidx + c_tidy * tidy + c_bx * bx + c_by * by;
+  }
+
+  friend AffineForm operator+(const AffineForm& a, const AffineForm& b) {
+    return {a.c0 + b.c0, a.c_tidx + b.c_tidx, a.c_tidy + b.c_tidy,
+            a.c_bx + b.c_bx, a.c_by + b.c_by};
+  }
+  friend AffineForm operator-(const AffineForm& a, const AffineForm& b) {
+    return {a.c0 - b.c0, a.c_tidx - b.c_tidx, a.c_tidy - b.c_tidy,
+            a.c_bx - b.c_bx, a.c_by - b.c_by};
+  }
+  [[nodiscard]] AffineForm scaled(i64 k) const {
+    return {c0 * k, c_tidx * k, c_tidy * k, c_bx * k, c_by * k};
+  }
+  friend constexpr bool operator==(const AffineForm&, const AffineForm&) =
+      default;
+};
+
+/// A predicate expression whose truth value is decidable per lane once the
+/// thread identity is concrete: comparisons of affine forms against zero,
+/// combined with and/or/xor (the builder's br_unless lowers negation to
+/// xor with 1). Everything the generated guards and the Constant pattern's
+/// out-of-bounds predicates compile to lives in this language.
+struct PredExpr {
+  enum class Kind : u8 { kConst, kCmp, kAnd, kOr, kXor };
+
+  Kind kind = Kind::kConst;
+  bool value = false;    ///< kConst
+  ir::Cmp cmp{};         ///< kCmp: form `cmp` 0
+  AffineForm form{};     ///< kCmp
+  std::vector<PredExpr> kids;  ///< kAnd/kOr/kXor: exactly two
+
+  [[nodiscard]] static PredExpr constant(bool v) {
+    PredExpr p;
+    p.kind = Kind::kConst;
+    p.value = v;
+    return p;
+  }
+  [[nodiscard]] static PredExpr compare(ir::Cmp c, AffineForm f) {
+    PredExpr p;
+    p.kind = Kind::kCmp;
+    p.cmp = c;
+    p.form = f;
+    return p;
+  }
+  [[nodiscard]] static PredExpr binary(Kind k, PredExpr a, PredExpr b);
+
+  [[nodiscard]] bool eval(i64 tidx, i64 tidy, i64 bx, i64 by) const;
+};
+
+/// One piece of a piecewise-affine value: `form` applies where `guard`
+/// holds. Pieces are ordered (first matching piece wins) and the last
+/// piece's guard is always the constant true.
+struct AffinePiece {
+  PredExpr guard;
+  AffineForm form;
+};
+
+/// A piecewise-affine i32 value. Single-piece values with a constant-true
+/// guard are plain affine forms; min/max/selp/abs introduce additional
+/// pieces. Piece counts are capped (kMaxPieces) — exceeding the cap demotes
+/// the value to non-affine rather than blowing up.
+struct AffineValue {
+  std::vector<AffinePiece> pieces;
+
+  static constexpr std::size_t kMaxPieces = 64;
+
+  [[nodiscard]] static AffineValue single(AffineForm f) {
+    AffineValue v;
+    v.pieces.push_back({PredExpr::constant(true), f});
+    return v;
+  }
+  [[nodiscard]] bool is_single() const { return pieces.size() == 1; }
+
+  [[nodiscard]] i64 eval(i64 tidx, i64 tidy, i64 bx, i64 by) const;
+};
+
+/// Abstract value of one register after extraction.
+struct AbstractValue {
+  enum class Kind : u8 {
+    kUnset,      ///< never defined (or an input we do not model)
+    kAffine,     ///< piecewise-affine i32 value
+    kPred,       ///< affine-decidable predicate
+    kNonAffine,  ///< anything else; `reason` says why
+  };
+  Kind kind = Kind::kUnset;
+  AffineValue affine;
+  PredExpr pred;
+  std::string reason;
+  u32 reason_pc = static_cast<u32>(-1);
+};
+
+/// One ld/st site with its extracted address.
+struct AccessSite {
+  u32 pc = 0;
+  bool is_load = true;
+  u8 buffer = 0;
+  bool affine = false;
+  AffineValue addr;     ///< valid when `affine`
+  std::string reason;   ///< why not, when `!affine`
+};
+
+/// Result of the linear extraction pass over a whole program.
+struct AffineExtraction {
+  std::vector<AbstractValue> regs;   ///< per register
+  std::vector<AccessSite> accesses;  ///< every ld/st, program order
+};
+
+/// Runs the forward extraction. Parameter registers whose Facts interval is
+/// a point substitute as constants (make_launch_facts seeds every parameter
+/// as a point); tid/ctaid specials stay symbolic regardless of their
+/// intervals — they are the symbols of the affine space.
+[[nodiscard]] AffineExtraction extract_affine(const ir::Program& prog,
+                                              const Facts& facts);
+
+/// A forward conditional branch whose predicate is affine-decidable but not
+/// scenario-constant: lanes whose predicate evaluates true jump from
+/// branch_pc to target, skipping the pcs in between. A lane executes pc iff
+/// every guard event with branch_pc < pc < target evaluates false for it.
+struct GuardEvent {
+  u32 branch_pc = 0;
+  u32 target = 0;
+  PredExpr taken;
+};
+
+/// A maximal run of consecutively-traced pcs sharing one set of covering
+/// guard events. The warp issues each pc of the segment exactly once iff at
+/// least one lane's guards all evaluate false (min-pc reconvergence on
+/// forward-only control).
+struct PathSegment {
+  u32 begin = 0;
+  u32 end = 0;                  ///< one past the last traced pc
+  std::vector<u32> guards;      ///< indices into KernelPath::guards
+  /// Issue slots per simulator pipe class for the segment's instructions
+  /// (indexed like sim::Pipe); lets static costing reproduce warp_cycles.
+  std::array<u64, 6> per_pipe{};
+};
+
+/// One ld/st on the traced path.
+struct PathAccess {
+  u32 pc = 0;
+  bool is_load = true;
+  u8 buffer = 0;
+  bool countable = false;
+  std::string reason;           ///< when !countable
+  AffineValue addr;             ///< when countable
+  std::vector<u32> guards;      ///< covering guard events (indices)
+};
+
+/// The single control path one launch scenario executes, linearized.
+/// `complete` is false when the trace met control it cannot linearize — a
+/// backward branch (the Repeat pattern's loops) or a branch whose predicate
+/// is neither scenario-constant nor affine-decidable; accesses and segments
+/// after the poison point are not recorded, and static counts for the
+/// scenario are lower bounds rather than exact.
+struct KernelPath {
+  std::vector<PathAccess> accesses;
+  std::vector<PathSegment> segments;
+  std::vector<GuardEvent> guards;
+  bool complete = true;
+  std::string poison_reason;
+  u32 poison_pc = static_cast<u32>(-1);
+  u32 ret_pc = 0;
+};
+
+/// Traces the scenario path. `ranges` must come from analyze_ranges over the
+/// same program and facts (it resolves the region-switch branches); the
+/// extraction seeds the input registers (specials and point-valued params).
+/// Register values along the path are re-derived flow-sensitively, so
+/// addresses and branch predicates reflect the most recent on-path
+/// definition rather than the linear extraction's multi-def conservatism.
+[[nodiscard]] KernelPath trace_path(const ir::Program& prog,
+                                    const AffineExtraction& extraction,
+                                    const RangeResult& ranges);
+
+}  // namespace ispb::analysis

@@ -29,6 +29,8 @@ std::string_view to_string(FindingKind k) {
       return "unused-register";
     case FindingKind::kConstantGuard:
       return "constant-guard";
+    case FindingKind::kDivergentBranch:
+      return "divergent-branch";
   }
   return "?";
 }
@@ -44,28 +46,6 @@ std::string interval_str(Interval v) {
   if (v.is_empty()) return "[]";
   return "[" + std::to_string(v.lo) + "," + std::to_string(v.hi) + "]";
 }
-
-/// [begin, end) of the section opened by `marker`: up to the next marker in
-/// program order (the convention of measure_costs and the sim's attribution).
-std::pair<u32, u32> section_range(const ir::Program& prog,
-                                  std::string_view marker) {
-  const u32 begin = prog.marker_pc(marker);
-  u32 end = static_cast<u32>(prog.code.size());
-  for (const auto& [name, pc] : prog.markers) {
-    (void)name;
-    if (pc > begin && pc < end) end = pc;
-  }
-  return {begin, end};
-}
-
-/// One launch scenario: thread-identity intervals plus (for region-switch
-/// kernels) the region its blocks must be routed to.
-struct Scenario {
-  Interval bx, by, tx, ty;
-  Region region = Region::kBody;
-  bool routed = false;
-  std::string label;
-};
 
 /// Half-open index range [lo, hi) along one grid axis with the side its
 /// blocks must check.
@@ -94,9 +74,19 @@ std::string cell_label(const AxisCell& cx, const AxisCell& cy) {
          "]";
 }
 
-/// Enumerates the scenarios for a naive or fat kernel. `degenerate` is set
-/// when the partition cannot be expressed by the 9-region switch (the
-/// runtime falls back to the naive kernel in that case).
+}  // namespace
+
+std::pair<u32, u32> section_range(const ir::Program& prog,
+                                  std::string_view marker) {
+  const u32 begin = prog.marker_pc(marker);
+  u32 end = static_cast<u32>(prog.code.size());
+  for (const auto& [name, pc] : prog.markers) {
+    (void)name;
+    if (pc > begin && pc < end) end = pc;
+  }
+  return {begin, end};
+}
+
 std::vector<Scenario> enumerate_scenarios(const ir::Program& prog,
                                           const LaunchGeometry& geom,
                                           bool& degenerate) {
@@ -161,6 +151,8 @@ std::vector<Scenario> enumerate_scenarios(const ir::Program& prog,
   }
   return scenarios;
 }
+
+namespace {
 
 /// Block rectangle of one region's sub-launch (dsl::launch_per_region).
 Rect region_rect(const BlockBounds& bounds, const GridDims& grid, Region r) {

@@ -17,6 +17,7 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/partition.hpp"
@@ -44,6 +45,7 @@ enum class FindingKind : u8 {
   kUnusedInput,        ///< declared special/param register never read
   kUnusedRegister,     ///< computed value never used
   kConstantGuard,      ///< conditional branch provably always/never taken
+  kDivergentBranch,    ///< branch not provably warp-uniform in a scenario
 };
 
 [[nodiscard]] std::string_view to_string(FindingKind k);
@@ -61,6 +63,30 @@ struct CheckReport {
 
   [[nodiscard]] bool ok() const { return findings.empty(); }
 };
+
+/// One launch scenario: thread-identity intervals plus (for region-switch
+/// kernels) the region its blocks must be routed to. Scenarios are the unit
+/// of proof for every launch-aware checker: within one scenario the region
+/// switch resolves to a single direction per branch.
+struct Scenario {
+  Interval bx, by, tx, ty;
+  Region region = Region::kBody;
+  bool routed = false;
+  std::string label;
+};
+
+/// Enumerates the launch scenarios of a naive or fat kernel for a geometry:
+/// one per partition grid cell, refined to one per warp column when the
+/// program declares the Listing 5 warp bounds and they are enabled.
+/// `degenerate` is set when the partition cannot be expressed by the
+/// 9-region switch (the runtime falls back to the naive kernel then).
+[[nodiscard]] std::vector<Scenario> enumerate_scenarios(
+    const ir::Program& prog, const LaunchGeometry& geom, bool& degenerate);
+
+/// [begin, end) of the section opened by `marker`: up to the next marker in
+/// program order (the convention of measure_costs and the sim's attribution).
+[[nodiscard]] std::pair<u32, u32> section_range(const ir::Program& prog,
+                                                std::string_view marker);
 
 /// Builds launch facts mirroring dsl::build_params: image extents, pitches
 /// (Image<f32> row alignment), block extents, Eq. (2) block bounds and

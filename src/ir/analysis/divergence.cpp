@@ -1,0 +1,110 @@
+#include "ir/analysis/divergence.hpp"
+
+namespace ispb::analysis {
+
+std::string_view to_string(BranchUniformity u) {
+  switch (u) {
+    case BranchUniformity::kScenarioConstant:
+      return "scenario-constant";
+    case BranchUniformity::kBlockUniform:
+      return "block-uniform";
+    case BranchUniformity::kLaneDependent:
+      return "lane-dependent";
+    case BranchUniformity::kUndecidable:
+      return "undecidable";
+  }
+  return "?";
+}
+
+namespace {
+
+/// True when some comparison leaf of the predicate depends on the thread
+/// index within the block.
+bool depends_on_tid(const PredExpr& p) {
+  switch (p.kind) {
+    case PredExpr::Kind::kConst:
+      return false;
+    case PredExpr::Kind::kCmp:
+      return p.form.c_tidx != 0 || p.form.c_tidy != 0;
+    case PredExpr::Kind::kAnd:
+    case PredExpr::Kind::kOr:
+    case PredExpr::Kind::kXor:
+      return depends_on_tid(p.kids[0]) || depends_on_tid(p.kids[1]);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<BranchInfo> classify_branches(const ir::Program& prog,
+                                          const AffineExtraction& extraction,
+                                          const RangeResult& ranges) {
+  std::vector<BranchInfo> out;
+  for (u32 pc = 0; pc < prog.code.size(); ++pc) {
+    const ir::Instr& ins = prog.code[pc];
+    if (!ins.is_conditional_branch() || !ranges.reached[pc]) continue;
+    BranchInfo info;
+    info.pc = pc;
+    const Interval bp = ranges.branch_pred[pc];
+    if (!bp.is_empty() && bp.is_point()) {
+      info.uniformity = BranchUniformity::kScenarioConstant;
+      info.detail = bp.lo == 0 ? "never taken" : "always taken";
+    } else {
+      const AbstractValue& pv = extraction.regs[ins.c.reg];
+      if (pv.kind == AbstractValue::Kind::kPred) {
+        const bool lane = depends_on_tid(pv.pred);
+        info.uniformity = lane ? BranchUniformity::kLaneDependent
+                               : BranchUniformity::kBlockUniform;
+        info.detail = lane ? "predicate depends on tid" : "tid-independent";
+      } else {
+        info.uniformity = BranchUniformity::kUndecidable;
+        info.detail = pv.reason.empty() ? "predicate outside the fragment"
+                                        : pv.reason;
+      }
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+DivergenceResult analyze_divergence(const ir::Program& prog,
+                                    const LaunchGeometry& geom) {
+  DivergenceResult result;
+  bool degenerate = false;
+  const std::vector<Scenario> scenarios =
+      enumerate_scenarios(prog, geom, degenerate);
+  if (degenerate) {
+    result.report.findings.push_back(
+        Finding{FindingKind::kDegenerateGeometry, kNoPc,
+                "block bounds are degenerate for this geometry; the runtime "
+                "launches the naive kernel instead"});
+    return result;
+  }
+  for (const Scenario& s : scenarios) {
+    const Facts facts = make_launch_facts(prog, geom, s.bx, s.by, s.tx, s.ty);
+    const RangeResult ranges = analyze_ranges(prog, facts);
+    const AffineExtraction extraction = extract_affine(prog, facts);
+
+    ScenarioDivergence sd;
+    sd.label = s.label;
+    sd.region = s.region;
+    sd.routed = s.routed;
+    sd.branches = classify_branches(prog, extraction, ranges);
+    ++result.report.scenarios;
+
+    if (s.routed && s.region == Region::kBody) {
+      for (const BranchInfo& b : sd.branches) {
+        if (is_uniform(b.uniformity)) continue;
+        result.report.findings.push_back(Finding{
+            FindingKind::kDivergentBranch, b.pc,
+            "scenario " + s.label + ": Body-routed branch at pc " +
+                std::to_string(b.pc) + " is " +
+                std::string(to_string(b.uniformity)) + " (" + b.detail + ")"});
+      }
+    }
+    result.scenarios.push_back(std::move(sd));
+  }
+  return result;
+}
+
+}  // namespace ispb::analysis

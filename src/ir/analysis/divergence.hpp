@@ -1,0 +1,87 @@
+// Warp-divergence analysis over IR kernels.
+//
+// Classifies every reached conditional branch of a launch scenario by how
+// uniformly a warp resolves it:
+//
+//  - scenario-constant: the interval analysis proves the predicate a point
+//    under the scenario facts — every lane reaching the branch goes the same
+//    way (this is how the region-switch chain and the in-bounds guards of
+//    interior blocks resolve);
+//  - block-uniform: the predicate is affine-decidable and no comparison leaf
+//    depends on tid.x/tid.y — all threads of a block (a fortiori all lanes
+//    of a warp) agree regardless of geometry;
+//  - lane-dependent: affine-decidable but tid-dependent — lanes may split
+//    (the iteration-space guards of partial blocks, the Constant pattern's
+//    out-of-bounds predicates);
+//  - undecidable: outside the predicate fragment (the Repeat pattern's
+//    loop exits on data-dependent state).
+//
+// The paper's specialization claim — Body-region kernels are guard-free — is
+// proven here at the control-flow level: every Body-routed scenario of a fat
+// kernel must classify all its branches scenario-constant or block-uniform.
+// Any other branch in a Body scenario is linted as kDivergentBranch.
+#pragma once
+
+#include <algorithm>
+
+#include "ir/analysis/access_analysis.hpp"
+#include "ir/analysis/checkers.hpp"
+
+namespace ispb::analysis {
+
+enum class BranchUniformity : u8 {
+  kScenarioConstant,  ///< predicate folds to a point under the facts
+  kBlockUniform,      ///< decidable, independent of tid.x/tid.y
+  kLaneDependent,     ///< decidable but varies across lanes
+  kUndecidable,       ///< predicate outside the affine fragment
+};
+
+[[nodiscard]] std::string_view to_string(BranchUniformity u);
+
+/// True for classes that cannot split a warp.
+[[nodiscard]] constexpr bool is_uniform(BranchUniformity u) {
+  return u == BranchUniformity::kScenarioConstant ||
+         u == BranchUniformity::kBlockUniform;
+}
+
+struct BranchInfo {
+  u32 pc = 0;
+  BranchUniformity uniformity = BranchUniformity::kUndecidable;
+  std::string detail;
+};
+
+/// Classifies every reached conditional branch of one analyzed scenario.
+/// `extraction` and `ranges` must come from the same program and facts.
+[[nodiscard]] std::vector<BranchInfo> classify_branches(
+    const ir::Program& prog, const AffineExtraction& extraction,
+    const RangeResult& ranges);
+
+/// Per-scenario classification for a whole launch geometry.
+struct ScenarioDivergence {
+  std::string label;
+  Region region = Region::kBody;
+  bool routed = false;
+  std::vector<BranchInfo> branches;
+
+  [[nodiscard]] bool uniform() const {
+    return std::all_of(branches.begin(), branches.end(),
+                       [](const BranchInfo& b) {
+                         return is_uniform(b.uniformity);
+                       });
+  }
+};
+
+struct DivergenceResult {
+  std::vector<ScenarioDivergence> scenarios;
+  /// kDivergentBranch findings: Body-routed scenarios must be uniform; a
+  /// divergent or undecidable branch there breaks the guard-free claim.
+  /// kDegenerateGeometry when the partition is unusable.
+  CheckReport report;
+};
+
+/// Runs the divergence analysis over every launch scenario of the kernel
+/// (same enumeration as check_bounds/check_coverage).
+[[nodiscard]] DivergenceResult analyze_divergence(const ir::Program& prog,
+                                                  const LaunchGeometry& geom);
+
+}  // namespace ispb::analysis

@@ -1,0 +1,294 @@
+#include "ir/analysis/static_cost.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "gpusim/warp.hpp"
+
+namespace ispb::analysis {
+
+StaticCounters& StaticCounters::operator+=(const StaticCounters& o) {
+  issue_slots += o.issue_slots;
+  lane_instructions += o.lane_instructions;
+  mem_transactions += o.mem_transactions;
+  mem_transactions_wide += o.mem_transactions_wide;
+  mem_cache_misses += o.mem_cache_misses;
+  divergent_branches += o.divergent_branches;
+  for (std::size_t i = 0; i < per_pipe.size(); ++i) per_pipe[i] += o.per_pipe[i];
+  return *this;
+}
+
+f64 static_cycles(const sim::DeviceSpec& dev, const StaticCounters& c) {
+  const f64 pipe_cost[6] = {dev.cost_int_alu, dev.cost_int_mul, dev.cost_float,
+                            dev.cost_sfu,     dev.cost_control, dev.cost_mem_issue};
+  f64 cycles = 0.0;
+  for (std::size_t i = 0; i < c.per_pipe.size(); ++i) {
+    cycles += static_cast<f64>(c.per_pipe[i]) * pipe_cost[i];
+  }
+  cycles += static_cast<f64>(c.mem_cache_misses) * dev.cost_mem_transaction;
+  return cycles;
+}
+
+namespace {
+
+void push_unique(std::vector<std::string>& v, const std::string& s) {
+  if (std::find(v.begin(), v.end(), s) == v.end()) v.push_back(s);
+}
+
+/// One analyzed scenario, ready for per-warp evaluation.
+struct ScenarioEval {
+  Scenario scenario;
+  AffineExtraction extraction;
+  KernelPath path;
+};
+
+/// Statically evaluates one warp of one block against its scenario path and
+/// accumulates into `rc`. `cache` is the block-shared first-touch segment
+/// set (the simulator's per-block L1 model).
+void eval_warp(const ScenarioEval& ev, const sim::DeviceSpec& dev,
+               const BlockSize& block, i32 bx, i32 by, i32 w,
+               std::unordered_set<i64>& cache, RegionStaticCost& rc) {
+  const KernelPath& path = ev.path;
+  const i32 lanes = dev.warp_size;
+
+  if (!path.complete) {
+    rc.exact = false;
+    push_unique(rc.fallbacks, "scenario " + ev.scenario.label +
+                                  ": path not traceable at pc " +
+                                  std::to_string(path.poison_pc) + " (" +
+                                  path.poison_reason + ")");
+  }
+
+  // Lane coordinates (fill_warp's row-major layout) and per-lane guard
+  // outcomes.
+  std::vector<i64> lx(static_cast<std::size_t>(lanes));
+  std::vector<i64> ly(static_cast<std::size_t>(lanes));
+  for (i32 lane = 0; lane < lanes; ++lane) {
+    const i32 linear = w * lanes + lane;
+    lx[static_cast<std::size_t>(lane)] = linear % block.tx;
+    ly[static_cast<std::size_t>(lane)] = linear / block.tx;
+  }
+  std::vector<std::vector<bool>> taken(path.guards.size());
+  for (std::size_t g = 0; g < path.guards.size(); ++g) {
+    taken[g].resize(static_cast<std::size_t>(lanes));
+    for (i32 lane = 0; lane < lanes; ++lane) {
+      const std::size_t l = static_cast<std::size_t>(lane);
+      taken[g][l] = path.guards[g].taken.eval(lx[l], ly[l], bx, by);
+    }
+  }
+  const auto lane_active = [&](const std::vector<u32>& guards, i32 lane) {
+    const std::size_t l = static_cast<std::size_t>(lane);
+    return std::all_of(guards.begin(), guards.end(),
+                       [&](u32 g) { return !taken[g][l]; });
+  };
+  const auto active_count = [&](const std::vector<u32>& guards) {
+    i32 n = 0;
+    for (i32 lane = 0; lane < lanes; ++lane) n += lane_active(guards, lane);
+    return n;
+  };
+
+  // Segments: issued once per warp iff some lane passes all covering guards.
+  for (const PathSegment& seg : path.segments) {
+    const i32 active = active_count(seg.guards);
+    if (active == 0) continue;
+    u64 instrs = 0;
+    for (std::size_t i = 0; i < seg.per_pipe.size(); ++i) {
+      rc.counters.per_pipe[i] += seg.per_pipe[i];
+      instrs += seg.per_pipe[i];
+    }
+    rc.counters.issue_slots += instrs;
+    rc.counters.lane_instructions += instrs * static_cast<u64>(active);
+  }
+
+  // Divergence: a guard branch splits the warp iff, among the lanes active
+  // at the branch (the guards of its containing segment), the taken count is
+  // neither zero nor all of them.
+  for (std::size_t g = 0; g < path.guards.size(); ++g) {
+    const u32 pc = path.guards[g].branch_pc;
+    const PathSegment* container = nullptr;
+    for (const PathSegment& seg : path.segments) {
+      if (seg.begin <= pc && pc < seg.end) {
+        container = &seg;
+        break;
+      }
+    }
+    if (container == nullptr) continue;
+    const i32 active = active_count(container->guards);
+    if (active == 0) continue;
+    i32 t = 0;
+    for (i32 lane = 0; lane < lanes; ++lane) {
+      if (lane_active(container->guards, lane) &&
+          taken[g][static_cast<std::size_t>(lane)]) {
+        ++t;
+      }
+    }
+    if (t != 0 && t != active) ++rc.counters.divergent_branches;
+  }
+
+  // Memory accesses: per-issue-slot segment dedup at 32B and 128B
+  // granularity, first-touch misses against the block cache.
+  std::vector<i64> narrow;
+  std::vector<i64> wide;
+  for (const PathAccess& acc : path.accesses) {
+    if (!acc.countable) {
+      rc.exact = false;
+      push_unique(rc.fallbacks,
+                  "scenario " + ev.scenario.label + ": pc " +
+                      std::to_string(acc.pc) + " " +
+                      (acc.is_load ? "load" : "store") + ": " + acc.reason);
+      continue;
+    }
+    narrow.clear();
+    wide.clear();
+    for (i32 lane = 0; lane < lanes; ++lane) {
+      if (!lane_active(acc.guards, lane)) continue;
+      const std::size_t l = static_cast<std::size_t>(lane);
+      const i64 idx = acc.addr.eval(lx[l], ly[l], bx, by);
+      const i64 base = static_cast<i64>(acc.buffer) * (i64{1} << 40);
+      const i64 nseg = base + idx / dev.transaction_elems;
+      const i64 wseg = base + idx / (4 * dev.transaction_elems);
+      if (std::find(narrow.begin(), narrow.end(), nseg) == narrow.end()) {
+        narrow.push_back(nseg);
+      }
+      if (std::find(wide.begin(), wide.end(), wseg) == wide.end()) {
+        wide.push_back(wseg);
+      }
+    }
+    rc.counters.mem_transactions += narrow.size();
+    rc.counters.mem_transactions_wide += wide.size();
+    for (const i64 seg : narrow) {
+      if (cache.insert(seg).second) ++rc.counters.mem_cache_misses;
+    }
+  }
+
+  if (path.complete) {
+    // ret: every lane reconverges there and retires in one issue slot.
+    rc.counters.issue_slots += 1;
+    rc.counters.per_pipe[static_cast<std::size_t>(sim::Pipe::kControl)] += 1;
+    rc.counters.lane_instructions += static_cast<u64>(lanes);
+  }
+}
+
+}  // namespace
+
+StaticLaunchCost compute_static_cost(const ir::Program& prog,
+                                     const LaunchGeometry& geom,
+                                     const sim::DeviceSpec& dev) {
+  ISPB_EXPECTS(geom.image.x > 0 && geom.image.y > 0);
+  StaticLaunchCost cost;
+
+  bool degenerate = false;
+  const std::vector<Scenario> scenarios =
+      enumerate_scenarios(prog, geom, degenerate);
+  const GridDims grid = make_grid(geom.image, geom.block);
+  cost.blocks_total = grid.total();
+  if (degenerate) {
+    cost.degenerate = true;
+    cost.exact = false;
+    push_unique(cost.fallbacks,
+                "degenerate partition: the runtime launches the naive kernel");
+    return cost;
+  }
+
+  std::vector<ScenarioEval> evals;
+  evals.reserve(scenarios.size());
+  for (const Scenario& s : scenarios) {
+    const Facts facts = make_launch_facts(prog, geom, s.bx, s.by, s.tx, s.ty);
+    const RangeResult ranges = analyze_ranges(prog, facts);
+    ScenarioEval ev;
+    ev.scenario = s;
+    ev.extraction = extract_affine(prog, facts);
+    ev.path = trace_path(prog, ev.extraction, ranges);
+
+    ScenarioSummary summary;
+    summary.label = s.label;
+    summary.region = s.region;
+    summary.routed = s.routed;
+    summary.complete = ev.path.complete;
+    summary.poison_reason = ev.path.poison_reason;
+    for (const PathAccess& a : ev.path.accesses) {
+      if (a.countable) {
+        ++summary.countable_accesses;
+      } else {
+        ++summary.fallback_accesses;
+      }
+    }
+    cost.scenarios.push_back(std::move(summary));
+    evals.push_back(std::move(ev));
+  }
+
+  const i32 threads = geom.block.threads();
+  if (threads % dev.warp_size != 0) {
+    // Partial warps run phantom lanes outside the scenario facts; nothing
+    // provable. The generated benchmarks never use such blocks.
+    cost.exact = false;
+    push_unique(cost.fallbacks,
+                "block size is not a multiple of the warp size: phantom lanes "
+                "escape the scenario facts");
+    return cost;
+  }
+  const i32 warps = ceil_div(threads, dev.warp_size);
+
+  // Region attribution matches dsl::launch_on_sim: classify_block side mask.
+  const BlockBounds bounds =
+      compute_block_bounds(geom.image, geom.block, geom.window);
+
+  std::unordered_set<i64> block_cache;
+  for (i32 by = 0; by < grid.nby; ++by) {
+    for (i32 bx = 0; bx < grid.nbx; ++bx) {
+      const u32 key = static_cast<u32>(classify_block(bounds, bx, by));
+      RegionStaticCost& rc = cost.per_region[key];
+      ++rc.blocks;
+      block_cache.clear();
+      for (i32 w = 0; w < warps; ++w) {
+        // First lane's tid.x selects the warp-column scenario; for
+        // non-refined kernels the cell scenario's tx covers every lane.
+        const i64 lane0_lx = (i64{w} * dev.warp_size) % geom.block.tx;
+        const ScenarioEval* ev = nullptr;
+        for (const ScenarioEval& cand : evals) {
+          if (cand.scenario.bx.contains(bx) && cand.scenario.by.contains(by) &&
+              cand.scenario.tx.contains(lane0_lx)) {
+            ev = &cand;
+            break;
+          }
+        }
+        if (ev == nullptr) {
+          rc.exact = false;
+          push_unique(rc.fallbacks, "no scenario covers warp " +
+                                        std::to_string(w) + " of block (" +
+                                        std::to_string(bx) + "," +
+                                        std::to_string(by) + ")");
+          continue;
+        }
+        eval_warp(*ev, dev, geom.block, bx, by, w, block_cache, rc);
+      }
+    }
+  }
+
+  for (auto& [key, rc] : cost.per_region) {
+    (void)key;
+    rc.cycles = static_cycles(dev, rc.counters);
+    cost.total += rc.counters;
+    cost.total_cycles += rc.cycles;
+    if (!rc.exact) {
+      cost.exact = false;
+      for (const std::string& r : rc.fallbacks) push_unique(cost.fallbacks, r);
+    }
+  }
+  return cost;
+}
+
+StaticGain static_gain(const StaticLaunchCost& naive,
+                       const StaticLaunchCost& isp, f64 occupancy_naive,
+                       f64 occupancy_isp) {
+  StaticGain g;
+  if (isp.total_cycles > 0.0 && occupancy_naive > 0.0) {
+    g.r_static = naive.total_cycles / isp.total_cycles;
+    g.gain = g.r_static * (occupancy_isp / occupancy_naive);
+  }
+  g.use_isp = g.gain > 1.0;
+  return g;
+}
+
+}  // namespace ispb::analysis

@@ -1,0 +1,106 @@
+// Static coalescing / transaction counting and cost modeling.
+//
+// Replays the launch a simulator run would perform — same grid, same warp
+// layout, same region attribution — but evaluates every warp *statically*
+// from the affine access extraction and the traced scenario path instead of
+// executing instructions. For kernels inside the affine fragment the
+// resulting counters are provably identical to the simulator's
+// LaunchStats::per_region values:
+//
+//  - issue slots / per-pipe counts: a path segment issues once per warp iff
+//    at least one lane passes all covering guard events (min-PC
+//    reconvergence on forward control);
+//  - memory transactions: affine lane addresses folded into distinct 32-byte
+//    (transaction_elems) and 128-byte segments per issue slot, exactly the
+//    dedup run_warp performs;
+//  - cache misses: first-touch insertion into a per-block segment set — the
+//    block-shared L1 model — whose final size is order-independent, so the
+//    static count equals the simulated one;
+//  - divergent branches: a guard event splits the warp iff its taken count
+//    is neither zero nor the full active mask.
+//
+// Anything outside the fragment (the Repeat pattern's data-dependent loops)
+// degrades the affected regions to explicit lower bounds with the fallback
+// reason recorded — never silently dropped. This is the static input the
+// Eq. (10) predictor can consume instead of simulator measurements.
+#pragma once
+
+#include <map>
+
+#include "gpusim/device.hpp"
+#include "ir/analysis/access_analysis.hpp"
+#include "ir/analysis/checkers.hpp"
+
+namespace ispb::analysis {
+
+/// Statically derived counters; field-for-field comparable with
+/// sim::WarpResult aggregates.
+struct StaticCounters {
+  u64 issue_slots = 0;
+  u64 lane_instructions = 0;
+  u64 mem_transactions = 0;       ///< 32-byte segments (transaction_elems)
+  u64 mem_transactions_wide = 0;  ///< 128-byte segments (4x)
+  u64 mem_cache_misses = 0;       ///< block-level first-touch transactions
+  u64 divergent_branches = 0;
+  std::array<u64, 6> per_pipe{};  ///< indexed like sim::Pipe
+
+  StaticCounters& operator+=(const StaticCounters& o);
+};
+
+/// Issue-cost cycles of the counters on `dev`; mirrors sim::warp_cycles.
+[[nodiscard]] f64 static_cycles(const sim::DeviceSpec& dev,
+                                const StaticCounters& c);
+
+/// Per-region static cost (keyed like LaunchStats::per_region: the
+/// classify_block side mask).
+struct RegionStaticCost {
+  StaticCounters counters;
+  i64 blocks = 0;
+  f64 cycles = 0.0;
+  /// False when any contributing warp hit a non-affine access or an
+  /// unanalyzable path: the counters are then lower bounds.
+  bool exact = true;
+  std::vector<std::string> fallbacks;  ///< distinct degradation reasons
+};
+
+/// Per-scenario trace outcome, for reporting.
+struct ScenarioSummary {
+  std::string label;
+  Region region = Region::kBody;
+  bool routed = false;
+  bool complete = true;
+  std::string poison_reason;
+  u32 countable_accesses = 0;
+  u32 fallback_accesses = 0;
+};
+
+struct StaticLaunchCost {
+  std::map<u32, RegionStaticCost> per_region;
+  StaticCounters total;
+  f64 total_cycles = 0.0;
+  i64 blocks_total = 0;
+  bool exact = true;
+  bool degenerate = false;
+  std::vector<std::string> fallbacks;  ///< kernel-level reasons
+  std::vector<ScenarioSummary> scenarios;
+};
+
+/// Statically costs a full launch of `prog` under `geom` on `dev`. The
+/// program must pass ir::verify; the geometry mirrors dsl::launch_on_sim.
+[[nodiscard]] StaticLaunchCost compute_static_cost(const ir::Program& prog,
+                                                   const LaunchGeometry& geom,
+                                                   const sim::DeviceSpec& dev);
+
+/// Eq. (10) with the static cycle ratio as the workload-reduction factor:
+/// G = (cycles_naive / cycles_isp) * (occ_isp / occ_naive), ISP iff G > 1.
+struct StaticGain {
+  f64 r_static = 1.0;
+  f64 gain = 1.0;
+  bool use_isp = false;
+};
+
+[[nodiscard]] StaticGain static_gain(const StaticLaunchCost& naive,
+                                     const StaticLaunchCost& isp,
+                                     f64 occupancy_naive, f64 occupancy_isp);
+
+}  // namespace ispb::analysis

@@ -17,8 +17,8 @@ Word read_operand(const Operand& o, const std::vector<Word>& regs) {
 }  // namespace
 
 InterpResult interpret(const Program& prog, std::span<const Word> inputs,
-                       std::span<const BufferBinding> buffers,
-                       u64 max_steps) {
+                       std::span<const BufferBinding> buffers, u64 max_steps,
+                       const AccessObserver& observer) {
   ISPB_EXPECTS(inputs.size() == prog.num_inputs());
   ISPB_EXPECTS(buffers.size() >= prog.num_buffers);
 
@@ -54,6 +54,7 @@ InterpResult interpret(const Program& prog, std::span<const Word> inputs,
                               std::to_string(buf.size));
         }
         regs[ins.dst] = Word::from_f32(buf.data[idx]);
+        if (observer) observer(pc, true, ins.buffer, idx);
         break;
       }
       case Op::kSt: {
@@ -68,6 +69,7 @@ InterpResult interpret(const Program& prog, std::span<const Word> inputs,
                               std::to_string(buf.size));
         }
         buf.data[idx] = read_operand(ins.b, regs).as_f32();
+        if (observer) observer(pc, false, ins.buffer, idx);
         break;
       }
       default: {

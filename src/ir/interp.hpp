@@ -6,6 +6,7 @@
 // the DSL's IR-level reference executor.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -26,12 +27,20 @@ struct InterpResult {
   u64 steps = 0;       ///< total instructions executed
 };
 
+/// Observes every executed ld/st: (pc, is_load, buffer, element index).
+/// Used by analyses and tests that validate statically derived addresses
+/// against the semantic reference.
+using AccessObserver =
+    std::function<void(u32 pc, bool is_load, u8 buffer, i32 idx)>;
+
 /// Runs `prog` with the given input-register values (length must equal
 /// prog.num_inputs()) over the bound buffers. Throws ContractError on
 /// out-of-bounds memory access, store to a read-only buffer, or exceeding
-/// `max_steps` (runaway loop guard).
+/// `max_steps` (runaway loop guard). A non-empty `observer` is invoked for
+/// every executed memory access, after its bounds check passes.
 InterpResult interpret(const Program& prog, std::span<const Word> inputs,
                        std::span<const BufferBinding> buffers,
-                       u64 max_steps = 100'000'000);
+                       u64 max_steps = 100'000'000,
+                       const AccessObserver& observer = {});
 
 }  // namespace ispb::ir

@@ -34,6 +34,13 @@ u32 Program::marker_pc(std::string_view mname) const {
   throw ContractError("unknown marker: " + std::string(mname));
 }
 
+std::string_view Program::annotation(std::string_view key) const {
+  for (const auto& [k, v] : annotations) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
 namespace {
 
 [[noreturn]] void fail(const Program& prog, u32 pc, const std::string& msg) {

@@ -26,6 +26,11 @@ struct Program {
   /// instructions to regions for the Table I breakdown.
   std::vector<std::pair<std::string, u32>> markers;
 
+  /// Free-form codegen provenance ("variant", "pattern", "app", ...): lets
+  /// analyses and tools report what a kernel is without re-deriving it from
+  /// the instruction stream. Purely descriptive — never affects execution.
+  std::vector<std::pair<std::string, std::string>> annotations;
+
   [[nodiscard]] u32 num_special() const {
     return static_cast<u32>(special_names.size());
   }
@@ -45,6 +50,9 @@ struct Program {
 
   /// Marker lookup: pc of marker `mname`, or throws.
   [[nodiscard]] u32 marker_pc(std::string_view mname) const;
+
+  /// Annotation lookup: value of `key`, or "" when absent.
+  [[nodiscard]] std::string_view annotation(std::string_view key) const;
 };
 
 /// Structural validation: operand arity and kinds, register bounds, branch

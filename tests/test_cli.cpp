@@ -67,6 +67,23 @@ TEST(IspbRunCli, UnknownDeviceFailsInsteadOfSilentlyDefaulting) {
   EXPECT_NE(r.output.find("gtx680|rtx2080"), std::string::npos) << r.output;
 }
 
+TEST(IspbRunCli, AnalyzeUnknownDeviceFailsConsistently) {
+  const CmdResult r = run_cmd("analyze --device=weird --size=32");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown --device 'weird'"), std::string::npos)
+      << r.output;
+}
+
+TEST(IspbRunCli, AnalyzeCostCalibratesAndEmitsJsonReport) {
+  const CmdResult r =
+      run_cmd("analyze --cost --app=gaussian --pattern=clamp --size=64 --json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* key :
+       {"\"ok_verdict\": true", "\"combos\"", "\"gain\"", "\"violations\""}) {
+    EXPECT_NE(r.output.find(key), std::string::npos) << key << "\n" << r.output;
+  }
+}
+
 TEST(IspbRunCli, HelpListsAllSubcommands) {
   const CmdResult r = run_cmd("help");
   EXPECT_EQ(r.exit_code, 0);

@@ -1,0 +1,681 @@
+// Validation of the static memory-access / divergence / cost analyses
+// against the semantic references: the scalar interpreter (addresses and
+// per-lane guard outcomes) and the GPU simulator (per-region counters).
+//
+// The round-trip property here is the analyzer's ground truth: an address
+// the extraction claims affine must evaluate, on every sampled thread
+// identity, to exactly the index the interpreter observes; a path access the
+// trace claims guarded must execute on exactly the lanes whose guard
+// predicates say so. Anything less and the static transaction counts of
+// static_cost.hpp would drift from the simulator silently.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dsl/runtime.hpp"
+#include "filters/filters.hpp"
+#include "gpusim/device.hpp"
+#include "ir/analysis/access_analysis.hpp"
+#include "ir/analysis/checkers.hpp"
+#include "ir/analysis/divergence.hpp"
+#include "ir/analysis/static_cost.hpp"
+#include "ir/builder.hpp"
+#include "ir/interp.hpp"
+
+namespace ispb::analysis {
+namespace {
+
+using ir::Cmp;
+using ir::Op;
+using ir::Operand;
+using ir::RegId;
+using ir::Type;
+using ir::Word;
+
+constexpr Size2 kImage{96, 64};
+constexpr BlockSize kBlock{32, 4};
+
+struct VariantChoice {
+  codegen::Variant variant;
+  const char* name;
+};
+constexpr VariantChoice kVariants[] = {
+    {codegen::Variant::kNaive, "naive"},
+    {codegen::Variant::kIsp, "isp"},
+    {codegen::Variant::kIspWarp, "isp-warp"},
+};
+
+/// Affine-friendly patterns: every generated address stays in the piecewise
+/// fragment. Repeat is excluded by design (its wrap loops are data
+/// dependent) and covered by its own fallback test below.
+constexpr BorderPattern kAffinePatterns[] = {
+    BorderPattern::kClamp, BorderPattern::kMirror, BorderPattern::kConstant};
+
+/// Zero-filled stage chain for one app (addresses never depend on pixel
+/// values, so zero images drive every launch and interpretation).
+struct StageSetup {
+  std::vector<const Image<f32>*> inputs;
+  Image<f32>* output = nullptr;
+};
+
+/// Input-register words for one thread identity, mirroring the simulator's
+/// InputResolver: specials by name, then params in declaration order.
+std::vector<Word> thread_inputs(const ir::Program& prog,
+                                const sim::ParamMap& params, i32 lx, i32 ly,
+                                i32 bx, i32 by) {
+  std::vector<Word> in(prog.num_inputs());
+  for (u32 r = 0; r < prog.num_special(); ++r) {
+    const std::string& name = prog.special_names[r];
+    i32 v = 0;
+    if (name == "tid.x") {
+      v = lx;
+    } else if (name == "tid.y") {
+      v = ly;
+    } else if (name == "ctaid.x") {
+      v = bx;
+    } else if (name == "ctaid.y") {
+      v = by;
+    } else {
+      ADD_FAILURE() << "unknown special '" << name << "'";
+    }
+    in[r] = Word::from_i32(v);
+  }
+  for (std::size_t i = 0; i < prog.param_names.size(); ++i) {
+    const auto it = params.find(prog.param_names[i]);
+    if (it == params.end()) {
+      ADD_FAILURE() << "param '" << prog.param_names[i] << "' not in map";
+      continue;
+    }
+    in[prog.num_special() + i] = it->second;
+  }
+  return in;
+}
+
+/// Read-only input bindings plus the writable output, in buffer order.
+std::vector<ir::BufferBinding> bind_buffers(
+    std::span<const Image<f32>* const> inputs, Image<f32>& output) {
+  std::vector<ir::BufferBinding> buffers;
+  buffers.reserve(inputs.size() + 1);
+  for (const Image<f32>* img : inputs) {
+    buffers.push_back(ir::BufferBinding{
+        const_cast<f32*>(img->buffer().data()), img->buffer().size(), false});
+  }
+  buffers.push_back(ir::BufferBinding{output.buffer().data(),
+                                      output.buffer().size(), true});
+  return buffers;
+}
+
+/// One interpreted thread's accesses: pc -> observed element index. The
+/// affine kernels execute each ld/st pc at most once per thread.
+std::map<u32, i32> observe_thread(const ir::Program& prog,
+                                  std::span<const Word> inputs,
+                                  std::span<const ir::BufferBinding> buffers) {
+  std::map<u32, i32> seen;
+  const ir::AccessObserver obs = [&](u32 pc, bool, u8, i32 idx) {
+    const auto [it, fresh] = seen.emplace(pc, idx);
+    if (!fresh) {
+      EXPECT_EQ(it->second, idx) << "pc " << pc << " re-executed with a "
+                                 << "different address (unexpected loop)";
+    }
+  };
+  ir::interpret(prog, inputs, buffers, 100'000'000, obs);
+  return seen;
+}
+
+// ---------------------------------------------------------------------------
+// Affine extraction round-trip: statically derived address forms, evaluated
+// at sampled thread identities, equal the interpreter's observed indices —
+// for every app, every variant, every affine border pattern.
+// ---------------------------------------------------------------------------
+
+TEST(AffineRoundTrip, ExtractedAddressesMatchInterpreterOnSampledThreads) {
+  std::mt19937 rng(20260808);
+  const GridDims grid = make_grid(kImage, kBlock);
+
+  for (const filters::MultiKernelApp& app : filters::all_apps()) {
+    for (BorderPattern pattern : kAffinePatterns) {
+      for (const VariantChoice& vc : kVariants) {
+        SCOPED_TRACE(app.name + std::string("/") +
+                     std::string(to_string(pattern)) + "/" + vc.name);
+        codegen::CodegenOptions opt;
+        opt.pattern = pattern;
+        opt.variant = vc.variant;
+
+        std::vector<Image<f32>> chain;
+        chain.reserve(app.stages.size() + 1);
+        chain.emplace_back(kImage);
+        for (const auto& stage : app.stages) {
+          std::vector<const Image<f32>*> inputs;
+          for (i32 b : stage.input_bindings) {
+            inputs.push_back(&chain[static_cast<std::size_t>(b)]);
+          }
+          Image<f32> output(kImage);
+          const dsl::CompiledKernel kernel = dsl::compile_kernel(stage.spec, opt);
+          const ir::Program& prog = kernel.program;
+          SCOPED_TRACE(prog.name);
+
+          LaunchGeometry geom{kImage, kBlock, stage.spec.window(),
+                              kernel.options.warp_width};
+          // Whole-grid facts: params are still points (they come from the
+          // geometry), only the thread identity stays symbolic — the
+          // extraction must hold for every thread of the launch at once.
+          const Facts facts = make_launch_facts(
+              prog, geom, Interval{0, grid.nbx - 1}, Interval{0, grid.nby - 1},
+              Interval{0, kBlock.tx - 1}, Interval{0, kBlock.ty - 1});
+          const AffineExtraction ex = extract_affine(prog, facts);
+          std::vector<const AccessSite*> site_at(prog.code.size(), nullptr);
+          for (const AccessSite& s : ex.accesses) site_at[s.pc] = &s;
+
+          const sim::ParamMap params = dsl::build_params(
+              prog, kImage, inputs, output, kBlock, stage.spec.window());
+          const std::vector<ir::BufferBinding> buffers =
+              bind_buffers(inputs, output);
+
+          // Corner blocks and corner lanes deterministic, the rest random.
+          std::vector<std::array<i32, 4>> threads = {
+              {0, 0, 0, 0},
+              {kBlock.tx - 1, kBlock.ty - 1, grid.nbx - 1, grid.nby - 1},
+              {0, kBlock.ty - 1, grid.nbx - 1, 0},
+              {kBlock.tx - 1, 0, 0, grid.nby - 1},
+          };
+          for (int i = 0; i < 20; ++i) {
+            threads.push_back(
+                {static_cast<i32>(rng() % static_cast<u32>(kBlock.tx)),
+                 static_cast<i32>(rng() % static_cast<u32>(kBlock.ty)),
+                 static_cast<i32>(rng() % static_cast<u32>(grid.nbx)),
+                 static_cast<i32>(rng() % static_cast<u32>(grid.nby))});
+          }
+
+          for (const auto& [lx, ly, bx, by] : threads) {
+            const std::vector<Word> in =
+                thread_inputs(prog, params, lx, ly, bx, by);
+            const std::map<u32, i32> seen = observe_thread(prog, in, buffers);
+            EXPECT_FALSE(seen.empty()) << "thread executed no accesses";
+            for (const auto& [pc, idx] : seen) {
+              const AccessSite* site = site_at[pc];
+              ASSERT_NE(site, nullptr) << "no access site at pc " << pc;
+              ASSERT_TRUE(site->affine)
+                  << "pc " << pc << " demoted: " << site->reason;
+              EXPECT_EQ(site->addr.eval(lx, ly, bx, by), idx)
+                  << "pc " << pc << " thread lx=" << lx << " ly=" << ly
+                  << " bx=" << bx << " by=" << by;
+            }
+          }
+          chain.push_back(std::move(output));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario path + lane masks: a traced access executes on exactly the lanes
+// whose guard predicates evaluate false, and at the traced address. The
+// partial-pixel geometry makes the in-bounds guards genuinely lane-dependent.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioPath, GuardMasksPredictPerLaneExecution) {
+  const Size2 image{70, 30};  // partial blocks on both axes
+  for (BorderPattern pattern :
+       {BorderPattern::kClamp, BorderPattern::kConstant}) {
+    SCOPED_TRACE(std::string(to_string(pattern)));
+    codegen::CodegenOptions opt;
+    opt.pattern = pattern;
+    opt.variant = codegen::Variant::kIsp;
+    const codegen::StencilSpec spec = filters::gaussian_spec(3);
+    const dsl::CompiledKernel kernel = dsl::compile_kernel(spec, opt);
+    const ir::Program& prog = kernel.program;
+
+    Image<f32> source(image);
+    Image<f32> output(image);
+    const std::vector<const Image<f32>*> inputs = {&source};
+    const sim::ParamMap params =
+        dsl::build_params(prog, image, inputs, output, kBlock, spec.window());
+    const std::vector<ir::BufferBinding> buffers = bind_buffers(inputs, output);
+
+    LaunchGeometry geom{image, kBlock, spec.window(), 32};
+    bool degenerate = false;
+    const std::vector<Scenario> scenarios =
+        enumerate_scenarios(prog, geom, degenerate);
+    ASSERT_FALSE(degenerate);
+    ASSERT_FALSE(scenarios.empty());
+
+    for (const Scenario& s : scenarios) {
+      SCOPED_TRACE("scenario " + s.label);
+      const Facts facts = make_launch_facts(prog, geom, s.bx, s.by, s.tx, s.ty);
+      const RangeResult ranges = analyze_ranges(prog, facts);
+      const AffineExtraction ex = extract_affine(prog, facts);
+      const KernelPath path = trace_path(prog, ex, ranges);
+      ASSERT_TRUE(path.complete)
+          << "pc " << path.poison_pc << ": " << path.poison_reason;
+      for (const PathAccess& acc : path.accesses) {
+        EXPECT_TRUE(acc.countable) << "pc " << acc.pc << ": " << acc.reason;
+      }
+
+      // Sample the scenario's extreme blocks, all lanes of each.
+      std::set<std::pair<i64, i64>> blocks = {{s.bx.lo, s.by.lo},
+                                              {s.bx.hi, s.by.hi},
+                                              {s.bx.lo, s.by.hi}};
+      for (const auto& [bx64, by64] : blocks) {
+        const i32 bx = static_cast<i32>(bx64);
+        const i32 by = static_cast<i32>(by64);
+        for (i64 ly = s.ty.lo; ly <= s.ty.hi; ++ly) {
+          for (i64 lx = s.tx.lo; lx <= s.tx.hi; ++lx) {
+            const std::vector<Word> in = thread_inputs(
+                prog, params, static_cast<i32>(lx), static_cast<i32>(ly), bx,
+                by);
+            const std::map<u32, i32> seen = observe_thread(prog, in, buffers);
+            for (const PathAccess& acc : path.accesses) {
+              if (!acc.countable) continue;
+              const bool predicted =
+                  std::all_of(acc.guards.begin(), acc.guards.end(), [&](u32 g) {
+                    return !path.guards[g].taken.eval(lx, ly, bx, by);
+                  });
+              const bool executed = seen.count(acc.pc) != 0;
+              EXPECT_EQ(predicted, executed)
+                  << "pc " << acc.pc << " lane lx=" << lx << " ly=" << ly
+                  << " block (" << bx << "," << by << ")";
+              if (executed && predicted) {
+                EXPECT_EQ(acc.addr.eval(lx, ly, bx, by), seen.at(acc.pc));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flow-sensitive path tracing: a register the linear extraction demotes as
+// multiply-defined stays affine on a path that executes only one of its
+// definitions — and a redefinition under an active divergence guard is still
+// demoted (lanes parked at the guard keep the old value past the rejoin).
+// ---------------------------------------------------------------------------
+
+TEST(PathExtraction, RedefinitionOffPathStaysAffine) {
+  ir::Builder b("redef_toy");
+  const RegId tidx = b.add_special("tid.x");
+  b.add_special("tid.y");
+  b.add_special("ctaid.x");
+  b.add_special("ctaid.y");
+  const u8 out = b.add_buffer();
+
+  const RegId a = b.emit(Op::kAdd, Type::kI32, Operand::r(tidx),
+                         Operand::imm_i32(1));
+  b.emit_st(out, a, Operand::imm_f32(1.0f));
+  const RegId r = b.emit(Op::kAdd, Type::kI32, Operand::r(tidx),
+                         Operand::imm_i32(2));
+  b.emit_to(r, Op::kAdd, Type::kI32, Operand::r(r), Operand::imm_i32(5));
+  b.emit_st(out, r, Operand::imm_f32(2.0f));
+  b.ret();
+  const ir::Program prog = b.finish();
+
+  const LaunchGeometry geom{kImage, kBlock, Window{3, 3}, 32};
+  const Facts facts =
+      make_launch_facts(prog, geom, Interval{0, 2}, Interval{0, 15},
+                        Interval{0, 31}, Interval{0, 3});
+  const AffineExtraction ex = extract_affine(prog, facts);
+
+  // Linear view: the second store's address register is multiply defined.
+  ASSERT_EQ(ex.accesses.size(), 2u);
+  EXPECT_TRUE(ex.accesses[0].affine);
+  EXPECT_FALSE(ex.accesses[1].affine);
+  EXPECT_NE(ex.accesses[1].reason.find("multiply defined"), std::string::npos);
+
+  // Path view: the trace passes both definitions in order; the store sees
+  // the most recent one, tid.x + 7.
+  const RangeResult ranges = analyze_ranges(prog, facts);
+  const KernelPath path = trace_path(prog, ex, ranges);
+  ASSERT_TRUE(path.complete);
+  ASSERT_EQ(path.accesses.size(), 2u);
+  ASSERT_TRUE(path.accesses[1].countable) << path.accesses[1].reason;
+  EXPECT_EQ(path.accesses[1].addr.eval(11, 0, 0, 0), 18);
+}
+
+TEST(PathExtraction, RedefinitionUnderGuardIsDemoted) {
+  ir::Builder b("guard_redef_toy");
+  const RegId tidx = b.add_special("tid.x");
+  b.add_special("tid.y");
+  b.add_special("ctaid.x");
+  b.add_special("ctaid.y");
+  const u8 out = b.add_buffer();
+
+  const RegId a = b.emit(Op::kAdd, Type::kI32, Operand::r(tidx),
+                         Operand::imm_i32(1));
+  const RegId p = b.emit_setp(Cmp::kLt, Type::kI32, Operand::r(tidx),
+                              Operand::imm_i32(4));
+  const auto skip = b.make_label();
+  b.br_if(p, skip);
+  b.emit_to(a, Op::kAdd, Type::kI32, Operand::r(a), Operand::imm_i32(100));
+  b.bind(skip);
+  b.emit_st(out, a, Operand::imm_f32(1.0f));
+  b.ret();
+  const ir::Program prog = b.finish();
+
+  const LaunchGeometry geom{kImage, kBlock, Window{3, 3}, 32};
+  const Facts facts =
+      make_launch_facts(prog, geom, Interval{0, 2}, Interval{0, 15},
+                        Interval{0, 31}, Interval{0, 3});
+  const RangeResult ranges = analyze_ranges(prog, facts);
+  const KernelPath path = trace_path(prog, extract_affine(prog, facts), ranges);
+  ASSERT_TRUE(path.complete);
+  ASSERT_EQ(path.guards.size(), 1u);  // the tid-dependent skip
+  ASSERT_EQ(path.accesses.size(), 1u);
+  // After the rejoin, lanes that took the guard hold tid.x + 1, the rest
+  // tid.x + 101 — no single affine form covers the warp.
+  EXPECT_FALSE(path.accesses[0].countable);
+  EXPECT_NE(path.accesses[0].reason.find("divergence guard"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Static counters vs the simulator: exact equality on every region for
+// affine kernels, including a partial-pixel geometry.
+// ---------------------------------------------------------------------------
+
+void expect_static_matches_sim(const filters::MultiKernelApp& app,
+                               BorderPattern pattern, codegen::Variant variant,
+                               Size2 image) {
+  const sim::DeviceSpec dev = sim::make_gtx680();
+  codegen::CodegenOptions opt;
+  opt.pattern = pattern;
+  opt.variant = variant;
+
+  std::vector<Image<f32>> chain;
+  chain.reserve(app.stages.size() + 1);
+  chain.emplace_back(image);
+  for (const auto& stage : app.stages) {
+    std::vector<const Image<f32>*> inputs;
+    for (i32 bnd : stage.input_bindings) {
+      inputs.push_back(&chain[static_cast<std::size_t>(bnd)]);
+    }
+    Image<f32> output(image);
+    const dsl::CompiledKernel kernel = dsl::compile_kernel(stage.spec, opt);
+    SCOPED_TRACE(kernel.program.name);
+    const dsl::SimRun run =
+        dsl::launch_on_sim(dev, kernel, inputs, output, kBlock);
+    ASSERT_FALSE(run.degenerate_fallback);
+
+    const LaunchGeometry geom{image, kBlock, stage.spec.window(),
+                              kernel.options.warp_width};
+    const StaticLaunchCost scost =
+        compute_static_cost(kernel.program, geom, dev);
+    EXPECT_TRUE(scost.exact) << (scost.fallbacks.empty()
+                                     ? std::string("no fallback recorded")
+                                     : scost.fallbacks.front());
+    EXPECT_EQ(scost.blocks_total, run.stats.blocks_total);
+
+    ASSERT_EQ(scost.per_region.size(), run.stats.per_region.size());
+    for (const auto& [key, src] : scost.per_region) {
+      SCOPED_TRACE("region key " + std::to_string(key));
+      const auto it = run.stats.per_region.find(key);
+      ASSERT_NE(it, run.stats.per_region.end());
+      const sim::RegionCounters& simrc = it->second;
+      EXPECT_EQ(src.blocks, simrc.blocks);
+      EXPECT_EQ(src.counters.issue_slots, simrc.warps.issue_slots);
+      EXPECT_EQ(src.counters.lane_instructions, simrc.warps.lane_instructions);
+      EXPECT_EQ(src.counters.mem_transactions, simrc.warps.mem_transactions);
+      EXPECT_EQ(src.counters.mem_transactions_wide,
+                simrc.warps.mem_transactions_wide);
+      EXPECT_EQ(src.counters.mem_cache_misses, simrc.warps.mem_cache_misses);
+      EXPECT_EQ(src.counters.divergent_branches,
+                simrc.warps.divergent_branches);
+      for (std::size_t i = 0; i < src.counters.per_pipe.size(); ++i) {
+        EXPECT_EQ(src.counters.per_pipe[i], simrc.warps.issued_per_pipe[i])
+            << "pipe " << i;
+      }
+      const f64 rel = std::abs(src.cycles - simrc.cycles) /
+                      std::max(1.0, std::abs(simrc.cycles));
+      EXPECT_LE(rel, 1e-6);
+    }
+    chain.push_back(std::move(output));
+  }
+}
+
+filters::MultiKernelApp app_named(std::string_view name) {
+  for (filters::MultiKernelApp& app : filters::all_apps()) {
+    if (app.name == name) return std::move(app);
+  }
+  ADD_FAILURE() << "no app named " << name;
+  return {};
+}
+
+TEST(StaticCost, GaussianAllAffinePatternsAndVariantsMatchSimulator) {
+  const filters::MultiKernelApp app = app_named("gaussian");
+  for (BorderPattern pattern : kAffinePatterns) {
+    for (const VariantChoice& vc : kVariants) {
+      SCOPED_TRACE(std::string(to_string(pattern)) + "/" + vc.name);
+      expect_static_matches_sim(app, pattern, vc.variant, kImage);
+    }
+  }
+}
+
+TEST(StaticCost, PartialPixelGeometryMatchesSimulator) {
+  expect_static_matches_sim(app_named("gaussian"), BorderPattern::kClamp,
+                            codegen::Variant::kIsp, Size2{70, 30});
+}
+
+TEST(StaticCost, LaplaceMirrorIspMatchesSimulator) {
+  expect_static_matches_sim(app_named("laplace"), BorderPattern::kMirror,
+                            codegen::Variant::kIsp, kImage);
+}
+
+TEST(StaticCost, SobelConstantWarpVariantMatchesSimulator) {
+  // Three stages, including the two-input point operator.
+  expect_static_matches_sim(app_named("sobel"), BorderPattern::kConstant,
+                            codegen::Variant::kIspWarp, kImage);
+}
+
+// ---------------------------------------------------------------------------
+// Repeat: the wrap loops are data dependent — the cost must degrade to an
+// explicit, reasoned lower bound, never silently. The Body region carries no
+// border handling and must still be exact (flow-sensitive tracing).
+// ---------------------------------------------------------------------------
+
+TEST(StaticCost, RepeatIspFallsBackExplicitlyButBodyStaysExact) {
+  const sim::DeviceSpec dev = sim::make_gtx680();
+  codegen::CodegenOptions opt;
+  opt.pattern = BorderPattern::kRepeat;
+  opt.variant = codegen::Variant::kIsp;
+  const codegen::StencilSpec spec = filters::gaussian_spec(3);
+  const dsl::CompiledKernel kernel = dsl::compile_kernel(spec, opt);
+
+  Image<f32> source(kImage);
+  Image<f32> output(kImage);
+  const std::vector<const Image<f32>*> inputs = {&source};
+  const dsl::SimRun run =
+      dsl::launch_on_sim(dev, kernel, inputs, output, kBlock);
+  ASSERT_FALSE(run.degenerate_fallback);
+
+  const LaunchGeometry geom{kImage, kBlock, spec.window(),
+                            kernel.options.warp_width};
+  const StaticLaunchCost scost = compute_static_cost(kernel.program, geom, dev);
+
+  // Degraded overall, with the reason on record.
+  EXPECT_FALSE(scost.exact);
+  ASSERT_FALSE(scost.fallbacks.empty());
+  const bool reasoned = std::any_of(
+      scost.fallbacks.begin(), scost.fallbacks.end(), [](const std::string& f) {
+        return f.find("backward branch") != std::string::npos;
+      });
+  EXPECT_TRUE(reasoned) << scost.fallbacks.front();
+
+  // The Body region executes no wrap loop: exact, and equal to the sim.
+  const u32 body_key = static_cast<u32>(region_sides(Region::kBody));
+  const auto body = scost.per_region.find(body_key);
+  ASSERT_NE(body, scost.per_region.end());
+  EXPECT_TRUE(body->second.exact)
+      << (body->second.fallbacks.empty() ? std::string("?")
+                                         : body->second.fallbacks.front());
+  const auto sim_body = run.stats.per_region.find(body_key);
+  ASSERT_NE(sim_body, run.stats.per_region.end());
+  EXPECT_EQ(body->second.counters.issue_slots,
+            sim_body->second.warps.issue_slots);
+  EXPECT_EQ(body->second.counters.mem_transactions,
+            sim_body->second.warps.mem_transactions);
+  EXPECT_EQ(body->second.counters.mem_cache_misses,
+            sim_body->second.warps.mem_cache_misses);
+
+  // Every non-exact region under-counts or matches — static is a lower
+  // bound, never an overcount (segments past the poison point are dropped).
+  for (const auto& [key, src] : scost.per_region) {
+    const auto it = run.stats.per_region.find(key);
+    ASSERT_NE(it, run.stats.per_region.end());
+    EXPECT_LE(src.counters.issue_slots, it->second.warps.issue_slots)
+        << "region key " << key;
+  }
+}
+
+TEST(StaticCost, RepeatNaiveIsNeverExact) {
+  const sim::DeviceSpec dev = sim::make_gtx680();
+  codegen::CodegenOptions opt;
+  opt.pattern = BorderPattern::kRepeat;
+  opt.variant = codegen::Variant::kNaive;
+  const dsl::CompiledKernel kernel =
+      dsl::compile_kernel(filters::gaussian_spec(3), opt);
+  const LaunchGeometry geom{kImage, kBlock, Window{3, 3}, 32};
+  const StaticLaunchCost scost = compute_static_cost(kernel.program, geom, dev);
+  EXPECT_FALSE(scost.exact);
+  EXPECT_FALSE(scost.fallbacks.empty());
+  for (const auto& [key, src] : scost.per_region) {
+    EXPECT_FALSE(src.exact) << "region key " << key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Divergence: generated ISP kernels prove Body-uniform; the naive Constant
+// kernel's per-tap guards are honestly lane-dependent; a hand-built fat
+// kernel with a tid-dependent Body branch is flagged.
+// ---------------------------------------------------------------------------
+
+TEST(Divergence, IspBodyScenariosAreBranchUniform) {
+  for (BorderPattern pattern : kAffinePatterns) {
+    for (codegen::Variant variant :
+         {codegen::Variant::kIsp, codegen::Variant::kIspWarp}) {
+      SCOPED_TRACE(std::string(to_string(pattern)));
+      codegen::CodegenOptions opt;
+      opt.pattern = pattern;
+      opt.variant = variant;
+      const dsl::CompiledKernel kernel =
+          dsl::compile_kernel(filters::gaussian_spec(3), opt);
+      const LaunchGeometry geom{kImage, kBlock, Window{3, 3},
+                                kernel.options.warp_width};
+      const DivergenceResult div = analyze_divergence(kernel.program, geom);
+      EXPECT_TRUE(div.report.ok())
+          << div.report.findings.front().detail;
+      EXPECT_GT(div.report.scenarios, 0u);
+    }
+  }
+}
+
+TEST(Divergence, NaiveConstantGuardsAreLaneDependent) {
+  codegen::CodegenOptions opt;
+  opt.pattern = BorderPattern::kConstant;
+  opt.variant = codegen::Variant::kNaive;
+  const dsl::CompiledKernel kernel =
+      dsl::compile_kernel(filters::gaussian_spec(3), opt);
+  const LaunchGeometry geom{kImage, kBlock, Window{3, 3}, 32};
+  const DivergenceResult div = analyze_divergence(kernel.program, geom);
+  // Naive kernels have no routed Body scenario, so no findings — but the
+  // classification itself must expose the per-tap guards as lane-dependent.
+  EXPECT_TRUE(div.report.ok());
+  bool lane_dependent = false;
+  for (const ScenarioDivergence& sd : div.scenarios) {
+    for (const BranchInfo& b : sd.branches) {
+      if (b.uniformity == BranchUniformity::kLaneDependent) {
+        lane_dependent = true;
+      }
+    }
+  }
+  EXPECT_TRUE(lane_dependent);
+}
+
+TEST(Divergence, HandBuiltTidBranchInBodyIsFlagged) {
+  ir::Builder b("divergent_toy");
+  const RegId tidx = b.add_special("tid.x");
+  b.add_special("tid.y");
+  b.add_special("ctaid.x");
+  b.add_special("ctaid.y");
+  // Declaring the Eq. (2) bounds makes enumerate_scenarios route scenarios,
+  // so the Body-uniformity proof applies.
+  b.add_param("bh_l");
+  b.add_param("bh_r");
+  b.add_param("bh_t");
+  b.add_param("bh_b");
+  const u8 out = b.add_buffer();
+
+  const RegId p = b.emit_setp(Cmp::kLt, Type::kI32, Operand::r(tidx),
+                              Operand::imm_i32(7));
+  const auto skip = b.make_label();
+  b.br_if(p, skip);
+  const RegId addr = b.emit(Op::kAdd, Type::kI32, Operand::r(tidx),
+                            Operand::imm_i32(0));
+  b.emit_st(out, addr, Operand::imm_f32(1.0f));
+  b.bind(skip);
+  b.ret();
+  const ir::Program prog = b.finish();
+
+  const LaunchGeometry geom{kImage, kBlock, Window{3, 3}, 32};
+  const DivergenceResult div = analyze_divergence(prog, geom);
+  ASSERT_FALSE(div.report.ok());
+  for (const Finding& f : div.report.findings) {
+    EXPECT_EQ(f.kind, FindingKind::kDivergentBranch);
+    EXPECT_NE(f.detail.find("lane-dependent"), std::string::npos) << f.detail;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Remaining degradations and the Eq. (10) predictor.
+// ---------------------------------------------------------------------------
+
+TEST(StaticCost, PartialWarpBlockFallsBackExplicitly) {
+  const sim::DeviceSpec dev = sim::make_gtx680();
+  codegen::CodegenOptions opt;
+  const dsl::CompiledKernel kernel =
+      dsl::compile_kernel(filters::gaussian_spec(3), opt);
+  const LaunchGeometry geom{Size2{64, 64}, BlockSize{10, 3}, Window{3, 3}, 32};
+  const StaticLaunchCost scost = compute_static_cost(kernel.program, geom, dev);
+  EXPECT_FALSE(scost.exact);
+  const bool reasoned = std::any_of(
+      scost.fallbacks.begin(), scost.fallbacks.end(), [](const std::string& f) {
+        return f.find("multiple of the warp size") != std::string::npos;
+      });
+  EXPECT_TRUE(reasoned);
+}
+
+TEST(StaticGain, FollowsEquation10) {
+  StaticLaunchCost naive;
+  naive.total_cycles = 200.0;
+  StaticLaunchCost isp;
+  isp.total_cycles = 100.0;
+
+  const StaticGain equal_occ = static_gain(naive, isp, 0.5, 0.5);
+  EXPECT_DOUBLE_EQ(equal_occ.r_static, 2.0);
+  EXPECT_DOUBLE_EQ(equal_occ.gain, 2.0);
+  EXPECT_TRUE(equal_occ.use_isp);
+
+  // Occupancy loss scales the gain down (Eq. (10)'s occupancy ratio).
+  const StaticGain occ_loss = static_gain(naive, isp, 0.5, 0.2);
+  EXPECT_DOUBLE_EQ(occ_loss.gain, 2.0 * (0.2 / 0.5));
+
+  // A heavy enough occupancy penalty flips the verdict to naive.
+  const StaticGain flipped = static_gain(naive, isp, 0.8, 0.3);
+  EXPECT_LT(flipped.gain, 1.0);
+  EXPECT_FALSE(flipped.use_isp);
+
+  // Guard: an un-costed ISP side keeps the neutral default and never
+  // recommends the ISP kernel.
+  const StaticGain empty = static_gain(naive, StaticLaunchCost{}, 0.5, 0.5);
+  EXPECT_DOUBLE_EQ(empty.gain, 1.0);
+  EXPECT_DOUBLE_EQ(empty.r_static, 1.0);
+  EXPECT_FALSE(empty.use_isp);
+}
+
+}  // namespace
+}  // namespace ispb::analysis

@@ -10,11 +10,25 @@
 //
 //   analyze    run the static checkers instead of the simulator: per stage
 //              kernel it proves loads/stores in bounds, the region switch a
-//              partition of the grid, and the Body section free of residual
-//              border guards (exit 1 on any finding):
+//              partition of the grid, the Body section free of residual
+//              border guards and Body scenarios branch-uniform (exit 1 on
+//              any finding):
 //
 //     ispb_run analyze --app=bilateral --pattern=mirror --variant=isp
 //              [--size=512] [--block=32x4]
+//
+//              With --cost it instead runs the counter-validated static cost
+//              model: every app x pattern x variant stage kernel is costed
+//              statically (affine access extraction -> per-warp transaction
+//              counting) AND executed on the simulator, and the per-region
+//              counters must agree exactly wherever the kernel is inside the
+//              affine fragment (non-affine fallbacks are listed, never
+//              silently dropped). Also reports where the Eq. (10) predictor
+//              fed with static cycles disagrees with the analytic model:
+//
+//     ispb_run analyze --cost [--app=sobel] [--pattern=mirror]
+//              [--device=gtx680] [--size=128] [--block=32x4]
+//              [--json | --json=calibration.json]
 //
 //   profile    run the pipeline under tracing and metrics collection and
 //              emit a JSON report (compile-stage timings, per-kernel
@@ -45,8 +59,10 @@
 //              [--deadline-ms=0] [--force-fail=POINT] [--json]
 //
 //   help       print this overview.
+#include <algorithm>
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -57,11 +73,15 @@
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "dsl/compile.hpp"
+#include "dsl/runtime.hpp"
 #include "filters/filters.hpp"
 #include "image/compare.hpp"
 #include "image/generators.hpp"
 #include "image/image_io.hpp"
 #include "ir/analysis/checkers.hpp"
+#include "ir/analysis/divergence.hpp"
+#include "ir/analysis/static_cost.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/server.hpp"
@@ -200,17 +220,421 @@ std::string subcommand_overview() {
   return out;
 }
 
+// ---- analyze --cost: counter-validated static cost model --------------------
+
+/// Canonical region name of a classify_block side mask.
+std::string region_name(u32 key) {
+  for (Region r : kAllRegions) {
+    if (static_cast<u32>(region_sides(r)) == key) {
+      return std::string(to_string(r));
+    }
+  }
+  return "mask" + std::to_string(key);
+}
+
+/// Appends one line per counter where the static and the simulated value
+/// differ. Integer counters compare exactly; that is the whole point of the
+/// calibration — the static model replays the simulator's accounting, it
+/// does not approximate it.
+void diff_counters(const analysis::StaticCounters& st,
+                   const sim::WarpResult& sm, const std::string& where,
+                   std::vector<std::string>& out) {
+  const auto check = [&](std::string_view field, u64 a, u64 b) {
+    if (a != b) {
+      out.push_back(where + ": " + std::string(field) + " static " +
+                    std::to_string(a) + " != sim " + std::to_string(b));
+    }
+  };
+  check("issue_slots", st.issue_slots, sm.issue_slots);
+  check("lane_instructions", st.lane_instructions, sm.lane_instructions);
+  check("mem_transactions", st.mem_transactions, sm.mem_transactions);
+  check("mem_transactions_wide", st.mem_transactions_wide,
+        sm.mem_transactions_wide);
+  check("mem_cache_misses", st.mem_cache_misses, sm.mem_cache_misses);
+  check("divergent_branches", st.divergent_branches, sm.divergent_branches);
+  for (std::size_t i = 0; i < sim::kPipeCount; ++i) {
+    check("pipe[" + std::to_string(i) + "]", st.per_pipe[i],
+          sm.issued_per_pipe[i]);
+  }
+}
+
+obs::Json counters_json(const analysis::StaticCounters& c) {
+  obs::Json j = obs::Json::object();
+  j["issue_slots"] = c.issue_slots;
+  j["lane_instructions"] = c.lane_instructions;
+  j["mem_transactions"] = c.mem_transactions;
+  j["mem_transactions_wide"] = c.mem_transactions_wide;
+  j["mem_cache_misses"] = c.mem_cache_misses;
+  j["divergent_branches"] = c.divergent_branches;
+  return j;
+}
+
+obs::Json counters_json(const sim::WarpResult& w) {
+  obs::Json j = obs::Json::object();
+  j["issue_slots"] = w.issue_slots;
+  j["lane_instructions"] = w.lane_instructions;
+  j["mem_transactions"] = w.mem_transactions;
+  j["mem_transactions_wide"] = w.mem_transactions_wide;
+  j["mem_cache_misses"] = w.mem_cache_misses;
+  j["divergent_branches"] = w.divergent_branches;
+  return j;
+}
+
+int run_analyze_cost(const Cli& cli) {
+  const sim::DeviceSpec dev = parse_device(cli.get_string("device", "gtx680"));
+  // Full simulation of the whole matrix is the expensive half of the
+  // calibration; 128x128 keeps the sweep fast while still exercising every
+  // region class and partial-warp layout. --size overrides.
+  const i32 size = static_cast<i32>(cli.get_int("size", 128));
+  const BlockSize block = parse_block(cli.get_string("block", "32x4"));
+  const Size2 image{size, size};
+
+  // Optional restriction; the default sweep covers everything. Variants are
+  // always all three — the Eq. (10) comparison needs the naive/isp pair.
+  std::vector<filters::MultiKernelApp> apps;
+  const std::string app_filter = cli.get_string("app", "");
+  if (app_filter.empty()) {
+    apps = filters::all_apps();
+  } else {
+    apps.push_back(app_by_name(app_filter));
+  }
+  std::vector<BorderPattern> patterns;
+  const std::string pattern_filter = cli.get_string("pattern", "");
+  if (pattern_filter.empty()) {
+    patterns.assign(kAllBorderPatterns.begin(), kAllBorderPatterns.end());
+  } else {
+    patterns.push_back(parse_pattern_arg(pattern_filter));
+  }
+  struct VariantChoice {
+    codegen::Variant variant;
+    std::string_view name;
+  };
+  constexpr std::array<VariantChoice, 3> kVariants = {{
+      {codegen::Variant::kNaive, "naive"},
+      {codegen::Variant::kIsp, "isp"},
+      {codegen::Variant::kIspWarp, "isp-warp"},
+  }};
+
+  std::vector<std::string> violations;
+  std::vector<std::string> fallback_lines;  ///< every degradation, verbatim
+  /// Static cost per app/pattern/stage/variant, for the Eq. (10) pass.
+  struct StageCost {
+    analysis::StaticLaunchCost cost;
+    bool degenerate = false;
+  };
+  std::map<std::string, StageCost> stage_costs;
+
+  AsciiTable table("static cost calibration: " + std::to_string(size) + "x" +
+                   std::to_string(size) + ", block " + std::to_string(block.tx) +
+                   "x" + std::to_string(block.ty) + ", " + dev.name);
+  table.set_header({"app", "pattern", "variant", "stages", "regions",
+                    "slots st/sim", "txn st/sim", "wide", "misses", "div",
+                    "verdict"});
+
+  obs::Json combos_json = obs::Json::array();
+  for (const filters::MultiKernelApp& app : apps) {
+    for (BorderPattern pattern : patterns) {
+      for (const VariantChoice& vc : kVariants) {
+        codegen::CodegenOptions opt;
+        opt.pattern = pattern;
+        opt.variant = vc.variant;
+
+        // Stage chain: addresses never depend on image data, so a zero
+        // source drives the launches; intermediates chain like the real
+        // pipeline so pitches match run_app_simulated.
+        std::vector<Image<f32>> chain;
+        chain.reserve(app.stages.size() + 1);
+        chain.emplace_back(image);
+
+        analysis::StaticCounters combo_static;
+        sim::WarpResult combo_sim;
+        u64 regions_total = 0, regions_exact = 0;
+        bool combo_match = true, combo_bounded = false;
+
+        obs::Json stages_json = obs::Json::array();
+        for (std::size_t si = 0; si < app.stages.size(); ++si) {
+          const auto& stage = app.stages[si];
+          std::vector<const Image<f32>*> inputs;
+          inputs.reserve(stage.input_bindings.size());
+          for (i32 b : stage.input_bindings) {
+            inputs.push_back(&chain[static_cast<std::size_t>(b)]);
+          }
+          Image<f32> output(image);
+
+          const dsl::CompiledKernel kernel =
+              dsl::compile_kernel(stage.spec, opt);
+          const dsl::SimRun run =
+              dsl::launch_on_sim(dev, kernel, inputs, output, block);
+
+          // Cost the program the simulator actually ran: a degenerate
+          // partition falls back to the naive kernel in both worlds.
+          const ir::Program* prog = &kernel.program;
+          dsl::CompiledKernel naive_fallback;
+          if (run.degenerate_fallback) {
+            codegen::CodegenOptions nopt = opt;
+            nopt.variant = codegen::Variant::kNaive;
+            naive_fallback = dsl::compile_kernel(stage.spec, nopt);
+            prog = &naive_fallback.program;
+          }
+          analysis::LaunchGeometry geom;
+          geom.image = image;
+          geom.block = block;
+          geom.window = stage.spec.window();
+          geom.warp_width = kernel.options.warp_width;
+
+          const analysis::StaticLaunchCost scost =
+              analysis::compute_static_cost(*prog, geom, dev);
+          const analysis::DivergenceResult div =
+              analysis::analyze_divergence(*prog, geom);
+
+          const std::string where = app.name + "/" +
+                                    std::string(to_string(pattern)) + "/" +
+                                    std::string(vc.name) + " " + prog->name;
+          stage_costs[app.name + "|" + std::string(to_string(pattern)) + "|" +
+                      std::to_string(si) + "|" + std::string(vc.name)] =
+              StageCost{scost, run.degenerate_fallback};
+
+          // The divergence proof: every Body-routed scenario branch-uniform.
+          if (!div.report.ok()) {
+            for (const analysis::Finding& f : div.report.findings) {
+              violations.push_back(where + ": [" +
+                                   std::string(to_string(f.kind)) + "] " +
+                                   f.detail);
+            }
+          }
+          for (const std::string& fb : scost.fallbacks) {
+            fallback_lines.push_back(where + ": " + fb);
+          }
+
+          // Region-by-region validation. The key sets must agree — both
+          // sides attribute every block of the same grid — and every region
+          // the static side claims exact must match counter for counter.
+          std::vector<std::string> mismatches;
+          for (const auto& [key, rc] : run.stats.per_region) {
+            if (scost.per_region.find(key) == scost.per_region.end()) {
+              mismatches.push_back(where + ": region " + region_name(key) +
+                                   " missing from the static cost");
+            }
+          }
+          obs::Json regions_json = obs::Json::array();
+          for (const auto& [key, src] : scost.per_region) {
+            ++regions_total;
+            const auto it = run.stats.per_region.find(key);
+            if (it == run.stats.per_region.end()) {
+              mismatches.push_back(where + ": region " + region_name(key) +
+                                   " missing from the simulator run");
+              continue;
+            }
+            const sim::RegionCounters& simrc = it->second;
+            obs::Json rj = obs::Json::object();
+            rj["region"] = region_name(key);
+            rj["blocks"] = simrc.blocks;
+            rj["exact"] = src.exact;
+            rj["static"] = counters_json(src.counters);
+            rj["sim"] = counters_json(simrc.warps);
+            rj["static_cycles"] = src.cycles;
+            rj["sim_cycles"] = simrc.cycles;
+            if (src.exact) {
+              ++regions_exact;
+              const std::string rwhere = where + " " + region_name(key);
+              if (src.blocks != simrc.blocks) {
+                mismatches.push_back(rwhere + ": blocks static " +
+                                     std::to_string(src.blocks) + " != sim " +
+                                     std::to_string(simrc.blocks));
+              }
+              diff_counters(src.counters, simrc.warps, rwhere, mismatches);
+              // Cycles derive from the integer counters by the same linear
+              // formula on both sides; only fp summation order differs.
+              const f64 rel = std::abs(src.cycles - simrc.cycles) /
+                              std::max(1.0, std::abs(simrc.cycles));
+              if (rel > 1e-6) {
+                mismatches.push_back(rwhere + ": cycles static " +
+                                     std::to_string(src.cycles) + " != sim " +
+                                     std::to_string(simrc.cycles));
+              }
+            } else {
+              combo_bounded = true;
+            }
+            regions_json.push_back(std::move(rj));
+          }
+          if (!mismatches.empty()) combo_match = false;
+          for (std::string& m : mismatches) violations.push_back(std::move(m));
+
+          combo_static += scost.total;
+          combo_sim += run.stats.warps;
+
+          obs::Json sj = obs::Json::object();
+          sj["kernel"] = prog->name;
+          sj["variant_used"] = std::string(codegen::to_string(run.variant_used));
+          sj["degenerate_fallback"] = run.degenerate_fallback;
+          sj["exact"] = scost.exact;
+          sj["match"] = mismatches.empty();
+          sj["divergence_uniform"] = div.report.ok();
+          sj["static_total_cycles"] = scost.total_cycles;
+          sj["sim_total_cycles"] = run.stats.total_warp_cycles;
+          sj["static"] = counters_json(scost.total);
+          sj["sim"] = counters_json(run.stats.warps);
+          obs::Json fb = obs::Json::array();
+          for (const std::string& f : scost.fallbacks) fb.push_back(f);
+          sj["fallbacks"] = std::move(fb);
+          sj["regions"] = std::move(regions_json);
+          stages_json.push_back(std::move(sj));
+
+          chain.push_back(std::move(output));
+        }
+
+        table.add_row(
+            {app.name, std::string(to_string(pattern)), std::string(vc.name),
+             std::to_string(app.stages.size()),
+             std::to_string(regions_exact) + "/" + std::to_string(regions_total),
+             std::to_string(combo_static.issue_slots) + "/" +
+                 std::to_string(combo_sim.issue_slots),
+             std::to_string(combo_static.mem_transactions) + "/" +
+                 std::to_string(combo_sim.mem_transactions),
+             std::to_string(combo_static.mem_transactions_wide),
+             std::to_string(combo_static.mem_cache_misses),
+             std::to_string(combo_static.divergent_branches),
+             !combo_match ? "MISMATCH" : (combo_bounded ? "bounded" : "exact")});
+
+        obs::Json cj = obs::Json::object();
+        cj["app"] = app.name;
+        cj["pattern"] = std::string(to_string(pattern));
+        cj["variant"] = std::string(vc.name);
+        cj["match"] = combo_match;
+        cj["bounded"] = combo_bounded;
+        cj["stages"] = std::move(stages_json);
+        combos_json.push_back(std::move(cj));
+      }
+    }
+  }
+
+  // Eq. (10) with static cycles as the workload-reduction input, compared
+  // against the analytic model's verdict for the same stage. Disagreements
+  // are reported, not failed: the two predictors share only the occupancy
+  // term, and the calibration artifact is how their gap is tracked.
+  AsciiTable gain_table("Eq. (10): analytic model vs static cycles");
+  gain_table.set_header({"app", "pattern", "kernel", "model G", "static G",
+                         "model", "static", "agree"});
+  obs::Json gain_json = obs::Json::array();
+  u64 disagreements = 0;
+  for (const filters::MultiKernelApp& app : apps) {
+    for (BorderPattern pattern : patterns) {
+      for (std::size_t si = 0; si < app.stages.size(); ++si) {
+        const std::string base = app.name + "|" +
+                                 std::string(to_string(pattern)) + "|" +
+                                 std::to_string(si) + "|";
+        const auto naive_it = stage_costs.find(base + "naive");
+        const auto isp_it = stage_costs.find(base + "isp");
+        if (naive_it == stage_costs.end() || isp_it == stage_costs.end()) {
+          continue;
+        }
+        if (isp_it->second.degenerate) continue;  // no ISP kernel ran
+
+        const dsl::PlanDecision plan = dsl::plan_variant(
+            dev, app.stages[si].spec, image, block, pattern, false);
+        const analysis::StaticGain sg = analysis::static_gain(
+            naive_it->second.cost, isp_it->second.cost,
+            std::max(1e-6, plan.occ_naive.fraction),
+            std::max(1e-6, plan.occ_isp.fraction));
+        const bool exact =
+            naive_it->second.cost.exact && isp_it->second.cost.exact;
+        const bool agree = plan.model.use_isp == sg.use_isp;
+        if (!agree) ++disagreements;
+
+        gain_table.add_row(
+            {app.name, std::string(to_string(pattern)),
+             app.stages[si].spec.name, AsciiTable::num(plan.model.gain, 3),
+             AsciiTable::num(sg.gain, 3) + (exact ? "" : "*"),
+             plan.model.use_isp ? "isp" : "naive",
+             sg.use_isp ? "isp" : "naive", agree ? "yes" : "NO"});
+        obs::Json gj = obs::Json::object();
+        gj["app"] = app.name;
+        gj["pattern"] = std::string(to_string(pattern));
+        gj["kernel"] = app.stages[si].spec.name;
+        gj["model_gain"] = plan.model.gain;
+        gj["model_use_isp"] = plan.model.use_isp;
+        gj["static_gain"] = sg.gain;
+        gj["static_r"] = sg.r_static;
+        gj["static_use_isp"] = sg.use_isp;
+        gj["static_exact"] = exact;
+        gj["agree"] = agree;
+        gain_json.push_back(std::move(gj));
+      }
+    }
+  }
+
+  obs::Json report = obs::Json::object();
+  report["size"] = size;
+  report["block"] = std::to_string(block.tx) + "x" + std::to_string(block.ty);
+  report["device"] = dev.name;
+  report["combos"] = std::move(combos_json);
+  report["gain"] = std::move(gain_json);
+  report["model_static_disagreements"] = disagreements;
+  obs::Json fallbacks_json = obs::Json::array();
+  for (const std::string& f : fallback_lines) fallbacks_json.push_back(f);
+  report["fallbacks"] = std::move(fallbacks_json);
+  obs::Json violations_json = obs::Json::array();
+  for (const std::string& v : violations) violations_json.push_back(v);
+  report["violations"] = std::move(violations_json);
+  report["ok_verdict"] = violations.empty();
+
+  const std::string json_arg = cli.get_string("json", "");
+  if (json_arg == "true") {
+    std::cout << report.dump(2) << "\n";  // bare --json: report to stdout
+  } else {
+    if (!json_arg.empty()) write_text_file(json_arg, report.dump(2));
+    table.print(std::cout);
+    if (!fallback_lines.empty()) {
+      std::cout << "non-affine fallbacks (counters are lower bounds there):\n";
+      std::set<std::string> printed;
+      for (const std::string& f : fallback_lines) {
+        if (printed.insert(f).second) std::cout << "  " << f << "\n";
+      }
+    }
+    gain_table.print(std::cout);
+    if (disagreements != 0) {
+      std::cout << disagreements
+                << " stage(s) where the static predictor disagrees with the "
+                   "analytic model (see the gain table)\n";
+    }
+    if (!json_arg.empty()) std::cout << "wrote " << json_arg << "\n";
+  }
+
+  if (!violations.empty()) {
+    constexpr std::size_t kMaxPrinted = 16;
+    for (std::size_t i = 0; i < violations.size() && i < kMaxPrinted; ++i) {
+      std::cerr << "calibration violation: " << violations[i] << "\n";
+    }
+    if (violations.size() > kMaxPrinted) {
+      std::cerr << "... and " << violations.size() - kMaxPrinted << " more\n";
+    }
+    std::cerr << "CALIBRATION FAILED: " << violations.size()
+              << " violation(s)\n";
+    return 1;
+  }
+  std::cout << "static counters match the simulator on every exact region\n";
+  return 0;
+}
+
 int run_analyze(int argc, char** argv) {
   Cli cli(argc, argv);
   cli.option("app", "gaussian|laplace|bilateral|sobel|night (default gaussian)")
       .option("pattern", "clamp|mirror|repeat|constant (default clamp)")
       .option("variant", "naive|isp|isp-warp (default isp)")
+      .option("device", "gtx680|rtx2080 (default gtx680; --cost cycle costs)")
       .option("size", "image extent the launch geometry covers (default 512)")
-      .option("block", "threadblock TXxTY (default 32x4)");
+      .option("block", "threadblock TXxTY (default 32x4)")
+      .option("cost",
+              "counter-validated static cost sweep (all apps x patterns x "
+              "variants unless --app/--pattern restrict it)")
+      .option("json",
+              "--cost calibration artifact: --json to stdout, --json=PATH");
   if (cli.finish()) {
     std::cout << cli.help();
     return 0;
   }
+  if (cli.get_flag("cost")) return run_analyze_cost(cli);
+  parse_device(cli.get_string("device", "gtx680"));  // strict even when unused
   const filters::MultiKernelApp app =
       app_by_name(cli.get_string("app", "gaussian"));
   const BorderPattern pattern =
@@ -228,7 +652,7 @@ int run_analyze(int argc, char** argv) {
                    std::string(to_string(pattern)) + ", " +
                    std::string(codegen::to_string(variant)));
   table.set_header({"kernel", "bounds", "proven accesses", "coverage",
-                    "scenarios", "Body guards", "lint"});
+                    "scenarios", "Body guards", "divergence", "lint"});
   std::vector<std::pair<std::string, analysis::Finding>> findings;
   bool ok = true;
   for (const auto& stage : app.stages) {
@@ -241,13 +665,16 @@ int run_analyze(int argc, char** argv) {
     const analysis::CheckReport bounds = analysis::check_bounds(prog, geom);
     const analysis::CheckReport coverage = analysis::check_coverage(prog, geom);
     const analysis::CheckReport lint_report = analysis::lint(prog);
+    const analysis::DivergenceResult div =
+        analysis::analyze_divergence(prog, geom);
     const u32 guards = variant == codegen::Variant::kNaive
                            ? 0
                            : analysis::count_residual_guards(prog, "Body");
     const bool stage_ok = bounds.ok() && coverage.ok() && lint_report.ok() &&
-                          guards == 0;
+                          div.report.ok() && guards == 0;
     ok = ok && stage_ok;
-    for (const auto* report : {&bounds, &coverage, &lint_report}) {
+    for (const auto* report :
+         {&bounds, &coverage, &lint_report, &div.report}) {
       for (const analysis::Finding& f : report->findings) {
         findings.emplace_back(prog.name, f);
       }
@@ -258,6 +685,7 @@ int run_analyze(int argc, char** argv) {
                    std::to_string(bounds.scenarios),
                    variant == codegen::Variant::kNaive ? "-"
                                                        : std::to_string(guards),
+                   div.report.ok() ? "uniform" : "FAIL",
                    lint_report.ok() ? "clean" : "FAIL"});
   }
   table.print(std::cout);
