@@ -117,14 +117,18 @@ int run(int argc, char** argv) {
     const f64 ratio = cold.throughput_rps > 0.0
                           ? warm.throughput_rps / cold.throughput_rps
                           : 0.0;
-    table.add_row(
-        {app.name, AsciiTable::num(cold.throughput_rps, 1),
-         AsciiTable::num(percentile(cold.stats.total_latency_ms, 50.0), 3),
-         AsciiTable::num(percentile(cold.stats.total_latency_ms, 99.0), 3),
-         AsciiTable::num(warm.throughput_rps, 1),
-         AsciiTable::num(percentile(warm.stats.total_latency_ms, 50.0), 3),
-         AsciiTable::num(percentile(warm.stats.total_latency_ms, 99.0), 3),
-         AsciiTable::num(ratio, 2)});
+    // value_or(0.0): these runs always complete requests, but don't crash
+    // the bench table if one run ever ends empty.
+    const auto pct = [](const ServingRun& run, f64 p) {
+      return run.stats.total_latency_ms.percentile(p).value_or(0.0);
+    };
+    table.add_row({app.name, AsciiTable::num(cold.throughput_rps, 1),
+                   AsciiTable::num(pct(cold, 50.0), 3),
+                   AsciiTable::num(pct(cold, 99.0), 3),
+                   AsciiTable::num(warm.throughput_rps, 1),
+                   AsciiTable::num(pct(warm, 50.0), 3),
+                   AsciiTable::num(pct(warm, 99.0), 3),
+                   AsciiTable::num(ratio, 2)});
 
     for (const auto& [variant, run] :
          {std::pair<std::string, const ServingRun&>{"cold", cold},
@@ -141,7 +145,7 @@ int run(int argc, char** argv) {
             std::pair<const char*, f64>{"latency_p95_ms", 95.0},
             std::pair<const char*, f64>{"latency_p99_ms", 99.0}}) {
         row.metric = metric;
-        row.value = percentile(run.stats.total_latency_ms, p);
+        row.value = pct(run, p);
         json.add(row);
       }
     }

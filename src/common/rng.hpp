@@ -6,6 +6,7 @@
 // against published tables.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -71,6 +72,19 @@ class Rng {
 
   /// Bernoulli draw with probability p of true.
   bool bernoulli(f32 p) { return uniform_f32() < p; }
+
+  /// Uniform double in [0, 1) with 53-bit resolution.
+  f64 uniform_f64() {
+    return static_cast<f64>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponential inter-arrival time with the given rate (mean 1/rate) —
+  /// the building block of an open-loop Poisson arrival process. Uses
+  /// -ln(1-u) so u=0 maps to 0, never to infinity.
+  f64 exponential(f64 rate) {
+    ISPB_EXPECTS(rate > 0.0);
+    return -std::log1p(-uniform_f64()) / rate;
+  }
 
  private:
   static constexpr u64 rotl(u64 x, int k) {

@@ -52,7 +52,7 @@ f64 pearson(std::span<const f64> xs, std::span<const f64> ys) {
 }
 
 f64 median(std::span<const f64> values) {
-  if (values.empty()) return 0.0;
+  ISPB_EXPECTS(!values.empty());
   std::vector<f64> copy(values.begin(), values.end());
   const std::size_t mid = copy.size() / 2;
   std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid),
@@ -66,7 +66,7 @@ f64 median(std::span<const f64> values) {
 
 f64 percentile(std::span<const f64> values, f64 p) {
   ISPB_EXPECTS(p >= 0.0 && p <= 100.0);
-  if (values.empty()) return 0.0;
+  ISPB_EXPECTS(!values.empty());
   std::vector<f64> copy(values.begin(), values.end());
   std::sort(copy.begin(), copy.end());
   const f64 pos = p / 100.0 * static_cast<f64>(copy.size() - 1);
@@ -74,6 +74,16 @@ f64 percentile(std::span<const f64> values, f64 p) {
   const std::size_t hi = std::min(lo + 1, copy.size() - 1);
   const f64 frac = pos - static_cast<f64>(lo);
   return copy[lo] + (copy[hi] - copy[lo]) * frac;
+}
+
+std::optional<f64> try_median(std::span<const f64> values) {
+  if (values.empty()) return std::nullopt;
+  return median(values);
+}
+
+std::optional<f64> try_percentile(std::span<const f64> values, f64 p) {
+  if (values.empty()) return std::nullopt;
+  return percentile(values, p);
 }
 
 Summary summarize(std::span<const f64> values) {

@@ -1,7 +1,14 @@
 // Summary statistics used by the benchmark harness:
 // geometric mean (Table IV) and Pearson correlation (Table III).
+//
+// Order-statistic functions (median / percentile) have no meaningful value
+// on empty input, and the old silent 0.0 return could masquerade as a real
+// 0 ms latency in serving reports. They now require non-empty input
+// (ContractError otherwise); callers that may legitimately see an empty
+// series use the try_* variants and decide how to render "no data".
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -22,14 +29,21 @@ namespace ispb {
 /// Returns 0.0 when either series has zero variance.
 [[nodiscard]] f64 pearson(std::span<const f64> xs, std::span<const f64> ys);
 
-/// Median (of a copy; input untouched). Empty input -> 0.0.
+/// Median (of a copy; input untouched).
+/// Requires non-empty input (ContractError otherwise).
 [[nodiscard]] f64 median(std::span<const f64> values);
 
 /// The p-th percentile (p in [0, 100]) with linear interpolation between
 /// closest ranks (numpy's default): position p/100 * (n-1) in the sorted
 /// copy. p=0 is the minimum, p=100 the maximum, p=50 matches median().
-/// Empty input -> 0.0; single element -> that element.
+/// Single element -> that element.
+/// Requires non-empty input (ContractError otherwise).
 [[nodiscard]] f64 percentile(std::span<const f64> values, f64 p);
+
+/// Empty-tolerant variants: nullopt on empty input, else as above.
+[[nodiscard]] std::optional<f64> try_median(std::span<const f64> values);
+[[nodiscard]] std::optional<f64> try_percentile(std::span<const f64> values,
+                                                f64 p);
 
 /// Min/max/mean/median bundle for reporting.
 struct Summary {

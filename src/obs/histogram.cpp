@@ -1,0 +1,127 @@
+#include "obs/histogram.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ispb::obs {
+
+StreamingHistogram::StreamingHistogram(HistogramConfig config)
+    : config_(config) {
+  ISPB_EXPECTS(config_.min_value > 0.0);
+  ISPB_EXPECTS(config_.max_value > config_.min_value);
+  ISPB_EXPECTS(config_.rel_error > 0.0 && config_.rel_error < 1.0);
+  const f64 growth = (1.0 + config_.rel_error) * (1.0 + config_.rel_error);
+  inv_log_growth_ = 1.0 / std::log(growth);
+  const f64 decades = std::log(config_.max_value / config_.min_value);
+  const auto log_buckets =
+      static_cast<std::size_t>(std::ceil(decades * inv_log_growth_));
+  // [0] underflow, [1 .. log_buckets] log-spaced, [last] overflow.
+  buckets_.assign(log_buckets + 2, 0);
+}
+
+std::size_t StreamingHistogram::bucket_index(f64 value) const {
+  if (std::isnan(value) || value < config_.min_value) return 0;
+  if (value >= config_.max_value) return buckets_.size() - 1;
+  const f64 pos = std::log(value / config_.min_value) * inv_log_growth_;
+  auto idx = static_cast<std::size_t>(pos) + 1;
+  // Guard the fp boundary: log/exp rounding may land exactly on the edge.
+  if (idx > buckets_.size() - 2) idx = buckets_.size() - 2;
+  return idx;
+}
+
+f64 StreamingHistogram::bucket_value(std::size_t index) const {
+  if (index == 0) return min_;                    // underflow: exact min
+  if (index == buckets_.size() - 1) return max_;  // overflow: exact max
+  const f64 growth = (1.0 + config_.rel_error) * (1.0 + config_.rel_error);
+  const f64 lo =
+      config_.min_value * std::pow(growth, static_cast<f64>(index - 1));
+  // Geometric midpoint lo * sqrt(growth) = lo * (1 + rel_error): every value
+  // in [lo, lo * growth) is within rel_error of it.
+  return lo * (1.0 + config_.rel_error);
+}
+
+void StreamingHistogram::record(f64 value) {
+  ++buckets_[bucket_index(value)];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1 || value < min_) min_ = value;
+  if (count_ == 1 || value > max_) max_ = value;
+}
+
+void StreamingHistogram::merge(const StreamingHistogram& other) {
+  if (!(config_ == other.config_)) {
+    throw ContractError("StreamingHistogram::merge: mismatched configs");
+  }
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  sum_ += other.sum_;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+}
+
+std::optional<f64> StreamingHistogram::percentile(f64 p) const {
+  ISPB_EXPECTS(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return std::nullopt;
+  if (p == 0.0) return min_;
+  if (p == 100.0) return max_;
+  // Nearest rank: the k-th smallest sample with k = ceil(p/100 * n).
+  const auto rank = static_cast<u64>(
+      std::ceil(p / 100.0 * static_cast<f64>(count_)));
+  u64 cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) return bucket_value(i);
+  }
+  return max_;  // unreachable: cumulative == count_ >= rank by then
+}
+
+std::optional<f64> StreamingHistogram::min() const {
+  return count_ == 0 ? std::nullopt : std::optional<f64>(min_);
+}
+
+std::optional<f64> StreamingHistogram::max() const {
+  return count_ == 0 ? std::nullopt : std::optional<f64>(max_);
+}
+
+std::optional<f64> StreamingHistogram::mean() const {
+  return count_ == 0 ? std::nullopt
+                     : std::optional<f64>(sum_ / static_cast<f64>(count_));
+}
+
+void StreamingHistogram::reset() {
+  buckets_.assign(buckets_.size(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+Json StreamingHistogram::to_json() const {
+  Json j = Json::object();
+  j["count"] = count_;
+  j["rel_error"] = config_.rel_error;
+  if (count_ == 0) {
+    // Absent, not 0.0: an empty histogram has no latency to report.
+    j["min"] = nullptr;
+    j["max"] = nullptr;
+    j["mean"] = nullptr;
+    j["p50"] = nullptr;
+    j["p90"] = nullptr;
+    j["p99"] = nullptr;
+    return j;
+  }
+  j["sum"] = sum_;
+  j["min"] = min_;
+  j["max"] = max_;
+  j["mean"] = *mean();
+  j["p50"] = *percentile(50.0);
+  j["p90"] = *percentile(90.0);
+  j["p99"] = *percentile(99.0);
+  return j;
+}
+
+}  // namespace ispb::obs

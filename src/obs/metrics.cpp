@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/error.hpp"
-#include "common/stats.hpp"
 
 namespace ispb::obs {
 
@@ -76,7 +75,9 @@ void MetricsRegistry::set(std::string_view name, f64 value,
 void MetricsRegistry::observe(std::string_view name, f64 sample,
                               const Labels& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  series_locked(name, labels, MetricKind::kHistogram).samples.push_back(sample);
+  Series& s = series_locked(name, labels, MetricKind::kHistogram);
+  if (!s.hist) s.hist.emplace();
+  s.hist->record(sample);
 }
 
 f64 MetricsRegistry::value(std::string_view name, const Labels& labels) const {
@@ -85,11 +86,12 @@ f64 MetricsRegistry::value(std::string_view name, const Labels& labels) const {
   return it == series_.end() ? 0.0 : it->second.value;
 }
 
-std::vector<f64> MetricsRegistry::samples(std::string_view name,
-                                          const Labels& labels) const {
+std::optional<StreamingHistogram> MetricsRegistry::histogram(
+    std::string_view name, const Labels& labels) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = series_.find(canonical_key(name, labels));
-  return it == series_.end() ? std::vector<f64>{} : it->second.samples;
+  if (it == series_.end() || !it->second.hist) return std::nullopt;
+  return it->second.hist;
 }
 
 std::size_t MetricsRegistry::series_count() const {
@@ -111,14 +113,10 @@ Json MetricsRegistry::to_json() const {
       m["labels"] = std::move(labels);
     }
     if (s.kind == MetricKind::kHistogram) {
-      const Summary sum = summarize(s.samples);
-      m["count"] = static_cast<i64>(s.samples.size());
-      m["min"] = sum.min;
-      m["max"] = sum.max;
-      m["mean"] = sum.mean;
-      m["p50"] = percentile(s.samples, 50.0);
-      m["p90"] = percentile(s.samples, 90.0);
-      m["p99"] = percentile(s.samples, 99.0);
+      // Merge the bounded-sketch summary fields into the series object.
+      const Json h = s.hist ? s.hist->to_json()
+                            : StreamingHistogram{}.to_json();
+      for (const auto& [hk, hv] : h.members()) m[hk] = hv;
     } else {
       m["value"] = s.value;
     }

@@ -12,11 +12,13 @@
 #include <atomic>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 
 namespace ispb::obs {
@@ -31,7 +33,9 @@ enum class MetricKind : u8 { kCounter, kGauge, kHistogram };
 [[nodiscard]] std::string_view to_string(MetricKind k);
 
 /// Thread-safe registry of metric series. Counters accumulate, gauges keep
-/// the last value, histograms keep every sample (summarized on export).
+/// the last value, histograms stream samples into a bounded
+/// StreamingHistogram (O(buckets) memory under sustained serving; see
+/// obs/histogram.hpp for the percentile error bound).
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -45,11 +49,13 @@ class MetricsRegistry {
   /// Records one histogram sample.
   void observe(std::string_view name, f64 sample, const Labels& labels = {});
 
-  /// Point reads (0 / empty when the series does not exist).
+  /// Point reads (0 when the series does not exist).
   [[nodiscard]] f64 value(std::string_view name,
                           const Labels& labels = {}) const;
-  [[nodiscard]] std::vector<f64> samples(std::string_view name,
-                                         const Labels& labels = {}) const;
+  /// Copy of a histogram series' state; nullopt when the series does not
+  /// exist. Replaces the old keep-every-sample `samples()` accessor.
+  [[nodiscard]] std::optional<StreamingHistogram> histogram(
+      std::string_view name, const Labels& labels = {}) const;
   [[nodiscard]] std::size_t series_count() const;
 
   /// Flat export: array of {name, kind, labels, value | summary}.
@@ -80,7 +86,8 @@ class MetricsRegistry {
     Labels labels;
     MetricKind kind = MetricKind::kCounter;
     f64 value = 0.0;
-    std::vector<f64> samples;
+    /// Bounded sample sketch; engaged only for kHistogram series.
+    std::optional<StreamingHistogram> hist;
   };
 
   Series& series_locked(std::string_view name, const Labels& labels,

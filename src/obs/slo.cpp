@@ -1,0 +1,216 @@
+#include "obs/slo.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace ispb::obs {
+
+u64 steady_now_ms() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string_view to_string(SloOutcome o) {
+  switch (o) {
+    case SloOutcome::kOk:
+      return "ok";
+    case SloOutcome::kError:
+      return "error";
+    case SloOutcome::kRejected:
+      return "rejected";
+    case SloOutcome::kDeadlineMiss:
+      return "deadline_miss";
+  }
+  return "?";
+}
+
+Json SloSnapshot::to_json() const {
+  Json j = Json::object();
+  j["window_s"] = window_s;
+  j["ok"] = ok;
+  j["errors"] = errors;
+  j["rejected"] = rejected;
+  j["deadline_miss"] = deadline_miss;
+  j["throughput_rps"] = throughput_rps;
+  j["error_rate"] = error_rate;
+  j["rejection_rate"] = rejection_rate;
+  j["deadline_miss_rate"] = deadline_miss_rate;
+  j["p50_ms"] = p50_ms ? Json(*p50_ms) : Json(nullptr);
+  j["p90_ms"] = p90_ms ? Json(*p90_ms) : Json(nullptr);
+  j["p99_ms"] = p99_ms ? Json(*p99_ms) : Json(nullptr);
+  return j;
+}
+
+SloWindow::SloWindow(SloConfig config) : config_(config) {
+  ISPB_EXPECTS(config_.slot_ms > 0);
+  ISPB_EXPECTS(config_.slots > 0);
+  slots_.reserve(config_.slots);
+  for (std::size_t i = 0; i < config_.slots; ++i) {
+    Slot s;
+    s.latency = StreamingHistogram(config_.hist);
+    slots_.push_back(std::move(s));
+  }
+}
+
+SloWindow::Slot& SloWindow::slot_for_locked(u64 now_ms) {
+  const u64 epoch = now_ms / config_.slot_ms;
+  Slot& slot = slots_[epoch % config_.slots];
+  if (!slot.live || slot.epoch != epoch) {
+    // The ring wrapped (or this slot was never used): recycle in place.
+    slot.epoch = epoch;
+    slot.live = true;
+    slot.ok = slot.errors = slot.rejected = slot.deadline_miss = 0;
+    slot.latency.reset();
+  }
+  return slot;
+}
+
+void SloWindow::record(SloOutcome outcome, f64 latency_ms, u64 now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slot_for_locked(now_ms);
+  switch (outcome) {
+    case SloOutcome::kOk:
+      ++slot.ok;
+      slot.latency.record(latency_ms);
+      break;
+    case SloOutcome::kError:
+      ++slot.errors;
+      break;
+    case SloOutcome::kRejected:
+      ++slot.rejected;
+      break;
+    case SloOutcome::kDeadlineMiss:
+      ++slot.deadline_miss;
+      break;
+  }
+}
+
+SloSnapshot SloWindow::snapshot(u64 now_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const u64 now_epoch = now_ms / config_.slot_ms;
+  // A slot is inside the window when its epoch is within `slots` of now.
+  const u64 oldest =
+      now_epoch >= config_.slots - 1 ? now_epoch - (config_.slots - 1) : 0;
+  SloSnapshot snap;
+  StreamingHistogram merged{config_.hist};
+  u64 live_slots = 0;
+  for (const Slot& slot : slots_) {
+    if (!slot.live || slot.epoch < oldest || slot.epoch > now_epoch) continue;
+    ++live_slots;
+    snap.ok += slot.ok;
+    snap.errors += slot.errors;
+    snap.rejected += slot.rejected;
+    snap.deadline_miss += slot.deadline_miss;
+    merged.merge(slot.latency);
+  }
+  // Window span: count the current (possibly partial) slot as partial so a
+  // 1-second-old server does not report a 60x inflated throughput.
+  if (live_slots > 0) {
+    const u64 full_slots = live_slots - 1;
+    const u64 partial_ms = now_ms % config_.slot_ms;
+    snap.window_s = (static_cast<f64>(full_slots * config_.slot_ms) +
+                     static_cast<f64>(partial_ms)) *
+                    1e-3;
+    if (snap.window_s <= 0.0) {
+      snap.window_s = static_cast<f64>(config_.slot_ms) * 1e-3;
+    }
+  }
+  const u64 total = snap.total();
+  if (snap.window_s > 0.0) {
+    snap.throughput_rps = static_cast<f64>(snap.ok) / snap.window_s;
+  }
+  if (total > 0) {
+    snap.error_rate = static_cast<f64>(snap.errors) / static_cast<f64>(total);
+    snap.rejection_rate =
+        static_cast<f64>(snap.rejected) / static_cast<f64>(total);
+    snap.deadline_miss_rate =
+        static_cast<f64>(snap.deadline_miss) / static_cast<f64>(total);
+  }
+  snap.p50_ms = merged.percentile(50.0);
+  snap.p90_ms = merged.percentile(90.0);
+  snap.p99_ms = merged.percentile(99.0);
+  return snap;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : capacity_(capacity) {
+  ISPB_EXPECTS(capacity_ > 0);
+}
+
+void FlightRecorder::note(std::string_view tag, Json payload, u64 now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (frames_.size() == capacity_) {
+    frames_.pop_front();
+    ++dropped_;
+  }
+  Frame f;
+  f.t_ms = now_ms;
+  f.tag = tag;
+  f.payload = std::move(payload);
+  frames_.push_back(std::move(f));
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size();
+}
+
+Json FlightRecorder::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json doc = Json::object();
+  doc["capacity"] = static_cast<i64>(capacity_);
+  doc["dropped"] = dropped_;
+  Json arr = Json::array();
+  for (const Frame& f : frames_) {
+    Json e = Json::object();
+    e["t_ms"] = f.t_ms;
+    e["tag"] = f.tag;
+    e["data"] = f.payload;
+    arr.push_back(std::move(e));
+  }
+  doc["frames"] = std::move(arr);
+  return doc;
+}
+
+SloExporter::SloExporter(FlightRecorder& sink, std::function<Json()> sample,
+                         u64 interval_ms, std::string tag)
+    : sink_(sink),
+      sample_(std::move(sample)),
+      interval_ms_(interval_ms),
+      tag_(std::move(tag)) {
+  ISPB_EXPECTS(interval_ms_ > 0);
+  ISPB_EXPECTS(sample_ != nullptr);
+  thread_ = std::thread([this] { run(); });
+}
+
+SloExporter::~SloExporter() { stop(); }
+
+void SloExporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void SloExporter::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Even when stop() won the race and stopping_ is already set, fall
+    // through to one final sample — the at-least-one-frame guarantee.
+    const bool stopping =
+        cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                     [this] { return stopping_; });
+    // Sample outside the exporter lock: the callback takes its own locks
+    // (SloWindow, server stats) and must not hold ours while doing so.
+    lock.unlock();
+    sink_.note(tag_, sample_());
+    if (stopping) return;
+    lock.lock();
+  }
+}
+
+}  // namespace ispb::obs

@@ -1,0 +1,169 @@
+// SLO sliding windows, flight recorder, and the periodic exporter thread.
+//
+// A serving process needs "how are we doing right now", not "what happened
+// since boot": sustained throughput, latency percentiles, and error /
+// rejection / deadline-miss rates over the last N seconds. SloWindow keeps
+// a ring of fixed-duration time slots, each holding outcome counters plus a
+// bounded StreamingHistogram of latencies; recording touches one slot, and
+// snapshot() merges the live slots into an SloSnapshot. Slots age out in
+// place (a slot is reset when its epoch is reused), so memory is
+// O(slots * histogram buckets) forever.
+//
+// Time is passed in explicitly as steady milliseconds (steady_now_ms() for
+// production; tests drive synthetic clocks), so window rotation is
+// deterministic under test.
+//
+// FlightRecorder is the crash-dump side: a bounded ring of timestamped JSON
+// frames (periodic SLO snapshots, plus one-off notes like a watchdog
+// cutting an overrunning request). It is cheap enough to leave on in
+// production and small enough to dump wholesale when something goes wrong —
+// the last ~minutes of telemetry survive in memory even if the exporter
+// never got to write them out.
+//
+// SloExporter owns a background thread that periodically calls a sampling
+// callback and appends the result to a FlightRecorder. stop() joins; the
+// destructor stops if the caller forgot.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+
+namespace ispb::obs {
+
+/// Steady-clock milliseconds: the time base for SLO windows and frames.
+[[nodiscard]] u64 steady_now_ms();
+
+/// How one request ended, for rate accounting.
+enum class SloOutcome : u8 { kOk, kError, kRejected, kDeadlineMiss };
+[[nodiscard]] std::string_view to_string(SloOutcome o);
+
+/// Sliding-window shape: `slots` slots of `slot_ms` each (default: 60 x 1s
+/// = one minute of history).
+struct SloConfig {
+  u64 slot_ms = 1000;
+  std::size_t slots = 60;
+  HistogramConfig hist;  ///< latency histogram layout per slot
+};
+
+/// Point-in-time aggregate over the window.
+struct SloSnapshot {
+  f64 window_s = 0.0;  ///< span actually covered by live slots
+  u64 ok = 0;
+  u64 errors = 0;
+  u64 rejected = 0;
+  u64 deadline_miss = 0;
+  f64 throughput_rps = 0.0;  ///< completed-ok per second over the window
+  f64 error_rate = 0.0;      ///< of all outcomes in the window
+  f64 rejection_rate = 0.0;
+  f64 deadline_miss_rate = 0.0;
+  std::optional<f64> p50_ms;  ///< of ok-request latencies; nullopt if none
+  std::optional<f64> p90_ms;
+  std::optional<f64> p99_ms;
+
+  [[nodiscard]] u64 total() const {
+    return ok + errors + rejected + deadline_miss;
+  }
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Thread-safe sliding window of request outcomes + latencies.
+class SloWindow {
+ public:
+  explicit SloWindow(SloConfig config = {});
+
+  /// Records one finished request. `latency_ms` is folded into the latency
+  /// histogram only for kOk (a rejection has no meaningful service time).
+  void record(SloOutcome outcome, f64 latency_ms, u64 now_ms);
+
+  /// Aggregates the slots still inside the window at `now_ms`.
+  [[nodiscard]] SloSnapshot snapshot(u64 now_ms) const;
+
+  [[nodiscard]] const SloConfig& config() const { return config_; }
+
+ private:
+  struct Slot {
+    u64 epoch = 0;  ///< now_ms / slot_ms this slot currently represents
+    bool live = false;
+    u64 ok = 0;
+    u64 errors = 0;
+    u64 rejected = 0;
+    u64 deadline_miss = 0;
+    StreamingHistogram latency;
+  };
+
+  Slot& slot_for_locked(u64 now_ms);
+
+  SloConfig config_;
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+};
+
+/// Bounded ring of timestamped JSON frames; oldest dropped first.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  /// Appends a frame. `tag` names the producer ("slo", "watchdog_cut", ...).
+  void note(std::string_view tag, Json payload, u64 now_ms);
+  void note(std::string_view tag, Json payload) {
+    note(tag, std::move(payload), steady_now_ms());
+  }
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Whole-ring dump, oldest first: {"capacity", "dropped", "frames": [...]}.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  struct Frame {
+    u64 t_ms = 0;
+    std::string tag;
+    Json payload;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Frame> frames_;
+  u64 dropped_ = 0;
+};
+
+/// Background sampler: every `interval_ms`, calls `sample` and notes the
+/// result into `sink` under `tag`. Samples once more on stop() so short
+/// runs still leave at least one frame.
+class SloExporter {
+ public:
+  SloExporter(FlightRecorder& sink, std::function<Json()> sample,
+              u64 interval_ms = 1000, std::string tag = "slo");
+  ~SloExporter();
+  SloExporter(const SloExporter&) = delete;
+  SloExporter& operator=(const SloExporter&) = delete;
+
+  /// Idempotent; joins the sampler thread.
+  void stop();
+
+ private:
+  void run();
+
+  FlightRecorder& sink_;
+  std::function<Json()> sample_;
+  u64 interval_ms_;
+  std::string tag_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ispb::obs

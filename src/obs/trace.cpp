@@ -38,6 +38,16 @@ std::atomic<u64> g_generation{0};
 thread_local ThreadBuf* t_buf = nullptr;
 thread_local u64 t_gen = 0;
 
+// Request/span ids are monotonic across the process lifetime (not reset per
+// session) so stale ids from a previous session can never collide.
+std::atomic<u64> g_next_span_id{1};
+std::atomic<u64> g_next_request_id{1};
+
+// The request/parent this thread is currently working under. Plain
+// thread-locals: each thread only reads and writes its own.
+thread_local u64 t_ctx_request = 0;
+thread_local u64 t_ctx_span = 0;
+
 ThreadBuf* this_thread_buf() {
   const u64 gen = g_generation.load(std::memory_order_acquire);
   if (t_buf != nullptr && t_gen == gen) return t_buf;
@@ -72,7 +82,55 @@ void record(TraceEvent&& ev, u64 start_ns, u64 end_ns) {
   buf->events.push_back(std::move(ev));
 }
 
+u64 alloc_span_id() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace detail
+
+TraceContext TraceContext::current() {
+  return {detail::t_ctx_request, detail::t_ctx_span};
+}
+
+TraceContext::Scope::Scope(TraceContext ctx)
+    : prev_request_(detail::t_ctx_request), prev_span_(detail::t_ctx_span) {
+  detail::t_ctx_request = ctx.request_id;
+  detail::t_ctx_span = ctx.span_id;
+}
+
+TraceContext::Scope::~Scope() {
+  detail::t_ctx_request = prev_request_;
+  detail::t_ctx_span = prev_span_;
+}
+
+u64 TraceSession::next_request_id() {
+  return detail::g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+u64 record_span(std::string_view name, std::string_view cat, u64 start_ns,
+                u64 end_ns, u64 request_id, u64 parent_span_id, u64 span_id) {
+  if (!TraceSession::active()) return 0;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.request_id = request_id;
+  ev.parent_span_id = parent_span_id;
+  ev.span_id = span_id != 0 ? span_id : detail::alloc_span_id();
+  const u64 id = ev.span_id;
+  detail::record(std::move(ev), start_ns, end_ns);
+  return id;
+}
+
+void ScopedSpan::begin(TraceEvent& ev) {
+  ev.request_id = detail::t_ctx_request;
+  ev.parent_span_id = detail::t_ctx_span;
+  ev.span_id = detail::alloc_span_id();
+  // Children opened on this thread during our lifetime hang off us.
+  prev_parent_span_ = detail::t_ctx_span;
+  detail::t_ctx_span = ev.span_id;
+}
+
+void ScopedSpan::end() { detail::t_ctx_span = prev_parent_span_; }
 
 void TraceSession::start() {
   using namespace detail;
@@ -118,8 +176,13 @@ Json chrome_trace_json(std::span<const TraceEvent> events) {
     e["dur"] = ev.dur_us;
     e["pid"] = 1;
     e["tid"] = ev.tid;
-    if (!ev.args.empty()) {
+    if (!ev.args.empty() || ev.request_id != 0) {
       Json args = Json::object();
+      if (ev.request_id != 0) {
+        args["req"] = ev.request_id;
+        args["span"] = ev.span_id;
+        args["parent"] = ev.parent_span_id;
+      }
       for (const auto& [k, v] : ev.args) args[k] = v;
       e["args"] = std::move(args);
     }
@@ -150,6 +213,97 @@ std::vector<SpanSummary> summarize_spans(std::span<const TraceEvent> events) {
                      return a.total_us > b.total_us;
                    });
   return out;
+}
+
+Json RequestBreakdown::to_json() const {
+  Json j = Json::object();
+  j["request_id"] = request_id;
+  j["complete"] = has_root && unreachable == 0;
+  j["total_us"] = total_us;
+  j["queue_us"] = queue_us;
+  j["compile_us"] = compile_us;
+  j["sim_us"] = sim_us;
+  j["retry_backoff_us"] = retry_backoff_us;
+  j["other_us"] = other_us;
+  j["spans"] = spans;
+  j["unreachable"] = unreachable;
+  return j;
+}
+
+std::vector<u64> request_ids(std::span<const TraceEvent> events) {
+  std::vector<u64> ids;
+  for (const TraceEvent& ev : events) {
+    if (ev.request_id != 0) ids.push_back(ev.request_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+namespace {
+
+enum class SpanClass { kQueue, kCompile, kSim, kRetry, kOther };
+
+SpanClass classify_span(const TraceEvent& ev) {
+  if (ev.name == "pipeline.server.queue_wait") return SpanClass::kQueue;
+  if (ev.name == "pipeline.cache.compile" || ev.name == "dsl.compile_kernel") {
+    return SpanClass::kCompile;
+  }
+  if (ev.name.rfind("sim.launch", 0) == 0) return SpanClass::kSim;
+  if (ev.name == "resilience.retry.backoff") return SpanClass::kRetry;
+  return SpanClass::kOther;
+}
+
+}  // namespace
+
+RequestBreakdown request_breakdown(std::span<const TraceEvent> events,
+                                   u64 request_id) {
+  RequestBreakdown b;
+  b.request_id = request_id;
+  // Gather the request's spans and index them by span id.
+  std::map<u64, const TraceEvent*> by_id;
+  std::vector<const TraceEvent*> spans;
+  for (const TraceEvent& ev : events) {
+    if (ev.request_id != request_id) continue;
+    spans.push_back(&ev);
+    if (ev.span_id != 0) by_id[ev.span_id] = &ev;
+    if (ev.parent_span_id == 0) {
+      b.has_root = true;
+      b.total_us += ev.dur_us;
+    }
+  }
+  b.spans = static_cast<i64>(spans.size());
+  for (const TraceEvent* ev : spans) {
+    // Walk to the root, noting whether any ancestor is already counted in a
+    // critical-path category — nested compile-under-compile (a dsl span
+    // inside a cache fill) or sim-under-sim must not double count.
+    bool ancestor_counted = false;
+    bool reached_root = false;
+    u64 parent = ev->parent_span_id;
+    std::size_t hops = 0;
+    while (parent != 0 && hops++ < spans.size()) {
+      auto it = by_id.find(parent);
+      if (it == by_id.end()) break;
+      if (classify_span(*it->second) != SpanClass::kOther) {
+        ancestor_counted = true;
+      }
+      parent = it->second->parent_span_id;
+    }
+    reached_root = parent == 0;
+    if (!reached_root) ++b.unreachable;
+    if (ancestor_counted) continue;
+    switch (classify_span(*ev)) {
+      case SpanClass::kQueue: b.queue_us += ev->dur_us; break;
+      case SpanClass::kCompile: b.compile_us += ev->dur_us; break;
+      case SpanClass::kSim: b.sim_us += ev->dur_us; break;
+      case SpanClass::kRetry: b.retry_backoff_us += ev->dur_us; break;
+      case SpanClass::kOther: break;
+    }
+  }
+  b.other_us = b.total_us - b.queue_us - b.compile_us - b.sim_us -
+               b.retry_backoff_us;
+  if (b.other_us < 0.0) b.other_us = 0.0;
+  return b;
 }
 
 }  // namespace ispb::obs

@@ -213,8 +213,13 @@ ExecutorResult PipelineExecutor::run(const KernelGraph& graph,
       }
     };
 
-    submit_stage = [&](i32 stage_id) {
-      pool.submit([&, stage_id] {
+    // Pool workers are fresh threads with empty trace contexts; carry the
+    // caller's (the request this run belongs to) onto each stage task so
+    // stage spans stay in the request's tree.
+    const obs::TraceContext trace_ctx = obs::TraceContext::current();
+    submit_stage = [&, trace_ctx](i32 stage_id) {
+      pool.submit([&, trace_ctx, stage_id] {
+        obs::TraceContext::Scope trace_scope(trace_ctx);
         const auto idx = static_cast<std::size_t>(stage_id);
         ExecutorResult::Stage outcome;
         std::exception_ptr error;

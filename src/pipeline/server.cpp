@@ -86,7 +86,8 @@ PipelineServer::PipelineServer(ServerConfig config)
         if (ec.clock == nullptr) ec.clock = config_.clock;
         return ec;
       }()),
-      paused_(config_.start_paused) {
+      paused_(config_.start_paused),
+      slo_(config_.slo) {
   ISPB_EXPECTS(config_.workers >= 1);
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (i32 i = 0; i < config_.workers; ++i) {
@@ -102,6 +103,11 @@ std::future<ServeResponse> PipelineServer::submit(ServeRequest request) {
   Item item;
   item.request = std::move(request);
   item.submitted_at = Clock::now();
+  if (obs::TraceSession::active()) {
+    item.request_id = obs::TraceSession::next_request_id();
+    item.root_span_id = obs::TraceSession::next_span_id();
+    item.submitted_ns = obs::TraceSession::now_ns();
+  }
   const bool has_deadline = item.has_deadline();
   std::future<ServeResponse> future = item.promise.get_future();
 
@@ -114,6 +120,7 @@ std::future<ServeResponse> PipelineServer::submit(ServeRequest request) {
       response.status = ServeStatus::kRejected;
       response.error = accepting_ ? "queue full" : "server shut down";
       publish_status(response.status);
+      slo_.record(obs::SloOutcome::kRejected, 0.0, obs::steady_now_ms());
       item.promise.set_value(std::move(response));
       return future;
     }
@@ -156,6 +163,10 @@ void PipelineServer::shutdown() {
 ServerStats PipelineServer::stats() const {
   std::lock_guard lock(mu_);
   return stats_;
+}
+
+obs::SloSnapshot PipelineServer::slo_snapshot() const {
+  return slo_.snapshot(obs::steady_now_ms());
 }
 
 resilience::HealthState PipelineServer::health() const {
@@ -249,6 +260,18 @@ void PipelineServer::expire_queued(Item item, Clock::time_point now) {
     ++stats_.deadline_expired;
   }
   publish_status(response.status);
+  slo_.record(obs::SloOutcome::kDeadlineMiss, response.total_ms,
+              obs::steady_now_ms());
+  if (item.request_id != 0) {
+    // Close the request's trace tree: it spent its whole life queued.
+    const u64 end_ns = obs::TraceSession::now_ns();
+    obs::record_span("pipeline.server.queue_wait", "pipeline",
+                     item.submitted_ns, end_ns, item.request_id,
+                     item.root_span_id);
+    obs::record_span("pipeline.server.request.root", "pipeline",
+                     item.submitted_ns, end_ns, item.request_id, 0,
+                     item.root_span_id);
+  }
   item.promise.set_value(std::move(response));
 }
 
@@ -258,12 +281,22 @@ void PipelineServer::process(Item item) {
   bool watchdog_cut = false;
   u64 retries = 0;
 
+  // The request's spans (executor, cache fills, launches, retries) hang off
+  // its root span; carried explicitly onto the execution-watchdog thread.
+  const obs::TraceContext trace_ctx{item.request_id, item.root_span_id};
+  if (item.request_id != 0) {
+    obs::record_span("pipeline.server.queue_wait", "pipeline",
+                     item.submitted_ns, obs::TraceSession::now_ns(),
+                     item.request_id, item.root_span_id);
+  }
+
   if (item.has_deadline() && dequeued_at >= item.deadline_at()) {
     response.status = ServeStatus::kDeadlineExpired;
     response.error = "deadline expired after " +
                      std::to_string(ms_between(item.submitted_at, dequeued_at)) +
                      " ms queued";
   } else if (!item.has_deadline()) {
+    obs::TraceContext::Scope trace_scope(trace_ctx);
     execute_request(executor_, *item.request.graph, *item.request.source,
                     response, retries);
   } else {
@@ -284,7 +317,8 @@ void PipelineServer::process(Item item) {
     std::shared_ptr<const Image<f32>> source = item.request.source;
     std::future<void> done = slot->done.get_future();
 
-    std::thread exec_thread([this, slot, graph, source] {
+    std::thread exec_thread([this, slot, graph, source, trace_ctx] {
+      obs::TraceContext::Scope trace_scope(trace_ctx);
       ServeResponse resp;
       u64 exec_retries = 0;
       execute_request(executor_, *graph, *source, resp, exec_retries);
@@ -362,9 +396,9 @@ void PipelineServer::finalize(Item item, ServeResponse response,
     switch (response.status) {
       case ServeStatus::kOk:
         ++stats_.completed;
-        stats_.total_latency_ms.push_back(response.total_ms);
-        stats_.queue_latency_ms.push_back(response.queue_ms);
-        stats_.exec_latency_ms.push_back(response.exec_ms);
+        stats_.total_latency_ms.record(response.total_ms);
+        stats_.queue_latency_ms.record(response.queue_ms);
+        stats_.exec_latency_ms.record(response.exec_ms);
         break;
       case ServeStatus::kDeadlineExpired:
         ++stats_.deadline_expired;
@@ -377,6 +411,12 @@ void PipelineServer::finalize(Item item, ServeResponse response,
         break;  // counted at submit()
     }
   }
+  const obs::SloOutcome outcome =
+      response.status == ServeStatus::kOk ? obs::SloOutcome::kOk
+      : response.status == ServeStatus::kDeadlineExpired
+          ? obs::SloOutcome::kDeadlineMiss
+          : obs::SloOutcome::kError;
+  slo_.record(outcome, response.total_ms, obs::steady_now_ms());
   publish_status(response.status);
   if (obs::MetricsRegistry* reg = obs::MetricsRegistry::installed();
       reg != nullptr) {
@@ -385,6 +425,22 @@ void PipelineServer::finalize(Item item, ServeResponse response,
       reg->observe("pipeline.server.queue_ms", response.queue_ms);
     }
     if (watchdog_cut) reg->add("resilience.watchdog.expired", 1.0);
+  }
+  if (watchdog_cut && config_.flight_recorder != nullptr) {
+    // Crash-dump breadcrumb: what was cut, how long it had run, and the
+    // window state at the moment of the cut.
+    obs::Json frame = obs::Json::object();
+    frame["graph"] = item.request.graph->name;
+    frame["queue_ms"] = response.queue_ms;
+    frame["exec_ms"] = response.exec_ms;
+    frame["deadline_ms"] = item.request.deadline_ms;
+    frame["slo"] = slo_.snapshot(obs::steady_now_ms()).to_json();
+    config_.flight_recorder->note("watchdog_cut", std::move(frame));
+  }
+  if (item.request_id != 0) {
+    obs::record_span("pipeline.server.request.root", "pipeline",
+                     item.submitted_ns, obs::TraceSession::now_ns(),
+                     item.request_id, 0, item.root_span_id);
   }
   item.promise.set_value(std::move(response));
 }

@@ -28,8 +28,18 @@
 // block loop still parallelizes each launch over the global pool.
 //
 // Latency accounting per request: queue wait, execution time and total
-// submit-to-finish wall time, retained as samples for percentile reporting
-// (ServerStats) and published to the installed obs::MetricsRegistry.
+// submit-to-finish wall time, streamed into bounded obs::StreamingHistograms
+// (O(1) memory in request count; see obs/histogram.hpp for the percentile
+// error bound) and published to the installed obs::MetricsRegistry. An
+// always-on SloWindow tracks sliding-window throughput and error /
+// rejection / deadline-miss rates (slo_snapshot()).
+//
+// Tracing: when an obs::TraceSession is active, every request gets a
+// request id at submit; the dequeuing worker records the queue-wait span,
+// installs the request's TraceContext around execution (including on the
+// execution-watchdog thread), and finalize() records the request's root
+// span — so the whole request forms one tree in the Chrome/Perfetto export
+// regardless of which threads ran it (see obs::request_breakdown).
 #pragma once
 
 #include <chrono>
@@ -42,6 +52,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/histogram.hpp"
+#include "obs/slo.hpp"
 #include "pipeline/executor.hpp"
 #include "resilience/health.hpp"
 
@@ -80,7 +92,9 @@ struct ServeResponse {
   bool served_by_fallback = false;  ///< any stage degraded to naive
 };
 
-/// Aggregate serving counters and latency samples (kOk requests only).
+/// Aggregate serving counters and bounded latency sketches (kOk requests
+/// only). Memory is O(histogram buckets) no matter how many requests the
+/// server handles.
 struct ServerStats {
   u64 submitted = 0;
   u64 accepted = 0;
@@ -89,9 +103,9 @@ struct ServerStats {
   u64 deadline_expired = 0;  ///< queued + mid-execution expiries
   u64 watchdog_expired = 0;  ///< subset cut off mid-execution
   u64 errors = 0;
-  std::vector<f64> total_latency_ms;
-  std::vector<f64> queue_latency_ms;
-  std::vector<f64> exec_latency_ms;
+  obs::StreamingHistogram total_latency_ms;
+  obs::StreamingHistogram queue_latency_ms;
+  obs::StreamingHistogram exec_latency_ms;
 };
 
 /// The executor defaults the server wants: stages inline, parallelism from
@@ -118,6 +132,13 @@ struct ServerConfig {
   /// Clock for breaker cooldowns and retry backoff; nullptr = wall clock.
   /// Latency accounting and deadlines always use steady_clock.
   resilience::Clock* clock = nullptr;
+  /// Sliding-window shape for slo_snapshot().
+  obs::SloConfig slo;
+  /// Optional crash-dump sink: the execution watchdog notes a
+  /// "watchdog_cut" frame (graph name + latency + an SLO snapshot) every
+  /// time it detaches an overrunning request. Not owned; must outlive the
+  /// server.
+  obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 class PipelineServer {
@@ -143,6 +164,10 @@ class PipelineServer {
 
   [[nodiscard]] ServerStats stats() const;
 
+  /// Sliding-window SLO view: throughput, p50/p90/p99, error / rejection /
+  /// deadline-miss rates over the configured window ending now.
+  [[nodiscard]] obs::SloSnapshot slo_snapshot() const;
+
   /// Resilience snapshot: breaker states, retry/fallback counters,
   /// watchdog expiries, detached executions still running.
   [[nodiscard]] resilience::HealthState health() const;
@@ -154,6 +179,12 @@ class PipelineServer {
     ServeRequest request;
     std::promise<ServeResponse> promise;
     Clock::time_point submitted_at;
+    // Tracing identity, assigned at submit() when a session is active (0
+    // otherwise): the request's id, its root span, and the submit time on
+    // the trace clock so the root + queue-wait spans start at submission.
+    u64 request_id = 0;
+    u64 root_span_id = 0;
+    u64 submitted_ns = 0;
     [[nodiscard]] bool has_deadline() const {
       return request.deadline_ms > 0.0;
     }
@@ -187,6 +218,7 @@ class PipelineServer {
   bool accepting_ = true;
   bool draining_ = false;
   ServerStats stats_;
+  obs::SloWindow slo_;  ///< own lock; recorded outside mu_
   u64 retries_ = 0;    ///< stage attempts beyond the first (health)
   u64 fallbacks_ = 0;  ///< requests with any stage served by fallback
   std::vector<std::thread> workers_;

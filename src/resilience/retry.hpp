@@ -19,6 +19,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 #include "resilience/clock.hpp"
 
 namespace ispb::resilience {
@@ -79,6 +80,10 @@ auto retry_call(const RetryPolicy& policy, Clock* clock, Fn&& fn,
       const u64 sleep = policy.backoff_ms(attempt, prev_ms);
       prev_ms = sleep;
       out.backoff_ms += sleep;
+      // Span so a slow request's retry-backoff time is attributable in its
+      // trace tree (request_breakdown's retry_backoff_us category).
+      obs::ScopedSpan backoff_span("resilience.retry.backoff", "resilience");
+      backoff_span.arg("attempt", static_cast<i64>(attempt));
       clock_or_system(clock).sleep_ms(sleep);
     }
   }

@@ -121,6 +121,30 @@ TEST(IspbRunCli, ChaosEmitsJsonReport) {
   }
 }
 
+TEST(IspbRunCli, LoadtestQuickWritesSchemaValidArtifact) {
+  const std::string path = ::testing::TempDir() + "ispb_loadtest_smoke.json";
+  const CmdResult r = run_cmd(
+      "loadtest --quick --tiers=0.5 --duration-ms=150 --json=" + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("loadtest tiers"), std::string::npos) << r.output;
+  std::string artifact;
+  {
+    FILE* f = fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr) << "artifact not written to " << path;
+    char buf[256];
+    while (fgets(buf, sizeof(buf), f) != nullptr) artifact += buf;
+    fclose(f);
+    remove(path.c_str());
+  }
+  for (const char* field :
+       {"\"bench\": \"loadtest\"", "\"schema_version\"", "\"capacity_rps\"",
+        "\"tiers\"", "\"throughput_rps\"", "\"rejection_rate\"",
+        "\"obs_overhead\"", "\"critical_path\"", "\"slo_timeline\""}) {
+    EXPECT_NE(artifact.find(field), std::string::npos)
+        << field << "\n" << artifact;
+  }
+}
+
 TEST(IspbRunCli, ServeEmitsJsonReport) {
   const CmdResult r = run_cmd(
       "serve --requests=4 --concurrency=2 --size=32 --sampled --json");

@@ -207,7 +207,19 @@ TEST(Stats, PearsonZeroVariance) {
 TEST(Stats, Median) {
   EXPECT_DOUBLE_EQ(median(std::vector<f64>{3, 1, 2}), 2.0);
   EXPECT_DOUBLE_EQ(median(std::vector<f64>{4, 1, 3, 2}), 2.5);
-  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, OrderStatisticsRejectEmptyInput) {
+  // A silent 0.0 on empty input could masquerade as a real 0 ms latency in
+  // serving reports; empty is a contract violation, try_* is the graceful
+  // variant.
+  EXPECT_THROW((void)median({}), ContractError);
+  EXPECT_THROW((void)percentile({}, 50.0), ContractError);
+  EXPECT_FALSE(try_median({}).has_value());
+  EXPECT_FALSE(try_percentile({}, 50.0).has_value());
+  const std::vector<f64> v{3, 1, 2};
+  EXPECT_DOUBLE_EQ(try_median(v).value(), 2.0);
+  EXPECT_DOUBLE_EQ(try_percentile(v, 100.0).value(), 3.0);
 }
 
 TEST(Stats, Summarize) {
@@ -241,7 +253,6 @@ TEST(Stats, PercentileIgnoresInputOrder) {
 }
 
 TEST(Stats, PercentileEdgeCases) {
-  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);  // empty: defined as 0
   const std::vector<f64> one{7.5};
   EXPECT_DOUBLE_EQ(percentile(one, 0.0), 7.5);
   EXPECT_DOUBLE_EQ(percentile(one, 50.0), 7.5);

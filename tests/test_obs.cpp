@@ -4,12 +4,17 @@
 // canonicalization, counter/gauge/histogram semantics, null sink).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -200,7 +205,7 @@ TEST(Metrics, CounterAccumulatesAndGaugeOverwrites) {
   EXPECT_EQ(reg.series_count(), 2u);
   // Unknown series read as zero / empty.
   EXPECT_DOUBLE_EQ(reg.value("missing"), 0.0);
-  EXPECT_TRUE(reg.samples("missing").empty());
+  EXPECT_FALSE(reg.histogram("missing").has_value());
 }
 
 TEST(Metrics, LabelsAggregateRegardlessOfOrder) {
@@ -219,21 +224,25 @@ TEST(Metrics, LabelsAggregateRegardlessOfOrder) {
   EXPECT_DOUBLE_EQ(reg.value("sim.blocks", ab), 15.0);
 }
 
-TEST(Metrics, HistogramKeepsSamplesAndSummarizes) {
+TEST(Metrics, HistogramStreamsSamplesAndSummarizes) {
   MetricsRegistry reg;
   for (f64 v : {1.0, 2.0, 3.0, 4.0}) reg.observe("launch_ms", v);
-  const std::vector<f64> samples = reg.samples("launch_ms");
-  ASSERT_EQ(samples.size(), 4u);
+  const std::optional<StreamingHistogram> hist = reg.histogram("launch_ms");
+  ASSERT_TRUE(hist.has_value());
+  EXPECT_EQ(hist->count(), 4u);
   const Json doc = reg.to_json();
   ASSERT_EQ(doc.size(), 1u);
   const Json& series = doc.items()[0];
   EXPECT_EQ(series.find("name")->as_string(), "launch_ms");
   EXPECT_EQ(series.find("kind")->as_string(), "histogram");
   EXPECT_EQ(series.find("count")->as_int(), 4);
+  // min/max/mean are tracked exactly; p50 (nearest rank: the 2nd of 4
+  // samples = 2.0) is a bucket estimate within the documented bound.
   EXPECT_DOUBLE_EQ(series.find("min")->as_number(), 1.0);
   EXPECT_DOUBLE_EQ(series.find("max")->as_number(), 4.0);
   EXPECT_DOUBLE_EQ(series.find("mean")->as_number(), 2.5);
-  EXPECT_DOUBLE_EQ(series.find("p50")->as_number(), 2.5);
+  const f64 rel = hist->config().rel_error;
+  EXPECT_NEAR(series.find("p50")->as_number(), 2.0, 2.0 * rel);
 }
 
 TEST(Metrics, ThreadSafeUnderConcurrentAdds) {
@@ -245,7 +254,8 @@ TEST(Metrics, ThreadSafeUnderConcurrentAdds) {
   });
   EXPECT_DOUBLE_EQ(reg.value("concurrent", {{"kernel", "k"}}),
                    static_cast<f64>(kIters));
-  EXPECT_EQ(reg.samples("samples").size(), static_cast<std::size_t>(kIters));
+  ASSERT_TRUE(reg.histogram("samples").has_value());
+  EXPECT_EQ(reg.histogram("samples")->count(), static_cast<u64>(kIters));
 }
 
 TEST(Metrics, ToJsonExportsLabelsAndValues) {
@@ -263,6 +273,299 @@ TEST(Metrics, ToJsonExportsLabelsAndValues) {
   // The export itself must be valid JSON.
   const Json back = Json::parse(doc.dump(2));
   EXPECT_EQ(back.size(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// StreamingHistogram
+
+/// Exact nearest-rank percentile over a copy of `values` — the reference the
+/// histogram's estimate is bounded against.
+f64 exact_nearest_rank(std::vector<f64> values, f64 p) {
+  std::sort(values.begin(), values.end());
+  if (p <= 0.0) return values.front();
+  const auto n = static_cast<f64>(values.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  rank = std::min(std::max<std::size_t>(rank, 1), values.size());
+  return values[rank - 1];
+}
+
+/// Asserts every probed percentile is within the histogram's documented
+/// relative-error bound of the exact nearest-rank value.
+void expect_within_bound(const std::vector<f64>& values,
+                         const StreamingHistogram& h) {
+  for (f64 p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    const f64 exact = exact_nearest_rank(values, p);
+    const std::optional<f64> est = h.percentile(p);
+    ASSERT_TRUE(est.has_value());
+    EXPECT_NEAR(*est, exact, h.config().rel_error * exact + 1e-12)
+        << "p" << p << " exact=" << exact << " est=" << *est;
+  }
+}
+
+TEST(Histogram, EmptyReturnsNullopt) {
+  const StreamingHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_FALSE(h.percentile(50.0).has_value());
+  EXPECT_FALSE(h.min().has_value());
+  EXPECT_FALSE(h.max().has_value());
+  EXPECT_FALSE(h.mean().has_value());
+}
+
+TEST(Histogram, TracksExactCountSumExtremaAndMean) {
+  StreamingHistogram h;
+  for (f64 v : {4.0, 1.0, 9.0, 2.0}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 16.0);
+  EXPECT_DOUBLE_EQ(*h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(*h.max(), 9.0);
+  EXPECT_DOUBLE_EQ(*h.mean(), 4.0);
+  // p0 / p100 report the exact tracked extrema, not bucket midpoints.
+  EXPECT_DOUBLE_EQ(*h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(*h.percentile(100.0), 9.0);
+}
+
+TEST(Histogram, MemoryStaysBoundedUnderSustainedRecording) {
+  StreamingHistogram h;
+  const std::size_t buckets_at_birth = h.bucket_count();
+  Rng rng(11);
+  // 100k samples spanning the full bucketed range (and past it on both
+  // sides) must not grow the bucket array: memory is O(buckets), not O(n).
+  for (int i = 0; i < 100000; ++i) {
+    const f64 decade = rng.uniform_f64() * 12.0 - 1.0;  // 1e-4 .. 1e11
+    h.record(std::pow(10.0, decade));
+  }
+  EXPECT_EQ(h.count(), 100000u);
+  EXPECT_EQ(h.bucket_count(), buckets_at_birth);
+}
+
+TEST(Histogram, PercentilesWithinBoundOnAdversarialDistributions) {
+  const HistogramConfig cfg;  // rel_error 2.5%
+  // Log-uniform across six decades: exercises many buckets far apart.
+  {
+    StreamingHistogram h(cfg);
+    std::vector<f64> values;
+    Rng rng(1);
+    for (int i = 0; i < 20000; ++i) {
+      const f64 v = std::pow(10.0, rng.uniform_f64() * 6.0 - 2.0);
+      values.push_back(v);
+      h.record(v);
+    }
+    expect_within_bound(values, h);
+  }
+  // Pareto-like heavy tail: percentile mass concentrated near the floor,
+  // extreme outliers in the tail.
+  {
+    StreamingHistogram h(cfg);
+    std::vector<f64> values;
+    Rng rng(2);
+    for (int i = 0; i < 20000; ++i) {
+      const f64 v = 0.5 / std::pow(1.0 - rng.uniform_f64() * 0.9999, 0.7);
+      values.push_back(v);
+      h.record(v);
+    }
+    expect_within_bound(values, h);
+  }
+  // Constant distribution: every percentile must land in the one bucket.
+  {
+    StreamingHistogram h(cfg);
+    const std::vector<f64> values(5000, 3.14159);
+    for (f64 v : values) h.record(v);
+    expect_within_bound(values, h);
+  }
+  // Bimodal with both modes straddling bucket boundaries: the worst case
+  // for midpoint reporting is a value at a bucket edge.
+  {
+    StreamingHistogram h(cfg);
+    std::vector<f64> values;
+    const f64 growth = (1.0 + cfg.rel_error) * (1.0 + cfg.rel_error);
+    const f64 edge_low = cfg.min_value * std::pow(growth, 40.0);
+    const f64 edge_high = cfg.min_value * std::pow(growth, 160.0);
+    for (int i = 0; i < 4000; ++i) {
+      const f64 v = (i % 2 == 0) ? edge_low * (1.0 + 1e-9)
+                                 : edge_high * (1.0 - 1e-9);
+      values.push_back(v);
+      h.record(v);
+    }
+    expect_within_bound(values, h);
+  }
+}
+
+TEST(Histogram, MergeMatchesRecordingIntoOne) {
+  StreamingHistogram a;
+  StreamingHistogram b;
+  StreamingHistogram combined;
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const f64 v = std::pow(10.0, rng.uniform_f64() * 4.0 - 1.0);
+    ((i % 2 == 0) ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(*a.min(), *combined.min());
+  EXPECT_DOUBLE_EQ(*a.max(), *combined.max());
+  for (f64 p : {10.0, 50.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(*a.percentile(p), *combined.percentile(p));
+  }
+}
+
+TEST(Histogram, MergeRejectsConfigMismatch) {
+  StreamingHistogram a;
+  HistogramConfig other;
+  other.rel_error = 0.1;
+  const StreamingHistogram b(other);
+  EXPECT_THROW(a.merge(b), ContractError);
+}
+
+TEST(Histogram, OutOfRangeValuesReportExactExtrema) {
+  HistogramConfig cfg;
+  cfg.min_value = 1.0;
+  cfg.max_value = 100.0;
+  StreamingHistogram h(cfg);
+  h.record(1e-6);  // underflow
+  h.record(5000.0);  // overflow
+  EXPECT_EQ(h.count(), 2u);
+  // Underflow/overflow buckets report the exact tracked extrema rather
+  // than a midpoint of an unbounded range.
+  EXPECT_DOUBLE_EQ(*h.percentile(40.0), 1e-6);
+  EXPECT_DOUBLE_EQ(*h.percentile(99.0), 5000.0);
+}
+
+TEST(Histogram, ResetKeepsLayoutDropsSamples) {
+  StreamingHistogram h;
+  h.record(2.0);
+  const std::size_t buckets = h.bucket_count();
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(), buckets);
+  EXPECT_FALSE(h.percentile(50.0).has_value());
+}
+
+TEST(Histogram, ToJsonSummarizes) {
+  StreamingHistogram h;
+  h.record(1.0);
+  h.record(2.0);
+  const Json j = h.to_json();
+  EXPECT_EQ(j.find("count")->as_int(), 2);
+  EXPECT_DOUBLE_EQ(j.find("min")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(j.find("max")->as_number(), 2.0);
+  EXPECT_FALSE(j.find("p99")->is_null());
+  // Empty export keeps the keys but nulls the sample-derived ones.
+  const Json empty = StreamingHistogram().to_json();
+  EXPECT_EQ(empty.find("count")->as_int(), 0);
+  EXPECT_TRUE(empty.find("p50")->is_null());
+}
+
+// --------------------------------------------------------------------------
+// TraceContext / request trees
+
+TEST(Trace, ContextPropagatesThroughNestedSpans) {
+  TraceSession::start();
+  const u64 req = TraceSession::next_request_id();
+  {
+    TraceContext::Scope scope({req, 0});
+    ScopedSpan outer("outer", "test");
+    ScopedSpan inner("inner", "test");
+  }
+  EXPECT_EQ(TraceContext::current().request_id, 0u);
+  EXPECT_EQ(TraceContext::current().span_id, 0u);
+  const std::vector<TraceEvent> events = TraceSession::stop();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& outer = events[0].name == "outer" ? events[0] : events[1];
+  const TraceEvent& inner = events[0].name == "inner" ? events[0] : events[1];
+  EXPECT_EQ(outer.request_id, req);
+  EXPECT_EQ(inner.request_id, req);
+  EXPECT_NE(outer.span_id, 0u);
+  EXPECT_EQ(outer.parent_span_id, 0u);  // root of its request
+  EXPECT_EQ(inner.parent_span_id, outer.span_id);
+}
+
+TEST(Trace, ContextCarriesAcrossExplicitThreadHandoff) {
+  TraceSession::start();
+  const u64 req = TraceSession::next_request_id();
+  {
+    TraceContext::Scope scope({req, 0});
+    ScopedSpan submit("submit", "test");
+    // The handoff pattern every cross-thread hop in the repo uses: snapshot
+    // on the submitting side, Scope-install inside the task.
+    const TraceContext ctx = TraceContext::current();
+    std::thread worker([ctx] {
+      TraceContext::Scope install(ctx);
+      ScopedSpan span("work", "test");
+    });
+    worker.join();
+  }
+  const std::vector<TraceEvent> events = TraceSession::stop();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& submit = events[0].name == "submit" ? events[0] : events[1];
+  const TraceEvent& work = events[0].name == "work" ? events[0] : events[1];
+  EXPECT_EQ(work.request_id, req);
+  EXPECT_EQ(work.parent_span_id, submit.span_id);
+  const RequestBreakdown b = request_breakdown(events, req);
+  EXPECT_TRUE(b.has_root);
+  EXPECT_EQ(b.unreachable, 0);
+  EXPECT_EQ(b.spans, 2);
+}
+
+TEST(Trace, RecordSpanStitchesExplicitTimestamps) {
+  EXPECT_EQ(record_span("inactive", "test", 0, 1, 1, 0), 0u);  // no session
+  TraceSession::start();
+  const u64 req = TraceSession::next_request_id();
+  const u64 root = TraceSession::next_span_id();
+  const u64 t0 = TraceSession::now_ns();
+  const u64 used = record_span("pipeline.server.request.root", "pipeline", t0,
+                               t0 + 5000, req, 0, root);
+  EXPECT_EQ(used, root);
+  const u64 child = record_span("child", "test", t0, t0 + 1000, req, root);
+  EXPECT_NE(child, 0u);
+  EXPECT_NE(child, root);
+  const std::vector<TraceEvent> events = TraceSession::stop();
+  ASSERT_EQ(events.size(), 2u);
+  for (const TraceEvent& ev : events) {
+    EXPECT_EQ(ev.request_id, req);
+    if (ev.span_id == root) {
+      EXPECT_DOUBLE_EQ(ev.dur_us, 5.0);
+    }
+    if (ev.span_id == child) {
+      EXPECT_EQ(ev.parent_span_id, root);
+      EXPECT_DOUBLE_EQ(ev.dur_us, 1.0);
+    }
+  }
+}
+
+TEST(Trace, RequestBreakdownCategorizesAndDetectsOrphans) {
+  TraceSession::start();
+  const u64 req = TraceSession::next_request_id();
+  const u64 t0 = TraceSession::now_ns();
+  const u64 root = record_span("pipeline.server.request.root", "pipeline", t0,
+                               t0 + 100000, req, 0);
+  record_span("pipeline.server.queue_wait", "pipeline", t0, t0 + 30000, req,
+              root);
+  const u64 compile = record_span("pipeline.cache.compile", "pipeline",
+                                  t0 + 30000, t0 + 70000, req, root);
+  // Nested under a counted compile span: must NOT double count.
+  record_span("dsl.compile_kernel", "compile", t0 + 31000, t0 + 69000, req,
+              compile);
+  record_span("sim.launch_kernel", "sim", t0 + 70000, t0 + 90000, req, root);
+  // Orphan: parent id that never appears -> unreachable.
+  record_span("lost", "test", t0, t0 + 1000, req, /*parent=*/987654321);
+  const std::vector<TraceEvent> events = TraceSession::stop();
+  ASSERT_EQ(request_ids(events).size(), 1u);
+  const RequestBreakdown b = request_breakdown(events, req);
+  EXPECT_TRUE(b.has_root);
+  EXPECT_EQ(b.spans, 6);
+  EXPECT_EQ(b.unreachable, 1);
+  EXPECT_DOUBLE_EQ(b.total_us, 100.0);
+  EXPECT_DOUBLE_EQ(b.queue_us, 30.0);
+  EXPECT_DOUBLE_EQ(b.compile_us, 40.0);  // nested dsl span not re-counted
+  EXPECT_DOUBLE_EQ(b.sim_us, 20.0);
+  EXPECT_DOUBLE_EQ(b.retry_backoff_us, 0.0);
+  EXPECT_DOUBLE_EQ(b.other_us, 10.0);
+  // Chrome export carries the tree in args.
+  const Json doc = chrome_trace_json(events);
+  const Json& first = doc.find("traceEvents")->items()[0];
+  EXPECT_NE(first.find("args")->find("req"), nullptr);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // the batched serving front-end (overflow, deadlines, drain-on-shutdown).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -13,6 +14,7 @@
 #include "image/compare.hpp"
 #include "image/generators.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/executor.hpp"
 #include "pipeline/kernel_cache.hpp"
 #include "pipeline/kernel_graph.hpp"
@@ -301,7 +303,7 @@ TEST(PipelineServer, ServesCorrectOutput) {
   server.shutdown();
   const pipeline::ServerStats stats = server.stats();
   EXPECT_EQ(stats.completed, 1u);
-  EXPECT_EQ(stats.total_latency_ms.size(), 1u);
+  EXPECT_EQ(stats.total_latency_ms.count(), 1u);
 }
 
 TEST(PipelineServer, RejectsOnOverflowDeterministically) {
@@ -432,6 +434,97 @@ TEST(PipelineServer, ShutdownDrainsEveryQueuedRequest) {
   // submit() after shutdown rejects instead of blocking.
   auto late = server.submit(make_request(graph, src));
   EXPECT_EQ(late.get().status, pipeline::ServeStatus::kRejected);
+}
+
+TEST(PipelineServer, LatencyMemoryBoundedInRequestCount) {
+  const auto graph = std::make_shared<const pipeline::KernelGraph>(
+      pipeline::build_graph(filters::make_gaussian_app()));
+  const auto src =
+      std::make_shared<const Image<f32>>(make_gradient_image({16, 16}));
+
+  // The latency stats must be O(histogram buckets), not O(requests): the
+  // bucket array after 64 requests is exactly the size it was after 4.
+  const auto serve = [&](int requests) {
+    pipeline::ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.executor.sim.sampled = true;
+    pipeline::PipelineServer server(cfg);
+    std::vector<std::future<pipeline::ServeResponse>> futures;
+    for (int i = 0; i < requests; ++i) {
+      futures.push_back(server.submit(make_request(graph, src)));
+    }
+    for (auto& f : futures) f.wait();
+    server.shutdown();
+    return server.stats();
+  };
+  const pipeline::ServerStats small = serve(4);
+  const pipeline::ServerStats large = serve(64);
+  EXPECT_EQ(small.total_latency_ms.count(), 4u);
+  EXPECT_EQ(large.total_latency_ms.count(), 64u);
+  EXPECT_EQ(large.total_latency_ms.bucket_count(),
+            small.total_latency_ms.bucket_count());
+  EXPECT_EQ(large.queue_latency_ms.bucket_count(),
+            small.queue_latency_ms.bucket_count());
+  EXPECT_EQ(large.exec_latency_ms.bucket_count(),
+            small.exec_latency_ms.bucket_count());
+  EXPECT_TRUE(large.total_latency_ms.percentile(99.0).has_value());
+}
+
+TEST(PipelineServer, TracePropagationAcrossWorkers) {
+  // Multi-worker serve with stage-level executor concurrency: spans for one
+  // request are emitted on the submitting thread, a server worker, and
+  // executor pool threads. Every span must still link into exactly one tree
+  // per request.
+  const auto graph = std::make_shared<const pipeline::KernelGraph>(
+      pipeline::build_graph(filters::make_sobel_app()));  // parallel branches
+  const auto src =
+      std::make_shared<const Image<f32>>(make_gradient_image({16, 16}));
+
+  constexpr int kRequests = 12;
+  obs::TraceSession::start();
+  {
+    pipeline::ServerConfig cfg;
+    cfg.workers = 3;
+    cfg.executor.sim.sampled = true;
+    cfg.executor.concurrency = 2;  // stages hop to the shared thread pool
+    pipeline::PipelineServer server(cfg);
+    std::vector<std::future<pipeline::ServeResponse>> futures;
+    for (int i = 0; i < kRequests; ++i) {
+      futures.push_back(server.submit(make_request(graph, src)));
+    }
+    for (auto& f : futures) {
+      EXPECT_EQ(f.get().status, pipeline::ServeStatus::kOk);
+    }
+    server.shutdown();
+  }
+  const std::vector<obs::TraceEvent> events = obs::TraceSession::stop();
+
+  const std::vector<u64> ids = obs::request_ids(events);
+  ASSERT_EQ(ids.size(), static_cast<std::size_t>(kRequests));
+  u64 spans_across_threads = 0;
+  for (u64 id : ids) {
+    const obs::RequestBreakdown b = obs::request_breakdown(events, id);
+    EXPECT_TRUE(b.has_root) << "request " << id << " lost its root span";
+    EXPECT_EQ(b.unreachable, 0)
+        << "request " << id << " has spans not linked to its root";
+    EXPECT_GE(b.spans, 3);  // root + queue_wait + at least one exec span
+    EXPECT_GT(b.total_us, 0.0);
+    // Exactly one root per request.
+    int roots = 0;
+    std::vector<u32> tids;
+    for (const obs::TraceEvent& ev : events) {
+      if (ev.request_id != id) continue;
+      if (ev.parent_span_id == 0) ++roots;
+      tids.push_back(ev.tid);
+    }
+    EXPECT_EQ(roots, 1);
+    std::sort(tids.begin(), tids.end());
+    tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+    if (tids.size() > 1) ++spans_across_threads;
+  }
+  // With 3 workers and pool-executed stages, request trees must span
+  // threads (that is the propagation being tested).
+  EXPECT_GT(spans_across_threads, 0u);
 }
 
 }  // namespace
