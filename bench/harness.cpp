@@ -17,6 +17,7 @@ obs::Json BenchJson::to_json() const {
     if (!r.pattern.empty()) row["pattern"] = r.pattern;
     if (r.size != 0) row["size"] = r.size;
     if (!r.variant.empty()) row["variant"] = r.variant;
+    if (!r.backend.empty()) row["backend"] = r.backend;
     row["metric"] = r.metric;
     row["value"] = r.value;
     rows.push_back(std::move(row));

@@ -1,0 +1,186 @@
+// Single-kernel execution-backend throughput: interpreted gpusim launch vs
+// the JIT-compiled native shared object, one representative kernel per
+// paper application (gaussian 3x3, laplace 5x5, bilateral 13x13, sobel dx
+// 3x3, night atrous 9x9).
+//
+// For each kernel the bench first enforces the bit-identity gate — the
+// interpreted output AND the native output must match dsl::run_reference
+// bit for bit — then times both engines on full launches and reports
+// per-kernel wall milliseconds, the native/interp speedup, and the geomean
+// speedup across kernels (the acceptance bar: geomean >= 10x). Exits 1
+// printing "bit-identity gate FAILED" when any pixel differs.
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "dsl/compile.hpp"
+#include "dsl/runtime.hpp"
+#include "exec/backend.hpp"
+#include "exec/jit.hpp"
+#include "harness.hpp"
+#include "image/generators.hpp"
+
+namespace ispb::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+f64 ms_since(Clock::time_point t0) {
+  return std::chrono::duration<f64, std::milli>(Clock::now() - t0).count();
+}
+
+/// Exact bit equality (0.0f vs -0.0f and NaN payloads included): the gate
+/// the native backend promises, stronger than a tolerance compare.
+bool bit_identical(const Image<f32>& a, const Image<f32>& b) {
+  if (a.size() != b.size()) return false;
+  for (i32 y = 0; y < a.height(); ++y) {
+    for (i32 x = 0; x < a.width(); ++x) {
+      if (std::bit_cast<u32>(a(x, y)) != std::bit_cast<u32>(b(x, y))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int run(int argc, char** argv) {
+  Cli cli(argc, argv);
+  cli.option("size", "image extent (default 256, quick 96)");
+  cli.option("pattern", "border pattern (default clamp)");
+  cli.option("quick", "small images + fewer native reps (CI smoke)");
+  cli.option("json", "JSON rows: --json to stdout, --json=PATH to file");
+  if (cli.finish()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  const bool quick = cli.get_flag("quick");
+  const i32 size = static_cast<i32>(cli.get_int("size", quick ? 96 : 256));
+  const auto pattern =
+      parse_border_pattern(cli.get_string("pattern", "clamp"));
+  if (!pattern.has_value()) {
+    std::cerr << "unknown --pattern (clamp|mirror|repeat|constant)\n";
+    return 1;
+  }
+  const std::string json_arg = cli.get_string("json", "");
+
+  const sim::DeviceSpec device = sim::make_gtx680();
+  const Image<f32> source = make_noise_image({size, size}, 4242);
+  BenchJson json("micro_backend");
+
+  AsciiTable table("single-kernel backend throughput, " +
+                   std::to_string(size) + "x" + std::to_string(size) + ", " +
+                   std::string(to_string(*pattern)));
+  table.set_header({"kernel", "interp ms", "native ms", "speedup"});
+
+  f64 log_speedup_sum = 0.0;
+  i32 kernels_run = 0;
+  bool gate_ok = true;
+
+  for (const auto& app : filters::all_apps()) {
+    // The first stage of each app reads only the source image — a clean
+    // single-kernel workload (gaussian/laplace/bilateral are one stage
+    // anyway; sobel contributes dx, night its first atrous level).
+    const codegen::StencilSpec& spec = app.stages.front().spec;
+    std::vector<const Image<f32>*> inputs(
+        static_cast<std::size_t>(spec.num_inputs), &source);
+
+    codegen::CodegenOptions options;
+    options.pattern = *pattern;
+    options.variant = codegen::Variant::kIsp;
+
+    const Image<f32> reference =
+        dsl::run_reference(spec, *pattern, options.border_constant, inputs);
+
+    // Interpreted: compile once (untimed), time full launches.
+    const auto kernel = dsl::compile_kernel(spec, options);
+    Image<f32> interp_out(source.size());
+    const Clock::time_point t_interp = Clock::now();
+    (void)dsl::launch_on_sim(device, kernel, inputs, interp_out, {32, 4},
+                             /*sampled=*/false);
+    const f64 interp_ms = ms_since(t_interp);
+
+    // Native: JIT once (untimed), verify, then time enough reps for a
+    // stable wall reading (the kernel runs in microseconds).
+    const exec::NativeModulePtr module = exec::jit_compile(spec, options);
+    Image<f32> native_out(source.size());
+    (void)exec::run_native_module(*module, inputs, native_out);
+
+    const bool interp_exact = bit_identical(interp_out, reference);
+    const bool native_exact = bit_identical(native_out, reference);
+    if (!interp_exact || !native_exact) {
+      gate_ok = false;
+      std::cerr << "bit-identity mismatch for kernel '" << spec.name << "' ("
+                << (interp_exact ? "native" : "interp") << " vs reference)\n";
+    }
+
+    const i32 reps = quick ? 5 : 20;
+    const Clock::time_point t_native = Clock::now();
+    for (i32 r = 0; r < reps; ++r) {
+      (void)exec::run_native_module(*module, inputs, native_out);
+    }
+    const f64 native_ms = ms_since(t_native) / static_cast<f64>(reps);
+
+    const f64 speedup = native_ms > 0.0 ? interp_ms / native_ms : 0.0;
+    if (speedup > 0.0) {
+      log_speedup_sum += std::log(speedup);
+      ++kernels_run;
+    }
+    table.add_row({app.name + "/" + spec.name, AsciiTable::num(interp_ms, 3),
+                   AsciiTable::num(native_ms, 4),
+                   AsciiTable::num(speedup, 1)});
+
+    BenchJson::Row row;
+    row.device = device.name;
+    row.app = app.name;
+    row.pattern = std::string(to_string(*pattern));
+    row.size = size;
+    row.metric = "kernel_ms";
+    row.backend = "interp";
+    row.value = interp_ms;
+    json.add(row);
+    row.backend = "native";
+    row.value = native_ms;
+    json.add(row);
+    row.backend = "";
+    row.metric = "native_speedup";
+    row.value = speedup;
+    json.add(row);
+  }
+
+  const f64 geomean =
+      kernels_run > 0 ? std::exp(log_speedup_sum / kernels_run) : 0.0;
+  table.add_row({"geomean", "", "", AsciiTable::num(geomean, 1)});
+  BenchJson::Row geo_row;
+  geo_row.device = device.name;
+  geo_row.app = "all";
+  geo_row.pattern = std::string(to_string(*pattern));
+  geo_row.size = size;
+  geo_row.metric = "native_speedup_geomean";
+  geo_row.value = geomean;
+  json.add(geo_row);
+
+  if (json_arg == "true") {
+    std::cout << json.to_json().dump(1) << "\n";
+  } else {
+    if (!json_arg.empty()) json.write(json_arg);
+    table.print(std::cout);
+    if (!json_arg.empty()) std::cout << "wrote " << json_arg << "\n";
+  }
+
+  if (!gate_ok) {
+    std::cerr << "bit-identity gate FAILED\n";
+    return 1;
+  }
+  std::cerr << "bit-identity gate passed\n";
+  std::cerr << "Acceptance bar: geomean native/interp speedup >= 10 (got "
+            << AsciiTable::num(geomean, 1) << ")\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace ispb::bench
+
+int main(int argc, char** argv) { return ispb::bench::run(argc, argv); }

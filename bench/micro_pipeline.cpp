@@ -16,6 +16,7 @@
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "exec/backend.hpp"
 #include "harness.hpp"
 #include "image/generators.hpp"
 #include "pipeline/server.hpp"
@@ -40,7 +41,8 @@ ServingRun run_serving(const std::shared_ptr<const pipeline::KernelGraph>& graph
     std::vector<std::future<pipeline::ServeResponse>> futures;
     futures.reserve(static_cast<std::size_t>(requests));
     for (i32 i = 0; i < requests; ++i) {
-      futures.push_back(server.submit({graph, source, /*deadline_ms=*/0.0}));
+      futures.push_back(
+          server.submit({graph, source, /*deadline_ms=*/0.0, std::nullopt}));
     }
     for (auto& f : futures) f.wait();
     server.shutdown();
@@ -61,6 +63,7 @@ int run(int argc, char** argv) {
   cli.option("size", "image extent (default 32; content is irrelevant here)");
   cli.option("requests", "requests per mode (default 32)");
   cli.option("concurrency", "server worker threads (default 4)");
+  cli.option("backend", "interp|native execution engine (default interp)");
   cli.option("quick", "8 requests instead of 32");
   cli.option("json", "write results as JSON rows to this path");
   if (cli.finish()) {
@@ -75,6 +78,15 @@ int run(int argc, char** argv) {
                            : static_cast<i32>(cli.get_int("requests", 32));
   const i32 concurrency = static_cast<i32>(cli.get_int("concurrency", 4));
   const std::string only_app = cli.get_string("app", "");
+  // Default interp: this bench's story is cache-warm vs cold compile, which
+  // the interpreted engine isolates best (native cold is softened by
+  // on-disk artifact reuse).
+  const std::string backend_name = cli.get_string("backend", "interp");
+  const auto backend = exec::parse_backend(backend_name);
+  if (!backend.has_value()) {
+    std::cerr << "unknown --backend '" << backend_name << "' (interp|native)\n";
+    return 1;
+  }
   BenchJson json("micro_pipeline");
 
   std::cout << "Pipeline serving: warm kernel cache vs cold "
@@ -104,6 +116,7 @@ int run(int argc, char** argv) {
     cold_cfg.executor.sim.block = {8, 4};
     cold_cfg.executor.concurrency = 1;
     cold_cfg.executor.use_cache = false;
+    cold_cfg.executor.backend = *backend;
     const ServingRun cold = run_serving(graph, source, cold_cfg, requests);
 
     pipeline::KernelCache cache;
@@ -136,6 +149,7 @@ int run(int argc, char** argv) {
       BenchJson::Row row;
       row.app = app.name;
       row.variant = variant;
+      row.backend = backend_name;
       row.size = size;
       row.metric = "throughput_rps";
       row.value = run.throughput_rps;
@@ -151,6 +165,7 @@ int run(int argc, char** argv) {
     }
     BenchJson::Row ratio_row;
     ratio_row.app = app.name;
+    ratio_row.backend = backend_name;
     ratio_row.size = size;
     ratio_row.metric = "warm_over_cold_throughput";
     ratio_row.value = ratio;
@@ -167,6 +182,7 @@ int run(int argc, char** argv) {
                  AsciiTable::num(geomean, 2)});
   BenchJson::Row geo_row;
   geo_row.app = "all";
+  geo_row.backend = backend_name;
   geo_row.size = size;
   geo_row.metric = "warm_over_cold_geomean";
   geo_row.value = geomean;

@@ -1,0 +1,51 @@
+// C++ printer: lowers a StencilSpec to a standalone host translation unit
+// the native execution backend (src/exec) compiles to a shared object.
+//
+// Sibling of cuda_printer with the same lowering contract: the DAG is
+// emitted as one single-operation float statement per node, in node order,
+// using the same libm float entry points as StencilSpec::evaluate
+// (fminf/fmaxf/fabsf/exp2f/log2f/sqrtf), so the compiled code is
+// bit-identical to the CPU reference and the simulator provided the TU is
+// built with FP contraction off (the JIT passes -ffp-contract=off). Float
+// constants are printed as C99 hex literals, which round-trip exactly.
+//
+// Region/guard structure: the ISP variants keep the paper's 9-way
+// partition, but at pixel granularity and computed inside the emitted
+// function (the radii are compile-time constants of the TU) instead of via
+// block-index bounds — on a CPU there are no threadblocks, the partition
+// exists purely so the Body loop nest carries no border guards. kIspWarp
+// lowers identically to kIsp (warp refinement is meaningless without
+// warps); kNaive emits the single all-checks loop. Degenerate geometry
+// (image smaller than twice the radius) is handled by an all-checks
+// fallback loop at the top of the ISP function, mirroring
+// dsl::launch_on_sim's degenerate naive fallback.
+//
+// ABI of the emitted entry point (see cpp_kernel_symbol):
+//
+//   extern "C" void <sym>(const float* const* in, const int* pitch_in,
+//                         float* out, int pitch_out, int sx, int sy,
+//                         int y_begin, int y_end);
+//
+// `in`/`pitch_in` hold num_inputs image base pointers and element pitches;
+// the function writes output rows [y_begin, y_end) only, so the host can
+// split an image into row bands and run them on a thread pool.
+#pragma once
+
+#include <string>
+
+#include "codegen/kernel_gen.hpp"
+#include "codegen/stencil_spec.hpp"
+
+namespace ispb::codegen {
+
+/// Emits the full translation unit (includes + one extern "C" function).
+[[nodiscard]] std::string emit_cpp(const StencilSpec& spec,
+                                   const CodegenOptions& options);
+
+/// The entry-point symbol `emit_cpp` declares. Canonical in the variant:
+/// kIsp and kIspWarp share one symbol (and one module) since they lower to
+/// identical code.
+[[nodiscard]] std::string cpp_kernel_symbol(const StencilSpec& spec,
+                                            const CodegenOptions& options);
+
+}  // namespace ispb::codegen

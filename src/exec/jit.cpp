@@ -1,0 +1,217 @@
+#include "exec/jit.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/cpp_printer.hpp"
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "resilience/fault_injector.hpp"
+
+namespace ispb::exec {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Flags every JIT TU gets. -ffp-contract=off keeps the emitted
+/// one-operation-per-statement sequence bit-identical to
+/// StencilSpec::evaluate (no FMA fusing); everything else is plain
+/// IEEE-conforming optimization.
+constexpr std::string_view kFixedFlags = "-O2 -fPIC -shared -ffp-contract=off";
+
+std::atomic<i64> g_open_modules{0};
+std::atomic<u64> g_tmp_counter{0};
+
+u64 fnv64(std::string_view text, u64 h = 14695981039346656037ull) {
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex64(u64 v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (i32 i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "'";
+  return out;
+}
+
+std::string env_or(const char* name, std::string fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::string(v) : std::move(fallback);
+}
+
+std::string resolved_compiler(const JitConfig& config) {
+  if (!config.compiler.empty()) return config.compiler;
+  return env_or("ISPB_NATIVE_CXX", env_or("CXX", "c++"));
+}
+
+void write_file_or_throw(const fs::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot open '" + path.string() + "' for writing");
+  out << text;
+  out.flush();
+  if (!out) throw IoError("write to '" + path.string() + "' failed");
+}
+
+NativeModulePtr load_module(const fs::path& so_path,
+                            const std::string& symbol) {
+  void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* err = dlerror();
+    throw IoError("dlopen('" + so_path.string() +
+                  "') failed: " + (err != nullptr ? err : "unknown error"));
+  }
+  void* sym = dlsym(handle, symbol.c_str());
+  if (sym == nullptr) {
+    const char* err = dlerror();
+    dlclose(handle);
+    throw IoError("dlsym('" + symbol +
+                  "') failed: " + (err != nullptr ? err : "unknown error"));
+  }
+  auto module = std::make_shared<NativeModule>(
+      handle, reinterpret_cast<NativeModule::KernelFn>(sym), so_path.string(),
+      symbol);
+  return module;
+}
+
+}  // namespace
+
+std::string resolved_cache_dir(const JitConfig& config) {
+  if (!config.cache_dir.empty()) return config.cache_dir;
+  const char* env = std::getenv("ISPB_JIT_DIR");
+  if (env != nullptr && *env != '\0') return env;
+  return (fs::temp_directory_path() / "ispb-jit-cache").string();
+}
+
+NativeModule::NativeModule(void* handle, KernelFn entry, std::string artifact,
+                           std::string symbol)
+    : handle_(handle),
+      fn_(entry),
+      artifact_(std::move(artifact)),
+      symbol_(std::move(symbol)) {
+  ISPB_EXPECTS(handle_ != nullptr && fn_ != nullptr);
+  g_open_modules.fetch_add(1, std::memory_order_relaxed);
+}
+
+NativeModule::~NativeModule() {
+  dlclose(handle_);
+  g_open_modules.fetch_sub(1, std::memory_order_relaxed);
+}
+
+i64 NativeModule::open_count() {
+  return g_open_modules.load(std::memory_order_relaxed);
+}
+
+NativeModulePtr jit_compile(const codegen::StencilSpec& spec,
+                            const codegen::CodegenOptions& options,
+                            const JitConfig& config) {
+  obs::ScopedSpan span("exec.native.compile", "compile");
+  span.arg("kernel", spec.name);
+
+  // The fault point fires before any filesystem work, so an injected
+  // toolchain failure is clean by construction; real failures below clean
+  // up their temporaries explicitly.
+  resilience::fault_point(
+      "backend.compile",
+      spec.name + "/" + std::string(codegen::to_string(options.variant)));
+
+  const std::string source = emit_cpp(spec, options);
+  const std::string symbol = cpp_kernel_symbol(spec, options);
+  const std::string compiler = resolved_compiler(config);
+  const std::string flags =
+      std::string(kFixedFlags) +
+      (config.extra_flags.empty() ? "" : " " + config.extra_flags);
+  const u64 hash = fnv64(flags, fnv64(compiler, fnv64(source)));
+  const fs::path dir = resolved_cache_dir(config);
+  const std::string base = symbol + "." + hex64(hash);
+  const fs::path so_path = dir / (base + ".so");
+
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::installed();
+  std::error_code ec;
+  if (config.reuse_artifacts && fs::exists(so_path, ec)) {
+    if (reg != nullptr) {
+      reg->add("exec.native.disk_hits", 1.0, {{"kernel", spec.name}});
+    }
+    return load_module(so_path, symbol);
+  }
+
+  fs::create_directories(dir, ec);
+  if (ec) {
+    throw IoError("cannot create JIT cache dir '" + dir.string() +
+                  "': " + ec.message());
+  }
+
+  // Unique temp names per (process, call): concurrent compiles of the same
+  // content race only on the final atomic rename, which either order wins.
+  const std::string tag =
+      std::to_string(::getpid()) + "." +
+      std::to_string(g_tmp_counter.fetch_add(1, std::memory_order_relaxed));
+  const fs::path cpp_tmp = dir / (base + ".cpp.tmp." + tag);
+  const fs::path cpp_path = dir / (base + ".cpp");
+  const fs::path so_tmp = dir / (base + ".so.tmp." + tag);
+  const fs::path err_path = dir / (base + ".err." + tag);
+
+  try {
+    write_file_or_throw(cpp_tmp, source);
+    fs::rename(cpp_tmp, cpp_path);
+
+    const std::string cmd = shell_quote(compiler) + " " + flags + " -o " +
+                            shell_quote(so_tmp.string()) + " " +
+                            shell_quote(cpp_path.string()) + " 2> " +
+                            shell_quote(err_path.string());
+    const int status = std::system(cmd.c_str());
+    if (status != 0) {
+      std::string diag;
+      {
+        std::ifstream err(err_path);
+        std::ostringstream buf;
+        buf << err.rdbuf();
+        diag = buf.str();
+        if (diag.size() > 2000) diag.resize(2000);
+      }
+      throw IoError("native toolchain failed (status " +
+                    std::to_string(status) + ") for '" + spec.name +
+                    "': " + diag);
+    }
+    fs::rename(so_tmp, so_path);  // atomic: readers see whole artifacts only
+    fs::remove(err_path, ec);
+  } catch (...) {
+    fs::remove(cpp_tmp, ec);
+    fs::remove(so_tmp, ec);
+    fs::remove(err_path, ec);
+    throw;
+  }
+
+  if (reg != nullptr) {
+    reg->add("exec.native.compiles", 1.0, {{"kernel", spec.name}});
+  }
+  return load_module(so_path, symbol);
+}
+
+}  // namespace ispb::exec

@@ -1,0 +1,89 @@
+// JIT-to-shared-object plumbing for the native execution backend.
+//
+// jit_compile() lowers a (spec, options) pair through codegen::emit_cpp,
+// shells out to the system C++ compiler to build a shared object, dlopens
+// it and returns a refcounted NativeModule. On-disk artifacts live in a
+// content-addressed cache directory (source hash in the file name), so a
+// rebuilt process — or a KernelCache miss after eviction — reuses the .so
+// without invoking the toolchain again.
+//
+// Crash/fault safety: the object is compiled to a unique temporary path and
+// atomically renamed into place, so a failing (or fault-injected) compile
+// never leaves a partial artifact behind — the `backend.compile` fault
+// point fires before anything touches the disk, and real toolchain
+// failures unlink their temporaries before throwing IoError.
+//
+// Bit-exactness: the TU is compiled with -ffp-contract=off (no FMA
+// fusing) and no fast-math, so the emitted single-operation statements
+// execute exactly the float sequence of StencilSpec::evaluate.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "codegen/kernel_gen.hpp"
+#include "codegen/stencil_spec.hpp"
+#include "common/types.hpp"
+
+namespace ispb::exec {
+
+/// Where and how jit_compile builds.
+struct JitConfig {
+  /// Artifact directory; "" = $ISPB_JIT_DIR or <system tmp>/ispb-jit-cache.
+  std::string cache_dir;
+  /// Compiler driver; "" = $ISPB_NATIVE_CXX, else $CXX, else "c++".
+  std::string compiler;
+  /// Flags appended after the fixed set (-O2 -fPIC -shared
+  /// -ffp-contract=off). Useful for tests ("-O0") — never needed in
+  /// production.
+  std::string extra_flags;
+  /// Reuse an existing on-disk .so for the same source hash instead of
+  /// recompiling. Tests that must observe real compiles point cache_dir at
+  /// a fresh directory instead of disabling this.
+  bool reuse_artifacts = true;
+};
+
+/// The directory `config` resolves to (creating nothing).
+[[nodiscard]] std::string resolved_cache_dir(const JitConfig& config);
+
+/// A dlopened kernel module. Refcount via shared_ptr: the handle is
+/// dlclosed when the last reference drops, so KernelCache eviction is safe
+/// while an executor still runs the function.
+class NativeModule {
+ public:
+  /// Emitted entry point: compute output rows [y_begin, y_end).
+  using KernelFn = void (*)(const float* const* in, const int* pitch_in,
+                            float* out, int pitch_out, i32 sx, i32 sy,
+                            i32 y_begin, i32 y_end);
+
+  NativeModule(void* handle, KernelFn entry, std::string artifact,
+               std::string symbol);
+  ~NativeModule();
+
+  NativeModule(const NativeModule&) = delete;
+  NativeModule& operator=(const NativeModule&) = delete;
+
+  [[nodiscard]] KernelFn fn() const { return fn_; }
+  [[nodiscard]] const std::string& artifact_path() const { return artifact_; }
+  [[nodiscard]] const std::string& symbol() const { return symbol_; }
+
+  /// Live dlopened modules in the process (eviction-safety tests).
+  [[nodiscard]] static i64 open_count();
+
+ private:
+  void* handle_ = nullptr;
+  KernelFn fn_ = nullptr;
+  std::string artifact_;
+  std::string symbol_;
+};
+
+using NativeModulePtr = std::shared_ptr<const NativeModule>;
+
+/// Lowers, compiles, links and loads one kernel. Throws IoError on
+/// toolchain or loader failure; fires the `backend.compile` fault point
+/// (detail "<kernel>/<variant>") before touching the filesystem.
+[[nodiscard]] NativeModulePtr jit_compile(const codegen::StencilSpec& spec,
+                                          const codegen::CodegenOptions& options,
+                                          const JitConfig& config = {});
+
+}  // namespace ispb::exec

@@ -17,27 +17,23 @@ namespace ispb::pipeline {
 namespace {
 
 /// Compiles (through the cache) and launches one stage with a fixed
-/// variant; the building block both the primary path and the breaker's
-/// naive fallback share.
+/// variant on the given engine; the building block the primary path, the
+/// breaker's naive fallback and the backend fallback all share.
 ExecutorResult::Stage launch_stage_variant(const KernelGraph::Stage& stage,
                                            const ExecutorConfig& config,
                                            const std::vector<Image<f32>>& images,
                                            Image<f32>& out,
-                                           codegen::Variant variant) {
+                                           codegen::Variant variant,
+                                           exec::Backend backend) {
   const filters::AppSimConfig& sim_cfg = config.sim;
   codegen::CodegenOptions options;
   options.pattern = sim_cfg.pattern;
   options.variant = variant;
   options.border_constant = sim_cfg.constant;
 
-  KernelCache::KernelPtr kernel;
+  KernelCache* cache = nullptr;
   if (config.use_cache) {
-    KernelCache& cache =
-        config.cache != nullptr ? *config.cache : KernelCache::global();
-    kernel = cache.get_or_compile(stage.spec, options, sim_cfg.device.name);
-  } else {
-    kernel = std::make_shared<const dsl::CompiledKernel>(
-        dsl::compile_kernel(stage.spec, options));
+    cache = config.cache != nullptr ? config.cache : &KernelCache::global();
   }
 
   std::vector<const Image<f32>*> inputs;
@@ -45,20 +41,33 @@ ExecutorResult::Stage launch_stage_variant(const KernelGraph::Stage& stage,
   for (i32 img : stage.input_images) {
     inputs.push_back(&images[static_cast<std::size_t>(img)]);
   }
-  const dsl::SimRun run = dsl::launch_on_sim(sim_cfg.device, *kernel, inputs,
-                                             out, sim_cfg.block,
-                                             sim_cfg.sampled);
-  return ExecutorResult::Stage{stage.spec.name, run.variant_used,
-                               kernel->regs_per_thread, run.stats};
+
+  exec::BackendRun run;
+  if (backend == exec::Backend::kNative) {
+    exec::NativeBackend engine(cache);
+    run = engine.run(stage.spec, options, sim_cfg.device, inputs, out,
+                     sim_cfg.block, sim_cfg.sampled);
+  } else {
+    exec::InterpretedBackend engine(cache);
+    run = engine.run(stage.spec, options, sim_cfg.device, inputs, out,
+                     sim_cfg.block, sim_cfg.sampled);
+  }
+
+  ExecutorResult::Stage s;
+  s.kernel = stage.spec.name;
+  s.variant_used = run.variant_used;
+  s.regs_per_thread = run.regs_per_thread;
+  s.stats = run.stats;
+  s.backend_used = run.backend;
+  return s;
 }
 
-/// One attempt at a stage: breaker gating, variant planning, compile,
-/// launch, and — when the specialized path fails under an active breaker —
-/// the transparent naive fallback (the runtime isp+m).
-ExecutorResult::Stage run_stage_once(const KernelGraph::Stage& stage,
-                                     const ExecutorConfig& config,
-                                     const std::vector<Image<f32>>& images,
-                                     Image<f32>& out) {
+/// One interpreted attempt at a stage: breaker gating, variant planning,
+/// compile, launch, and — when the specialized path fails under an active
+/// breaker — the transparent naive fallback (the runtime isp+m).
+ExecutorResult::Stage run_stage_interp_once(
+    const KernelGraph::Stage& stage, const ExecutorConfig& config,
+    const std::vector<Image<f32>>& images, Image<f32>& out) {
   const filters::AppSimConfig& sim_cfg = config.sim;
 
   resilience::CircuitBreaker* breaker = nullptr;
@@ -68,8 +77,10 @@ ExecutorResult::Stage run_stage_once(const KernelGraph::Stage& stage,
     if (!breaker->allow()) {
       // Open breaker: serve the naive variant without planning or touching
       // the (still failing) specialized path at all.
-      ExecutorResult::Stage s = launch_stage_variant(
-          stage, config, images, out, codegen::Variant::kNaive);
+      ExecutorResult::Stage s =
+          launch_stage_variant(stage, config, images, out,
+                               codegen::Variant::kNaive,
+                               exec::Backend::kInterpreted);
       s.served_by_fallback = true;
       return s;
     }
@@ -84,8 +95,8 @@ ExecutorResult::Stage run_stage_once(const KernelGraph::Stage& stage,
           sim_cfg.pattern, sim_cfg.variant == codegen::Variant::kIspWarp);
       variant = plan.variant;
     }
-    ExecutorResult::Stage s =
-        launch_stage_variant(stage, config, images, out, variant);
+    ExecutorResult::Stage s = launch_stage_variant(
+        stage, config, images, out, variant, exec::Backend::kInterpreted);
     if (breaker != nullptr) breaker->record_success();
     return s;
   } catch (const ContractError&) {
@@ -95,9 +106,55 @@ ExecutorResult::Stage run_stage_once(const KernelGraph::Stage& stage,
     breaker->record_failure();
     // Abandon the specialized path for this request and serve naive; the
     // caller still sees kOk, with the degradation visible in variant_used.
-    ExecutorResult::Stage s = launch_stage_variant(
-        stage, config, images, out, codegen::Variant::kNaive);
+    ExecutorResult::Stage s =
+        launch_stage_variant(stage, config, images, out,
+                             codegen::Variant::kNaive,
+                             exec::Backend::kInterpreted);
     s.served_by_fallback = true;
+    return s;
+  }
+}
+
+/// One attempt at a stage on the selected engine. The native path has its
+/// own breaker (keyed "<kernel>#native", distinct from the variant
+/// breaker): when the native toolchain keeps failing — or the breaker is
+/// already open — the stage is served by the full interpreted path
+/// instead, bit-identically, with the degradation visible in
+/// backend_used/backend_fallback. ContractErrors pass through untouched:
+/// bad geometry fails on every engine.
+ExecutorResult::Stage run_stage_once(const KernelGraph::Stage& stage,
+                                     const ExecutorConfig& config,
+                                     const std::vector<Image<f32>>& images,
+                                     Image<f32>& out, exec::Backend backend) {
+  if (backend != exec::Backend::kNative) {
+    return run_stage_interp_once(stage, config, images, out);
+  }
+
+  resilience::CircuitBreaker* breaker = nullptr;
+  if (config.breakers != nullptr) {
+    breaker = &config.breakers->get(stage.spec.name + "#native");
+    if (!breaker->allow()) {
+      ExecutorResult::Stage s =
+          run_stage_interp_once(stage, config, images, out);
+      s.backend_fallback = true;
+      return s;
+    }
+  }
+
+  resilience::fault_point("executor.stage", stage.spec.name);
+  try {
+    ExecutorResult::Stage s = launch_stage_variant(
+        stage, config, images, out, config.sim.variant,
+        exec::Backend::kNative);
+    if (breaker != nullptr) breaker->record_success();
+    return s;
+  } catch (const ContractError&) {
+    throw;
+  } catch (...) {
+    if (breaker == nullptr) throw;
+    breaker->record_failure();
+    ExecutorResult::Stage s = run_stage_interp_once(stage, config, images, out);
+    s.backend_fallback = true;
     return s;
   }
 }
@@ -106,13 +163,14 @@ ExecutorResult::Stage run_stage_once(const KernelGraph::Stage& stage,
 ExecutorResult::Stage run_stage(const KernelGraph::Stage& stage,
                                 const ExecutorConfig& config,
                                 const std::vector<Image<f32>>& images,
-                                Image<f32>& out) {
+                                Image<f32>& out, exec::Backend backend) {
   resilience::RetryOutcome outcome;
   ExecutorResult::Stage s;
   try {
     s = resilience::retry_call(
         config.retry, config.clock,
-        [&] { return run_stage_once(stage, config, images, out); }, &outcome);
+        [&] { return run_stage_once(stage, config, images, out, backend); },
+        &outcome);
   } catch (...) {
     if (obs::MetricsRegistry* reg = obs::MetricsRegistry::installed();
         reg != nullptr && outcome.attempts > 1) {
@@ -134,6 +192,9 @@ ExecutorResult::Stage run_stage(const KernelGraph::Stage& stage,
       reg->add("resilience.fallback.served", 1.0,
                {{"kernel", stage.spec.name}});
     }
+    if (s.backend_fallback) {
+      reg->add("exec.backend.fallback", 1.0, {{"kernel", stage.spec.name}});
+    }
   }
   return s;
 }
@@ -145,12 +206,15 @@ PipelineExecutor::PipelineExecutor(ExecutorConfig config)
   ISPB_EXPECTS(config_.concurrency >= 0);
 }
 
-ExecutorResult PipelineExecutor::run(const KernelGraph& graph,
-                                     const Image<f32>& source) const {
+ExecutorResult PipelineExecutor::run(
+    const KernelGraph& graph, const Image<f32>& source,
+    std::optional<exec::Backend> backend) const {
   graph.validate();
+  const exec::Backend engine = backend.value_or(config_.backend);
   obs::ScopedSpan span("pipeline.execute", "pipeline");
   span.arg("graph", graph.name);
   span.arg("stages", static_cast<i64>(graph.stages.size()));
+  span.arg("backend", std::string(exec::to_string(engine)));
 
   const std::size_t n = graph.stages.size();
   // images[0] = source copy, images[i + 1] = stage i output. A stage writes
@@ -175,7 +239,7 @@ ExecutorResult PipelineExecutor::run(const KernelGraph& graph,
     // Inline: stage order is already topological.
     for (std::size_t i = 0; i < n; ++i) {
       result.stages[i] = run_stage(graph.stages[i], config_, images,
-                                   images[i + 1]);
+                                   images[i + 1], engine);
     }
   } else {
     // Kahn scheduling over a dedicated pool (see header for why not the
@@ -225,7 +289,7 @@ ExecutorResult PipelineExecutor::run(const KernelGraph& graph,
         std::exception_ptr error;
         try {
           outcome = run_stage(graph.stages[idx], config_, images,
-                              images[idx + 1]);
+                              images[idx + 1], engine);
         } catch (...) {
           error = std::current_exception();
         }

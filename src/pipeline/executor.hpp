@@ -17,6 +17,9 @@
 // from concurrent requests instead.
 #pragma once
 
+#include <optional>
+
+#include "exec/backend.hpp"
 #include "pipeline/kernel_cache.hpp"
 #include "pipeline/kernel_graph.hpp"
 #include "resilience/circuit_breaker.hpp"
@@ -36,6 +39,10 @@ struct ExecutorConfig {
   /// cold-compile baseline the benches compare against).
   KernelCache* cache = nullptr;
   bool use_cache = true;
+  /// Execution engine for every stage (overridable per run()). Interpreted
+  /// keeps modeled counters and is the default so profiling/cost-analysis
+  /// flows are unchanged; serving flips to native for wall speed.
+  exec::Backend backend = exec::Backend::kInterpreted;
 
   // ---- resilience ----------------------------------------------------------
   /// Per-stage retry (the whole compile+launch attempt is the retried
@@ -64,6 +71,11 @@ struct ExecutorResult {
     /// True when the breaker served the naive variant in place of a failing
     /// (or tripped) specialized path.
     bool served_by_fallback = false;
+    /// Engine that produced the output (native stats carry wall time only).
+    exec::Backend backend_used = exec::Backend::kInterpreted;
+    /// True when a failing (or circuit-broken) native path was served by
+    /// the interpreted engine instead.
+    bool backend_fallback = false;
   };
   std::vector<Stage> stages;  ///< in graph stage order
 };
@@ -74,9 +86,11 @@ class PipelineExecutor {
 
   /// Runs every stage of `graph` over `source`, honoring the dependency
   /// structure. Rethrows the first stage failure after in-flight stages
-  /// drain.
-  [[nodiscard]] ExecutorResult run(const KernelGraph& graph,
-                                   const Image<f32>& source) const;
+  /// drain. `backend` overrides ExecutorConfig::backend for this run
+  /// (per-request selection in the server).
+  [[nodiscard]] ExecutorResult run(
+      const KernelGraph& graph, const Image<f32>& source,
+      std::optional<exec::Backend> backend = std::nullopt) const;
 
  private:
   ExecutorConfig config_;

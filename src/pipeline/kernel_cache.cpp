@@ -1,7 +1,10 @@
 #include "pipeline/kernel_cache.hpp"
 
 #include <bit>
+#include <chrono>
+#include <filesystem>
 #include <utility>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -41,6 +44,23 @@ std::string hex64(u64 v) {
     v >>= 4;
   }
   return out;
+}
+
+/// The CodegenOptions fields that change the emitted C++ — everything else
+/// (warp width, IR pass toggles, row-block schedule) only shapes the
+/// interpreted lowering, and kIspWarp lowers to the same host loops as
+/// kIsp. Folding them means the 3-variant serving matrix JIT-compiles at
+/// most 2 modules per (spec, pattern).
+codegen::CodegenOptions canonical_native_options(
+    const codegen::CodegenOptions& options) {
+  codegen::CodegenOptions canon = options;
+  if (canon.variant == codegen::Variant::kIspWarp) {
+    canon.variant = codegen::Variant::kIsp;
+  }
+  canon.warp_width = 32;
+  canon.optimize = true;
+  canon.row_blocks = true;
+  return canon;
 }
 
 }  // namespace
@@ -200,6 +220,145 @@ KernelCache::KernelPtr KernelCache::get_or_compile(
   return kernel;
 }
 
+exec::NativeModulePtr KernelCache::get_or_compile_native(
+    const codegen::StencilSpec& spec, const codegen::CodegenOptions& options,
+    std::string_view device) {
+  const codegen::CodegenOptions canon = canonical_native_options(options);
+  const std::string key = cache_key(spec, canon, device) + "/native";
+
+  std::promise<exec::NativeModulePtr> promise;
+  resilience::RetryPolicy retry;
+  resilience::Clock* retry_clock = nullptr;
+  exec::JitConfig jit;
+  {
+    std::unique_lock lock(mu_);
+    retry = retry_;
+    retry_clock = retry_clock_;
+    jit = jit_;
+    auto it = native_entries_.find(key);
+    if (it != native_entries_.end()) {
+      if (it->second.ready) {
+        ++stats_.native_hits;
+        native_lru_.splice(native_lru_.begin(), native_lru_,
+                           it->second.lru_it);
+        publish_counters_locked();
+        return it->second.future.get();  // ready: no blocking
+      }
+      ++stats_.native_coalesced;
+      publish_counters_locked();
+      std::shared_future<exec::NativeModulePtr> future = it->second.future;
+      lock.unlock();
+      return future.get();
+    }
+    ++stats_.native_misses;
+    publish_counters_locked();
+    NativeEntry entry;
+    entry.future = promise.get_future().share();
+    native_entries_.emplace(key, std::move(entry));
+  }
+
+  // JIT outside the lock; same single-flight / retry shape as the IR path.
+  // The backend.compile fault point lives inside jit_compile, i.e. inside
+  // the retried unit.
+  exec::NativeModulePtr module;
+  resilience::RetryOutcome fill;
+  try {
+    module = resilience::retry_call(
+        retry, retry_clock,
+        [&]() -> exec::NativeModulePtr {
+          return exec::jit_compile(spec, canon, jit);
+        },
+        &fill);
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    {
+      std::lock_guard lock(mu_);
+      stats_.fill_retries += fill.attempts > 0 ? fill.attempts - 1 : 0;
+      native_entries_.erase(key);
+      publish_counters_locked();
+    }
+    throw;
+  }
+  promise.set_value(module);
+
+  {
+    std::lock_guard lock(mu_);
+    stats_.fill_retries += fill.attempts > 0 ? fill.attempts - 1 : 0;
+    const auto it = native_entries_.find(key);
+    if (it != native_entries_.end() && !it->second.ready) {
+      native_lru_.push_front(key);
+      it->second.lru_it = native_lru_.begin();
+      it->second.ready = true;
+      while (native_lru_.size() > capacity_) {
+        // Dropping the entry only releases the cache's shared_ptr: a module
+        // an executor still runs stays dlopened until that reference dies.
+        native_entries_.erase(native_lru_.back());
+        native_lru_.pop_back();
+        ++stats_.native_evictions;
+      }
+    }
+    publish_counters_locked();
+  }
+  return module;
+}
+
+void KernelCache::set_jit(exec::JitConfig config) {
+  std::lock_guard lock(mu_);
+  jit_ = std::move(config);
+}
+
+exec::JitConfig KernelCache::jit_config() const {
+  std::lock_guard lock(mu_);
+  return jit_;
+}
+
+std::size_t KernelCache::gc_native_artifacts() {
+  namespace fs = std::filesystem;
+  // Collect the artifact stems of every ready module under the lock, then
+  // walk the directory without it (filesystem IO under a hot mutex is rude).
+  std::vector<std::string> live_stems;
+  std::string dir;
+  {
+    std::lock_guard lock(mu_);
+    dir = exec::resolved_cache_dir(jit_);
+    for (const auto& [key, entry] : native_entries_) {
+      if (!entry.ready) continue;
+      const exec::NativeModulePtr module = entry.future.get();
+      if (module == nullptr) continue;
+      // "<symbol>.<hash>.so" -> keep every "<symbol>.<hash>.*" sibling
+      // (the .cpp kept next to the .so is a debugging aid).
+      std::string stem = fs::path(module->artifact_path()).filename().string();
+      if (stem.size() > 3 && stem.ends_with(".so")) {
+        stem.resize(stem.size() - 3);
+      }
+      live_stems.push_back(std::move(stem));
+    }
+  }
+
+  std::size_t removed = 0;
+  std::error_code ec;
+  const auto now = fs::file_time_type::clock::now();
+  constexpr auto kGrace = std::chrono::seconds(60);
+  for (const fs::directory_entry& de : fs::directory_iterator(dir, ec)) {
+    if (!de.is_regular_file(ec)) continue;
+    const std::string name = de.path().filename().string();
+    bool live = false;
+    for (const std::string& stem : live_stems) {
+      if (name.starts_with(stem)) {
+        live = true;
+        break;
+      }
+    }
+    if (live) continue;
+    // Grace window: a file another thread/process just renamed into place
+    // (or is about to dlopen) must not vanish under it.
+    const fs::file_time_type mtime = fs::last_write_time(de.path(), ec);
+    if (ec || now - mtime < kGrace) continue;
+    if (fs::remove(de.path(), ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
 void KernelCache::set_retry(resilience::RetryPolicy policy,
                             resilience::Clock* clock) {
   std::lock_guard lock(mu_);
@@ -217,6 +376,11 @@ std::size_t KernelCache::size() const {
   return lru_.size();
 }
 
+std::size_t KernelCache::native_size() const {
+  std::lock_guard lock(mu_);
+  return native_lru_.size();
+}
+
 void KernelCache::clear() {
   std::lock_guard lock(mu_);
   // Drop ready entries only; an in-flight compile still owns its map slot
@@ -224,6 +388,8 @@ void KernelCache::clear() {
   // publication then collides with the first one's).
   for (const std::string& key : lru_) entries_.erase(key);
   lru_.clear();
+  for (const std::string& key : native_lru_) native_entries_.erase(key);
+  native_lru_.clear();
   stats_ = KernelCacheStats{};
 }
 
@@ -238,6 +404,16 @@ void KernelCache::publish_counters_locked() const {
   reg->set("pipeline.cache.fill_retries",
            static_cast<f64>(stats_.fill_retries));
   reg->set("pipeline.cache.size", static_cast<f64>(lru_.size()));
+  reg->set("pipeline.cache.native_hits",
+           static_cast<f64>(stats_.native_hits));
+  reg->set("pipeline.cache.native_misses",
+           static_cast<f64>(stats_.native_misses));
+  reg->set("pipeline.cache.native_coalesced",
+           static_cast<f64>(stats_.native_coalesced));
+  reg->set("pipeline.cache.native_evictions",
+           static_cast<f64>(stats_.native_evictions));
+  reg->set("pipeline.cache.native_size",
+           static_cast<f64>(native_lru_.size()));
 }
 
 KernelCache& KernelCache::global() {

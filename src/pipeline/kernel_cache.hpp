@@ -37,6 +37,7 @@
 #include <unordered_map>
 
 #include "dsl/runtime.hpp"
+#include "exec/jit.hpp"
 #include "resilience/retry.hpp"
 
 namespace ispb::pipeline {
@@ -59,6 +60,12 @@ struct KernelCacheStats {
   u64 evictions = 0;
   u64 poisoned = 0;      ///< corrupt entries detected and healed on lookup
   u64 fill_retries = 0;  ///< compile attempts beyond the first (set_retry)
+  // Native-module entries (get_or_compile_native) are accounted
+  // separately: a serving stack running both backends sees both stories.
+  u64 native_hits = 0;
+  u64 native_misses = 0;  ///< actual JIT compiles (or disk-artifact loads)
+  u64 native_coalesced = 0;
+  u64 native_evictions = 0;
   /// Fraction of lookups served without compiling (coalesced waits count as
   /// served). 0 when there were no lookups.
   [[nodiscard]] f64 hit_rate() const {
@@ -86,8 +93,30 @@ class KernelCache {
                                          const codegen::CodegenOptions& options,
                                          std::string_view device = {});
 
+  /// Returns the cached native module for (spec, options, device), JIT
+  /// compiling it on first use (exec::jit_compile under set_jit()'s config).
+  /// Same single-flight contract as get_or_compile. The key canonicalizes
+  /// options the C++ lowering ignores (kIspWarp folds to kIsp; warp width,
+  /// optimize and row_blocks are IR-pipeline knobs), so variants that lower
+  /// identically share one module. Eviction only drops the cache's
+  /// reference — a module stays dlopened while any executor still holds it.
+  [[nodiscard]] exec::NativeModulePtr get_or_compile_native(
+      const codegen::StencilSpec& spec, const codegen::CodegenOptions& options,
+      std::string_view device = {});
+
+  /// JIT configuration for native fills (artifact dir, compiler, flags).
+  void set_jit(exec::JitConfig config);
+  [[nodiscard]] exec::JitConfig jit_config() const;
+
+  /// Removes on-disk artifacts in the JIT cache directory that no ready
+  /// native entry references and that are older than ~60 s (the grace
+  /// window covers a concurrent compile's rename->dlopen gap and in-flight
+  /// fills). Returns the number of files removed.
+  std::size_t gc_native_artifacts();
+
   [[nodiscard]] KernelCacheStats stats() const;
-  [[nodiscard]] std::size_t size() const;      ///< ready entries
+  [[nodiscard]] std::size_t size() const;      ///< ready IR entries
+  [[nodiscard]] std::size_t native_size() const;  ///< ready native entries
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   /// Drops all ready entries and resets the counters. In-flight compiles
@@ -109,6 +138,11 @@ class KernelCache {
     std::list<std::string>::iterator lru_it;  ///< valid iff ready
     bool ready = false;
   };
+  struct NativeEntry {
+    std::shared_future<exec::NativeModulePtr> future;
+    std::list<std::string>::iterator lru_it;  ///< valid iff ready
+    bool ready = false;
+  };
 
   void publish_counters_locked() const;
 
@@ -116,8 +150,11 @@ class KernelCache {
   mutable std::mutex mu_;
   resilience::RetryPolicy retry_;  ///< guarded by mu_
   resilience::Clock* retry_clock_ = nullptr;  ///< guarded by mu_
+  exec::JitConfig jit_;  ///< guarded by mu_
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  ///< most recently used first; ready keys only
+  std::unordered_map<std::string, NativeEntry> native_entries_;
+  std::list<std::string> native_lru_;
   KernelCacheStats stats_;
 };
 

@@ -30,25 +30,34 @@ void publish_status(ServeStatus status) {
 /// variant that reached the caller (kNaive if *any* stage degraded to it —
 /// the conservative answer to "what quality of service did I get").
 void execute_request(const PipelineExecutor& executor, const KernelGraph& graph,
-                     const Image<f32>& source, ServeResponse& response,
-                     u64& retries) {
+                     const Image<f32>& source,
+                     std::optional<exec::Backend> backend,
+                     ServeResponse& response, u64& retries) {
   try {
     obs::ScopedSpan span("pipeline.server.request", "pipeline");
     span.arg("graph", graph.name);
     resilience::fault_point("server.exec", graph.name);
-    ExecutorResult result = executor.run(graph, source);
+    ExecutorResult result = executor.run(graph, source, backend);
     response.sim_time_ms = result.total_time_ms;
     codegen::Variant variant = result.stages.empty()
                                    ? codegen::Variant::kNaive
                                    : result.stages.back().variant_used;
+    exec::Backend backend_used = result.stages.empty()
+                                     ? exec::Backend::kInterpreted
+                                     : result.stages.back().backend_used;
     for (const ExecutorResult::Stage& stage : result.stages) {
       retries += stage.attempts > 0 ? stage.attempts - 1 : 0;
       response.served_by_fallback |= stage.served_by_fallback;
+      response.backend_fallback |= stage.backend_fallback;
       if (stage.variant_used == codegen::Variant::kNaive) {
         variant = codegen::Variant::kNaive;
       }
+      if (stage.backend_used == exec::Backend::kInterpreted) {
+        backend_used = exec::Backend::kInterpreted;
+      }
     }
     response.variant_used = variant;
+    response.backend_used = backend_used;
     response.output = std::move(result.output);
   } catch (const std::exception& e) {
     response.status = ServeStatus::kError;
@@ -298,7 +307,7 @@ void PipelineServer::process(Item item) {
   } else if (!item.has_deadline()) {
     obs::TraceContext::Scope trace_scope(trace_ctx);
     execute_request(executor_, *item.request.graph, *item.request.source,
-                    response, retries);
+                    item.request.backend, response, retries);
   } else {
     // Execution watchdog: run the request on a dedicated thread and wait
     // only for the remaining budget. On overrun the stage is detached (it
@@ -317,11 +326,12 @@ void PipelineServer::process(Item item) {
     std::shared_ptr<const Image<f32>> source = item.request.source;
     std::future<void> done = slot->done.get_future();
 
-    std::thread exec_thread([this, slot, graph, source, trace_ctx] {
+    const std::optional<exec::Backend> backend = item.request.backend;
+    std::thread exec_thread([this, slot, graph, source, backend, trace_ctx] {
       obs::TraceContext::Scope trace_scope(trace_ctx);
       ServeResponse resp;
       u64 exec_retries = 0;
-      execute_request(executor_, *graph, *source, resp, exec_retries);
+      execute_request(executor_, *graph, *source, backend, resp, exec_retries);
       bool orphaned = false;
       {
         std::lock_guard lk(slot->mu);
@@ -392,7 +402,10 @@ void PipelineServer::finalize(Item item, ServeResponse response,
   {
     std::lock_guard lock(mu_);
     retries_ += retries;
-    if (response.served_by_fallback) ++fallbacks_;
+    // Both degradation flavors count as "served by fallback" for health:
+    // naive-for-isp and interpreted-for-native are the same story (the
+    // request succeeded on the backup path).
+    if (response.served_by_fallback || response.backend_fallback) ++fallbacks_;
     switch (response.status) {
       case ServeStatus::kOk:
         ++stats_.completed;

@@ -68,6 +68,8 @@ struct ServeRequest {
   /// 0 = none. Covers queue wait AND execution: expiry while queued is
   /// settled without executing, expiry mid-execution detaches the stage.
   f64 deadline_ms = 0.0;
+  /// Per-request engine override; nullopt = ExecutorConfig::backend.
+  std::optional<exec::Backend> backend;
 };
 
 enum class ServeStatus : u8 {
@@ -90,6 +92,11 @@ struct ServeResponse {
   /// kIsp under normal serving, reads kNaive while the breaker degrades.
   codegen::Variant variant_used = codegen::Variant::kNaive;
   bool served_by_fallback = false;  ///< any stage degraded to naive
+  /// Engine that produced `output`: the requested one, downgraded to
+  /// kInterpreted when any stage backend-fell-back (conservative, like
+  /// variant_used).
+  exec::Backend backend_used = exec::Backend::kInterpreted;
+  bool backend_fallback = false;  ///< any native stage served interpreted
 };
 
 /// Aggregate serving counters and bounded latency sketches (kOk requests

@@ -67,6 +67,22 @@ FaultPlan FaultPlan::chaos(u64 seed) {
   }
   plan.rules.push_back(
       {"cache.insert", FaultKind::kCorrupt, "", 0.25, 0, 0});
+  // backend.compile rules ride at the end so the per-rule random streams of
+  // the points above are unchanged for a given seed (tests compare
+  // injectors sharing one plan across schedules).
+  {
+    const f64 p_throw =
+        0.02 +
+        0.10 * (static_cast<f64>(mix64(seed * 31 + i) >> 11) * 0x1.0p-53);
+    const f64 p_delay =
+        0.02 +
+        0.10 * (static_cast<f64>(mix64(seed * 31 + i + 100) >> 11) * 0x1.0p-53);
+    plan.rules.push_back(
+        {"backend.compile", FaultKind::kThrow, "", p_throw, 0, 0});
+    plan.rules.push_back(
+        {"backend.compile", FaultKind::kDelay, "", p_delay, 0,
+         1 + (mix64(seed * 31 + i + 200) % 3)});  // 1-3 ms
+  }
   return plan;
 }
 

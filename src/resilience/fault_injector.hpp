@@ -8,6 +8,7 @@
 //   executor.stage   PipelineExecutor per-stage entry, detail = kernel name
 //   server.exec      PipelineServer request execution, detail = graph name
 //   launcher.launch  dsl::launch_on_sim entry, detail = program name
+//   backend.compile  exec::jit_compile entry, detail "<kernel>/<variant>"
 //
 // A rule can throw (InjectedFault), delay (via the injectable Clock, so a
 // VirtualClock makes delays free and deterministic) or corrupt — the site

@@ -1,0 +1,382 @@
+// Execution-backend subsystem tests: the C++ printer's lowering contract,
+// the JIT's bit-exactness and on-disk artifact reuse, the full executor
+// bit-identity matrix (5 apps x 4 patterns x 3 variants, native vs
+// run_app_reference), the backend.compile fault -> interpreted fallback
+// path, and the KernelCache native-module lifecycle (single-flight,
+// refcounted eviction, artifact GC, variant canonicalization).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "codegen/cpp_printer.hpp"
+#include "exec/backend.hpp"
+#include "exec/jit.hpp"
+#include "filters/filters.hpp"
+#include "image/generators.hpp"
+#include "pipeline/executor.hpp"
+#include "pipeline/kernel_cache.hpp"
+#include "pipeline/kernel_graph.hpp"
+#include "resilience/circuit_breaker.hpp"
+#include "resilience/fault_injector.hpp"
+
+namespace ispb {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test JIT artifact directory, removed on scope exit so tests
+/// observe real compiles (and leave nothing behind in the system tmp).
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    path = fs::temp_directory_path() /
+           ("ispb-test-exec-" + std::to_string(::getpid()) + "-" + tag + "-" +
+            std::to_string(counter.fetch_add(1)));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+/// -O0 keeps the bilateral TU's compile seconds, not tens of seconds; the
+/// emitted float sequence (and thus bit-exactness) is optimization-level
+/// independent because contraction is off.
+exec::JitConfig fast_jit(const TempDir& dir) {
+  return {dir.path.string(), "", "-O0", true};
+}
+
+/// Exact bit equality — the native backend's promise, stronger than any
+/// tolerance compare (0.0f vs -0.0f included).
+bool bit_identical(const Image<f32>& a, const Image<f32>& b) {
+  if (a.size() != b.size()) return false;
+  for (i32 y = 0; y < a.height(); ++y) {
+    for (i32 x = 0; x < a.width(); ++x) {
+      if (std::bit_cast<u32>(a(x, y)) != std::bit_cast<u32>(b(x, y))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<const Image<f32>*> bind_inputs(const codegen::StencilSpec& spec,
+                                           const Image<f32>& source) {
+  return std::vector<const Image<f32>*>(
+      static_cast<std::size_t>(spec.num_inputs), &source);
+}
+
+TEST(CppPrinter, EmitsExternCEntryAndCanonicalSymbol) {
+  const filters::MultiKernelApp app = filters::make_gaussian_app();
+  const codegen::StencilSpec& spec = app.stages.front().spec;
+  codegen::CodegenOptions isp;
+  isp.variant = codegen::Variant::kIsp;
+  const std::string sym = codegen::cpp_kernel_symbol(spec, isp);
+  const std::string src = codegen::emit_cpp(spec, isp);
+  EXPECT_NE(src.find("extern \"C\" void " + sym), std::string::npos) << src;
+
+  // kIspWarp lowers identically to kIsp: same symbol, same TU.
+  codegen::CodegenOptions warp = isp;
+  warp.variant = codegen::Variant::kIspWarp;
+  EXPECT_EQ(codegen::cpp_kernel_symbol(spec, warp), sym);
+  EXPECT_EQ(codegen::emit_cpp(spec, warp), src);
+
+  // kNaive is a different function (all-checks loop, own symbol).
+  codegen::CodegenOptions naive = isp;
+  naive.variant = codegen::Variant::kNaive;
+  EXPECT_NE(codegen::cpp_kernel_symbol(spec, naive), sym);
+  EXPECT_NE(codegen::emit_cpp(spec, naive), src);
+}
+
+TEST(Jit, CompilesBitExactKernelAndReusesDiskArtifact) {
+  const TempDir dir("jit");
+  const filters::MultiKernelApp app = filters::make_gaussian_app();
+  const codegen::StencilSpec& spec = app.stages.front().spec;
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kIsp;
+  const Image<f32> source = make_noise_image({40, 40}, 7);
+  const auto inputs = bind_inputs(spec, source);
+
+  const exec::NativeModulePtr module = exec::jit_compile(spec, opt, fast_jit(dir));
+  Image<f32> out(source.size());
+  (void)exec::run_native_module(*module, inputs, out);
+  const Image<f32> reference =
+      dsl::run_reference(spec, opt.pattern, opt.border_constant, inputs);
+  EXPECT_TRUE(bit_identical(out, reference));
+
+  // Same source hash in the same directory: the second compile dlopens the
+  // existing .so instead of re-running the toolchain (mtime unchanged).
+  const fs::path artifact = module->artifact_path();
+  ASSERT_TRUE(fs::exists(artifact));
+  const auto mtime = fs::last_write_time(artifact);
+  const exec::NativeModulePtr again = exec::jit_compile(spec, opt, fast_jit(dir));
+  EXPECT_EQ(again->artifact_path(), module->artifact_path());
+  EXPECT_EQ(fs::last_write_time(artifact), mtime);
+}
+
+// The acceptance matrix: every app, every border pattern, every variant —
+// the native executor output is bit-identical to run_app_reference, no
+// stage falls back to the interpreter. One shared cache (and artifact dir)
+// keeps this to one JIT compile per (stage, pattern, canonical variant).
+TEST(ExecutorNative, BitIdenticalToReferenceAcrossAppsPatternsVariants) {
+  const TempDir dir("matrix");
+  pipeline::KernelCache cache(256);
+  cache.set_jit(fast_jit(dir));
+  const Image<f32> source = make_noise_image({40, 40}, 42);
+
+  for (const filters::MultiKernelApp& app : filters::all_apps()) {
+    const pipeline::KernelGraph graph = pipeline::build_graph(app);
+    for (BorderPattern pattern : kAllBorderPatterns) {
+      const Image<f32> reference =
+          filters::run_app_reference(app, source, pattern);
+      for (codegen::Variant variant :
+           {codegen::Variant::kNaive, codegen::Variant::kIsp,
+            codegen::Variant::kIspWarp}) {
+        pipeline::ExecutorConfig cfg;
+        cfg.sim.pattern = pattern;
+        cfg.sim.variant = variant;
+        cfg.concurrency = 1;
+        cfg.cache = &cache;
+        cfg.backend = exec::Backend::kNative;
+        const pipeline::PipelineExecutor executor(cfg);
+        const pipeline::ExecutorResult result = executor.run(graph, source);
+        const std::string combo = app.name + "/" +
+                                  std::string(to_string(pattern)) + "/" +
+                                  std::string(codegen::to_string(variant));
+        EXPECT_TRUE(bit_identical(result.output, reference)) << combo;
+        for (const auto& stage : result.stages) {
+          EXPECT_EQ(stage.backend_used, exec::Backend::kNative)
+              << combo << " stage " << stage.kernel;
+          EXPECT_FALSE(stage.backend_fallback)
+              << combo << " stage " << stage.kernel;
+        }
+      }
+    }
+  }
+  // Nothing in the matrix ever fell back, so every native lookup resolved.
+  const pipeline::KernelCacheStats stats = cache.stats();
+  EXPECT_GT(stats.native_misses, 0u);
+  EXPECT_GT(stats.native_hits, 0u);
+}
+
+TEST(ExecutorNative, DegenerateGeometryServesAllChecksNaive) {
+  const TempDir dir("degen");
+  pipeline::KernelCache cache;
+  cache.set_jit(fast_jit(dir));
+  // bilateral13 has radius 6: an 8x8 image is smaller than twice the radius,
+  // the partition would overlap, and the emitted degenerate branch serves
+  // the all-checks loop — same contract as launch_on_sim's naive fallback.
+  const filters::MultiKernelApp app = filters::make_bilateral_app();
+  const pipeline::KernelGraph graph = pipeline::build_graph(app);
+  const Image<f32> source = make_noise_image({8, 8}, 3);
+
+  pipeline::ExecutorConfig cfg;
+  cfg.sim.variant = codegen::Variant::kIsp;
+  cfg.concurrency = 1;
+  cfg.cache = &cache;
+  cfg.backend = exec::Backend::kNative;
+  const pipeline::PipelineExecutor executor(cfg);
+  const pipeline::ExecutorResult result = executor.run(graph, source);
+
+  const Image<f32> reference =
+      filters::run_app_reference(app, source, BorderPattern::kClamp);
+  EXPECT_TRUE(bit_identical(result.output, reference));
+  ASSERT_EQ(result.stages.size(), 1u);
+  EXPECT_EQ(result.stages[0].variant_used, codegen::Variant::kNaive);
+  EXPECT_EQ(result.stages[0].backend_used, exec::Backend::kNative);
+  EXPECT_FALSE(result.stages[0].backend_fallback);
+}
+
+// Satellite: a failing native toolchain (backend.compile kThrow, p=1) must
+// circuit-break to the interpreted engine with bit-identical output and
+// leave no temp files in the artifact directory.
+TEST(ExecutorNative, CompileFaultFallsBackToInterpreted) {
+  const TempDir dir("fault");
+  pipeline::KernelCache cache;
+  cache.set_jit(fast_jit(dir));
+  resilience::FaultPlan plan;
+  plan.rules.push_back(
+      {"backend.compile", resilience::FaultKind::kThrow, "", 1.0, 0, 0});
+  resilience::FaultInjector injector(plan);
+  const resilience::FaultInjector::ScopedInstall install(injector);
+  resilience::BreakerRegistry breakers;
+
+  const filters::MultiKernelApp app = filters::make_gaussian_app();
+  const pipeline::KernelGraph graph = pipeline::build_graph(app);
+  const Image<f32> source = make_noise_image({24, 24}, 9);
+
+  pipeline::ExecutorConfig cfg;
+  cfg.sim.variant = codegen::Variant::kIsp;
+  cfg.concurrency = 1;
+  cfg.cache = &cache;
+  cfg.backend = exec::Backend::kNative;
+  cfg.breakers = &breakers;
+  const pipeline::PipelineExecutor executor(cfg);
+  const pipeline::ExecutorResult result = executor.run(graph, source);
+
+  const Image<f32> reference =
+      filters::run_app_reference(app, source, BorderPattern::kClamp);
+  EXPECT_TRUE(bit_identical(result.output, reference));
+  ASSERT_EQ(result.stages.size(), 1u);
+  EXPECT_TRUE(result.stages[0].backend_fallback);
+  EXPECT_EQ(result.stages[0].backend_used, exec::Backend::kInterpreted);
+
+  // The fault fires before the JIT touches the filesystem and real failures
+  // unlink their temporaries — the artifact directory stays empty.
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    ADD_FAILURE() << "orphaned JIT file: " << entry.path();
+  }
+
+  // Every native attempt of the run went through the fault point.
+  u64 thrown = 0;
+  for (const auto& c : injector.counters()) {
+    if (c.point == "backend.compile") thrown = c.thrown;
+  }
+  EXPECT_GT(thrown, 0u);
+}
+
+// Satellite: single-flight under an 8-thread hammer — exactly one JIT
+// compile, everyone else waits on (or hits) the same shared module.
+TEST(KernelCacheNative, SingleFlightUnderThreadHammer) {
+  const TempDir dir("flight");
+  pipeline::KernelCache cache;
+  cache.set_jit(fast_jit(dir));
+  const filters::MultiKernelApp app = filters::make_gaussian_app();
+  const codegen::StencilSpec& spec = app.stages.front().spec;
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kIsp;
+
+  constexpr int kThreads = 8;
+  std::vector<exec::NativeModulePtr> got(kThreads);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      got[static_cast<std::size_t>(t)] = cache.get_or_compile_native(spec, opt);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  for (const exec::NativeModulePtr& m : got) {
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m.get(), got[0].get());
+  }
+  const pipeline::KernelCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.native_misses, 1u);
+  EXPECT_EQ(stats.native_hits + stats.native_coalesced, 7u);
+}
+
+// Satellite: LRU eviction only drops the cache's shared_ptr — a module an
+// executor still holds stays dlopened (and runnable) until the last
+// reference goes, then dlcloses.
+TEST(KernelCacheNative, EvictionKeepsInUseModuleLoaded) {
+  const TempDir dir("evict");
+  pipeline::KernelCache cache(/*capacity=*/1);
+  cache.set_jit(fast_jit(dir));
+  const filters::MultiKernelApp gauss = filters::make_gaussian_app();
+  const filters::MultiKernelApp laplace = filters::make_laplace_app();
+  const codegen::StencilSpec& spec_a = gauss.stages.front().spec;
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kIsp;
+
+  const i64 base = exec::NativeModule::open_count();
+  exec::NativeModulePtr a = cache.get_or_compile_native(spec_a, opt);
+  EXPECT_EQ(exec::NativeModule::open_count(), base + 1);
+  const exec::NativeModulePtr b =
+      cache.get_or_compile_native(laplace.stages.front().spec, opt);
+  EXPECT_EQ(cache.stats().native_evictions, 1u);
+  EXPECT_EQ(cache.native_size(), 1u);
+  // Evicted from the cache, but our reference keeps it dlopened...
+  EXPECT_EQ(exec::NativeModule::open_count(), base + 2);
+
+  // ...and still correct to run.
+  const Image<f32> source = make_noise_image({16, 16}, 1);
+  const auto inputs = bind_inputs(spec_a, source);
+  Image<f32> out(source.size());
+  (void)exec::run_native_module(*a, inputs, out);
+  const Image<f32> reference =
+      dsl::run_reference(spec_a, opt.pattern, opt.border_constant, inputs);
+  EXPECT_TRUE(bit_identical(out, reference));
+
+  a.reset();  // last reference: the handle dlcloses now
+  EXPECT_EQ(exec::NativeModule::open_count(), base + 1);
+}
+
+// Satellite: gc_native_artifacts removes stale unreferenced artifacts,
+// keeps live ones and anything inside the 60 s grace window.
+TEST(KernelCacheNative, GcRemovesStaleKeepsLiveAndRecent) {
+  const TempDir dir("gc");
+  pipeline::KernelCache cache;
+  cache.set_jit(fast_jit(dir));
+  const filters::MultiKernelApp app = filters::make_gaussian_app();
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kIsp;
+  const exec::NativeModulePtr module =
+      cache.get_or_compile_native(app.stages.front().spec, opt);
+  const fs::path live = module->artifact_path();
+
+  // A dead artifact from a previous process, aged past the grace window.
+  const fs::path stale = dir.path / "ispb_dead_kernel.0123456789abcdef.so";
+  { std::ofstream(stale) << "stale"; }
+  fs::last_write_time(stale,
+                      fs::file_time_type::clock::now() - std::chrono::minutes(5));
+  // An unknown but fresh file (a concurrent compile in flight): kept.
+  const fs::path recent = dir.path / "ispb_inflight_kernel.ffff.so";
+  { std::ofstream(recent) << "fresh"; }
+
+  EXPECT_EQ(cache.gc_native_artifacts(), 1u);
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_TRUE(fs::exists(live));
+  EXPECT_TRUE(fs::exists(recent));
+}
+
+// Satellite: the native cache key canonicalizes variants that lower
+// identically — kIspWarp is a hit on kIsp's module; kNaive is its own.
+TEST(KernelCacheNative, IspWarpSharesIspModule) {
+  const TempDir dir("canon");
+  pipeline::KernelCache cache;
+  cache.set_jit(fast_jit(dir));
+  const filters::MultiKernelApp app = filters::make_gaussian_app();
+  const codegen::StencilSpec& spec = app.stages.front().spec;
+  codegen::CodegenOptions isp;
+  isp.variant = codegen::Variant::kIsp;
+  codegen::CodegenOptions warp = isp;
+  warp.variant = codegen::Variant::kIspWarp;
+  codegen::CodegenOptions naive = isp;
+  naive.variant = codegen::Variant::kNaive;
+
+  const exec::NativeModulePtr m_isp = cache.get_or_compile_native(spec, isp);
+  const exec::NativeModulePtr m_warp = cache.get_or_compile_native(spec, warp);
+  EXPECT_EQ(m_isp.get(), m_warp.get());
+  EXPECT_EQ(cache.stats().native_misses, 1u);
+  EXPECT_EQ(cache.stats().native_hits, 1u);
+
+  const exec::NativeModulePtr m_naive = cache.get_or_compile_native(spec, naive);
+  EXPECT_NE(m_naive.get(), m_isp.get());
+  EXPECT_EQ(cache.stats().native_misses, 2u);
+}
+
+TEST(Backend, ParseAndToStringRoundTrip) {
+  EXPECT_EQ(exec::parse_backend("interp"), exec::Backend::kInterpreted);
+  EXPECT_EQ(exec::parse_backend("native"), exec::Backend::kNative);
+  EXPECT_FALSE(exec::parse_backend("cuda").has_value());
+  EXPECT_FALSE(exec::parse_backend("").has_value());
+  for (exec::Backend b : {exec::Backend::kInterpreted, exec::Backend::kNative}) {
+    EXPECT_EQ(exec::parse_backend(exec::to_string(b)), b);
+  }
+}
+
+}  // namespace
+}  // namespace ispb

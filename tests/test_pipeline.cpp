@@ -280,7 +280,7 @@ TEST(RunAppSimulated, ReusesGlobalKernelCache) {
 pipeline::ServeRequest make_request(
     const std::shared_ptr<const pipeline::KernelGraph>& graph,
     const std::shared_ptr<const Image<f32>>& source, f64 deadline_ms = 0.0) {
-  return {graph, source, deadline_ms};
+  return {graph, source, deadline_ms, std::nullopt};
 }
 
 TEST(PipelineServer, ServesCorrectOutput) {

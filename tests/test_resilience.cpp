@@ -434,7 +434,7 @@ TEST(ServerResilience, BreakerServesNaiveWhileIspFailsThenRestores) {
   pipeline::PipelineServer server(cfg);
 
   auto serve_one = [&] {
-    auto f = server.submit({graph, src, 0.0});
+    auto f = server.submit({graph, src, 0.0, std::nullopt});
     pipeline::ServeResponse resp = f.get();
     EXPECT_EQ(resp.status, pipeline::ServeStatus::kOk) << resp.error;
     EXPECT_EQ(compare(resp.output, expect).max_abs, 0.0)
@@ -495,7 +495,7 @@ TEST(ServerResilience, WatchdogCutsOffOverrunningExecution) {
   cfg.executor.sim.sampled = true;
   pipeline::PipelineServer server(cfg);
 
-  auto f = server.submit({graph, src, /*deadline_ms=*/30.0});
+  auto f = server.submit({graph, src, /*deadline_ms=*/30.0, std::nullopt});
   const pipeline::ServeResponse resp = f.get();
   EXPECT_EQ(resp.status, pipeline::ServeStatus::kDeadlineExpired);
   EXPECT_LT(resp.total_ms, 290.0)
@@ -526,7 +526,7 @@ TEST(ServerResilience, RetriesRecoverTransientStageFaults) {
   cfg.clock = &clock;
   pipeline::PipelineServer server(cfg);
 
-  auto f = server.submit({graph, src, 0.0});
+  auto f = server.submit({graph, src, 0.0, std::nullopt});
   const pipeline::ServeResponse resp = f.get();
   EXPECT_EQ(resp.status, pipeline::ServeStatus::kOk) << resp.error;
   EXPECT_FALSE(resp.served_by_fallback);

@@ -44,8 +44,13 @@
 //              throughput, latency percentiles and the cache hit-rate:
 //
 //     ispb_run serve --app=sobel --requests=64 --concurrency=8
-//              [--pattern=clamp] [--variant=isp] [--size=256] [--queue=64]
-//              [--deadline-ms=50] [--sampled] [--json | --json=report.json]
+//              [--pattern=clamp] [--variant=isp] [--backend=native|interp]
+//              [--size=256] [--queue=64] [--deadline-ms=50] [--sampled]
+//              [--json | --json=report.json]
+//
+//              serving defaults to the native (JIT shared-object) execution
+//              backend; profile/analyze always use the interpreted engine
+//              (modeled counters).
 //
 //   loadtest   open-loop Poisson load generator: calibrate the server's
 //              closed-loop capacity, then drive it at three load tiers
@@ -57,8 +62,8 @@
 //
 //     ispb_run loadtest [--apps=gaussian,sobel] [--patterns=clamp,mirror]
 //              [--size=128] [--workers=4] [--queue=128] [--duration-ms=1500]
-//              [--tiers=0.5,0.9,1.5] [--deadline-ms=0] [--seed=7] [--full]
-//              [--quick] [--json=BENCH_serve.json]
+//              [--tiers=0.5,0.9,1.5] [--deadline-ms=0] [--backend=native]
+//              [--seed=7] [--full] [--quick] [--json=BENCH_serve.json]
 //
 //   chaos      resilience harness: run N seeded fault schedules (deterministic
 //              FaultPlans over compile/cache/executor/server/launcher fault
@@ -90,6 +95,7 @@
 #include "common/table.hpp"
 #include "dsl/compile.hpp"
 #include "dsl/runtime.hpp"
+#include "exec/backend.hpp"
 #include "filters/filters.hpp"
 #include "image/compare.hpp"
 #include "image/generators.hpp"
@@ -131,6 +137,14 @@ sim::DeviceSpec parse_device(const std::string& name) {
   if (name == "gtx680") return sim::make_gtx680();
   if (name == "rtx2080") return sim::make_rtx2080();
   throw IoError("unknown --device '" + name + "' (gtx680|rtx2080)");
+}
+
+exec::Backend parse_backend_arg(const std::string& name) {
+  const auto backend = exec::parse_backend(name);
+  if (!backend.has_value()) {
+    throw IoError("unknown --backend '" + name + "' (interp|native)");
+  }
+  return *backend;
 }
 
 BlockSize parse_block(const std::string& text) {
@@ -746,6 +760,9 @@ int run_profile(int argc, char** argv) {
   {
     obs::MetricsRegistry::ScopedInstall install(registry);
     obs::TraceSession::start();
+    // Profiling is pinned to the interpreted engine: per-region counters,
+    // occupancy and modeled time only exist there (the native backend
+    // reports wall time alone).
     result = filters::run_app_simulated(app, source, cfg);
     events = obs::TraceSession::stop();
   }
@@ -889,6 +906,7 @@ int run_serve(int argc, char** argv) {
   Cli cli(argc, argv);
   declare_pipeline_options(cli)
       .option("variant", "naive|isp|isp-warp|isp+m (default isp)")
+      .option("backend", "interp|native execution engine (default native)")
       .option("requests", "requests to submit (default 64)")
       .option("concurrency", "server worker threads (default 4)")
       .option("queue", "bounded queue capacity (default: requests, no drops)")
@@ -904,6 +922,10 @@ int run_serve(int argc, char** argv) {
       app_by_name(cli.get_string("app", "gaussian"));
   filters::AppSimConfig cfg = pipeline_config(cli, "isp");
   cfg.sampled = cli.get_flag("sampled");
+  // Serving defaults to the native engine for wall speed; profiling and
+  // cost analysis stay interpreted (modeled counters).
+  const exec::Backend backend =
+      parse_backend_arg(cli.get_string("backend", "native"));
   const i32 size = static_cast<i32>(cli.get_int("size", 256));
   const i32 requests = static_cast<i32>(cli.get_int("requests", 64));
   const i32 concurrency = static_cast<i32>(cli.get_int("concurrency", 4));
@@ -927,6 +949,7 @@ int run_serve(int argc, char** argv) {
   server_cfg.executor.sim = cfg;
   server_cfg.executor.concurrency = 1;  // parallelism across requests
   server_cfg.executor.cache = &cache;
+  server_cfg.executor.backend = backend;
 
   using Clock = std::chrono::steady_clock;
   pipeline::ServerStats stats;
@@ -937,7 +960,7 @@ int run_serve(int argc, char** argv) {
     std::vector<std::future<pipeline::ServeResponse>> futures;
     futures.reserve(static_cast<std::size_t>(requests));
     for (i32 i = 0; i < requests; ++i) {
-      futures.push_back(server.submit({graph, source, deadline_ms}));
+      futures.push_back(server.submit({graph, source, deadline_ms, backend}));
     }
     for (auto& f : futures) {
       if (f.get().status == pipeline::ServeStatus::kOk) ++ok_count;
@@ -955,6 +978,7 @@ int run_serve(int argc, char** argv) {
   report["app"] = app.name;
   report["pattern"] = std::string(to_string(cfg.pattern));
   report["variant"] = cli.get_string("variant", "isp");
+  report["backend"] = std::string(exec::to_string(backend));
   report["device"] = cfg.device.name;
   report["size"] = size;
   report["requests"] = static_cast<i64>(requests);
@@ -989,6 +1013,10 @@ int run_serve(int argc, char** argv) {
   cache_json["coalesced"] = cache_stats.coalesced;
   cache_json["evictions"] = cache_stats.evictions;
   cache_json["hit_rate"] = cache_stats.hit_rate();
+  cache_json["native_hits"] = cache_stats.native_hits;
+  cache_json["native_misses"] = cache_stats.native_misses;
+  cache_json["native_coalesced"] = cache_stats.native_coalesced;
+  cache_json["native_evictions"] = cache_stats.native_evictions;
   report["cache"] = std::move(cache_json);
 
   const std::string json_arg = cli.get_string("json", "");
@@ -1003,6 +1031,7 @@ int run_serve(int argc, char** argv) {
                    cfg.device.name + ", " + std::to_string(size) + "x" +
                    std::to_string(size));
   table.set_header({"metric", "value"});
+  table.add_row({"backend", std::string(exec::to_string(backend))});
   table.add_row({"requests", std::to_string(requests)});
   table.add_row({"workers", std::to_string(concurrency)});
   table.add_row({"completed", std::to_string(stats.completed)});
@@ -1054,6 +1083,7 @@ struct LoadSetup {
   i32 workers = 4;
   std::size_t queue_capacity = 128;
   f64 deadline_ms = 0.0;
+  exec::Backend backend = exec::Backend::kNative;
 };
 
 pipeline::ServerConfig loadtest_server_config(const LoadSetup& setup,
@@ -1064,6 +1094,7 @@ pipeline::ServerConfig loadtest_server_config(const LoadSetup& setup,
   cfg.executor.sim = slice.sim;
   cfg.executor.concurrency = 1;  // parallelism across requests
   cfg.executor.cache = setup.cache;
+  cfg.executor.backend = setup.backend;
   return cfg;
 }
 
@@ -1086,7 +1117,8 @@ f64 calibrate_capacity_rps(const LoadSetup& setup, const LoadSlice& slice,
   while (Clock::now() < end) {
     if (inflight.size() < outstanding_target) {
       const LoadCombo& c = setup.combos[combo++ % setup.combos.size()];
-      inflight.push_back(server.submit({c.graph, c.source, 0.0}));
+      inflight.push_back(
+          server.submit({c.graph, c.source, 0.0, setup.backend}));
     } else {
       if (inflight.front().get().status == pipeline::ServeStatus::kOk) ++ok;
       inflight.pop_front();
@@ -1179,7 +1211,8 @@ TierResult run_tier(const LoadSetup& setup, f64 multiplier, f64 duration_ms,
       // Open loop: the future is dropped — the server settles every
       // promise and its stats count every outcome; the generator never
       // blocks on completions.
-      (void)server.submit({c.graph, c.source, setup.deadline_ms});
+      (void)server.submit(
+          {c.graph, c.source, setup.deadline_ms, setup.backend});
     }
     server.shutdown();  // drains the queue; every request settles
     const f64 wall_s = std::chrono::duration<f64>(Clock::now() - t0).count();
@@ -1272,6 +1305,7 @@ int run_loadtest(int argc, char** argv) {
       .option("duration-ms", "submission window per tier slice (default 1500)")
       .option("tiers", "capacity multipliers (default 0.5,0.9,1.5)")
       .option("deadline-ms", "per-request deadline, 0 = none")
+      .option("backend", "interp|native execution engine (default native)")
       .option("seed", "arrival-process seed (default 7)")
       .option("full", "full (non-sampled) launches; slower, exact outputs")
       .option("quick", "CI smoke mode: ~300 ms slices at size 64")
@@ -1314,6 +1348,7 @@ int run_loadtest(int argc, char** argv) {
   setup.workers = workers;
   setup.queue_capacity = static_cast<std::size_t>(cli.get_int("queue", 128));
   setup.deadline_ms = cli.get_double("deadline-ms", 0.0);
+  setup.backend = parse_backend_arg(cli.get_string("backend", "native"));
 
   filters::AppSimConfig base_sim;
   base_sim.sampled = !cli.get_flag("full");
@@ -1356,7 +1391,7 @@ int run_loadtest(int argc, char** argv) {
     pipeline::PipelineServer warm(loadtest_server_config(setup, slice));
     std::vector<std::future<pipeline::ServeResponse>> futures;
     for (const LoadCombo& c : setup.combos) {
-      futures.push_back(warm.submit({c.graph, c.source, 0.0}));
+      futures.push_back(warm.submit({c.graph, c.source, 0.0, setup.backend}));
     }
     for (auto& f : futures) {
       const pipeline::ServeResponse r = f.get();
@@ -1452,6 +1487,7 @@ int run_loadtest(int argc, char** argv) {
   config["seed"] = seed;
   config["sampled"] = base_sim.sampled;
   config["device"] = base_sim.device.name;
+  config["backend"] = std::string(exec::to_string(setup.backend));
   report["config"] = std::move(config);
   report["capacity_rps"] = capacity_rps;
   report["tiers"] = std::move(tiers);
@@ -1584,7 +1620,8 @@ int run_chaos(int argc, char** argv) {
       std::vector<std::future<pipeline::ServeResponse>> futures;
       futures.reserve(static_cast<std::size_t>(requests));
       for (i32 i = 0; i < requests; ++i) {
-        futures.push_back(server.submit({combo.graph, source, deadline_ms}));
+        futures.push_back(
+            server.submit({combo.graph, source, deadline_ms, std::nullopt}));
       }
 
       for (auto& f : futures) {
