@@ -1,0 +1,228 @@
+// Three-way variant calibration: naive vs isp vs isp-tiled, Table III style.
+//
+// For every (app, pattern, device) cell the bench times the full pipeline
+// (sampled launches) with each variant forced uniformly across stages, takes
+// the empirically fastest as ground truth, and compares it against the
+// three-way analytic predictor (Eq. (10) extended with the shared-memory
+// staging term; dsl::plan_variant with allow_tiled). The cell-level
+// prediction is the planner's choice for the app's dominant stage — the
+// stage with the largest stencil window, which the pipeline time is
+// dominated by (radius-0 stages are variant-insensitive by construction).
+//
+// Acceptance gates (exit 1 on failure):
+//   * the predictor picks the empirically fastest variant on >= 80% of
+//     cells,
+//   * isp-tiled beats plain isp on every laplace cell (the pure 5x5
+//     convolution; 3x3 windows sit below the staging break-even, which the
+//     predictor is expected to recognize), and
+//   * predictor precision on tiled: every cell it sends to isp-tiled must
+//     have isp-tiled as the empirically fastest variant, and it must pick
+//     tiled somewhere (the 3-way extension is not vacuous).
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "dsl/compile.hpp"
+#include "dsl/runtime.hpp"
+#include "filters/filters.hpp"
+#include "harness.hpp"
+#include "image/generators.hpp"
+
+namespace ispb::bench {
+namespace {
+
+std::string_view variant_name(codegen::Variant v) {
+  switch (v) {
+    case codegen::Variant::kNaive:
+      return "naive";
+    case codegen::Variant::kIsp:
+      return "isp";
+    case codegen::Variant::kIspWarp:
+      return "isp-warp";
+    case codegen::Variant::kIspTiled:
+      return "isp-tiled";
+  }
+  return "?";
+}
+
+/// Sum of sampled-launch modeled times over the app's stages, every stage
+/// forced to `variant`. Image content does not affect modeled cost, so the
+/// partially-written sampled outputs are fine as downstream inputs.
+f64 time_app_variant(const sim::DeviceSpec& dev,
+                     const filters::MultiKernelApp& app, BorderPattern pattern,
+                     Size2 size, BlockSize block, codegen::Variant variant,
+                     const Image<f32>& source) {
+  std::vector<Image<f32>> images;
+  images.reserve(app.stages.size() + 1);
+  images.push_back(source);
+
+  f64 total_ms = 0.0;
+  for (const filters::MultiKernelApp::Stage& stage : app.stages) {
+    codegen::CodegenOptions opt;
+    opt.pattern = pattern;
+    opt.variant = variant;
+    if (variant == codegen::Variant::kIspTiled) opt.tile_block = block;
+    const dsl::CompiledKernel kernel = dsl::compile_kernel(stage.spec, opt);
+
+    std::vector<const Image<f32>*> inputs;
+    inputs.reserve(stage.input_bindings.size());
+    for (i32 binding : stage.input_bindings) {
+      inputs.push_back(&images[static_cast<std::size_t>(binding)]);
+    }
+    Image<f32> out(size);
+    const dsl::SimRun run =
+        dsl::launch_on_sim(dev, kernel, inputs, out, block, /*sampled=*/true);
+    total_ms += run.stats.time_ms;
+    images.push_back(std::move(out));
+  }
+  return total_ms;
+}
+
+/// The stage whose stencil window covers the most taps — the one the cell's
+/// runtime is dominated by and therefore the one whose planner verdict
+/// stands for the whole app.
+const codegen::StencilSpec& dominant_spec(const filters::MultiKernelApp& app) {
+  const filters::MultiKernelApp::Stage* best = &app.stages.front();
+  i64 best_taps = 0;
+  for (const filters::MultiKernelApp::Stage& stage : app.stages) {
+    const Window w = stage.spec.window();
+    const i64 taps = static_cast<i64>(w.m) * w.n;
+    if (taps > best_taps) {
+      best_taps = taps;
+      best = &stage;
+    }
+  }
+  return best->spec;
+}
+
+int run(int argc, char** argv) {
+  Cli cli(argc, argv);
+  cli.option("size", "image extent (default 1024, quick 512)");
+  cli.option("quick", "smaller image (CI smoke)");
+  cli.option("json", "write results as JSON rows to this path");
+  if (cli.finish()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  const bool quick = cli.get_flag("quick");
+  const i32 size = static_cast<i32>(cli.get_int("size", quick ? 512 : 1024));
+  const BlockSize block{32, 4};
+  const std::vector<filters::MultiKernelApp> apps = filters::all_apps();
+  const std::vector<sim::DeviceSpec> devices = paper_devices();
+  const Image<f32> source = make_noise_image({size, size}, 4242);
+  BenchJson json("table5_tiled_calibration");
+
+  constexpr codegen::Variant kCandidates[] = {codegen::Variant::kNaive,
+                                              codegen::Variant::kIsp,
+                                              codegen::Variant::kIspTiled};
+
+  std::cout << "Three-way calibration: naive / isp / isp-tiled, " << size
+            << "x" << size << ", block 32x4, " << apps.size() << " apps x "
+            << kAllBorderPatterns.size() << " patterns x " << devices.size()
+            << " devices.\nCells: empirically fastest / predictor choice "
+               "(tiled speedup = isp ms / tiled ms).\n\n";
+
+  i32 cells = 0;
+  i32 agreements = 0;
+  bool conv_gate_ok = true;
+  i32 tiled_predictions = 0;
+  i32 tiled_predictions_right = 0;
+
+  for (const sim::DeviceSpec& dev : devices) {
+    AsciiTable table("device " + dev.name);
+    table.set_header({"app", "pattern", "naive ms", "isp ms", "tiled ms",
+                      "tiled speedup", "fastest", "predicted", "agree"});
+    for (const filters::MultiKernelApp& app : apps) {
+      for (BorderPattern pattern : kAllBorderPatterns) {
+        f64 ms[3] = {};
+        for (std::size_t v = 0; v < 3; ++v) {
+          ms[v] = time_app_variant(dev, app, pattern, {size, size}, block,
+                                   kCandidates[v], source);
+        }
+        const std::size_t fastest = static_cast<std::size_t>(
+            std::min_element(ms, ms + 3) - ms);
+
+        const dsl::PlanDecision plan =
+            dsl::plan_variant(dev, dominant_spec(app), {size, size}, block,
+                              pattern, /*prefer_warp=*/false,
+                              /*allow_tiled=*/true);
+        const bool agree = plan.variant == kCandidates[fastest];
+        ++cells;
+        if (agree) ++agreements;
+
+        const f64 tiled_speedup = ms[1] / ms[2];
+        // The pure large-window convolution must profit from staging.
+        if (app.name == "laplace" && tiled_speedup <= 1.0) {
+          conv_gate_ok = false;
+        }
+        if (plan.variant == codegen::Variant::kIspTiled) {
+          ++tiled_predictions;
+          if (fastest == 2) ++tiled_predictions_right;
+        }
+
+        table.add_row({app.name, std::string(to_string(pattern)),
+                       AsciiTable::num(ms[0], 3), AsciiTable::num(ms[1], 3),
+                       AsciiTable::num(ms[2], 3),
+                       AsciiTable::num(tiled_speedup, 3),
+                       std::string(variant_name(kCandidates[fastest])),
+                       std::string(variant_name(plan.variant)),
+                       agree ? "yes" : "NO"});
+        for (std::size_t v = 0; v < 3; ++v) {
+          json.add({.device = dev.name, .app = app.name,
+                    .pattern = std::string(to_string(pattern)),
+                    .variant = std::string(variant_name(kCandidates[v])),
+                    .metric = "time_ms", .size = size, .value = ms[v]});
+        }
+        json.add({.device = dev.name, .app = app.name,
+                  .pattern = std::string(to_string(pattern)),
+                  .variant = std::string(variant_name(plan.variant)),
+                  .metric = "predictor_agrees", .size = size,
+                  .value = agree ? 1.0 : 0.0});
+        json.add({.device = dev.name, .app = app.name,
+                  .pattern = std::string(to_string(pattern)),
+                  .variant = "isp-tiled", .metric = "tiled_speedup_vs_isp",
+                  .size = size, .value = tiled_speedup});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  const f64 agreement =
+      cells > 0 ? static_cast<f64>(agreements) / static_cast<f64>(cells) : 0.0;
+  json.add({.metric = "agreement_fraction", .size = size, .value = agreement});
+  json.write(cli.get_string("json", ""));
+
+  std::cout << "predictor agreement: " << agreements << "/" << cells << " = "
+            << AsciiTable::num(agreement, 3) << " (gate >= 0.8)\n";
+  std::cout << "tiled beats isp on laplace cells: "
+            << (conv_gate_ok ? "yes" : "NO") << "\n";
+  std::cout << "tiled-prediction precision: " << tiled_predictions_right << "/"
+            << tiled_predictions << "\n";
+
+  if (agreement < 0.8) {
+    std::cerr << "calibration FAILED: predictor agreement " << agreement
+              << " below 0.8\n";
+    return 1;
+  }
+  if (!conv_gate_ok) {
+    std::cerr << "calibration FAILED: isp-tiled did not beat isp on a "
+                 "laplace cell\n";
+    return 1;
+  }
+  if (tiled_predictions == 0 ||
+      tiled_predictions_right != tiled_predictions) {
+    std::cerr << "calibration FAILED: tiled predictions "
+              << tiled_predictions_right << "/" << tiled_predictions
+              << " empirically fastest (need all, and at least one)\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ispb::bench
+
+int main(int argc, char** argv) { return ispb::bench::run(argc, argv); }

@@ -32,12 +32,32 @@ std::string sanitize_ident(std::string_view text) {
   return out;
 }
 
+/// Staged-tile dimensions of the kIspTiled Body loop (words per row and per
+/// input slab); reads then index the local `tile` buffer via lx/ly.
+struct TileDims {
+  i32 tw = 0;
+  i32 slab = 0;
+};
+
 /// Same per-side remap structure as cuda_printer::emit_read_expr, in plain
 /// host C. The centered (0, 0) read is in bounds by construction (gx, gy
-/// iterate the image) and is never checked.
+/// iterate the image) and is never checked. With `tile` set (the kIspTiled
+/// Body), the tap reads the staged local buffer instead — the staged values
+/// are exact copies, so the computed bits are unchanged.
 std::string emit_read_expr(std::ostringstream& body, const CodegenOptions& opt,
                            Side sides, i32 input, i32 dx, i32 dy, int* temp,
-                           const std::string& pad) {
+                           const std::string& pad,
+                           const TileDims* tile = nullptr) {
+  if (tile != nullptr) {
+    // (ly + dy) * tw + (lx + dx) + input * slab, constants folded.
+    const i32 off = dy * tile->tw + dx + input * tile->slab;
+    std::ostringstream e;
+    e << "tile[ly * " << tile->tw << " + lx";
+    if (off > 0) e << " + " << off;
+    if (off < 0) e << " - " << -off;
+    e << "]";
+    return e.str();
+  }
   const bool center = dx == 0 && dy == 0;
   const bool check_l = !center && has_side(sides, Side::kLeft);
   const bool check_r = !center && has_side(sides, Side::kRight);
@@ -128,7 +148,7 @@ std::string emit_read_expr(std::ostringstream& body, const CodegenOptions& opt,
 /// StencilSpec::evaluate's exact operation sequence.
 std::string emit_dag(std::ostringstream& body, const StencilSpec& spec,
                      const CodegenOptions& opt, Side sides,
-                     const std::string& pad) {
+                     const std::string& pad, const TileDims* tile = nullptr) {
   int temp = 0;
   std::vector<std::string> names(spec.nodes.size());
   for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
@@ -141,7 +161,7 @@ std::string emit_dag(std::ostringstream& body, const StencilSpec& spec,
     switch (n.kind) {
       case NodeKind::kRead:
         expr = emit_read_expr(body, opt, sides, n.input, n.dx, n.dy, &temp,
-                              pad);
+                              pad, tile);
         break;
       case NodeKind::kConst:
         expr = float_lit(n.value);
@@ -211,13 +231,63 @@ void emit_loop(std::ostringstream& os, const StencilSpec& spec,
   os << "  }\n";
 }
 
+/// The kIspTiled Body: walk the pixel-granular Body rectangle in tiles of
+/// tile_block extent, stage each tile's halo-extended input patch into a
+/// local buffer (the CPU stand-in for the per-block smem tile — one copy per
+/// word, same load/compute phase split), then compute every tile pixel from
+/// the buffer. Body windows are in bounds by construction, so staging needs
+/// no border handling, and staged values are exact copies, so outputs are
+/// bit-identical to the untiled Body loop.
+void emit_tiled_body(std::ostringstream& os, const StencilSpec& spec,
+                     const CodegenOptions& opt, i32 rx, i32 ry) {
+  const i32 tbx = opt.tile_block.tx;
+  const i32 tby = opt.tile_block.ty;
+  const TileDims dims{tbx + 2 * rx, (tbx + 2 * rx) * (tby + 2 * ry)};
+  os << "  { // Body (tiled): stage the halo tile, compute from the tile\n";
+  os << "    int ys = by0 > y_begin ? by0 : y_begin;\n";
+  os << "    int ye = by1 < y_end ? by1 : y_end;\n";
+  os << "    float tile[" << dims.slab * spec.num_inputs << "];\n";
+  os << "    for (int ty0 = ys; ty0 < ye; ty0 += " << tby << ") {\n";
+  os << "      int ty1 = ty0 + " << tby << " < ye ? ty0 + " << tby
+     << " : ye;\n";
+  os << "      for (int tx0 = bx0; tx0 < bx1; tx0 += " << tbx << ") {\n";
+  os << "        int tx1 = tx0 + " << tbx << " < bx1 ? tx0 + " << tbx
+     << " : bx1;\n";
+  os << "        int sh = (ty1 - ty0) + " << 2 * ry << ";\n";
+  os << "        int sw = (tx1 - tx0) + " << 2 * rx << ";\n";
+  os << "        for (int j = 0; j < sh; ++j) {\n";
+  os << "          for (int i = 0; i < sw; ++i) {\n";
+  for (i32 k = 0; k < spec.num_inputs; ++k) {
+    os << "            tile[" << k * dims.slab << " + j * " << dims.tw
+       << " + i] = in" << k << "[(ty0 - " << ry << " + j) * pitch_in" << k
+       << " + (tx0 - " << rx << " + i)];\n";
+  }
+  os << "          }\n";
+  os << "        }\n";
+  os << "        for (int gy = ty0; gy < ty1; ++gy) {\n";
+  os << "          int ly = gy - ty0 + " << ry << ";\n";
+  os << "          for (int gx = tx0; gx < tx1; ++gx) {\n";
+  os << "            int lx = gx - tx0 + " << rx << ";\n";
+  std::ostringstream body;
+  const std::string result =
+      emit_dag(body, spec, opt, Side::kNone, "            ", &dims);
+  os << body.str();
+  os << "            out[gy * pitch_out + gx] = " << result << ";\n";
+  os << "          }\n";
+  os << "        }\n";
+  os << "      }\n";
+  os << "    }\n";
+  os << "  }\n";
+}
+
 }  // namespace
 
 std::string cpp_kernel_symbol(const StencilSpec& spec,
                               const CodegenOptions& options) {
-  const bool isp = options.variant != Variant::kNaive;
-  return "ispb_" + sanitize_ident(spec.name) + "_" +
-         (isp ? "isp" : "naive") + "_" +
+  const char* token = options.variant == Variant::kNaive     ? "naive"
+                      : options.variant == Variant::kIspTiled ? "isptiled"
+                                                              : "isp";
+  return "ispb_" + sanitize_ident(spec.name) + "_" + token + "_" +
          sanitize_ident(to_string(options.pattern));
 }
 
@@ -306,7 +376,13 @@ std::string emit_cpp(const StencilSpec& spec, const CodegenOptions& opt) {
     }
     return {1, 1};
   };
+  const bool staged = opt.variant == Variant::kIspTiled &&
+                      (w.radius_x() > 0 || w.radius_y() > 0);
   for (Region r : kAllRegions) {
+    if (r == Region::kBody && staged) {
+      emit_tiled_body(os, spec, opt, w.radius_x(), w.radius_y());
+      continue;
+    }
     const auto [xs, ys] = slot(r);
     const auto [x_lo, x_hi] = interval(xs, "x");
     const auto [y_lo, y_hi] = interval(ys, "y");

@@ -26,6 +26,8 @@ std::string_view to_string(Variant v) {
       return "isp";
     case Variant::kIspWarp:
       return "isp-warp";
+    case Variant::kIspTiled:
+      return "isp-tiled";
   }
   return "?";
 }
@@ -44,6 +46,16 @@ struct KernelCtx {
   RegId gx{}, gy{};
   std::vector<u8> in_buffers;
   u8 out_buffer = 0;
+};
+
+/// Shared-memory tile context of the kIspTiled Body section: when present,
+/// emit_read resolves taps into the staged tile instead of global memory.
+struct TileCtx {
+  i32 rx = 0;      ///< halo radius x
+  i32 ry = 0;      ///< halo radius y
+  i32 tw = 0;      ///< tile width: tile_block.tx + 2*rx
+  i32 elems = 0;   ///< words per staged input (tw * th)
+  RegId t_base{};  ///< tid.y * tw + tid.x, hoisted before the compute phase
 };
 
 /// Emits the border-mapped coordinate for `base + d` along one axis for the
@@ -124,9 +136,23 @@ RegId emit_mapped_axis(Builder& b, BorderPattern pattern, RegId base, i32 d,
   throw ContractError("emit_mapped_axis called for the Constant pattern");
 }
 
-/// Emits one border-handled read and returns the value register.
+/// Emits one border-handled read and returns the value register. With a
+/// TileCtx (the kIspTiled Body section) the tap reads the staged smem tile
+/// at a per-lane constant offset instead of global memory.
 RegId emit_read(Builder& b, const KernelCtx& ctx, const CodegenOptions& opt,
-                Side sides, i32 input, i32 dx, i32 dy) {
+                Side sides, i32 input, i32 dx, i32 dy,
+                const TileCtx* tile = nullptr) {
+  if (tile != nullptr) {
+    // smem[(tid.y + ry + dy) * tw + (tid.x + rx + dx) + input * elems]:
+    // everything but t_base folds into one immediate.
+    const i32 off = (tile->ry + dy) * tile->tw + (tile->rx + dx) +
+                    input * tile->elems;
+    const RegId addr =
+        off == 0 ? tile->t_base
+                 : b.emit(Op::kAdd, Type::kI32, Operand::r(tile->t_base),
+                          Operand::imm_i32(off));
+    return b.emit_smem_ld(addr);
+  }
   // Checks are sign-AGNOSTIC, like the generic border functions of
   // Listing 1: a section flagged for a side applies that side's remap to
   // every access with a window offset. NVCC cannot drop such checks (image
@@ -209,7 +235,8 @@ RegId emit_read(Builder& b, const KernelCtx& ctx, const CodegenOptions& opt,
 /// Emits the full stencil computation specialized for `sides` and jumps to
 /// `exit` afterwards.
 void emit_section(Builder& b, const StencilSpec& spec, const KernelCtx& ctx,
-                  const CodegenOptions& opt, Side sides, Builder::Label exit) {
+                  const CodegenOptions& opt, Side sides, Builder::Label exit,
+                  const TileCtx* tile = nullptr) {
   std::map<std::tuple<i32, i32, i32>, RegId> read_cache;
   std::vector<RegId> node_reg(spec.nodes.size(), ir::kNoReg);
 
@@ -246,7 +273,8 @@ void emit_section(Builder& b, const StencilSpec& spec, const KernelCtx& ctx,
         if (it != read_cache.end()) {
           node_reg[i] = it->second;
         } else {
-          node_reg[i] = emit_read(b, ctx, opt, sides, n.input, n.dx, n.dy);
+          node_reg[i] =
+              emit_read(b, ctx, opt, sides, n.input, n.dx, n.dy, tile);
           read_cache.emplace(key, node_reg[i]);
         }
         break;
@@ -301,6 +329,81 @@ void emit_section(Builder& b, const StencilSpec& spec, const KernelCtx& ctx,
   b.br(exit);
 }
 
+/// Stages the halo-extended input tile of a Body block into shared memory
+/// and ends with the block-wide barrier (kIspTiled). The 2D strided loop is
+/// fully unrolled over compile-time trip counts; a stride that overhangs the
+/// tile clamps to the last row/column instead of branching, so overhanging
+/// lanes re-stage an edge element they already wrote (same address, same
+/// value — benign) and the section stays guard-free with piecewise-affine
+/// addresses. Body blocks have the whole halo footprint in bounds by
+/// Eq. (2), so no border remapping is needed either.
+TileCtx emit_tile_staging(Builder& b, const StencilSpec& spec,
+                          const KernelCtx& ctx, const CodegenOptions& opt,
+                          i32 rx, i32 ry) {
+  const i32 btx = opt.tile_block.tx;
+  const i32 bty = opt.tile_block.ty;
+  const i32 tw = btx + 2 * rx;
+  const i32 th = bty + 2 * ry;
+  TileCtx tile;
+  tile.rx = rx;
+  tile.ry = ry;
+  tile.tw = tw;
+  tile.elems = tw * th;
+
+  // Tile origin in the image: the block's first pixel minus the halo.
+  RegId ox = b.emit(Op::kMul, Type::kI32, Operand::r(ctx.bx),
+                    Operand::r(ctx.ntidx));
+  if (rx != 0) {
+    ox = b.emit(Op::kSub, Type::kI32, Operand::r(ox), Operand::imm_i32(rx));
+  }
+  RegId oy = b.emit(Op::kMul, Type::kI32, Operand::r(ctx.by),
+                    Operand::r(ctx.ntidy));
+  if (ry != 0) {
+    oy = b.emit(Op::kSub, Type::kI32, Operand::r(oy), Operand::imm_i32(ry));
+  }
+
+  for (i32 jj = 0; jj * bty < th; ++jj) {
+    RegId j = jj == 0 ? ctx.tidy
+                      : b.emit(Op::kAdd, Type::kI32, Operand::r(ctx.tidy),
+                               Operand::imm_i32(jj * bty));
+    if ((jj + 1) * bty > th) {
+      j = b.emit(Op::kMin, Type::kI32, Operand::r(j), Operand::imm_i32(th - 1));
+    }
+    const RegId gys = b.emit(Op::kAdd, Type::kI32, Operand::r(oy),
+                             Operand::r(j));
+    for (i32 ii = 0; ii * btx < tw; ++ii) {
+      RegId i = ii == 0 ? ctx.tidx
+                        : b.emit(Op::kAdd, Type::kI32, Operand::r(ctx.tidx),
+                                 Operand::imm_i32(ii * btx));
+      if ((ii + 1) * btx > tw) {
+        i = b.emit(Op::kMin, Type::kI32, Operand::r(i),
+                   Operand::imm_i32(tw - 1));
+      }
+      const RegId idx = b.emit(Op::kMad, Type::kI32, Operand::r(j),
+                               Operand::imm_i32(tw), Operand::r(i));
+      const RegId gxs = b.emit(Op::kAdd, Type::kI32, Operand::r(ox),
+                               Operand::r(i));
+      for (i32 input = 0; input < spec.num_inputs; ++input) {
+        const RegId gaddr =
+            b.emit(Op::kMad, Type::kI32, Operand::r(gys),
+                   Operand::r(ctx.pitch_in[static_cast<std::size_t>(input)]),
+                   Operand::r(gxs));
+        const RegId v = b.emit_ld(
+            ctx.in_buffers[static_cast<std::size_t>(input)], gaddr);
+        const RegId saddr =
+            input == 0 ? idx
+                       : b.emit(Op::kAdd, Type::kI32, Operand::r(idx),
+                                Operand::imm_i32(input * tile.elems));
+        b.emit_smem_st(saddr, Operand::r(v));
+      }
+    }
+  }
+  b.emit_bar();
+  tile.t_base = b.emit(Op::kMad, Type::kI32, Operand::r(ctx.tidy),
+                       Operand::imm_i32(tw), Operand::r(ctx.tidx));
+  return tile;
+}
+
 }  // namespace
 
 ir::Program generate_kernel(const StencilSpec& spec,
@@ -339,6 +442,20 @@ ir::Program generate_kernel(const StencilSpec& spec,
     ctx.in_buffers.push_back(b.add_buffer());
   }
   ctx.out_buffer = b.add_buffer();
+
+  // kIspTiled: reserve the halo-extended tile, one slab per input. A
+  // zero-radius window has no halo to stage — the generated code then
+  // matches kIsp exactly (no smem, no barrier).
+  const Window win = spec.window();
+  const bool staged = opt.variant == Variant::kIspTiled &&
+                      (win.radius_x() > 0 || win.radius_y() > 0);
+  if (staged) {
+    ISPB_EXPECTS(opt.tile_block.tx > 0 && opt.tile_block.ty > 0);
+    const i32 tw = opt.tile_block.tx + 2 * win.radius_x();
+    const i32 th = opt.tile_block.ty + 2 * win.radius_y();
+    b.declare_smem(static_cast<u32>(tw) * static_cast<u32>(th) *
+                   static_cast<u32>(spec.num_inputs));
+  }
 
   // Prologue: global coordinates + iteration-space guard.
   const auto exit = b.make_label();
@@ -409,8 +526,20 @@ ir::Program generate_kernel(const StencilSpec& spec,
 
     for (Region r : kAllRegions) {
       b.bind(section[r]);
-      b.marker(std::string(to_string(r)));
-      emit_section(b, spec, ctx, opt, region_sides(r), exit);
+      if (r == Region::kBody && staged) {
+        // The staging loop is its own marked section: its trip-count
+        // clamps and loop branches are loop control, not border handling,
+        // so the "Body" section keeps the paper's zero-residual-guard
+        // property for the compute phase.
+        b.marker("BodyStage");
+        const TileCtx tile = emit_tile_staging(b, spec, ctx, opt,
+                                               win.radius_x(), win.radius_y());
+        b.marker(std::string(to_string(r)));
+        emit_section(b, spec, ctx, opt, region_sides(r), exit, &tile);
+      } else {
+        b.marker(std::string(to_string(r)));
+        emit_section(b, spec, ctx, opt, region_sides(r), exit);
+      }
     }
   }
 
@@ -424,6 +553,11 @@ ir::Program generate_kernel(const StencilSpec& spec,
   prog.annotations.emplace_back("pattern", std::string(to_string(opt.pattern)));
   if (opt.variant == Variant::kIspWarp) {
     prog.annotations.emplace_back("warp_width", std::to_string(opt.warp_width));
+  }
+  if (opt.variant == Variant::kIspTiled) {
+    prog.annotations.emplace_back("tile_block",
+                                  std::to_string(opt.tile_block.tx) + "x" +
+                                      std::to_string(opt.tile_block.ty));
   }
   if (opt.optimize) {
     (void)ir::optimize(prog);

@@ -7,7 +7,15 @@
 //  - kIsp:     the fat kernel of Listing 3 — block-granular region switch
 //              into nine specialized sections,
 //  - kIspWarp: the warp-refined switch of Listing 5 (warp index may redirect
-//              corner/edge warps into cheaper regions).
+//              corner/edge warps into cheaper regions),
+//  - kIspTiled: kIsp with a shared-memory Body section — each Body block
+//              cooperatively stages its halo-extended input tile into smem
+//              once, barriers, and computes every tap from the tile. Border
+//              sections are unchanged; Body blocks have their whole halo in
+//              bounds by Eq. (2), so the staging loop needs no border
+//              remapping and no guards (overhanging lanes re-stage the tile
+//              edge via min-clamps, keeping the section branch-free and the
+//              addresses piecewise-affine for the static analyzer).
 //
 // Checks follow Listing 1's generic border functions: a section flagged for
 // a side applies that side's remap to EVERY access of the axis (remaps are
@@ -26,7 +34,7 @@ namespace ispb::codegen {
 
 /// Implementation variants (isp+m is a planner decision between kNaive and
 /// kIsp, not a distinct kernel).
-enum class Variant : u8 { kNaive, kIsp, kIspWarp };
+enum class Variant : u8 { kNaive, kIsp, kIspWarp, kIspTiled };
 
 [[nodiscard]] std::string_view to_string(Variant v);
 
@@ -43,13 +51,20 @@ struct CodegenOptions {
   /// checks across the whole window (an ablation of the Table I effect).
   bool row_blocks = true;
   i32 warp_width = 32;         ///< for kIspWarp's warp-index computation
+  /// kIspTiled bakes the block extent into the unrolled staging loop (the
+  /// tile size and trip counts are compile-time constants, as in real CUDA
+  /// smem kernels). The launch helper rejects a kIspTiled program launched
+  /// with any other block shape.
+  BlockSize tile_block{32, 4};
 };
 
 /// Kernel parameter names the generated program declares. The launch helper
 /// (dsl/runtime) fills them; listed here so benches can build ParamMaps.
 ///  always:    sx, sy, pitch_out, ntid.x, ntid.y, pitch_in<i> per input
-///  kIsp/Warp: bh_l, bh_r, bh_t, bh_b
+///  kIsp/Warp/Tiled: bh_l, bh_r, bh_t, bh_b
 ///  kIspWarp:  w_l, w_r
+///  kIspTiled: no extra parameters; the staged tile extent is baked in and
+///             Program::smem_words carries the per-block smem footprint
 ///  kConstant: border_const is baked as an immediate (not a parameter)
 ///
 /// Buffers: inputs 0..num_inputs-1, output = num_inputs.

@@ -1,5 +1,7 @@
 #include "core/model.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace ispb {
@@ -56,9 +58,40 @@ f64 isp_instructions(const ModelInputs& in) {
   return total;
 }
 
+f64 tiled_instructions(const ModelInputs& in) {
+  const f64 base = isp_instructions(in);
+  const i32 rx = in.window.radius_x();
+  const i32 ry = in.window.radius_y();
+  if (rx == 0 && ry == 0) return base;  // nothing to stage
+
+  const RegionBlockCounts counts =
+      count_region_blocks(in.image, in.block, in.window);
+  const f64 body_blocks = static_cast<f64>(counts.of(Region::kBody));
+  if (body_blocks == 0.0) return base;
+
+  const f64 threads = static_cast<f64>(in.block.threads());
+  // The staged tile is always the dense halo extent; the benefit scales
+  // with the taps actually read (sparse stencils read far fewer).
+  const f64 taps =
+      in.taps > 0.0 ? in.taps : static_cast<f64>(in.window.m) * in.window.n;
+  const f64 tile_words =
+      static_cast<f64>(in.block.tx + 2 * rx) *
+      static_cast<f64>(in.block.ty + 2 * ry) * in.num_inputs;
+
+  // Per Body thread: stage its share of the tile, one barrier, then each
+  // tap's load issues at smem rate (plus the tile-local address
+  // recomputation) instead of gmem rate.
+  const f64 stage = tile_words / threads * in.stage_per_word;
+  const f64 tap_delta =
+      taps * (in.smem_latency + in.smem_addr_per_tap - in.gmem_latency);
+  const f64 per_thread = stage + 1.0 + tap_delta;
+  return std::max(1.0, base + per_thread * body_blocks * threads);
+}
+
 ModelResult evaluate_model(const ModelInputs& in) {
   ISPB_EXPECTS(in.occupancy_naive > 0.0 && in.occupancy_naive <= 1.0);
   ISPB_EXPECTS(in.occupancy_isp > 0.0 && in.occupancy_isp <= 1.0);
+  ISPB_EXPECTS(in.occupancy_tiled > 0.0 && in.occupancy_tiled <= 1.0);
 
   ModelResult r;
   r.n_naive = naive_instructions(in);
@@ -67,6 +100,16 @@ ModelResult evaluate_model(const ModelInputs& in) {
   r.r_reduced = r.n_naive / r.n_isp;
   r.gain = r.r_reduced * in.occupancy_isp / in.occupancy_naive;
   r.use_isp = r.gain > 1.0;
+
+  r.n_tiled = tiled_instructions(in);
+  r.gain_tiled =
+      (r.n_naive / r.n_tiled) * in.occupancy_tiled / in.occupancy_naive;
+
+  r.choice = ModelChoice::kNaive;
+  if (r.gain > 1.0) r.choice = ModelChoice::kIsp;
+  if (r.gain_tiled > 1.0 && r.gain_tiled > r.gain) {
+    r.choice = ModelChoice::kIspTiled;
+  }
   return r;
 }
 

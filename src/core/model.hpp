@@ -40,15 +40,43 @@ struct ModelInputs {
   /// Instructions per region-switch test in Listing 3 (compare + branch).
   f64 switch_per_test = 2.0;
 
-  /// Theoretical occupancies of the two variants, in (0, 1].
+  /// Theoretical occupancies of the variants, in (0, 1]. occupancy_tiled
+  /// differs from occupancy_isp when the staged tile's shared memory bounds
+  /// resident blocks (sim::compute_occupancy with smem bytes).
   f64 occupancy_naive = 1.0;
   f64 occupancy_isp = 1.0;
+  f64 occupancy_tiled = 1.0;
+
+  // --- tiled-Body extension ------------------------------------------------
+  // Instruction counts alone cannot distinguish a global tap load from a
+  // staged ld.shared; the tiled estimate weighs the load component of each
+  // Body tap by these modelled issue latencies (cycles; the simulator's
+  // cost_mem_issue and cost_smem).
+  f64 gmem_latency = 4.0;
+  f64 smem_latency = 1.0;
+  /// Extra address arithmetic per staged tap: reading the tile needs a
+  /// local (row * tile_width + col) recomputation the direct global load
+  /// had already strength-reduced. Calibrated against simulator counters.
+  f64 smem_addr_per_tap = 1.5;
+  /// Modelled cost to stage one tile word: one global load, one smem store
+  /// and the staging-loop index/clamp/branch arithmetic.
+  f64 stage_per_word = 9.0;
+  /// Actual tap loads per Body thread (distinct read sites). Sparse stencils
+  /// (e.g. the night app's a-trous wavelets) read far fewer taps than the
+  /// window covers, while the staged tile is always the dense halo extent;
+  /// 0 falls back to the dense window.m * window.n.
+  f64 taps = 0.0;
+  /// Input planes staged per tile (each multiplies the tile footprint).
+  i32 num_inputs = 1;
 };
 
 /// Fills check/kernel costs from the pattern defaults of Listing 1.
 [[nodiscard]] ModelInputs default_model_inputs(Size2 image, BlockSize block,
                                                Window window,
                                                BorderPattern pattern);
+
+/// The model's variant recommendation (3-way extension of Eq. (10)).
+enum class ModelChoice : u8 { kNaive, kIsp, kIspTiled };
 
 /// Model outputs.
 struct ModelResult {
@@ -57,6 +85,14 @@ struct ModelResult {
   f64 r_reduced = 1.0;  ///< Eq. (9): N_naive / N_ISP
   f64 gain = 1.0;       ///< Eq. (10): R_reduced * O_ISP / O_naive
   bool use_isp = false; ///< gain > 1
+  /// Tiled-Body estimate: N_ISP with each Body tap's load reweighted from
+  /// gmem to smem latency, plus per-thread staging and barrier overhead.
+  f64 n_tiled = 0.0;
+  /// Eq. (10) against the tiled kernel: (N_naive/N_tiled) * O_tiled/O_naive.
+  f64 gain_tiled = 1.0;
+  /// argmax{1, gain, gain_tiled}; ties between isp and tiled go to isp (the
+  /// simpler kernel), so a radius-0 window never selects tiled.
+  ModelChoice choice = ModelChoice::kNaive;
 };
 
 /// Estimated instructions for one thread executing one tap in a region that
@@ -69,7 +105,14 @@ struct ModelResult {
 /// Eqs. (4)-(6): total instruction estimate of the ISP kernel.
 [[nodiscard]] f64 isp_instructions(const ModelInputs& in);
 
-/// Full evaluation: Eqs. (3)-(10).
+/// Tiled-Body estimate: isp_instructions with the Body region's per-tap
+/// load reweighted from gmem_latency to smem_latency and the staging
+/// overhead (tile words / threads-per-block, at stage_per_word each, plus
+/// one barrier) charged to every Body thread. Border regions are identical
+/// to the ISP kernel, so only the Body term moves.
+[[nodiscard]] f64 tiled_instructions(const ModelInputs& in);
+
+/// Full evaluation: Eqs. (3)-(10) plus the 3-way tiled extension.
 [[nodiscard]] ModelResult evaluate_model(const ModelInputs& in);
 
 }  // namespace ispb

@@ -9,7 +9,7 @@ namespace ispb::dsl {
 PlanDecision plan_variant(const sim::DeviceSpec& dev,
                           const codegen::StencilSpec& spec, Size2 image,
                           BlockSize block, BorderPattern pattern,
-                          bool prefer_warp) {
+                          bool prefer_warp, bool allow_tiled) {
   obs::ScopedSpan span("dsl.plan_variant", "compile");
   PlanDecision d;
 
@@ -28,6 +28,21 @@ PlanDecision plan_variant(const sim::DeviceSpec& dev,
   d.occ_naive = sim::compute_occupancy(dev, block, d.regs_naive);
   d.occ_isp = sim::compute_occupancy(dev, block, d.regs_isp);
 
+  // Tiled candidate: its register demand and smem footprint come from the
+  // actually generated kernel, so the occupancy penalty is real.
+  d.occ_tiled = d.occ_isp;
+  if (allow_tiled) {
+    codegen::CodegenOptions tiled_opt = naive_opt;
+    tiled_opt.variant = codegen::Variant::kIspTiled;
+    tiled_opt.tile_block = block;
+    const CompiledKernel tiled = compile_kernel(spec, tiled_opt);
+    d.regs_tiled = tiled.regs_per_thread;
+    d.smem_bytes_tiled =
+        static_cast<i32>(tiled.program.smem_words * sizeof(f32));
+    d.occ_tiled =
+        sim::compute_occupancy(dev, block, d.regs_tiled, d.smem_bytes_tiled);
+  }
+
   const codegen::MeasuredCosts costs = codegen::measure_costs(spec, pattern);
   ModelInputs in;
   in.image = image;
@@ -44,6 +59,14 @@ PlanDecision plan_variant(const sim::DeviceSpec& dev,
   // land on the naive side near the crossover.
   in.occupancy_naive = std::max(1e-6, d.occ_naive.fraction);
   in.occupancy_isp = std::max(1e-6, d.occ_isp.fraction);
+  in.occupancy_tiled = std::max(1e-6, d.occ_tiled.fraction);
+  in.gmem_latency = dev.cost_mem_issue;
+  in.smem_latency = dev.cost_smem;
+  // One staged word = one global load + one smem store + ~4 instructions of
+  // staging-loop index/clamp/branch arithmetic (counter-calibrated).
+  in.stage_per_word = dev.cost_mem_issue + dev.cost_smem + 4.0;
+  in.taps = static_cast<f64>(spec.read_count());
+  in.num_inputs = static_cast<i32>(spec.num_inputs);
   d.model_inputs = in;
   d.model = evaluate_model(in);
 
@@ -54,6 +77,10 @@ PlanDecision plan_variant(const sim::DeviceSpec& dev,
 
   d.variant = (d.model.use_isp && !degenerate) ? isp_opt.variant
                                                : codegen::Variant::kNaive;
+  if (allow_tiled && !degenerate &&
+      d.model.choice == ModelChoice::kIspTiled) {
+    d.variant = codegen::Variant::kIspTiled;
+  }
   if (span.recording()) {
     span.arg("stencil", spec.name);
     span.arg("variant", std::string(codegen::to_string(d.variant)));

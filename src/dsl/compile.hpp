@@ -21,15 +21,23 @@ struct PlanDecision {
   i32 regs_isp = 0;
   sim::Occupancy occ_naive;
   sim::Occupancy occ_isp;
+  /// Tiled candidate (filled only when planning 3-way, see allow_tiled).
+  i32 regs_tiled = 0;
+  i32 smem_bytes_tiled = 0;
+  sim::Occupancy occ_tiled;
 };
 
 /// Runs the full isp+m decision procedure. `prefer_warp` requests the
-/// warp-grained kernel when ISP wins (Section V-B).
+/// warp-grained kernel when ISP wins (Section V-B). `allow_tiled` opens the
+/// 3-way choice: the shared-memory tiled kernel is also compiled, its
+/// occupancy evaluated under the smem capacity limit, and kIspTiled is
+/// selected when the extended Eq. (10) predicts it fastest.
 [[nodiscard]] PlanDecision plan_variant(const sim::DeviceSpec& dev,
                                         const codegen::StencilSpec& spec,
                                         Size2 image, BlockSize block,
                                         BorderPattern pattern,
-                                        bool prefer_warp = false);
+                                        bool prefer_warp = false,
+                                        bool allow_tiled = false);
 
 /// Sweeps candidate block sizes through the model and returns the best
 /// (variant, block) pair by predicted gain — an extension beyond the paper

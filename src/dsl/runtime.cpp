@@ -118,6 +118,17 @@ SimRun launch_on_sim(const sim::DeviceSpec& dev, const CompiledKernel& kernel,
   CompiledKernel naive_fallback;
   SimRun run;
   run.variant_used = kernel.options.variant;
+  if (kernel.options.variant == codegen::Variant::kIspTiled &&
+      !(block == kernel.options.tile_block)) {
+    // The staging loop's trip counts and tile extent were baked for
+    // tile_block; any other shape would stage the wrong tile.
+    throw ContractError(
+        "kernel '" + kernel.program.name + "' was tiled for a " +
+        std::to_string(kernel.options.tile_block.tx) + "x" +
+        std::to_string(kernel.options.tile_block.ty) +
+        " block, launched with " + std::to_string(block.tx) + "x" +
+        std::to_string(block.ty));
+  }
   if (kernel.options.variant != codegen::Variant::kNaive) {
     const BlockBounds bounds = compute_block_bounds(image, block, window);
     const bool degenerate = bounds.bh_l > bounds.bh_r ||
@@ -147,7 +158,9 @@ SimRun launch_on_sim(const sim::DeviceSpec& dev, const CompiledKernel& kernel,
   const sim::ParamMap params = build_params(
       to_run->program, image, inputs, output, block, window,
       to_run->options.warp_width);
-  const sim::LaunchConfig cfg{image, block, to_run->regs_per_thread};
+  sim::LaunchConfig cfg{image, block, to_run->regs_per_thread};
+  cfg.smem_bytes_per_block =
+      static_cast<i32>(to_run->program.smem_words * sizeof(f32));
 
   // Both modes classify blocks by side mask: sampled execution needs the
   // classes to pick representatives, and full execution uses them to fill

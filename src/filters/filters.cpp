@@ -359,6 +359,8 @@ AppSimResult run_app_simulated(const MultiKernelApp& app,
     options.pattern = config.pattern;
     options.variant = variant;
     options.border_constant = config.constant;
+    // Tiled staging is specialized to the launch block shape.
+    options.tile_block = config.block;
     // Identical (spec, options) compiles happen once per process: every
     // pipeline run in the repo funnels through the shared kernel cache.
     const pipeline::KernelCache::KernelPtr kernel =

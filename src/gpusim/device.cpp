@@ -27,6 +27,11 @@ DeviceSpec make_gtx680() {
   d.cost_control = 1.0;
   d.cost_mem_issue = 4.0;
   d.cost_mem_transaction = 8.0;
+  d.cost_smem = 1.0;
+  d.cost_smem_conflict = 1.0;
+  d.smem_per_sm = 49152;  // 48 KiB SMX shared memory (max carveout)
+  d.smem_alloc_granularity = 256;
+  d.smem_banks = 32;
   d.launch_overhead_us = 5.0;
   return d;
 }
@@ -50,6 +55,11 @@ DeviceSpec make_rtx2080() {
   d.cost_control = 1.0;
   d.cost_mem_issue = 4.0;
   d.cost_mem_transaction = 6.0;  // larger L1/L2, better latency hiding
+  d.cost_smem = 1.0;
+  d.cost_smem_conflict = 1.0;
+  d.smem_per_sm = 65536;  // 64 KiB max shared-memory carveout of the 96 KiB L1
+  d.smem_alloc_granularity = 256;
+  d.smem_banks = 32;
   d.launch_overhead_us = 4.0;
   return d;
 }
@@ -59,10 +69,14 @@ Pipe pipe_class(ir::Op op, ir::Type type) {
   switch (op) {
     case Op::kBra:
     case Op::kRet:
+    case Op::kBar:
       return Pipe::kControl;
     case Op::kLd:
     case Op::kSt:
       return Pipe::kMem;
+    case Op::kSmemLd:
+    case Op::kSmemSt:
+      return Pipe::kSmem;
     case Op::kEx2:
     case Op::kLg2:
     case Op::kRcp:
@@ -101,15 +115,18 @@ f64 instr_cost(const DeviceSpec& dev, ir::Op op, ir::Type type) {
       return dev.cost_control;
     case Pipe::kMem:
       return dev.cost_mem_issue;
+    case Pipe::kSmem:
+      return dev.cost_smem;
   }
   return 1.0;
 }
 
 Occupancy compute_occupancy(const DeviceSpec& dev, BlockSize block,
-                            i32 regs_per_thread) {
+                            i32 regs_per_thread, i32 smem_bytes_per_block) {
   ISPB_EXPECTS(block.threads() > 0 &&
                block.threads() <= dev.max_threads_per_block);
   ISPB_EXPECTS(regs_per_thread >= 0);
+  ISPB_EXPECTS(smem_bytes_per_block >= 0);
 
   const i32 regs =
       std::clamp(regs_per_thread + dev.base_registers, 1,
@@ -123,14 +140,26 @@ Occupancy compute_occupancy(const DeviceSpec& dev, BlockSize block,
       round_up(regs * dev.warp_size, dev.register_alloc_granularity);
   const i32 warps_by_regs = dev.registers_per_sm / regs_per_warp;
   const i32 by_regs = warps_by_regs / warps_per_block;
+  // Shared memory is allocated per block, rounded to the allocation
+  // granularity; blocks declaring more than the SM holds cannot launch.
+  const i32 smem_alloc =
+      smem_bytes_per_block > 0
+          ? round_up(smem_bytes_per_block, dev.smem_alloc_granularity)
+          : 0;
+  const i32 by_smem =
+      smem_alloc > 0 ? dev.smem_per_sm / smem_alloc : dev.max_blocks_per_sm;
 
   Occupancy occ;
-  occ.active_blocks_per_sm = std::max(0, std::min({by_warps, by_blocks, by_regs}));
+  occ.active_blocks_per_sm =
+      std::max(0, std::min({by_warps, by_blocks, by_regs, by_smem}));
   occ.active_warps_per_sm = occ.active_blocks_per_sm * warps_per_block;
   occ.fraction = static_cast<f64>(occ.active_warps_per_sm) /
                  static_cast<f64>(dev.max_warps_per_sm);
-  if (occ.active_blocks_per_sm == by_regs && by_regs < by_warps &&
-      by_regs <= by_blocks) {
+  if (occ.active_blocks_per_sm == by_smem && by_smem < by_warps &&
+      by_smem < by_regs && by_smem <= by_blocks) {
+    occ.limiter = Occupancy::Limiter::kSharedMem;
+  } else if (occ.active_blocks_per_sm == by_regs && by_regs < by_warps &&
+             by_regs <= by_blocks) {
     occ.limiter = Occupancy::Limiter::kRegisters;
   } else if (occ.active_blocks_per_sm == by_warps && by_warps <= by_blocks) {
     occ.limiter = Occupancy::Limiter::kWarps;

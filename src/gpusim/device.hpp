@@ -29,8 +29,9 @@ enum class Pipe : u8 {
   kIntMul,   ///< integer mul/mad/div/rem
   kFloat,    ///< f32 add/mul/mad/min/max
   kSfu,      ///< ex2/lg2/rcp/sqrt (special function units)
-  kControl,  ///< branches, ret
+  kControl,  ///< branches, ret, barriers
   kMem,      ///< ld/st issue (transactions costed separately)
+  kSmem,     ///< shared-memory ld/st issue (bank passes costed separately)
 };
 
 /// Architectural description of a simulated GPU.
@@ -61,6 +62,19 @@ struct DeviceSpec {
   f64 cost_mem_issue = 4.0;
   /// Additional cycles per 32-byte memory transaction (coalescing unit).
   f64 cost_mem_transaction = 8.0;
+  /// Issue cost of a conflict-free shared-memory access (on-chip SRAM: no
+  /// transaction cost, roughly ALU-rate issue).
+  f64 cost_smem = 1.0;
+  /// Extra cycles per serialized bank-conflict replay pass beyond the first.
+  f64 cost_smem_conflict = 1.0;
+  /// Shared-memory capacity per SM in bytes; bounds resident blocks when
+  /// kernels declare per-block smem.
+  i32 smem_per_sm = 49152;
+  /// Per-block shared-memory allocation rounding, bytes.
+  i32 smem_alloc_granularity = 256;
+  /// Number of shared-memory banks (4-byte wide); accesses by a warp to
+  /// distinct addresses in the same bank serialize into replay passes.
+  i32 smem_banks = 32;
   /// Pixels per 32-byte memory transaction. The evaluation pipelines
   /// process 8-bit pixels (Hipacc's benchmark images are uchar), so one
   /// transaction carries 32 of them; the simulator stores pixels as f32 for
@@ -85,16 +99,19 @@ struct Occupancy {
   i32 active_blocks_per_sm = 0;
   i32 active_warps_per_sm = 0;
   f64 fraction = 0.0;  ///< active warps / max warps (the O of Eq. (10))
-  enum class Limiter : u8 { kWarps, kBlocks, kRegisters, kNone } limiter =
-      Limiter::kNone;
+  enum class Limiter : u8 { kWarps, kBlocks, kRegisters, kSharedMem, kNone }
+      limiter = Limiter::kNone;
 };
 
 /// Computes theoretical occupancy for a kernel using `regs_per_thread`
 /// registers (the allocator's count plus the device's base registers is
 /// applied here) launched with `block`-sized threadblocks.
+/// `smem_bytes_per_block` (rounded up to the allocation granularity) bounds
+/// resident blocks by the SM's shared-memory capacity; 0 means no smem.
 [[nodiscard]] Occupancy compute_occupancy(const DeviceSpec& dev,
                                           BlockSize block,
-                                          i32 regs_per_thread);
+                                          i32 regs_per_thread,
+                                          i32 smem_bytes_per_block = 0);
 
 /// Issue-throughput factor of one SM at the given occupancy: 1.0 when
 /// enough warps are resident to hide latency, proportionally less below

@@ -96,14 +96,22 @@ WarpResult run_block_impl(const DeviceSpec& dev, const ir::Program& prog,
                           std::span<const ir::BufferBinding> buffers, i32 bx,
                           i32 by) {
   const i32 warps = ceil_div(block.threads(), dev.warp_size);
-  WarpResult total;
   std::vector<ir::Word> lane_inputs;
+  std::vector<ir::Word> warp_inputs;
   SegmentCache block_cache;  // per-SM L1 shared by the block's warps
+  // All warps of the block execute together (barrier-synchronized phases
+  // over one shared smem array); for barrier-free kernels this is the same
+  // sequential warp order as before.
   for (i32 w = 0; w < warps; ++w) {
-    resolver.fill_warp(bx, by, w, dev.warp_size, lane_inputs);
-    total += run_warp(prog, dev, lane_inputs, buffers, 50'000'000,
-                      &block_cache);
+    resolver.fill_warp(bx, by, w, dev.warp_size, warp_inputs);
+    lane_inputs.insert(lane_inputs.end(), warp_inputs.begin(),
+                       warp_inputs.end());
   }
+  std::vector<WarpResult> results(static_cast<std::size_t>(warps));
+  run_block_warps(prog, dev, lane_inputs, static_cast<u32>(warps), buffers,
+                  results, 50'000'000, &block_cache);
+  WarpResult total;
+  for (const WarpResult& r : results) total += r;
   return total;
 }
 
@@ -154,6 +162,10 @@ void publish_launch_metrics(const ir::Program& prog, std::string_view mode,
            static_cast<f64>(stats.warps.mem_transactions_wide), labels);
   reg->add("sim.mem_cache_misses",
            static_cast<f64>(stats.warps.mem_cache_misses), labels);
+  reg->add("sim.smem_transactions",
+           static_cast<f64>(stats.warps.smem_transactions), labels);
+  reg->add("sim.smem_bank_conflicts",
+           static_cast<f64>(stats.warps.smem_bank_conflicts), labels);
   reg->observe("sim.launch_time_ms", stats.time_ms, labels);
 }
 
@@ -185,7 +197,9 @@ LaunchStats launch_grid_impl(const DeviceSpec& dev, const ir::Program& prog,
   for (f64 c : block_cycles) stats.total_warp_cycles += c;
   stats.blocks_executed = total;
   stats.blocks_total = total;
-  stats.occupancy = compute_occupancy(dev, cfg.block, cfg.regs_per_thread);
+  stats.smem_bytes_per_block = cfg.smem_bytes_per_block;
+  stats.occupancy = compute_occupancy(dev, cfg.block, cfg.regs_per_thread,
+                                      cfg.smem_bytes_per_block);
   stats.time_ms = model_time_ms(dev, stats.occupancy, block_cycles);
   if (classify) {
     for (i64 b = 0; b < total; ++b) {
@@ -262,7 +276,9 @@ LaunchStats launch_sampled(const DeviceSpec& dev, const ir::Program& prog,
 
   LaunchStats stats;
   stats.blocks_total = grid.total();
-  stats.occupancy = compute_occupancy(dev, cfg.block, cfg.regs_per_thread);
+  stats.smem_bytes_per_block = cfg.smem_bytes_per_block;
+  stats.occupancy = compute_occupancy(dev, cfg.block, cfg.regs_per_thread,
+                                      cfg.smem_bytes_per_block);
 
   std::vector<f64> scaled_cycles;  // one synthetic entry per real block
   scaled_cycles.reserve(static_cast<std::size_t>(grid.total()));
@@ -299,6 +315,8 @@ LaunchStats launch_sampled(const DeviceSpec& dev, const ir::Program& prog,
     scaled.mem_transactions_wide = scale_u64(class_total.mem_transactions_wide);
     scaled.mem_cache_misses = scale_u64(class_total.mem_cache_misses);
     scaled.divergent_branches = scale_u64(class_total.divergent_branches);
+    scaled.smem_transactions = scale_u64(class_total.smem_transactions);
+    scaled.smem_bank_conflicts = scale_u64(class_total.smem_bank_conflicts);
     for (auto& v : scaled.issued_per_pipe) v = scale_u64(v);
     stats.warps += scaled;
     stats.total_warp_cycles += mean_cycles * static_cast<f64>(info->count);

@@ -22,6 +22,9 @@ struct LaunchConfig {
   Size2 image{};       ///< iteration space extent
   BlockSize block{};   ///< threadblock size (tx * ty <= 1024)
   i32 regs_per_thread = 0;  ///< register demand (from ir::allocate_registers)
+  /// Per-block dynamic shared memory, bytes (Program::smem_words * 4);
+  /// bounds resident blocks in the occupancy calculation.
+  i32 smem_bytes_per_block = 0;
 };
 
 /// Per-class attribution of one launch: the aggregate warp counters, issue
@@ -40,6 +43,9 @@ struct LaunchStats {
   f64 total_warp_cycles = 0.0;   ///< sum of per-warp issue cycles
   i64 blocks_executed = 0;       ///< blocks actually simulated
   i64 blocks_total = 0;          ///< blocks in the grid
+  /// Per-block dynamic shared memory of this launch, bytes (echoed from
+  /// LaunchConfig so profiling reports carry the footprint).
+  i32 smem_bytes_per_block = 0;
   Occupancy occupancy;           ///< theoretical occupancy used for timing
   f64 time_ms = 0.0;             ///< modeled execution time
   /// Per-class breakdown, keyed by the classifier's value; empty when the

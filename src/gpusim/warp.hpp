@@ -9,11 +9,17 @@
 // issue slots — which is exactly the overhead the ISP transformation removes
 // from border regions, and what the warp-grained refinement (Listing 5)
 // reduces further.
+//
+// Kernels that declare shared memory (Program::smem_words > 0) additionally
+// need block-level execution: run_block_warps runs every warp of one
+// threadblock in barrier-synchronized phases over one shared smem array, so
+// a kBar publishes all lanes' staged stores before any warp reads them.
 #pragma once
 
 #include <array>
 #include <span>
 #include <unordered_set>
+#include <vector>
 
 #include "gpusim/device.hpp"
 #include "ir/interp.hpp"
@@ -21,7 +27,7 @@
 
 namespace ispb::sim {
 
-inline constexpr std::size_t kPipeCount = 6;
+inline constexpr std::size_t kPipeCount = 7;
 
 /// Per-warp execution statistics.
 struct WarpResult {
@@ -39,6 +45,12 @@ struct WarpResult {
   /// cost in warp_cycles.
   u64 mem_cache_misses = 0;
   u64 divergent_branches = 0;  ///< conditional branches splitting the warp
+  /// Shared-memory access passes: one per conflict-free warp access plus one
+  /// per serialized bank-replay pass.
+  u64 smem_transactions = 0;
+  /// Replay passes beyond the first — a warp access touching k distinct
+  /// addresses in the worst bank serializes into k passes (k-1 conflicts).
+  u64 smem_bank_conflicts = 0;
 
   /// Transactions served from the (modeled) L1: issued minus first-touch.
   [[nodiscard]] u64 l1_hits() const {
@@ -49,7 +61,7 @@ struct WarpResult {
 };
 
 /// Issue-cost cycles of a warp execution on `dev` (instruction issue plus
-/// memory transaction cost).
+/// memory transaction cost plus smem bank-conflict replays).
 [[nodiscard]] f64 warp_cycles(const DeviceSpec& dev, const WarpResult& r);
 
 /// Cache state shared by the warps of one threadblock (models the per-SM L1
@@ -62,12 +74,31 @@ using SegmentCache = std::unordered_set<i64>;
 /// All `dev.warp_size` lanes run (guard code inside the kernel handles
 /// out-of-image threads). `shared_cache`, when given, accumulates fetched
 /// segments across calls (block-level L1); otherwise the warp uses a private
-/// cache. Throws on out-of-bounds memory access or when `max_steps` issue
-/// slots are exceeded.
+/// cache. Kernels with smem execute against a private zero-initialized smem
+/// array; a kBar is trivially satisfied once all lanes of this warp arrive.
+/// Throws on out-of-bounds memory access or when `max_steps` issue slots are
+/// exceeded.
 WarpResult run_warp(const ir::Program& prog, const DeviceSpec& dev,
                     std::span<const ir::Word> lane_inputs,
                     std::span<const ir::BufferBinding> buffers,
                     u64 max_steps = 50'000'000,
                     SegmentCache* shared_cache = nullptr);
+
+/// Runs all `num_warps` warps of one threadblock. `lane_inputs` is
+/// warp-major, lane-major within a warp (warp w's lane l inputs start at
+/// (w * warp_size + l) * num_inputs()). Warps execute sequentially in warp
+/// order until each retires or arrives at a kBar; when every live warp is
+/// parked at the barrier, all are released into the next phase. One smem
+/// array (zero-initialized, Program::smem_words words) and one SegmentCache
+/// are shared by all warps. For barrier-free programs this degenerates to
+/// running each warp to completion in warp order — identical statistics to
+/// the sequential run_warp loop. Per-warp statistics accumulate into
+/// `results[w]`. Throws ContractError on a divergent barrier (some lane of
+/// a warp retired or branched around a kBar its siblings arrived at).
+void run_block_warps(const ir::Program& prog, const DeviceSpec& dev,
+                     std::span<const ir::Word> lane_inputs, u32 num_warps,
+                     std::span<const ir::BufferBinding> buffers,
+                     std::span<WarpResult> results, u64 max_steps = 50'000'000,
+                     SegmentCache* shared_cache = nullptr);
 
 }  // namespace ispb::sim

@@ -261,7 +261,10 @@ class Extractor {
   AffineExtraction run() {
     for (u32 pc = 0; pc < prog_.code.size(); ++pc) {
       const Instr& ins = prog_.code[pc];
-      if (ins.op == Op::kLd || ins.op == Op::kSt) record_access(pc, ins);
+      if (ins.op == Op::kLd || ins.op == Op::kSt || ins.op == Op::kSmemLd ||
+          ins.op == Op::kSmemSt) {
+        record_access(pc, ins);
+      }
       if (!ir::op_has_dst(ins.op)) continue;
       if (def_count_[ins.dst] > 1) {
         // Loop-carried or predicated re-definition: no single linear value.
@@ -327,8 +330,9 @@ class Extractor {
   void record_access(u32 pc, const Instr& ins) {
     AccessSite site;
     site.pc = pc;
-    site.is_load = ins.op == Op::kLd;
-    site.buffer = ins.buffer;
+    site.is_load = ins.op == Op::kLd || ins.op == Op::kSmemLd;
+    site.smem = ins.op == Op::kSmemLd || ins.op == Op::kSmemSt;
+    site.buffer = site.smem ? u8{0} : ins.buffer;
     const AV addr = operand(ins.a, pc, /*as_pred=*/false);
     if (addr.kind == AV::Kind::kAffine) {
       site.affine = true;
@@ -346,6 +350,9 @@ class Extractor {
     // Only i32 values and predicates are modeled; every f32 producer —
     // including the stencil arithmetic and loaded pixels — is non-affine.
     if (ins.op == Op::kLd) return non_affine("loaded value", pc);
+    if (ins.op == Op::kSmemLd) {
+      return non_affine("value loaded from shared memory", pc);
+    }
     if (ins.type == Type::kF32 && ins.op != Op::kSetp) {
       return non_affine("f32 value", pc);
     }
@@ -510,7 +517,7 @@ AffineExtraction extract_affine(const ir::Program& prog, const Facts& facts) {
 KernelPath trace_path(const ir::Program& prog,
                       const AffineExtraction& extraction,
                       const RangeResult& ranges) {
-  static_assert(static_cast<std::size_t>(sim::Pipe::kMem) + 1 == 6,
+  static_assert(static_cast<std::size_t>(sim::Pipe::kSmem) + 1 == 7,
                 "PathSegment::per_pipe mirrors sim::Pipe");
   KernelPath path;
 
@@ -523,7 +530,7 @@ KernelPath trace_path(const ir::Program& prog,
 
   std::vector<u32> active;  // indices into path.guards, targets not yet hit
   u32 seg_begin = 0;
-  std::array<u64, 6> per_pipe{};
+  std::array<u64, 7> per_pipe{};
   bool poisoned = false;
 
   const auto poison = [&](u32 pc, std::string reason) {
@@ -580,12 +587,14 @@ KernelPath trace_path(const ir::Program& prog,
 
     ++per_pipe[static_cast<std::size_t>(sim::pipe_class(ins.op, ins.type))];
 
-    if (ins.op == Op::kLd || ins.op == Op::kSt) {
+    if (ins.op == Op::kLd || ins.op == Op::kSt || ins.op == Op::kSmemLd ||
+        ins.op == Op::kSmemSt) {
       const AbstractValue addr = state.read(ins.a, pc, /*as_pred=*/false);
       PathAccess acc;
       acc.pc = pc;
-      acc.is_load = ins.op == Op::kLd;
-      acc.buffer = ins.buffer;
+      acc.is_load = ins.op == Op::kLd || ins.op == Op::kSmemLd;
+      acc.smem = ins.op == Op::kSmemLd || ins.op == Op::kSmemSt;
+      acc.buffer = acc.smem ? u8{0} : ins.buffer;
       if (poisoned) {
         acc.countable = false;
         acc.reason = "after unanalyzable control (" + path.poison_reason + ")";

@@ -151,10 +151,13 @@ struct AbstractValue {
   u32 reason_pc = static_cast<u32>(-1);
 };
 
-/// One ld/st site with its extracted address.
+/// One ld/st site with its extracted address. Shared-memory accesses
+/// (kSmemLd/kSmemSt) carry `smem = true` and index the per-block smem array
+/// (Program::smem_words) instead of a bound buffer.
 struct AccessSite {
   u32 pc = 0;
   bool is_load = true;
+  bool smem = false;
   u8 buffer = 0;
   bool affine = false;
   AffineValue addr;     ///< valid when `affine`
@@ -194,13 +197,14 @@ struct PathSegment {
   std::vector<u32> guards;      ///< indices into KernelPath::guards
   /// Issue slots per simulator pipe class for the segment's instructions
   /// (indexed like sim::Pipe); lets static costing reproduce warp_cycles.
-  std::array<u64, 6> per_pipe{};
+  std::array<u64, 7> per_pipe{};
 };
 
-/// One ld/st on the traced path.
+/// One ld/st on the traced path (smem = shared-memory access).
 struct PathAccess {
   u32 pc = 0;
   bool is_load = true;
+  bool smem = false;
   u8 buffer = 0;
   bool countable = false;
   std::string reason;           ///< when !countable

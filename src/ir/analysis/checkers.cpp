@@ -1,9 +1,12 @@
 #include "ir/analysis/checkers.hpp"
 
 #include <algorithm>
+#include <map>
+#include <set>
 
 #include "common/error.hpp"
 #include "image/image.hpp"
+#include "ir/analysis/access_analysis.hpp"
 
 namespace ispb::analysis {
 
@@ -31,6 +34,10 @@ std::string_view to_string(FindingKind k) {
       return "constant-guard";
     case FindingKind::kDivergentBranch:
       return "divergent-branch";
+    case FindingKind::kSmemUncovered:
+      return "smem-uncovered";
+    case FindingKind::kBarrierDivergence:
+      return "barrier-divergence";
   }
   return "?";
 }
@@ -179,20 +186,25 @@ void collect_access_findings(const ir::Program& prog, const Facts& facts,
                              const std::string& label, CheckReport& report) {
   for (u32 pc = 0; pc < prog.code.size(); ++pc) {
     const Instr& ins = prog.code[pc];
-    if (ins.op != Op::kLd && ins.op != Op::kSt) continue;
+    const bool smem = ins.op == Op::kSmemLd || ins.op == Op::kSmemSt;
+    if (ins.op != Op::kLd && ins.op != Op::kSt && !smem) continue;
     if (!result.reached[pc]) continue;
-    const i64 size = facts.buffer_sizes[ins.buffer];
+    const i64 size = smem ? i64{prog.smem_words} : facts.buffer_sizes[ins.buffer];
     const Interval addr = result.addr[pc];
     if (!addr.is_empty() && addr.lo >= 0 && addr.hi < size) {
       ++report.proven_accesses;
       continue;
     }
+    const bool is_load = ins.op == Op::kLd || ins.op == Op::kSmemLd;
     report.findings.push_back(Finding{
         FindingKind::kOutOfBounds, pc,
         "scenario " + label + ": " +
-            (ins.op == Op::kLd ? std::string("load") : std::string("store")) +
-            " address " + interval_str(addr) + " vs buffer " +
-            std::to_string(ins.buffer) + " size " + std::to_string(size)});
+            (is_load ? std::string("load") : std::string("store")) +
+            " address " + interval_str(addr) + " vs " +
+            (smem ? "shared memory (" + std::to_string(prog.smem_words) +
+                        " words)"
+                  : "buffer " + std::to_string(ins.buffer) + " size " +
+                        std::to_string(size))});
   }
 }
 
@@ -383,6 +395,221 @@ CheckReport check_coverage(const ir::Program& prog,
                   "scenario " + s.label + ": expected region " +
                       std::string(to_string(s.region)) + ", switch reaches {" +
                       got + "}"});
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// True iff the lane with identity (tx, ty) in block (bx, by) executes an
+/// instruction covered by `guards`: every covering guard event must evaluate
+/// false (a true guard jumps the lane over the guarded range).
+bool lane_executes(const KernelPath& path, const std::vector<u32>& guards,
+                   i64 tx, i64 ty, i64 bx, i64 by) {
+  for (const u32 g : guards) {
+    if (path.guards[g].taken.eval(tx, ty, bx, by)) return false;
+  }
+  return true;
+}
+
+/// Representative block indices of a scenario. Smem addressing in generated
+/// kernels is ctaid-invariant, but the checkers evaluate both corners of the
+/// cell rather than assume it.
+std::vector<std::pair<i64, i64>> scenario_corners(const Scenario& s) {
+  std::vector<std::pair<i64, i64>> corners = {{s.bx.lo, s.by.lo}};
+  if (s.bx.hi != s.bx.lo || s.by.hi != s.by.lo) {
+    corners.emplace_back(s.bx.hi, s.by.hi);
+  }
+  return corners;
+}
+
+}  // namespace
+
+CheckReport check_smem_coverage(const ir::Program& prog,
+                                const LaunchGeometry& geom) {
+  CheckReport report;
+  if (prog.smem_words == 0) return report;  // no staging: trivially covered
+  bool degenerate = false;
+  const std::vector<Scenario> scenarios =
+      enumerate_scenarios(prog, geom, degenerate);
+  if (degenerate) {
+    report.findings.push_back(
+        Finding{FindingKind::kDegenerateGeometry, kNoPc,
+                "block bounds are degenerate for this geometry; the runtime "
+                "launches the naive kernel instead"});
+    return report;
+  }
+
+  for (const Scenario& s : scenarios) {
+    const Facts facts = make_launch_facts(prog, geom, s.bx, s.by, s.tx, s.ty);
+    const AffineExtraction ex = extract_affine(prog, facts);
+    const RangeResult ranges = analyze_ranges(prog, facts);
+    const KernelPath path = trace_path(prog, ex, ranges);
+    ++report.scenarios;
+
+    bool touches_smem = false;
+    for (const PathAccess& a : path.accesses) touches_smem |= a.smem;
+    if (!path.complete) {
+      // An incomplete trace with smem traffic on the prefix cannot order
+      // stores against loads past the poison point. Scenarios whose prefix
+      // never touches smem (the Repeat border loops) pass vacuously.
+      if (touches_smem) {
+        report.findings.push_back(
+            Finding{FindingKind::kSmemUncovered, path.poison_pc,
+                    "scenario " + s.label +
+                        ": staging order not provable, path poisoned: " +
+                        path.poison_reason});
+      }
+      continue;
+    }
+    if (!touches_smem) continue;
+
+    // Barrier pcs on the traced path, in program order.
+    std::vector<u32> bar_pcs;
+    for (const PathSegment& seg : path.segments) {
+      for (u32 pc = seg.begin; pc < seg.end; ++pc) {
+        if (prog.code[pc].op == Op::kBar) bar_pcs.push_back(pc);
+      }
+    }
+
+    for (const auto& [bx, by] : scenario_corners(s)) {
+      // Replay the path: words stored by any lane become visible to every
+      // lane at the next barrier; a lane always sees its own stores.
+      std::set<i64> synced;   // stored by any lane before the last barrier
+      std::set<i64> pending;  // stored since the last barrier
+      std::map<std::pair<i64, i64>, std::set<i64>> own;
+      std::size_t bar_cursor = 0;
+
+      for (const PathAccess& acc : path.accesses) {
+        while (bar_cursor < bar_pcs.size() && bar_pcs[bar_cursor] < acc.pc) {
+          synced.insert(pending.begin(), pending.end());
+          pending.clear();
+          ++bar_cursor;
+        }
+        if (!acc.smem) continue;
+        if (!acc.countable) {
+          report.findings.push_back(
+              Finding{FindingKind::kSmemUncovered, acc.pc,
+                      "scenario " + s.label +
+                          ": smem address not statically derivable: " +
+                          acc.reason});
+          continue;
+        }
+        bool reported = false;
+        for (i64 ty = s.ty.lo; ty <= s.ty.hi && !reported; ++ty) {
+          for (i64 tx = s.tx.lo; tx <= s.tx.hi && !reported; ++tx) {
+            if (!lane_executes(path, acc.guards, tx, ty, bx, by)) continue;
+            const i64 addr = acc.addr.eval(tx, ty, bx, by);
+            if (addr < 0 || addr >= i64{prog.smem_words}) {
+              report.findings.push_back(
+                  Finding{FindingKind::kOutOfBounds, acc.pc,
+                          "scenario " + s.label + ": lane (" +
+                              std::to_string(tx) + "," + std::to_string(ty) +
+                              ") smem address " + std::to_string(addr) +
+                              " vs " + std::to_string(prog.smem_words) +
+                              " words"});
+              reported = true;
+              continue;
+            }
+            if (!acc.is_load) {
+              pending.insert(addr);
+              own[{tx, ty}].insert(addr);
+              continue;
+            }
+            if (synced.count(addr) != 0 || own[{tx, ty}].count(addr) != 0) {
+              continue;
+            }
+            report.findings.push_back(
+                Finding{FindingKind::kSmemUncovered, acc.pc,
+                        "scenario " + s.label + ": lane (" +
+                            std::to_string(tx) + "," + std::to_string(ty) +
+                            ") block (" + std::to_string(bx) + "," +
+                            std::to_string(by) + ") reads smem word " +
+                            std::to_string(addr) +
+                            " never staged before the preceding barrier"});
+            reported = true;  // one example per access per scenario
+          }
+        }
+        if (acc.is_load && !reported) ++report.proven_accesses;
+      }
+    }
+  }
+  return report;
+}
+
+CheckReport check_barriers(const ir::Program& prog,
+                           const LaunchGeometry& geom) {
+  CheckReport report;
+  bool has_bar = false;
+  for (const Instr& ins : prog.code) has_bar |= ins.op == Op::kBar;
+  if (!has_bar) return report;
+  bool degenerate = false;
+  const std::vector<Scenario> scenarios =
+      enumerate_scenarios(prog, geom, degenerate);
+  if (degenerate) {
+    report.findings.push_back(
+        Finding{FindingKind::kDegenerateGeometry, kNoPc,
+                "block bounds are degenerate for this geometry; the runtime "
+                "launches the naive kernel instead"});
+    return report;
+  }
+
+  for (const Scenario& s : scenarios) {
+    const Facts facts = make_launch_facts(prog, geom, s.bx, s.by, s.tx, s.ty);
+    const AffineExtraction ex = extract_affine(prog, facts);
+    const RangeResult ranges = analyze_ranges(prog, facts);
+    const KernelPath path = trace_path(prog, ex, ranges);
+    ++report.scenarios;
+
+    std::vector<bool> traced(prog.code.size(), false);
+    for (const PathSegment& seg : path.segments) {
+      for (u32 pc = seg.begin; pc < seg.end; ++pc) traced[pc] = true;
+      for (u32 pc = seg.begin; pc < seg.end; ++pc) {
+        if (prog.code[pc].op != Op::kBar) continue;
+        if (seg.guards.empty()) {
+          ++report.proven_accesses;
+          continue;
+        }
+        bool divergent = false;
+        for (const auto& [bx, by] : scenario_corners(s)) {
+          i64 executing = 0;
+          i64 total = 0;
+          for (i64 ty = s.ty.lo; ty <= s.ty.hi; ++ty) {
+            for (i64 tx = s.tx.lo; tx <= s.tx.hi; ++tx) {
+              ++total;
+              if (lane_executes(path, seg.guards, tx, ty, bx, by)) {
+                ++executing;
+              }
+            }
+          }
+          if (executing != 0 && executing != total) {
+            report.findings.push_back(
+                Finding{FindingKind::kBarrierDivergence, pc,
+                        "scenario " + s.label + ": block (" +
+                            std::to_string(bx) + "," + std::to_string(by) +
+                            ") reaches bar.sync with " +
+                            std::to_string(executing) + " of " +
+                            std::to_string(total) + " lanes"});
+            divergent = true;
+            break;
+          }
+        }
+        if (!divergent) ++report.proven_accesses;
+      }
+    }
+
+    if (!path.complete) {
+      // Barriers the poisoned trace never reached cannot be proven uniform.
+      for (u32 pc = 0; pc < prog.code.size(); ++pc) {
+        if (prog.code[pc].op != Op::kBar) continue;
+        if (traced[pc] || !ranges.reached[pc]) continue;
+        report.findings.push_back(
+            Finding{FindingKind::kBarrierDivergence, pc,
+                    "scenario " + s.label +
+                        ": bar.sync beyond the traceable path (" +
+                        path.poison_reason + "); uniformity not provable"});
+      }
     }
   }
   return report;

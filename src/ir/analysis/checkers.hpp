@@ -46,6 +46,8 @@ enum class FindingKind : u8 {
   kUnusedRegister,     ///< computed value never used
   kConstantGuard,      ///< conditional branch provably always/never taken
   kDivergentBranch,    ///< branch not provably warp-uniform in a scenario
+  kSmemUncovered,      ///< smem load reads a word no staging store wrote
+  kBarrierDivergence,  ///< bar.sync not provably reached by every lane
 };
 
 [[nodiscard]] std::string_view to_string(FindingKind k);
@@ -114,6 +116,24 @@ struct Scenario {
 /// region section classify_block/classify_warp assigns them. For kernels
 /// without a region switch, checks that some marked section is reachable.
 [[nodiscard]] CheckReport check_coverage(const ir::Program& prog,
+                                         const LaunchGeometry& geom);
+
+/// Proves the shared-memory staging discipline of a tiled kernel, per launch
+/// scenario: every smem address stays inside Program::smem_words, and every
+/// word a compute-phase smem load reads was written earlier on the traced
+/// path — by the same lane, or by any lane with an intervening bar.sync
+/// (store → barrier → load is the only cross-lane ordering the block
+/// guarantees). Programs without smem ops pass trivially.
+[[nodiscard]] CheckReport check_smem_coverage(const ir::Program& prog,
+                                              const LaunchGeometry& geom);
+
+/// Barrier-divergence lint, per launch scenario: every bar.sync on the traced
+/// path must be control-independent of lane identity — a covering guard that
+/// skips the barrier for some lanes of a block but not others deadlocks the
+/// block (the simulator raises a ContractError). Conservative: a scenario the
+/// tracer cannot linearize past a barrier is reported rather than assumed
+/// uniform.
+[[nodiscard]] CheckReport check_barriers(const ir::Program& prog,
                                          const LaunchGeometry& geom);
 
 /// Structural lint: CFG-unreachable code, unused inputs, unused registers.

@@ -300,6 +300,9 @@ Interval transfer(const Instr& ins, Interval a, Interval b, Interval c) {
     case Op::kSetp:
     case Op::kLd:
     case Op::kSt:
+    case Op::kSmemLd:
+    case Op::kSmemSt:
+    case Op::kBar:
     case Op::kBra:
     case Op::kRet:
       break;

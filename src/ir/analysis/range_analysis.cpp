@@ -536,6 +536,18 @@ class Analyzer {
             if (result) result->addr[pc] = value_of(ins.a, env);
             break;
           }
+          case Op::kSmemLd: {
+            // Loaded f32 value: untracked, like global loads.
+            if (result) result->addr[pc] = value_of(ins.a, env);
+            set(env, ins.dst, Interval::top());
+            break;
+          }
+          case Op::kSmemSt: {
+            if (result) result->addr[pc] = value_of(ins.a, env);
+            break;
+          }
+          case Op::kBar:
+            break;  // no dataflow effect
           case Op::kSelp: {
             const Interval p = value_of(ins.c, env);
             Interval out = Interval::empty();

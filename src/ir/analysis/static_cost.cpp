@@ -15,18 +15,22 @@ StaticCounters& StaticCounters::operator+=(const StaticCounters& o) {
   mem_transactions_wide += o.mem_transactions_wide;
   mem_cache_misses += o.mem_cache_misses;
   divergent_branches += o.divergent_branches;
+  smem_transactions += o.smem_transactions;
+  smem_bank_conflicts += o.smem_bank_conflicts;
   for (std::size_t i = 0; i < per_pipe.size(); ++i) per_pipe[i] += o.per_pipe[i];
   return *this;
 }
 
 f64 static_cycles(const sim::DeviceSpec& dev, const StaticCounters& c) {
-  const f64 pipe_cost[6] = {dev.cost_int_alu, dev.cost_int_mul, dev.cost_float,
-                            dev.cost_sfu,     dev.cost_control, dev.cost_mem_issue};
+  const f64 pipe_cost[7] = {dev.cost_int_alu, dev.cost_int_mul, dev.cost_float,
+                            dev.cost_sfu,     dev.cost_control,
+                            dev.cost_mem_issue, dev.cost_smem};
   f64 cycles = 0.0;
   for (std::size_t i = 0; i < c.per_pipe.size(); ++i) {
     cycles += static_cast<f64>(c.per_pipe[i]) * pipe_cost[i];
   }
   cycles += static_cast<f64>(c.mem_cache_misses) * dev.cost_mem_transaction;
+  cycles += static_cast<f64>(c.smem_bank_conflicts) * dev.cost_smem_conflict;
   return cycles;
 }
 
@@ -137,6 +141,32 @@ void eval_warp(const ScenarioEval& ev, const sim::DeviceSpec& dev,
                   "scenario " + ev.scenario.label + ": pc " +
                       std::to_string(acc.pc) + " " +
                       (acc.is_load ? "load" : "store") + ": " + acc.reason);
+      continue;
+    }
+    if (acc.smem) {
+      // Shared memory: replay the simulator's bank model — distinct word
+      // addresses among active lanes, worst bank's count = serialized passes.
+      narrow.clear();
+      for (i32 lane = 0; lane < lanes; ++lane) {
+        if (!lane_active(acc.guards, lane)) continue;
+        const std::size_t l = static_cast<std::size_t>(lane);
+        const i64 idx = acc.addr.eval(lx[l], ly[l], bx, by);
+        if (std::find(narrow.begin(), narrow.end(), idx) == narrow.end()) {
+          narrow.push_back(idx);
+        }
+      }
+      if (!narrow.empty()) {
+        std::array<u64, 32> bank_load{};
+        const u64 banks = static_cast<u64>(
+            std::clamp(dev.smem_banks, 1, 32));
+        u64 passes = 1;
+        for (const i64 idx : narrow) {
+          const u64 bank = static_cast<u64>(idx) % banks;
+          passes = std::max(passes, ++bank_load[bank]);
+        }
+        rc.counters.smem_transactions += passes;
+        rc.counters.smem_bank_conflicts += passes - 1;
+      }
       continue;
     }
     narrow.clear();
@@ -288,6 +318,24 @@ StaticGain static_gain(const StaticLaunchCost& naive,
     g.gain = g.r_static * (occupancy_isp / occupancy_naive);
   }
   g.use_isp = g.gain > 1.0;
+  return g;
+}
+
+StaticGain3 static_gain3(const StaticLaunchCost& naive,
+                         const StaticLaunchCost& isp,
+                         const StaticLaunchCost& tiled, f64 occupancy_naive,
+                         f64 occupancy_isp, f64 occupancy_tiled) {
+  StaticGain3 g;
+  g.isp = static_gain(naive, isp, occupancy_naive, occupancy_isp);
+  if (tiled.total_cycles > 0.0 && occupancy_naive > 0.0) {
+    g.gain_tiled = (naive.total_cycles / tiled.total_cycles) *
+                   (occupancy_tiled / occupancy_naive);
+  }
+  g.best = codegen::Variant::kNaive;
+  if (g.isp.use_isp) g.best = codegen::Variant::kIsp;
+  if (g.gain_tiled > 1.0 && g.gain_tiled > g.isp.gain) {
+    g.best = codegen::Variant::kIspTiled;
+  }
   return g;
 }
 

@@ -27,6 +27,7 @@
 
 #include <map>
 
+#include "codegen/kernel_gen.hpp"
 #include "gpusim/device.hpp"
 #include "ir/analysis/access_analysis.hpp"
 #include "ir/analysis/checkers.hpp"
@@ -42,7 +43,9 @@ struct StaticCounters {
   u64 mem_transactions_wide = 0;  ///< 128-byte segments (4x)
   u64 mem_cache_misses = 0;       ///< block-level first-touch transactions
   u64 divergent_branches = 0;
-  std::array<u64, 6> per_pipe{};  ///< indexed like sim::Pipe
+  u64 smem_transactions = 0;      ///< smem access passes (incl. replays)
+  u64 smem_bank_conflicts = 0;    ///< serialized bank-replay passes
+  std::array<u64, 7> per_pipe{};  ///< indexed like sim::Pipe
 
   StaticCounters& operator+=(const StaticCounters& o);
 };
@@ -102,5 +105,21 @@ struct StaticGain {
 [[nodiscard]] StaticGain static_gain(const StaticLaunchCost& naive,
                                      const StaticLaunchCost& isp,
                                      f64 occupancy_naive, f64 occupancy_isp);
+
+/// 3-way extension: the same occupancy-scaled cycle ratios evaluated for
+/// the shared-memory tiled kernel as well. `best` is the variant with the
+/// lowest occupancy-adjusted static cycles; ties between isp and tiled go
+/// to isp (the simpler kernel).
+struct StaticGain3 {
+  StaticGain isp;          ///< naive vs isp, as static_gain
+  f64 gain_tiled = 1.0;    ///< (cycles_naive/cycles_tiled) * O_tiled/O_naive
+  codegen::Variant best = codegen::Variant::kNaive;
+};
+
+[[nodiscard]] StaticGain3 static_gain3(const StaticLaunchCost& naive,
+                                       const StaticLaunchCost& isp,
+                                       const StaticLaunchCost& tiled,
+                                       f64 occupancy_naive, f64 occupancy_isp,
+                                       f64 occupancy_tiled);
 
 }  // namespace ispb::analysis

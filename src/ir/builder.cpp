@@ -30,6 +30,12 @@ u8 Builder::add_buffer() {
   return static_cast<u8>(num_buffers_++);
 }
 
+void Builder::declare_smem(u32 words) {
+  check_not_finished();
+  ISPB_EXPECTS(words > 0 && smem_words_ == 0);
+  smem_words_ = words;
+}
+
 RegId Builder::fresh_reg() {
   check_not_finished();
   return next_reg_++;
@@ -111,6 +117,40 @@ RegId Builder::emit_ld(u8 buffer, RegId addr) {
   return ins.dst;
 }
 
+RegId Builder::emit_smem_ld(RegId addr) {
+  check_not_finished();
+  ISPB_EXPECTS(smem_words_ > 0);
+  code_started_ = true;
+  Instr ins;
+  ins.op = Op::kSmemLd;
+  ins.type = Type::kF32;
+  ins.dst = fresh_reg();
+  ins.a = Operand::r(addr);
+  code_.push_back(ins);
+  return ins.dst;
+}
+
+void Builder::emit_smem_st(RegId addr, Operand value) {
+  check_not_finished();
+  ISPB_EXPECTS(smem_words_ > 0);
+  code_started_ = true;
+  Instr ins;
+  ins.op = Op::kSmemSt;
+  ins.type = Type::kF32;
+  ins.a = Operand::r(addr);
+  ins.b = value;
+  code_.push_back(ins);
+}
+
+void Builder::emit_bar() {
+  check_not_finished();
+  ISPB_EXPECTS(smem_words_ > 0);
+  code_started_ = true;
+  Instr ins;
+  ins.op = Op::kBar;
+  code_.push_back(ins);
+}
+
 void Builder::emit_st(u8 buffer, RegId addr, Operand value) {
   check_not_finished();
   code_started_ = true;
@@ -189,6 +229,7 @@ Program Builder::finish() {
   prog.special_names = special_names_;
   prog.param_names = param_names_;
   prog.num_buffers = num_buffers_;
+  prog.smem_words = smem_words_;
   prog.code = code_;
   prog.markers = markers_;
 

@@ -24,6 +24,10 @@ class Builder {
   /// Declares a memory buffer; returns its index.
   u8 add_buffer();
 
+  /// Declares the per-block shared-memory array size in f32 words. May be
+  /// called once, before finish(); required for emit_smem_ld/st/emit_bar.
+  void declare_smem(u32 words);
+
   /// Allocates a fresh virtual register (rarely needed directly).
   RegId fresh_reg();
 
@@ -34,6 +38,7 @@ class Builder {
   RegId emit_setp(Cmp cmp, Type operand_type, Operand a, Operand b);
   RegId emit_selp(Type type, Operand a, Operand b, RegId pred);
   RegId emit_ld(u8 buffer, RegId addr);
+  RegId emit_smem_ld(RegId addr);
 
   /// Re-defines an existing register (loop induction variables); everything
   /// else should use the fresh-destination forms to stay close to SSA.
@@ -42,6 +47,8 @@ class Builder {
 
   // --- effects ---
   void emit_st(u8 buffer, RegId addr, Operand value);
+  void emit_smem_st(RegId addr, Operand value);
+  void emit_bar();
   void ret();
 
   // --- control flow ---
@@ -71,6 +78,7 @@ class Builder {
   std::vector<std::string> special_names_;
   std::vector<std::string> param_names_;
   u32 num_buffers_ = 0;
+  u32 smem_words_ = 0;
   u32 next_reg_ = 0;
   bool code_started_ = false;
   bool finished_ = false;

@@ -58,6 +58,12 @@ std::string_view op_keyword(Op op) {
       return "ld";
     case Op::kSt:
       return "st";
+    case Op::kSmemLd:
+      return "ld.shared";
+    case Op::kSmemSt:
+      return "st.shared";
+    case Op::kBar:
+      return "bar.sync";
     case Op::kBra:
       return "bra";
     case Op::kRet:
@@ -112,6 +118,7 @@ i32 op_arity(Op op) {
     case Op::kShr:
     case Op::kSetp:
     case Op::kSt:
+    case Op::kSmemSt:
       return 2;
     case Op::kMad:
     case Op::kSelp:
@@ -125,7 +132,9 @@ i32 op_arity(Op op) {
     case Op::kRcp:
     case Op::kSqrt:
     case Op::kLd:
+    case Op::kSmemLd:
       return 1;
+    case Op::kBar:
     case Op::kBra:
     case Op::kRet:
       return 0;
@@ -136,6 +145,8 @@ i32 op_arity(Op op) {
 bool op_has_dst(Op op) {
   switch (op) {
     case Op::kSt:
+    case Op::kSmemSt:
+    case Op::kBar:
     case Op::kBra:
     case Op::kRet:
       return false;
@@ -289,6 +300,9 @@ Word eval_pure(const Instr& ins, Word a, Word b, Word c) {
                                                 b.as_i32()));
     case Op::kLd:
     case Op::kSt:
+    case Op::kSmemLd:
+    case Op::kSmemSt:
+    case Op::kBar:
     case Op::kBra:
     case Op::kRet:
       break;

@@ -48,6 +48,12 @@ enum class Op : u8 {
   // Memory (element-indexed into a bound buffer)
   kLd,  // dst = buffer[a]
   kSt,  // buffer[a] = b
+  // Shared memory (element-indexed into the per-block smem array declared by
+  // Program::smem_words; cooperative staging requires a kBar before readers
+  // observe other lanes' stores)
+  kSmemLd,  // dst = smem[a]
+  kSmemSt,  // smem[a] = b
+  kBar,     // block-wide barrier (bar.sync): all unretired lanes must arrive
   // Control flow
   kBra,  // if (c as pred, possibly negated) goto target; unconditional if no pred
   kRet,
@@ -128,7 +134,8 @@ struct Instr {
   }
   /// True for instructions whose effects are observable beyond their dst.
   [[nodiscard]] bool has_side_effects() const {
-    return op == Op::kSt || op == Op::kBra || op == Op::kRet;
+    return op == Op::kSt || op == Op::kSmemSt || op == Op::kBar ||
+           op == Op::kBra || op == Op::kRet;
   }
 };
 

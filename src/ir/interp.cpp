@@ -25,6 +25,11 @@ InterpResult interpret(const Program& prog, std::span<const Word> inputs,
   std::vector<Word> regs(prog.num_regs);
   for (std::size_t i = 0; i < inputs.size(); ++i) regs[i] = inputs[i];
 
+  // Single-thread view of the block-shared array: zero-initialized, so a lone
+  // interpreted thread reads back only its own stores (cooperative staging
+  // needs the warp simulator's block-level execution).
+  std::vector<f32> smem(prog.smem_words, 0.0f);
+
   InterpResult result;
   u32 pc = 0;
   for (;;) {
@@ -72,6 +77,28 @@ InterpResult interpret(const Program& prog, std::span<const Word> inputs,
         if (observer) observer(pc, false, ins.buffer, idx);
         break;
       }
+      case Op::kSmemLd: {
+        const i32 idx = regs[ins.a.reg].as_i32();
+        if (idx < 0 || static_cast<std::size_t>(idx) >= smem.size()) {
+          throw ContractError("ld.shared out of bounds in '" + prog.name +
+                              "': index " + std::to_string(idx) + " words " +
+                              std::to_string(smem.size()));
+        }
+        regs[ins.dst] = Word::from_f32(smem[static_cast<std::size_t>(idx)]);
+        break;
+      }
+      case Op::kSmemSt: {
+        const i32 idx = regs[ins.a.reg].as_i32();
+        if (idx < 0 || static_cast<std::size_t>(idx) >= smem.size()) {
+          throw ContractError("st.shared out of bounds in '" + prog.name +
+                              "': index " + std::to_string(idx) + " words " +
+                              std::to_string(smem.size()));
+        }
+        smem[static_cast<std::size_t>(idx)] = read_operand(ins.b, regs).as_f32();
+        break;
+      }
+      case Op::kBar:
+        break;  // single thread: trivially synchronized
       default: {
         const i32 arity = op_arity(ins.op);
         const Word a = arity >= 1 ? read_operand(ins.a, regs) : Word{};

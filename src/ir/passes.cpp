@@ -65,6 +65,9 @@ bool is_pure_value_op(Op op) {
     case Op::kBra:
     case Op::kRet:
     case Op::kLd:
+    case Op::kSmemLd:
+    case Op::kSmemSt:
+    case Op::kBar:
       return false;
     default:
       return true;
@@ -205,10 +208,11 @@ PassStats copy_propagate(Program& prog) {
     const i32 arity = op_arity(ins.op);
     // Memory addresses must stay registers; skip rewriting `a` of ld/st to
     // an immediate (cannot happen for well-formed programs, but stay safe).
-    if (arity >= 1 && !(ins.op == Op::kLd || ins.op == Op::kSt)) {
+    const bool is_mem = ins.op == Op::kLd || ins.op == Op::kSt ||
+                        ins.op == Op::kSmemLd || ins.op == Op::kSmemSt;
+    if (arity >= 1 && !is_mem) {
       rewrite(ins.a);
-    } else if ((ins.op == Op::kLd || ins.op == Op::kSt) && ins.a.is_reg() &&
-               replacement[ins.a.reg].is_reg()) {
+    } else if (is_mem && ins.a.is_reg() && replacement[ins.a.reg].is_reg()) {
       ins.a = replacement[ins.a.reg];
       ++stats.propagated;
     }
@@ -244,19 +248,27 @@ PassStats local_cse(Program& prog) {
 
   std::map<Key, RegId> table;
   std::vector<u32> store_epoch(prog.num_buffers, 0);
+  u32 smem_epoch = 0;
 
   for (u32 pc = 0; pc < prog.code.size(); ++pc) {
     if (leaders[pc]) {
       table.clear();
       std::fill(store_epoch.begin(), store_epoch.end(), 0u);
+      smem_epoch = 0;
     }
     Instr& ins = prog.code[pc];
     if (ins.op == Op::kSt) {
       ++store_epoch[ins.buffer];
       continue;
     }
-    const bool cse_candidate =
-        (is_pure_value_op(ins.op) && ins.op != Op::kMov) || ins.op == Op::kLd;
+    // Smem stores and barriers invalidate prior smem loads (a barrier
+    // publishes other lanes' stores, so loads across it are not equivalent).
+    if (ins.op == Op::kSmemSt || ins.op == Op::kBar) {
+      ++smem_epoch;
+      continue;
+    }
+    const bool cse_candidate = (is_pure_value_op(ins.op) && ins.op != Op::kMov) ||
+                               ins.op == Op::kLd || ins.op == Op::kSmemLd;
     if (!cse_candidate) continue;
     if (defs[ins.dst] != 1) continue;
     const i32 arity = op_arity(ins.op);
@@ -273,7 +285,9 @@ PassStats local_cse(Program& prog) {
       };
       if (rank(b) < rank(a)) std::swap(a, b);
     }
-    const u32 epoch = ins.op == Op::kLd ? store_epoch[ins.buffer] : 0u;
+    const u32 epoch = ins.op == Op::kLd     ? store_epoch[ins.buffer]
+                      : ins.op == Op::kSmemLd ? smem_epoch
+                                              : 0u;
     const Key key{static_cast<u8>(ins.op),  static_cast<u8>(ins.type),
                   static_cast<u8>(ins.src_type), static_cast<u8>(ins.cmp),
                   ins.buffer,                epoch,

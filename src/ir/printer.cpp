@@ -50,6 +50,17 @@ std::string to_ptx(const Instr& ins) {
          << operand_str(ins.a, Type::kI32) << "], "
          << operand_str(ins.b, ins.type) << ";";
       return os.str();
+    case Op::kSmemLd:
+      os << "ld.shared.f32 %r" << ins.dst << ", [smem + "
+         << operand_str(ins.a, Type::kI32) << "];";
+      return os.str();
+    case Op::kSmemSt:
+      os << "st.shared.f32 [smem + " << operand_str(ins.a, Type::kI32)
+         << "], " << operand_str(ins.b, ins.type) << ";";
+      return os.str();
+    case Op::kBar:
+      os << "bar.sync 0;";
+      return os.str();
     case Op::kSetp:
       os << "setp." << cmp_name(ins.cmp) << type_suffix(ins.type) << " %r"
          << ins.dst << ", " << operand_str(ins.a, ins.type) << ", "
@@ -84,6 +95,9 @@ std::string to_ptx(const Program& prog) {
   }
   os << ")\n{\n";
   os << "    .reg .b32 %r<" << prog.num_regs << ">;\n";
+  if (prog.smem_words > 0) {
+    os << "    .shared .align 4 .b8 smem[" << prog.smem_words * 4 << "];\n";
+  }
   for (std::size_t i = 0; i < prog.special_names.size(); ++i) {
     os << "    // %r" << i << " = %" << prog.special_names[i] << "\n";
   }

@@ -104,6 +104,20 @@ void verify(const Program& prog) {
         }
         if (!ins.a.is_reg()) fail(prog, pc, "memory address must be a register");
         break;
+      case Op::kSmemLd:
+      case Op::kSmemSt:
+        if (prog.smem_words == 0) {
+          fail(prog, pc, "shared-memory access in a kernel with smem_words == 0");
+        }
+        if (!ins.a.is_reg()) {
+          fail(prog, pc, "shared-memory address must be a register");
+        }
+        break;
+      case Op::kBar:
+        if (prog.smem_words == 0) {
+          fail(prog, pc, "barrier in a kernel with smem_words == 0");
+        }
+        break;
       case Op::kBra:
         if (ins.target >= prog.code.size()) {
           fail(prog, pc, "branch target out of range");

@@ -20,6 +20,12 @@ struct Program {
   std::vector<std::string> special_names;  ///< registers [0, #special)
   std::vector<std::string> param_names;    ///< registers [#special, #inputs)
   u32 num_buffers = 0;
+
+  /// Per-block shared-memory size in 32-bit words. Zero for kernels that do
+  /// not stage (no kSmemLd/kSmemSt/kBar allowed then); nonzero declares one
+  /// block-shared array of this many f32 words, zero-initialized per block.
+  u32 smem_words = 0;
+
   std::vector<Instr> code;
 
   /// Named positions in the code (region entry points); used to attribute

@@ -30,6 +30,9 @@ ExecutorResult::Stage launch_stage_variant(const KernelGraph::Stage& stage,
   options.pattern = sim_cfg.pattern;
   options.variant = variant;
   options.border_constant = sim_cfg.constant;
+  // Tiled staging is specialized to the launch block shape; keep the two in
+  // lockstep so the interpreted engine's tile contract holds.
+  options.tile_block = sim_cfg.block;
 
   KernelCache* cache = nullptr;
   if (config.use_cache) {

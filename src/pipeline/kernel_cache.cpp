@@ -49,8 +49,10 @@ std::string hex64(u64 v) {
 /// The CodegenOptions fields that change the emitted C++ — everything else
 /// (warp width, IR pass toggles, row-block schedule) only shapes the
 /// interpreted lowering, and kIspWarp lowers to the same host loops as
-/// kIsp. Folding them means the 3-variant serving matrix JIT-compiles at
-/// most 2 modules per (spec, pattern).
+/// kIsp. kIspTiled stays distinct: its Body loop stages a per-block tile
+/// buffer, so it is a different module (and tile_block, part of the cache
+/// key, shapes that buffer). Folding the rest means the serving matrix
+/// JIT-compiles at most 3 modules per (spec, pattern).
 codegen::CodegenOptions canonical_native_options(
     const codegen::CodegenOptions& options) {
   codegen::CodegenOptions canon = options;
@@ -101,6 +103,13 @@ std::string cache_key(const codegen::StencilSpec& spec,
   key += options.row_blocks ? "/rows" : "/flat";
   key += "/w";
   key += std::to_string(options.warp_width);
+  if (options.variant == codegen::Variant::kIspTiled) {
+    // The staged tile is baked for one block shape.
+    key += "/t";
+    key += std::to_string(options.tile_block.tx);
+    key += 'x';
+    key += std::to_string(options.tile_block.ty);
+  }
   if (!device.empty()) {
     key += '@';
     key += device;

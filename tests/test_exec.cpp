@@ -95,6 +95,18 @@ TEST(CppPrinter, EmitsExternCEntryAndCanonicalSymbol) {
   naive.variant = codegen::Variant::kNaive;
   EXPECT_NE(codegen::cpp_kernel_symbol(spec, naive), sym);
   EXPECT_NE(codegen::emit_cpp(spec, naive), src);
+
+  // kIspTiled stages the Body through a local tile buffer: own symbol, own
+  // TU, and the staging loop is visible in the emitted source.
+  codegen::CodegenOptions tiled = isp;
+  tiled.variant = codegen::Variant::kIspTiled;
+  const std::string tiled_sym = codegen::cpp_kernel_symbol(spec, tiled);
+  const std::string tiled_src = codegen::emit_cpp(spec, tiled);
+  EXPECT_NE(tiled_sym, sym);
+  EXPECT_NE(tiled_src, src);
+  EXPECT_NE(tiled_src.find("extern \"C\" void " + tiled_sym), std::string::npos)
+      << tiled_src;
+  EXPECT_NE(tiled_src.find("tile["), std::string::npos) << tiled_src;
 }
 
 TEST(Jit, CompilesBitExactKernelAndReusesDiskArtifact) {
@@ -140,7 +152,7 @@ TEST(ExecutorNative, BitIdenticalToReferenceAcrossAppsPatternsVariants) {
           filters::run_app_reference(app, source, pattern);
       for (codegen::Variant variant :
            {codegen::Variant::kNaive, codegen::Variant::kIsp,
-            codegen::Variant::kIspWarp}) {
+            codegen::Variant::kIspWarp, codegen::Variant::kIspTiled}) {
         pipeline::ExecutorConfig cfg;
         cfg.sim.pattern = pattern;
         cfg.sim.variant = variant;
@@ -166,6 +178,40 @@ TEST(ExecutorNative, BitIdenticalToReferenceAcrossAppsPatternsVariants) {
   const pipeline::KernelCacheStats stats = cache.stats();
   EXPECT_GT(stats.native_misses, 0u);
   EXPECT_GT(stats.native_hits, 0u);
+}
+
+// The interpreted side of the tiled acceptance matrix: the simulator runs
+// the staged smem program (ld.shared/st.shared/bar.sync) for every app and
+// border pattern and still lands bit-identical on the reference. Together
+// with the native matrix above this covers kIspTiled on both backends.
+TEST(ExecutorInterpreted, TiledBitIdenticalToReferenceAcrossAppsPatterns) {
+  pipeline::KernelCache cache(256);
+  const Image<f32> source = make_noise_image({40, 40}, 42);
+
+  for (const filters::MultiKernelApp& app : filters::all_apps()) {
+    const pipeline::KernelGraph graph = pipeline::build_graph(app);
+    for (BorderPattern pattern : kAllBorderPatterns) {
+      const Image<f32> reference =
+          filters::run_app_reference(app, source, pattern);
+      pipeline::ExecutorConfig cfg;
+      cfg.sim.pattern = pattern;
+      cfg.sim.variant = codegen::Variant::kIspTiled;
+      cfg.concurrency = 1;
+      cfg.cache = &cache;
+      cfg.backend = exec::Backend::kInterpreted;
+      const pipeline::PipelineExecutor executor(cfg);
+      const pipeline::ExecutorResult result = executor.run(graph, source);
+      const std::string combo =
+          app.name + "/" + std::string(to_string(pattern));
+      EXPECT_TRUE(bit_identical(result.output, reference)) << combo;
+      for (const auto& stage : result.stages) {
+        EXPECT_EQ(stage.backend_used, exec::Backend::kInterpreted)
+            << combo << " stage " << stage.kernel;
+        EXPECT_EQ(stage.variant_used, codegen::Variant::kIspTiled)
+            << combo << " stage " << stage.kernel;
+      }
+    }
+  }
 }
 
 TEST(ExecutorNative, DegenerateGeometryServesAllChecksNaive) {
@@ -366,6 +412,21 @@ TEST(KernelCacheNative, IspWarpSharesIspModule) {
   const exec::NativeModulePtr m_naive = cache.get_or_compile_native(spec, naive);
   EXPECT_NE(m_naive.get(), m_isp.get());
   EXPECT_EQ(cache.stats().native_misses, 2u);
+
+  // kIspTiled does NOT canonicalize onto isp: the tiled Body is a genuinely
+  // different lowering, so it compiles (and caches) its own module, and the
+  // key is specialized by tile shape.
+  codegen::CodegenOptions tiled = isp;
+  tiled.variant = codegen::Variant::kIspTiled;
+  const exec::NativeModulePtr m_tiled = cache.get_or_compile_native(spec, tiled);
+  EXPECT_NE(m_tiled.get(), m_isp.get());
+  EXPECT_EQ(cache.stats().native_misses, 3u);
+
+  codegen::CodegenOptions tiled_8x8 = tiled;
+  tiled_8x8.tile_block = {8, 8};
+  const exec::NativeModulePtr m_8x8 = cache.get_or_compile_native(spec, tiled_8x8);
+  EXPECT_NE(m_8x8.get(), m_tiled.get());
+  EXPECT_EQ(cache.stats().native_misses, 4u);
 }
 
 TEST(Backend, ParseAndToStringRoundTrip) {

@@ -114,6 +114,38 @@ TEST(Occupancy, MonotoneInRegisters) {
   }
 }
 
+TEST(Occupancy, SharedMemoryLimitBinds) {
+  const DeviceSpec dev = make_gtx680();
+  // 12 KiB/block: 49152/12288 = 4 resident blocks by smem, while warps and
+  // registers would both allow 16. The tiled variant pays exactly here.
+  const Occupancy occ = compute_occupancy(dev, {32, 4}, 20, 12288);
+  EXPECT_EQ(occ.active_blocks_per_sm, 4);
+  EXPECT_EQ(occ.active_warps_per_sm, 16);
+  EXPECT_EQ(occ.limiter, Occupancy::Limiter::kSharedMem);
+  EXPECT_DOUBLE_EQ(occ.fraction, 16.0 / 64.0);
+}
+
+TEST(Occupancy, SharedMemoryRoundsUpToAllocationGranularity) {
+  const DeviceSpec dev = make_gtx680();
+  // 9800 B rounds up to 39*256 = 9984 B: 4 blocks fit, not the naive
+  // 49152/9800 = 5.
+  const Occupancy occ = compute_occupancy(dev, {32, 4}, 20, 9800);
+  EXPECT_EQ(occ.active_blocks_per_sm, 4);
+  EXPECT_EQ(occ.limiter, Occupancy::Limiter::kSharedMem);
+}
+
+TEST(Occupancy, ZeroOrSmallSharedMemoryDoesNotBind) {
+  const DeviceSpec dev = make_gtx680();
+  const Occupancy base = compute_occupancy(dev, {32, 4}, 26);
+  const Occupancy zero = compute_occupancy(dev, {32, 4}, 26, 0);
+  const Occupancy small = compute_occupancy(dev, {32, 4}, 26, 256);
+  EXPECT_EQ(zero.active_blocks_per_sm, base.active_blocks_per_sm);
+  EXPECT_EQ(zero.limiter, base.limiter);
+  // 49152/256 = 192 candidate blocks: some other resource binds first.
+  EXPECT_EQ(small.active_blocks_per_sm, base.active_blocks_per_sm);
+  EXPECT_NE(small.limiter, Occupancy::Limiter::kSharedMem);
+}
+
 // ---- warp execution ---------------------------------------------------------
 
 // out[tid.x] = tid.x * 2 (straight line, no divergence).
@@ -368,6 +400,184 @@ TEST(Warp, SharedCachePersistsAcrossWarps) {
       run_warp(prog, dev, inputs, {&buf, 1}, 50'000'000, &cache);
   EXPECT_EQ(first.mem_cache_misses, 1u);
   EXPECT_EQ(second.mem_cache_misses, 0u);
+}
+
+// ---- shared memory and barriers --------------------------------------------
+
+// Each lane stores f32(tid) to smem[tid*stride], barriers, loads it back and
+// writes it out. stride controls the bank pattern: 1 is conflict-free, 32
+// lands every lane in bank 0.
+ir::Program smem_stride_kernel(i32 stride) {
+  ir::Builder b("smem_stride");
+  b.declare_smem(static_cast<u32>(32 * stride));
+  const RegId tid = b.add_special("tid.x");
+  const u8 out = b.add_buffer();
+  const RegId addr = b.emit(Op::kMul, Type::kI32, Operand::r(tid),
+                            Operand::imm_i32(stride));
+  const RegId f = b.emit_cvt(Type::kF32, Type::kI32, Operand::r(tid));
+  b.emit_smem_st(addr, Operand::r(f));
+  b.emit_bar();
+  const RegId v = b.emit_smem_ld(addr);
+  b.emit_st(out, tid, Operand::r(v));
+  b.ret();
+  return b.finish();
+}
+
+TEST(Warp, SmemUnitStrideIsConflictFree) {
+  const DeviceSpec dev = make_gtx680();
+  const ir::Program prog = smem_stride_kernel(1);
+  std::vector<f32> out(32, -1.0f);
+  const ir::BufferBinding buf{out.data(), out.size(), true};
+  const auto inputs = make_lane_inputs(prog, 32, {});
+  const WarpResult r = run_warp(prog, dev, inputs, {&buf, 1});
+  for (i32 l = 0; l < 32; ++l) {
+    EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(l)], static_cast<f32>(l));
+  }
+  // One pass per warp access (store + load), no replays.
+  EXPECT_EQ(r.smem_transactions, 2u);
+  EXPECT_EQ(r.smem_bank_conflicts, 0u);
+}
+
+TEST(Warp, SmemStride32SerializesIntoBankReplays) {
+  const DeviceSpec dev = make_gtx680();
+  const ir::Program prog = smem_stride_kernel(32);
+  std::vector<f32> out(32, -1.0f);
+  const ir::BufferBinding buf{out.data(), out.size(), true};
+  const auto inputs = make_lane_inputs(prog, 32, {});
+  const WarpResult r = run_warp(prog, dev, inputs, {&buf, 1});
+  for (i32 l = 0; l < 32; ++l) {
+    EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(l)], static_cast<f32>(l));
+  }
+  // 32 distinct addresses all in bank 0: 32 passes per access, 31 replays.
+  EXPECT_EQ(r.smem_transactions, 64u);
+  EXPECT_EQ(r.smem_bank_conflicts, 62u);
+}
+
+TEST(Warp, SmemBroadcastReadIsOnePass) {
+  // All 32 lanes reading one address dedup to a single conflict-free pass.
+  const DeviceSpec dev = make_gtx680();
+  ir::Builder b("smem_bcast");
+  b.declare_smem(32);
+  const RegId tid = b.add_special("tid.x");
+  const u8 out = b.add_buffer();
+  const RegId f = b.emit_cvt(Type::kF32, Type::kI32, Operand::r(tid));
+  b.emit_smem_st(tid, Operand::r(f));
+  b.emit_bar();
+  const RegId zero = b.emit(Op::kMov, Type::kI32, Operand::imm_i32(0));
+  const RegId v = b.emit_smem_ld(zero);
+  b.emit_st(out, tid, Operand::r(v));
+  b.ret();
+  const ir::Program prog = b.finish();
+
+  std::vector<f32> out_data(32, -1.0f);
+  const ir::BufferBinding buf{out_data.data(), out_data.size(), true};
+  const auto inputs = make_lane_inputs(prog, 32, {});
+  const WarpResult r = run_warp(prog, dev, inputs, {&buf, 1});
+  for (i32 l = 0; l < 32; ++l) {
+    EXPECT_FLOAT_EQ(out_data[static_cast<std::size_t>(l)], 0.0f);
+  }
+  EXPECT_EQ(r.smem_transactions, 2u);
+  EXPECT_EQ(r.smem_bank_conflicts, 0u);
+}
+
+TEST(Warp, DivergentBarrierThrows) {
+  // Half the warp branches around the bar.sync: real hardware deadlocks, the
+  // simulator refuses with a ContractError naming the offending lane.
+  ir::Builder b("divbar");
+  b.declare_smem(32);
+  const RegId tid = b.add_special("tid.x");
+  const u8 out = b.add_buffer();
+  const RegId f = b.emit_cvt(Type::kF32, Type::kI32, Operand::r(tid));
+  b.emit_smem_st(tid, Operand::r(f));
+  const RegId p = b.emit_setp(Cmp::kLt, Type::kI32, Operand::r(tid),
+                              Operand::imm_i32(16));
+  const auto skip = b.make_label();
+  b.br_if(p, skip);
+  b.emit_bar();
+  b.bind(skip);
+  b.emit_st(out, tid, Operand::r(f));
+  b.ret();
+  const ir::Program prog = b.finish();
+
+  const DeviceSpec dev = make_gtx680();
+  std::vector<f32> out_data(32, 0.0f);
+  const ir::BufferBinding buf{out_data.data(), out_data.size(), true};
+  const auto inputs = make_lane_inputs(prog, 32, {});
+  EXPECT_THROW((void)run_warp(prog, dev, inputs, {&buf, 1}), ContractError);
+}
+
+TEST(Block, BarrierPublishesStoresAcrossWarps) {
+  // 64 lanes in 2 warps: lane t stages f32(t), then reads slot 63-t — which
+  // for most lanes was written by the *other* warp. Correct output requires
+  // the block driver to release warps phase-by-phase around the barrier.
+  ir::Builder b("smem_swap");
+  b.declare_smem(64);
+  const RegId tid = b.add_special("tid.x");
+  const u8 out = b.add_buffer();
+  const RegId f = b.emit_cvt(Type::kF32, Type::kI32, Operand::r(tid));
+  b.emit_smem_st(tid, Operand::r(f));
+  b.emit_bar();
+  const RegId rev = b.emit(Op::kSub, Type::kI32, Operand::imm_i32(63),
+                           Operand::r(tid));
+  const RegId v = b.emit_smem_ld(rev);
+  b.emit_st(out, tid, Operand::r(v));
+  b.ret();
+  const ir::Program prog = b.finish();
+
+  const DeviceSpec dev = make_gtx680();
+  std::vector<f32> out_data(64, -1.0f);
+  const ir::BufferBinding buf{out_data.data(), out_data.size(), true};
+  const auto inputs = make_lane_inputs(prog, 64, {});
+  std::vector<WarpResult> results(2);
+  run_block_warps(prog, dev, inputs, 2, {&buf, 1}, results);
+  for (i32 l = 0; l < 64; ++l) {
+    EXPECT_FLOAT_EQ(out_data[static_cast<std::size_t>(l)],
+                    static_cast<f32>(63 - l));
+  }
+  // Each warp: one store pass + one load pass, reversal stays conflict-free.
+  for (const WarpResult& r : results) {
+    EXPECT_EQ(r.smem_transactions, 2u);
+    EXPECT_EQ(r.smem_bank_conflicts, 0u);
+  }
+}
+
+TEST(Block, BarrierFreeProgramMatchesSequentialWarpRuns) {
+  // Without a kBar, run_block_warps degenerates to the plain warp loop:
+  // statistics must be bit-identical to back-to-back run_warp calls sharing
+  // one segment cache.
+  const DeviceSpec dev = make_gtx680();
+  const ir::Program prog = straight_line_kernel();
+  const u32 warps = 2;
+  std::vector<f32> out_a(64, 0.0f);
+  std::vector<f32> out_b(64, 0.0f);
+  const auto inputs = make_lane_inputs(prog, 64, {});
+
+  const ir::BufferBinding buf_a{out_a.data(), out_a.size(), true};
+  SegmentCache cache_a;
+  std::vector<WarpResult> seq(warps);
+  for (u32 w = 0; w < warps; ++w) {
+    const std::size_t base = static_cast<std::size_t>(w) * 32 *
+                             prog.num_inputs();
+    seq[w] = run_warp(prog, dev,
+                      std::span<const ir::Word>(inputs).subspan(
+                          base, 32 * prog.num_inputs()),
+                      {&buf_a, 1}, 50'000'000, &cache_a);
+  }
+
+  const ir::BufferBinding buf_b{out_b.data(), out_b.size(), true};
+  SegmentCache cache_b;
+  std::vector<WarpResult> blk(warps);
+  run_block_warps(prog, dev, inputs, warps, {&buf_b, 1}, blk, 50'000'000,
+                  &cache_b);
+
+  for (u32 w = 0; w < warps; ++w) {
+    EXPECT_EQ(seq[w].issue_slots, blk[w].issue_slots);
+    EXPECT_EQ(seq[w].lane_instructions, blk[w].lane_instructions);
+    EXPECT_EQ(seq[w].mem_transactions, blk[w].mem_transactions);
+    EXPECT_EQ(seq[w].mem_cache_misses, blk[w].mem_cache_misses);
+    EXPECT_EQ(seq[w].smem_transactions, blk[w].smem_transactions);
+  }
+  EXPECT_EQ(out_a, out_b);
 }
 
 // ---- launcher ---------------------------------------------------------------

@@ -146,5 +146,53 @@ TEST(Model, SwitchOverheadChargedPerThread) {
   EXPECT_DOUBLE_EQ(isp_instructions(in), 2.0 * 9.0 * blocks * threads);
 }
 
+// ---- tiled-Body extension ---------------------------------------------------
+
+TEST(Model, TiledIsIdentityOnZeroRadius) {
+  // Nothing to stage: the tiled estimate collapses to the ISP estimate and
+  // the 3-way choice never selects tiled (ties go to isp).
+  ModelInputs in = typical_inputs();
+  in.window = {1, 1};
+  EXPECT_DOUBLE_EQ(tiled_instructions(in), isp_instructions(in));
+  const ModelResult r = evaluate_model(in);
+  EXPECT_NE(r.choice, ModelChoice::kIspTiled);
+}
+
+TEST(Model, TiledWinsOnDenseLargeWindows) {
+  // 25 dense taps move from gmem to smem issue rate; the staging cost of
+  // the 36x8 halo tile is far smaller, so tiled must be the 3-way choice.
+  const ModelInputs in = typical_inputs();
+  EXPECT_LT(tiled_instructions(in), isp_instructions(in));
+  const ModelResult r = evaluate_model(in);
+  EXPECT_GT(r.gain_tiled, r.gain);
+  EXPECT_EQ(r.choice, ModelChoice::kIspTiled);
+}
+
+TEST(Model, SparseTapsRemoveTiledBenefit) {
+  // An a-trous style stencil: a 17x17 window read at only 9 tap sites. The
+  // staged tile is the dense 48x20 halo, so staging costs far more than 9
+  // relocated loads save — while the dense-window fallback (taps = 0) would
+  // wrongly predict a large win.
+  ModelInputs in = typical_inputs();
+  in.window = {17, 17};
+  in.taps = 9.0;
+  EXPECT_GT(tiled_instructions(in), isp_instructions(in));
+  EXPECT_NE(evaluate_model(in).choice, ModelChoice::kIspTiled);
+
+  in.taps = 0.0;  // dense fallback: 289 taps
+  EXPECT_LT(tiled_instructions(in), isp_instructions(in));
+}
+
+TEST(Model, TiledOccupancyPenaltyFlipsChoice) {
+  // Same instruction win as TiledWinsOnDenseLargeWindows, but the staged
+  // tile's smem footprint halves residency: Eq. (10) scales the tiled gain
+  // by O_tiled/O_naive, which must push the choice back to plain isp.
+  ModelInputs in = typical_inputs();
+  in.occupancy_tiled = 0.5;
+  const ModelResult r = evaluate_model(in);
+  EXPECT_LT(r.gain_tiled, r.gain);
+  EXPECT_EQ(r.choice, ModelChoice::kIsp);
+}
+
 }  // namespace
 }  // namespace ispb

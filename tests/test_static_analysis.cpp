@@ -677,5 +677,74 @@ TEST(StaticGain, FollowsEquation10) {
   EXPECT_FALSE(empty.use_isp);
 }
 
+TEST(StaticGain, ThreeWaySelectsLowestAdjustedCycles) {
+  StaticLaunchCost naive;
+  naive.total_cycles = 200.0;
+  StaticLaunchCost isp;
+  isp.total_cycles = 100.0;
+  StaticLaunchCost tiled;
+  tiled.total_cycles = 80.0;
+
+  // Equal occupancies: tiled has the fewest cycles, so it must be best and
+  // its gain the plain cycle ratio.
+  const StaticGain3 equal_occ = static_gain3(naive, isp, tiled, 0.5, 0.5, 0.5);
+  EXPECT_DOUBLE_EQ(equal_occ.gain_tiled, 2.5);
+  EXPECT_EQ(equal_occ.best, codegen::Variant::kIspTiled);
+
+  // A shared-memory occupancy penalty scales only the tiled gain; heavy
+  // enough, it hands the verdict back to plain isp.
+  const StaticGain3 occ_loss = static_gain3(naive, isp, tiled, 0.5, 0.5, 0.15);
+  EXPECT_DOUBLE_EQ(occ_loss.gain_tiled, 2.5 * (0.15 / 0.5));
+  EXPECT_EQ(occ_loss.best, codegen::Variant::kIsp);
+
+  // When isp does not even beat naive, neither contender wins.
+  StaticLaunchCost slow_isp;
+  slow_isp.total_cycles = 300.0;
+  StaticLaunchCost slow_tiled;
+  slow_tiled.total_cycles = 280.0;
+  const StaticGain3 all_slow =
+      static_gain3(naive, slow_isp, slow_tiled, 0.5, 0.5, 0.5);
+  EXPECT_EQ(all_slow.best, codegen::Variant::kNaive);
+
+  // Ties between isp and tiled go to isp (the simpler kernel).
+  const StaticGain3 tie = static_gain3(naive, isp, isp, 0.5, 0.5, 0.5);
+  EXPECT_EQ(tie.best, codegen::Variant::kIsp);
+}
+
+TEST(StaticGain, ThreeWayOnRealKernelsPrefersTiledForDenseConv) {
+  // Counter-exact static cycles for the real laplace 5x5 kernels: the
+  // staged Body trades 25 gmem tap issues for smem issues, so at equal
+  // occupancy the static predictor must prefer tiled — and for the 3x3
+  // gaussian (below the staging break-even) it must not.
+  const sim::DeviceSpec dev = sim::make_gtx680();
+  const auto cost_for = [&](const codegen::StencilSpec& spec,
+                            codegen::Variant variant) {
+    codegen::CodegenOptions opt;
+    opt.pattern = BorderPattern::kClamp;
+    opt.variant = variant;
+    if (variant == codegen::Variant::kIspTiled) opt.tile_block = {32, 4};
+    const dsl::CompiledKernel kernel = dsl::compile_kernel(spec, opt);
+    const LaunchGeometry geom{Size2{256, 256}, BlockSize{32, 4}, Window{5, 5},
+                              32};
+    return compute_static_cost(kernel.program, geom, dev);
+  };
+
+  const codegen::StencilSpec laplace = filters::laplace_spec(5);
+  const StaticGain3 g = static_gain3(
+      cost_for(laplace, codegen::Variant::kNaive),
+      cost_for(laplace, codegen::Variant::kIsp),
+      cost_for(laplace, codegen::Variant::kIspTiled), 1.0, 1.0, 1.0);
+  EXPECT_GT(g.gain_tiled, g.isp.gain);
+  EXPECT_EQ(g.best, codegen::Variant::kIspTiled);
+
+  const codegen::StencilSpec gaussian = filters::gaussian_spec(3);
+  const StaticGain3 h = static_gain3(
+      cost_for(gaussian, codegen::Variant::kNaive),
+      cost_for(gaussian, codegen::Variant::kIsp),
+      cost_for(gaussian, codegen::Variant::kIspTiled), 1.0, 1.0, 1.0);
+  EXPECT_LT(h.gain_tiled, h.isp.gain);
+  EXPECT_EQ(h.best, codegen::Variant::kIsp);
+}
+
 }  // namespace
 }  // namespace ispb::analysis

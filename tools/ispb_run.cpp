@@ -159,11 +159,13 @@ codegen::Variant parse_variant(const std::string& name, bool* use_model) {
   if (name == "naive") return codegen::Variant::kNaive;
   if (name == "isp") return codegen::Variant::kIsp;
   if (name == "isp-warp") return codegen::Variant::kIspWarp;
+  if (name == "isp-tiled") return codegen::Variant::kIspTiled;
   if (name == "isp+m") {
     if (use_model != nullptr) *use_model = true;
     return codegen::Variant::kIsp;
   }
-  throw IoError("unknown --variant '" + name + "' (naive|isp|isp-warp|isp+m)");
+  throw IoError("unknown --variant '" + name +
+                "' (naive|isp|isp-warp|isp-tiled|isp+m)");
 }
 
 std::string_view limiter_name(sim::Occupancy::Limiter l) {
@@ -174,6 +176,8 @@ std::string_view limiter_name(sim::Occupancy::Limiter l) {
       return "blocks";
     case sim::Occupancy::Limiter::kRegisters:
       return "registers";
+    case sim::Occupancy::Limiter::kSharedMem:
+      return "smem";
     case sim::Occupancy::Limiter::kNone:
       return "none";
   }
@@ -655,7 +659,7 @@ int run_analyze(int argc, char** argv) {
   Cli cli(argc, argv);
   cli.option("app", "gaussian|laplace|bilateral|sobel|night (default gaussian)")
       .option("pattern", "clamp|mirror|repeat|constant (default clamp)")
-      .option("variant", "naive|isp|isp-warp (default isp)")
+      .option("variant", "naive|isp|isp-warp|isp-tiled (default isp)")
       .option("device", "gtx680|rtx2080 (default gtx680; --cost cycle costs)")
       .option("size", "image extent the launch geometry covers (default 512)")
       .option("block", "threadblock TXxTY (default 32x4)")
@@ -687,7 +691,8 @@ int run_analyze(int argc, char** argv) {
                    std::string(to_string(pattern)) + ", " +
                    std::string(codegen::to_string(variant)));
   table.set_header({"kernel", "bounds", "proven accesses", "coverage",
-                    "scenarios", "Body guards", "divergence", "lint"});
+                    "scenarios", "Body guards", "divergence", "smem halo",
+                    "barriers", "lint"});
   std::vector<std::pair<std::string, analysis::Finding>> findings;
   bool ok = true;
   for (const auto& stage : app.stages) {
@@ -695,6 +700,7 @@ int run_analyze(int argc, char** argv) {
     codegen::CodegenOptions opt;
     opt.pattern = pattern;
     opt.variant = variant;
+    opt.tile_block = geom.block;  // tiled staging specializes to the block
     const ir::Program prog = codegen::generate_kernel(stage.spec, opt);
 
     const analysis::CheckReport bounds = analysis::check_bounds(prog, geom);
@@ -702,14 +708,21 @@ int run_analyze(int argc, char** argv) {
     const analysis::CheckReport lint_report = analysis::lint(prog);
     const analysis::DivergenceResult div =
         analysis::analyze_divergence(prog, geom);
+    // Shared-memory proof obligations: trivially proven for smem-free
+    // kernels, real work for the tiled variant's staging phase.
+    const bool has_smem = prog.smem_words > 0;
+    const analysis::CheckReport halo =
+        analysis::check_smem_coverage(prog, geom);
+    const analysis::CheckReport bars = analysis::check_barriers(prog, geom);
     const u32 guards = variant == codegen::Variant::kNaive
                            ? 0
                            : analysis::count_residual_guards(prog, "Body");
     const bool stage_ok = bounds.ok() && coverage.ok() && lint_report.ok() &&
-                          div.report.ok() && guards == 0;
+                          div.report.ok() && halo.ok() && bars.ok() &&
+                          guards == 0;
     ok = ok && stage_ok;
     for (const auto* report :
-         {&bounds, &coverage, &lint_report, &div.report}) {
+         {&bounds, &coverage, &lint_report, &div.report, &halo, &bars}) {
       for (const analysis::Finding& f : report->findings) {
         findings.emplace_back(prog.name, f);
       }
@@ -721,6 +734,8 @@ int run_analyze(int argc, char** argv) {
                    variant == codegen::Variant::kNaive ? "-"
                                                        : std::to_string(guards),
                    div.report.ok() ? "uniform" : "FAIL",
+                   has_smem ? (halo.ok() ? "proven" : "FAIL") : "-",
+                   has_smem ? (bars.ok() ? "uniform" : "FAIL") : "-",
                    lint_report.ok() ? "clean" : "FAIL"});
   }
   table.print(std::cout);
@@ -737,7 +752,7 @@ int run_analyze(int argc, char** argv) {
 int run_profile(int argc, char** argv) {
   Cli cli(argc, argv);
   declare_pipeline_options(cli)
-      .option("variant", "naive|isp|isp-warp|isp+m (default isp)")
+      .option("variant", "naive|isp|isp-warp|isp-tiled|isp+m (default isp)")
       .option("json", "report output path (default profile.json)")
       .option("trace", "also write a Chrome trace-event JSON to this path");
   if (cli.finish()) {
@@ -801,11 +816,14 @@ int run_profile(int argc, char** argv) {
     st["kernel"] = stage.kernel;
     st["variant"] = std::string(codegen::to_string(stage.variant_used));
     st["regs_per_thread"] = stage.regs_per_thread;
+    st["smem_bytes_per_block"] = stage.stats.smem_bytes_per_block;
     obs::Json occ = obs::Json::object();
     occ["fraction"] = stage.stats.occupancy.fraction;
     occ["active_blocks_per_sm"] = stage.stats.occupancy.active_blocks_per_sm;
     occ["active_warps_per_sm"] = stage.stats.occupancy.active_warps_per_sm;
     occ["limiter"] = std::string(limiter_name(stage.stats.occupancy.limiter));
+    occ["smem_limited"] =
+        stage.stats.occupancy.limiter == sim::Occupancy::Limiter::kSharedMem;
     st["occupancy"] = std::move(occ);
     st["time_ms"] = stage.stats.time_ms;
     obs::Json totals = obs::Json::object();
@@ -815,6 +833,8 @@ int run_profile(int argc, char** argv) {
     totals["mem_transactions"] = stage.stats.warps.mem_transactions;
     totals["mem_cache_misses"] = stage.stats.warps.mem_cache_misses;
     totals["divergent_branches"] = stage.stats.warps.divergent_branches;
+    totals["smem_transactions"] = stage.stats.warps.smem_transactions;
+    totals["smem_bank_conflicts"] = stage.stats.warps.smem_bank_conflicts;
     totals["warp_cycles"] = stage.stats.total_warp_cycles;
     st["totals"] = std::move(totals);
 
@@ -836,6 +856,8 @@ int run_profile(int argc, char** argv) {
       row["mem_transactions"] = rc.warps.mem_transactions;
       row["mem_cache_misses"] = rc.warps.mem_cache_misses;
       row["divergent_branches"] = rc.warps.divergent_branches;
+      row["smem_transactions"] = rc.warps.smem_transactions;
+      row["smem_bank_conflicts"] = rc.warps.smem_bank_conflicts;
       row["warp_cycles"] = rc.cycles;
       regions.push_back(std::move(row));
     }
@@ -867,14 +889,17 @@ int run_profile(int argc, char** argv) {
   spans_table.print(std::cout);
 
   AsciiTable stage_table("per-stage results");
-  stage_table.set_header(
-      {"stage", "variant", "regs", "occupancy", "limiter", "time ms"});
+  stage_table.set_header({"stage", "variant", "regs", "smem B/blk",
+                          "occupancy", "limiter", "bank conflicts",
+                          "time ms"});
   for (const auto& stage : result.stages) {
     stage_table.add_row(
         {stage.kernel, std::string(codegen::to_string(stage.variant_used)),
          std::to_string(stage.regs_per_thread),
+         std::to_string(stage.stats.smem_bytes_per_block),
          AsciiTable::num(stage.stats.occupancy.fraction, 2),
          std::string(limiter_name(stage.stats.occupancy.limiter)),
+         std::to_string(stage.stats.warps.smem_bank_conflicts),
          AsciiTable::num(stage.stats.time_ms, 4)});
   }
   stage_table.print(std::cout);
@@ -905,7 +930,7 @@ int run_profile(int argc, char** argv) {
 int run_serve(int argc, char** argv) {
   Cli cli(argc, argv);
   declare_pipeline_options(cli)
-      .option("variant", "naive|isp|isp-warp|isp+m (default isp)")
+      .option("variant", "naive|isp|isp-warp|isp-tiled|isp+m (default isp)")
       .option("backend", "interp|native execution engine (default native)")
       .option("requests", "requests to submit (default 64)")
       .option("concurrency", "server worker threads (default 4)")
@@ -1528,6 +1553,9 @@ int run_chaos(int argc, char** argv) {
       .option("seed", "base seed; schedule s uses seed + s (default 1)")
       .option("requests", "requests per app x pattern combination (default 2)")
       .option("size", "synthetic image extent, >= 64 (default 64)")
+      .option("variant",
+              "naive|isp|isp-warp|isp-tiled|isp+m kernel variant under chaos "
+              "(default: executor default)")
       .option("deadline-ms", "whole-request deadline per request, 0 = none")
       .option("force-fail",
               "fault point to fail unrecoverably: compile.lower|cache.insert|"
@@ -1544,6 +1572,12 @@ int run_chaos(int argc, char** argv) {
   const i32 size = static_cast<i32>(cli.get_int("size", 64));
   const f64 deadline_ms = cli.get_double("deadline-ms", 0.0);
   const std::string force_fail = cli.get_string("force-fail", "");
+  const std::string variant_arg = cli.get_string("variant", "");
+  bool chaos_use_model = false;
+  codegen::Variant chaos_variant = codegen::Variant::kIsp;
+  if (!variant_arg.empty()) {
+    chaos_variant = parse_variant(variant_arg, &chaos_use_model);
+  }
   if (schedules <= 0) throw IoError("--schedules must be positive");
   if (requests <= 0) throw IoError("--requests must be positive");
   // Below the 32x4 block footprint the launcher's degenerate-partition
@@ -1611,6 +1645,10 @@ int run_chaos(int argc, char** argv) {
       server_cfg.queue_capacity = static_cast<std::size_t>(requests);
       server_cfg.executor.sim.pattern = combo.pattern;
       server_cfg.executor.sim.constant = border_constant;
+      if (!variant_arg.empty()) {
+        server_cfg.executor.sim.variant = chaos_variant;
+        server_cfg.executor.sim.use_model = chaos_use_model;
+      }
       server_cfg.executor.cache = &cache;
       server_cfg.executor.retry = retry;
       server_cfg.breaker.open_cooldown_ms = 50;
@@ -1720,6 +1758,7 @@ int run_chaos(int argc, char** argv) {
   report["size"] = size;
   report["deadline_ms"] = deadline_ms;
   if (!force_fail.empty()) report["force_fail"] = force_fail;
+  if (!variant_arg.empty()) report["variant"] = variant_arg;
   obs::Json totals = obs::Json::object();
   totals["requests"] = total_requests;
   totals["ok"] = ok;
@@ -1783,7 +1822,7 @@ int run_chaos(int argc, char** argv) {
 int run_simulate(int argc, char** argv) {
   Cli cli(argc, argv);
   declare_pipeline_options(cli)
-      .option("variant", "naive|isp|isp-warp|isp+m (default isp+m)")
+      .option("variant", "naive|isp|isp-warp|isp-tiled|isp+m (default isp+m)")
       .option("in", "input PGM (default: synthetic noise)")
       .option("out", "output PGM path (default result.pgm)")
       .option("reference", "also run the CPU reference and compare");
