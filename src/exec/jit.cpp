@@ -100,7 +100,28 @@ NativeModulePtr load_module(const fs::path& so_path,
   return module;
 }
 
+/// Shared naming between jit_compile and artifact_stem: the stem is a pure
+/// function of the emitted source, the compiler driver and the flag set.
+std::string compute_stem(const codegen::StencilSpec& spec,
+                         const codegen::CodegenOptions& options,
+                         const JitConfig& config) {
+  const std::string source = emit_cpp(spec, options);
+  const std::string symbol = cpp_kernel_symbol(spec, options);
+  const std::string compiler = resolved_compiler(config);
+  const std::string flags =
+      std::string(kFixedFlags) +
+      (config.extra_flags.empty() ? "" : " " + config.extra_flags);
+  const u64 hash = fnv64(flags, fnv64(compiler, fnv64(source)));
+  return symbol + "." + hex64(hash);
+}
+
 }  // namespace
+
+std::string artifact_stem(const codegen::StencilSpec& spec,
+                          const codegen::CodegenOptions& options,
+                          const JitConfig& config) {
+  return compute_stem(spec, options, config);
+}
 
 std::string resolved_cache_dir(const JitConfig& config) {
   if (!config.cache_dir.empty()) return config.cache_dir;
@@ -147,9 +168,8 @@ NativeModulePtr jit_compile(const codegen::StencilSpec& spec,
   const std::string flags =
       std::string(kFixedFlags) +
       (config.extra_flags.empty() ? "" : " " + config.extra_flags);
-  const u64 hash = fnv64(flags, fnv64(compiler, fnv64(source)));
   const fs::path dir = resolved_cache_dir(config);
-  const std::string base = symbol + "." + hex64(hash);
+  const std::string base = compute_stem(spec, options, config);
   const fs::path so_path = dir / (base + ".so");
 
   obs::MetricsRegistry* reg = obs::MetricsRegistry::installed();

@@ -46,6 +46,14 @@ struct JitConfig {
 /// The directory `config` resolves to (creating nothing).
 [[nodiscard]] std::string resolved_cache_dir(const JitConfig& config);
 
+/// The artifact stem ("<symbol>.<source-hash>", no directory or extension)
+/// jit_compile would use for (spec, options, config) — computed without
+/// compiling or touching the disk. KernelCache pins in-flight fills'
+/// expected artifacts against GC with this (see gc_native_artifacts).
+[[nodiscard]] std::string artifact_stem(const codegen::StencilSpec& spec,
+                                        const codegen::CodegenOptions& options,
+                                        const JitConfig& config = {});
+
 /// A dlopened kernel module. Refcount via shared_ptr: the handle is
 /// dlclosed when the last reference drops, so KernelCache eviction is safe
 /// while an executor still runs the function.

@@ -1,0 +1,50 @@
+#include "fleet/admission.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ispb::fleet {
+
+std::string_view to_string(AdmissionDecision d) {
+  switch (d) {
+    case AdmissionDecision::kAdmit:
+      return "admit";
+    case AdmissionDecision::kBrownout:
+      return "brownout";
+    case AdmissionDecision::kShed:
+      return "shed";
+    case AdmissionDecision::kReject:
+      return "reject";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {
+  ISPB_EXPECTS(config_.tiers >= 1);
+  ISPB_EXPECTS(config_.shed_start > 0.0);
+  ISPB_EXPECTS(config_.shed_start <= config_.brownout_start);
+  ISPB_EXPECTS(config_.brownout_start <= config_.reject_start);
+}
+
+f64 AdmissionController::shed_threshold(u32 tier) const {
+  if (tier == 0) return std::numeric_limits<f64>::infinity();
+  const u32 tiers = std::max<u32>(config_.tiers, 2);
+  const u32 t = std::min(tier, tiers - 1);
+  const f64 span = config_.reject_start - config_.shed_start;
+  // Lowest tier sheds at shed_start; each higher tier holds on for an even
+  // share of the remaining headroom up to reject_start.
+  return config_.shed_start +
+         span * static_cast<f64>(tiers - 1 - t) / static_cast<f64>(tiers - 1);
+}
+
+AdmissionDecision AdmissionController::decide(u32 tier, f64 occupancy) const {
+  if (occupancy >= config_.reject_start) return AdmissionDecision::kReject;
+  if (occupancy >= shed_threshold(tier)) return AdmissionDecision::kShed;
+  if (occupancy >= config_.brownout_start) return AdmissionDecision::kBrownout;
+  return AdmissionDecision::kAdmit;
+}
+
+}  // namespace ispb::fleet

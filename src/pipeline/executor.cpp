@@ -45,6 +45,12 @@ ExecutorResult::Stage launch_stage_variant(const KernelGraph::Stage& stage,
     inputs.push_back(&images[static_cast<std::size_t>(img)]);
   }
 
+  // Device-level fault point: fires for every launch attempt on this
+  // simulated device (primary, breaker fallback and retry alike), so a
+  // chaos "kill" rule takes the whole device down — naive fallback
+  // included — and the fleet layer has to fail the request over.
+  resilience::fault_point("device.launch", sim_cfg.device.name);
+
   exec::BackendRun run;
   if (backend == exec::Backend::kNative) {
     exec::NativeBackend engine(cache);
@@ -211,9 +217,19 @@ PipelineExecutor::PipelineExecutor(ExecutorConfig config)
 
 ExecutorResult PipelineExecutor::run(
     const KernelGraph& graph, const Image<f32>& source,
-    std::optional<exec::Backend> backend) const {
+    std::optional<exec::Backend> backend,
+    std::optional<codegen::Variant> variant) const {
   graph.validate();
-  const exec::Backend engine = backend.value_or(config_.backend);
+  // A per-run variant override pins every stage (model selection off);
+  // config_ is copied only on that cold path.
+  std::optional<ExecutorConfig> pinned;
+  if (variant.has_value()) {
+    pinned = config_;
+    pinned->sim.variant = *variant;
+    pinned->sim.use_model = false;
+  }
+  const ExecutorConfig& config = pinned.has_value() ? *pinned : config_;
+  const exec::Backend engine = backend.value_or(config.backend);
   obs::ScopedSpan span("pipeline.execute", "pipeline");
   span.arg("graph", graph.name);
   span.arg("stages", static_cast<i64>(graph.stages.size()));
@@ -231,7 +247,7 @@ ExecutorResult PipelineExecutor::run(
   ExecutorResult result;
   result.stages.resize(n);
 
-  i32 concurrency = config_.concurrency;
+  i32 concurrency = config.concurrency;
   if (concurrency == 0) {
     concurrency = std::min<i32>(
         {static_cast<i32>(graph.roots().size()), 8,
@@ -241,7 +257,7 @@ ExecutorResult PipelineExecutor::run(
   if (concurrency <= 1 || n == 1) {
     // Inline: stage order is already topological.
     for (std::size_t i = 0; i < n; ++i) {
-      result.stages[i] = run_stage(graph.stages[i], config_, images,
+      result.stages[i] = run_stage(graph.stages[i], config, images,
                                    images[i + 1], engine);
     }
   } else {
@@ -291,7 +307,7 @@ ExecutorResult PipelineExecutor::run(
         ExecutorResult::Stage outcome;
         std::exception_ptr error;
         try {
-          outcome = run_stage(graph.stages[idx], config_, images,
+          outcome = run_stage(graph.stages[idx], config, images,
                               images[idx + 1], engine);
         } catch (...) {
           error = std::current_exception();

@@ -87,10 +87,13 @@ class PipelineExecutor {
   /// Runs every stage of `graph` over `source`, honoring the dependency
   /// structure. Rethrows the first stage failure after in-flight stages
   /// drain. `backend` overrides ExecutorConfig::backend for this run
-  /// (per-request selection in the server).
+  /// (per-request selection in the server); `variant` pins every stage to
+  /// one variant with model selection disabled (fleet brownout serves
+  /// kNaive this way).
   [[nodiscard]] ExecutorResult run(
       const KernelGraph& graph, const Image<f32>& source,
-      std::optional<exec::Backend> backend = std::nullopt) const;
+      std::optional<exec::Backend> backend = std::nullopt,
+      std::optional<codegen::Variant> variant = std::nullopt) const;
 
  private:
   ExecutorConfig config_;

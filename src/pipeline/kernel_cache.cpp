@@ -266,6 +266,17 @@ exec::NativeModulePtr KernelCache::get_or_compile_native(
     native_entries_.emplace(key, std::move(entry));
   }
 
+  // Pin the fill's expected artifact stem before touching the toolchain:
+  // jit_compile's disk-warm reuse (fs::exists -> dlopen) may pick up an
+  // artifact older than the GC grace window that no ready entry references
+  // any more (evicted while its device was quarantined) — a concurrent
+  // gc_native_artifacts must not delete it mid-fill.
+  const std::string stem = exec::artifact_stem(spec, canon, jit);
+  {
+    std::lock_guard lock(mu_);
+    ++native_inflight_stems_[stem];
+  }
+
   // JIT outside the lock; same single-flight / retry shape as the IR path.
   // The backend.compile fault point lives inside jit_compile, i.e. inside
   // the retried unit.
@@ -284,6 +295,7 @@ exec::NativeModulePtr KernelCache::get_or_compile_native(
       std::lock_guard lock(mu_);
       stats_.fill_retries += fill.attempts > 0 ? fill.attempts - 1 : 0;
       native_entries_.erase(key);
+      unpin_stem_locked(stem);
       publish_counters_locked();
     }
     throw;
@@ -293,6 +305,7 @@ exec::NativeModulePtr KernelCache::get_or_compile_native(
   {
     std::lock_guard lock(mu_);
     stats_.fill_retries += fill.attempts > 0 ? fill.attempts - 1 : 0;
+    unpin_stem_locked(stem);
     const auto it = native_entries_.find(key);
     if (it != native_entries_.end() && !it->second.ready) {
       native_lru_.push_front(key);
@@ -342,6 +355,11 @@ std::size_t KernelCache::gc_native_artifacts() {
       }
       live_stems.push_back(std::move(stem));
     }
+    // In-flight fills: their artifact may already exist on disk (disk-warm
+    // reuse) with an old mtime; it is live even though no entry is ready.
+    for (const auto& kv : native_inflight_stems_) {
+      live_stems.push_back(kv.first);
+    }
   }
 
   std::size_t removed = 0;
@@ -366,6 +384,12 @@ std::size_t KernelCache::gc_native_artifacts() {
     if (fs::remove(de.path(), ec) && !ec) ++removed;
   }
   return removed;
+}
+
+void KernelCache::unpin_stem_locked(const std::string& stem) {
+  const auto it = native_inflight_stems_.find(stem);
+  if (it == native_inflight_stems_.end()) return;
+  if (--it->second == 0) native_inflight_stems_.erase(it);
 }
 
 void KernelCache::set_retry(resilience::RetryPolicy policy,

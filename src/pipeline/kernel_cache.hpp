@@ -108,10 +108,14 @@ class KernelCache {
   void set_jit(exec::JitConfig config);
   [[nodiscard]] exec::JitConfig jit_config() const;
 
-  /// Removes on-disk artifacts in the JIT cache directory that no ready
-  /// native entry references and that are older than ~60 s (the grace
-  /// window covers a concurrent compile's rename->dlopen gap and in-flight
-  /// fills). Returns the number of files removed.
+  /// Removes on-disk artifacts in the JIT cache directory that neither a
+  /// ready native entry nor an in-flight native fill references and that
+  /// are older than ~60 s (the grace window covers a concurrent compile's
+  /// rename->dlopen gap). In-flight fills pin their expected artifact stem
+  /// explicitly: an old artifact about to be disk-warm reused by a failover
+  /// re-compile (e.g. after the entry was evicted while its device was
+  /// quarantined) must not vanish between the fill's existence check and
+  /// its dlopen. Returns the number of files removed.
   std::size_t gc_native_artifacts();
 
   [[nodiscard]] KernelCacheStats stats() const;
@@ -145,6 +149,8 @@ class KernelCache {
   };
 
   void publish_counters_locked() const;
+  /// Drops one pin on an in-flight fill's expected artifact stem.
+  void unpin_stem_locked(const std::string& stem);
 
   const std::size_t capacity_;
   mutable std::mutex mu_;
@@ -155,6 +161,9 @@ class KernelCache {
   std::list<std::string> lru_;  ///< most recently used first; ready keys only
   std::unordered_map<std::string, NativeEntry> native_entries_;
   std::list<std::string> native_lru_;
+  /// Artifact stems of in-flight native fills (stem -> fill count), pinned
+  /// against gc_native_artifacts until the fill publishes or fails.
+  std::unordered_map<std::string, u32> native_inflight_stems_;
   KernelCacheStats stats_;
 };
 

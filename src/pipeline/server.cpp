@@ -32,12 +32,13 @@ void publish_status(ServeStatus status) {
 void execute_request(const PipelineExecutor& executor, const KernelGraph& graph,
                      const Image<f32>& source,
                      std::optional<exec::Backend> backend,
+                     std::optional<codegen::Variant> variant,
                      ServeResponse& response, u64& retries) {
   try {
     obs::ScopedSpan span("pipeline.server.request", "pipeline");
     span.arg("graph", graph.name);
     resilience::fault_point("server.exec", graph.name);
-    ExecutorResult result = executor.run(graph, source, backend);
+    ExecutorResult result = executor.run(graph, source, backend, variant);
     response.sim_time_ms = result.total_time_ms;
     codegen::Variant variant = result.stages.empty()
                                    ? codegen::Variant::kNaive
@@ -108,9 +109,25 @@ PipelineServer::PipelineServer(ServerConfig config)
 PipelineServer::~PipelineServer() { shutdown(); }
 
 std::future<ServeResponse> PipelineServer::submit(ServeRequest request) {
-  ISPB_EXPECTS(request.graph != nullptr && request.source != nullptr);
   Item item;
   item.request = std::move(request);
+  std::future<ServeResponse> future = item.promise.get_future();
+  enqueue(std::move(item));
+  return future;
+}
+
+void PipelineServer::submit_async(
+    ServeRequest request, std::function<void(ServeResponse&&)> on_done) {
+  ISPB_EXPECTS(on_done != nullptr);
+  Item item;
+  item.request = std::move(request);
+  item.callback = std::move(on_done);
+  enqueue(std::move(item));
+}
+
+void PipelineServer::enqueue(Item item) {
+  ISPB_EXPECTS(item.request.graph != nullptr &&
+               item.request.source != nullptr);
   item.submitted_at = Clock::now();
   if (obs::TraceSession::active()) {
     item.request_id = obs::TraceSession::next_request_id();
@@ -118,28 +135,43 @@ std::future<ServeResponse> PipelineServer::submit(ServeRequest request) {
     item.submitted_ns = obs::TraceSession::now_ns();
   }
   const bool has_deadline = item.has_deadline();
-  std::future<ServeResponse> future = item.promise.get_future();
 
+  bool was_accepting = true;
+  bool rejected = false;
   {
     std::lock_guard lock(mu_);
     ++stats_.submitted;
+    was_accepting = accepting_;
     if (!accepting_ || queue_.size() >= config_.queue_capacity) {
       ++stats_.rejected;
-      ServeResponse response;
-      response.status = ServeStatus::kRejected;
-      response.error = accepting_ ? "queue full" : "server shut down";
-      publish_status(response.status);
-      slo_.record(obs::SloOutcome::kRejected, 0.0, obs::steady_now_ms());
-      item.promise.set_value(std::move(response));
-      return future;
+      rejected = true;
+    } else {
+      ++stats_.accepted;
+      queue_.push_back(std::move(item));
     }
-    ++stats_.accepted;
-    queue_.push_back(std::move(item));
+  }
+  if (rejected) {
+    // Settled outside mu_ so a submit_async callback may re-dispatch into
+    // another server (or even this one) without lock-order trouble.
+    ServeResponse response;
+    response.status = ServeStatus::kRejected;
+    response.error = was_accepting ? "queue full" : "server shut down";
+    publish_status(response.status);
+    slo_.record(obs::SloOutcome::kRejected, 0.0, obs::steady_now_ms());
+    settle(item, std::move(response));
+    return;
   }
   work_cv_.notify_one();
   // The deadline watchdog may need to wake earlier than it planned to.
   if (has_deadline) watchdog_cv_.notify_one();
-  return future;
+}
+
+void PipelineServer::settle(Item& item, ServeResponse&& response) {
+  if (item.callback) {
+    item.callback(std::move(response));
+    return;
+  }
+  item.promise.set_value(std::move(response));
 }
 
 void PipelineServer::resume() {
@@ -281,7 +313,7 @@ void PipelineServer::expire_queued(Item item, Clock::time_point now) {
                      item.submitted_ns, end_ns, item.request_id, 0,
                      item.root_span_id);
   }
-  item.promise.set_value(std::move(response));
+  settle(item, std::move(response));
 }
 
 void PipelineServer::process(Item item) {
@@ -307,7 +339,8 @@ void PipelineServer::process(Item item) {
   } else if (!item.has_deadline()) {
     obs::TraceContext::Scope trace_scope(trace_ctx);
     execute_request(executor_, *item.request.graph, *item.request.source,
-                    item.request.backend, response, retries);
+                    item.request.backend, item.request.variant, response,
+                    retries);
   } else {
     // Execution watchdog: run the request on a dedicated thread and wait
     // only for the remaining budget. On overrun the stage is detached (it
@@ -327,11 +360,14 @@ void PipelineServer::process(Item item) {
     std::future<void> done = slot->done.get_future();
 
     const std::optional<exec::Backend> backend = item.request.backend;
-    std::thread exec_thread([this, slot, graph, source, backend, trace_ctx] {
+    const std::optional<codegen::Variant> variant = item.request.variant;
+    std::thread exec_thread([this, slot, graph, source, backend, variant,
+                             trace_ctx] {
       obs::TraceContext::Scope trace_scope(trace_ctx);
       ServeResponse resp;
       u64 exec_retries = 0;
-      execute_request(executor_, *graph, *source, backend, resp, exec_retries);
+      execute_request(executor_, *graph, *source, backend, variant, resp,
+                      exec_retries);
       bool orphaned = false;
       {
         std::lock_guard lk(slot->mu);
@@ -455,7 +491,7 @@ void PipelineServer::finalize(Item item, ServeResponse response,
                      item.submitted_ns, obs::TraceSession::now_ns(),
                      item.request_id, 0, item.root_span_id);
   }
-  item.promise.set_value(std::move(response));
+  settle(item, std::move(response));
 }
 
 }  // namespace ispb::pipeline

@@ -45,6 +45,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -70,6 +71,11 @@ struct ServeRequest {
   f64 deadline_ms = 0.0;
   /// Per-request engine override; nullopt = ExecutorConfig::backend.
   std::optional<exec::Backend> backend;
+  /// Per-request variant override: forces every stage onto this variant
+  /// (model selection disabled for the request); nullopt = executor config.
+  /// The fleet admission controller uses kNaive here to brown out low-tier
+  /// requests — same pixels, cheaper plan.
+  std::optional<codegen::Variant> variant;
 };
 
 enum class ServeStatus : u8 {
@@ -161,6 +167,15 @@ class PipelineServer {
   /// returned future is already satisfied with kRejected.
   [[nodiscard]] std::future<ServeResponse> submit(ServeRequest request);
 
+  /// Callback flavor of submit(). `on_done` is invoked exactly once with
+  /// the settled response, from whichever thread settles the request (a
+  /// worker, the queue watchdog, or — on overflow/shutdown — the submitting
+  /// thread itself, before this call returns). The callback runs with no
+  /// server locks held, so it may submit to *another* server (fleet
+  /// failover re-dispatch); it must not block.
+  void submit_async(ServeRequest request,
+                    std::function<void(ServeResponse&&)> on_done);
+
   /// Starts processing when constructed with start_paused. Idempotent.
   void resume();
 
@@ -185,6 +200,8 @@ class PipelineServer {
   struct Item {
     ServeRequest request;
     std::promise<ServeResponse> promise;
+    /// When set, settle() invokes this instead of the promise.
+    std::function<void(ServeResponse&&)> callback;
     Clock::time_point submitted_at;
     // Tracing identity, assigned at submit() when a session is active (0
     // otherwise): the request's id, its root span, and the submit time on
@@ -202,6 +219,10 @@ class PipelineServer {
     }
   };
 
+  /// Shared tail of submit()/submit_async(): counts, enqueues or rejects.
+  void enqueue(Item item);
+  /// Delivers the settled response via the item's callback or promise.
+  static void settle(Item& item, ServeResponse&& response);
   void worker_loop();
   void watchdog_loop();
   void process(Item item);

@@ -86,6 +86,46 @@ FaultPlan FaultPlan::chaos(u64 seed) {
   return plan;
 }
 
+FaultPlan FaultPlan::device_chaos(u64 seed,
+                                  const std::vector<std::string>& devices,
+                                  std::string_view mode) {
+  ISPB_EXPECTS(!devices.empty());
+  ISPB_EXPECTS(mode == "kill" || mode == "flap" || mode == "stall" ||
+               mode == "mix");
+  FaultPlan plan;
+  plan.seed = seed;
+  if (devices.size() < 2) return plan;  // nothing to afflict safely
+  const std::size_t survivor = mix64(seed ^ 0xdeadbeefull) % devices.size();
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    if (i == survivor) continue;
+    const std::string& device = devices[i];
+    std::string_view fault = mode;
+    if (fault == "mix") {
+      static constexpr std::string_view kModes[] = {"kill", "flap", "stall"};
+      fault = kModes[mix64(seed * 131 + i) % 3];
+    }
+    if (fault == "kill") {
+      plan.rules.push_back(
+          {"device.launch", FaultKind::kThrow, device, 1.0, 0, 0});
+    } else if (fault == "flap") {
+      const u32 fires = 1 + static_cast<u32>(mix64(seed * 131 + i + 7) % 3);
+      plan.rules.push_back(
+          {"device.launch", FaultKind::kThrow, device, 1.0, fires, 0});
+    } else {  // stall
+      plan.rules.push_back(
+          {"device.launch", FaultKind::kDelay, device, 0.5, 0,
+           5 + (mix64(seed * 131 + i + 13) % 20)});  // 5-24 ms
+    }
+    // Routing/probe faults are capped so a flapped device can always heal
+    // once its launch rule is spent.
+    plan.rules.push_back(
+        {"shard.dispatch", FaultKind::kThrow, device, 0.05, 2, 0});
+    plan.rules.push_back(
+        {"health.probe", FaultKind::kThrow, device, 0.25, 2, 0});
+  }
+  return plan;
+}
+
 FaultInjector::FaultInjector(FaultPlan plan, Clock* clock)
     : plan_(std::move(plan)), clock_(clock) {
   rules_.reserve(plan_.rules.size());

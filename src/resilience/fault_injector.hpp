@@ -9,6 +9,9 @@
 //   server.exec      PipelineServer request execution, detail = graph name
 //   launcher.launch  dsl::launch_on_sim entry, detail = program name
 //   backend.compile  exec::jit_compile entry, detail "<kernel>/<variant>"
+//   device.launch    per-launch device entry, detail = device name
+//   shard.dispatch   fleet shard dispatch, detail = device name
+//   health.probe     fleet half-open device probe, detail = device name
 //
 // A rule can throw (InjectedFault), delay (via the injectable Clock, so a
 // VirtualClock makes delays free and deterministic) or corrupt — the site
@@ -85,6 +88,20 @@ struct FaultPlan {
   /// delay rules with seed-derived probabilities (roughly 2-12% per
   /// evaluation) plus a cache-corruption rule. Same seed, same plan.
   [[nodiscard]] static FaultPlan chaos(u64 seed);
+
+  /// Device-level chaos for the fleet harness. Each afflicted device gets a
+  /// "device.launch" rule shaped by `mode`:
+  ///   kill   every launch fails, forever (device is down);
+  ///   flap   the first 1-3 launches fail, then the device heals;
+  ///   stall  launches are delayed (free under a VirtualClock);
+  ///   mix    per-device seed-hashed choice of the three;
+  /// plus capped low-rate "shard.dispatch" / "health.probe" throw rules so
+  /// the routing and probe paths see faults too. One seed-chosen device is
+  /// always left healthy so the fleet can make progress; with a single
+  /// device the plan is empty. Same seed, same plan.
+  [[nodiscard]] static FaultPlan device_chaos(
+      u64 seed, const std::vector<std::string>& devices,
+      std::string_view mode);
 };
 
 /// Per-point monotonic counters (all evaluations vs. actual fires).

@@ -156,4 +156,47 @@ TEST(IspbRunCli, ServeEmitsJsonReport) {
   }
 }
 
+TEST(IspbRunCli, UnknownFleetDeviceFailsAcrossSubcommands) {
+  for (const char* cmd :
+       {"serve --devices=gtx680,tpu9 --requests=1 --size=32",
+        "loadtest --quick --devices=tpu9",
+        "chaos --devices=gtx680,tpu9 --schedules=1"}) {
+    const CmdResult r = run_cmd(cmd);
+    EXPECT_EQ(r.exit_code, 1) << cmd << "\n" << r.output;
+    EXPECT_NE(r.output.find("unknown device 'tpu9'"), std::string::npos)
+        << cmd << "\n" << r.output;
+    EXPECT_NE(r.output.find("gtx680|rtx2080"), std::string::npos) << r.output;
+  }
+}
+
+TEST(IspbRunCli, UnknownDeviceFaultModeFailsAndNamesIt) {
+  const CmdResult r = run_cmd(
+      "chaos --devices=gtx680,rtx2080 --device-fault=nuke --schedules=1");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("unknown --device-fault 'nuke'"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("kill|flap|stall|mix"), std::string::npos)
+      << r.output;
+}
+
+TEST(IspbRunCli, ShedTiersOutOfRangeFails) {
+  const CmdResult r = run_cmd(
+      "serve --devices=gtx680,rtx2080 --shed-tiers=0 --requests=1 --size=32");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("--shed-tiers"), std::string::npos) << r.output;
+}
+
+TEST(IspbRunCli, FleetServeReportsPerDevicePlacement) {
+  const CmdResult r = run_cmd(
+      "serve --devices=gtx680,rtx2080 --requests=8 --concurrency=2 "
+      "--size=32 --sampled --json");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* field :
+       {"\"devices\"", "GTX680", "RTX2080", "\"admission\"", "\"routed\"",
+        "\"failovers\""}) {
+    EXPECT_NE(r.output.find(field), std::string::npos)
+        << field << "\n" << r.output;
+  }
+}
+
 }  // namespace

@@ -388,6 +388,67 @@ TEST(KernelCacheNative, GcRemovesStaleKeepsLiveAndRecent) {
   EXPECT_TRUE(fs::exists(recent));
 }
 
+// Regression: GC must not delete an artifact a concurrent fill is about to
+// disk-warm-reuse. Scenario: the module was evicted from the LRU (so the
+// live-module scan misses it) and its .so has aged past the grace window —
+// exactly the state after a fleet failover re-compiles a kernel whose
+// device sat quarantined for a while. The fill pins its expected stem
+// before touching the JIT; gc_native_artifacts running inside the fill's
+// window must keep the file.
+TEST(KernelCacheNative, GcKeepsArtifactPinnedByInFlightFill) {
+  const TempDir dir("gcpin");
+  pipeline::KernelCache cache;
+  cache.set_jit(fast_jit(dir));
+  const filters::MultiKernelApp app = filters::make_gaussian_app();
+  const codegen::StencilSpec& spec = app.stages.front().spec;
+  codegen::CodegenOptions opt;
+  opt.variant = codegen::Variant::kIsp;
+
+  fs::path artifact;
+  {
+    const exec::NativeModulePtr first = cache.get_or_compile_native(spec, opt);
+    artifact = first->artifact_path();
+  }
+  cache.clear();  // LRU forgets the module; only the .so remains on disk
+  fs::last_write_time(
+      artifact, fs::file_time_type::clock::now() - std::chrono::minutes(2));
+  ASSERT_TRUE(fs::exists(artifact));
+
+  // Hold the re-compiling fill open mid-flight: jit_compile's entry fault
+  // point sleeps on the wall clock while the main thread runs the GC.
+  resilience::FaultPlan plan;
+  plan.seed = 5;
+  plan.rules.push_back({"backend.compile", resilience::FaultKind::kDelay, "",
+                        1.0, /*max_fires=*/1, /*delay_ms=*/400});
+  resilience::FaultInjector injector(plan);
+  resilience::FaultInjector::ScopedInstall install(injector);
+
+  exec::NativeModulePtr refilled;
+  std::thread fill([&] { refilled = cache.get_or_compile_native(spec, opt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Without the in-flight pin this would count the aged .so as dead.
+  EXPECT_EQ(cache.gc_native_artifacts(), 0u);
+  EXPECT_TRUE(fs::exists(artifact));
+  fill.join();
+
+  ASSERT_NE(refilled, nullptr);
+  EXPECT_EQ(refilled->artifact_path(), artifact.string());
+  // The fill disk-warm-reused the artifact instead of recompiling (a
+  // recompile would have rewritten it, refreshing the mtime) — proving the
+  // GC race window (exists-check -> dlopen) stayed closed.
+  EXPECT_LT(fs::last_write_time(artifact),
+            fs::file_time_type::clock::now() - std::chrono::minutes(1));
+
+  // Once the fill publishes, the pin is released: after the module and the
+  // cache entry go away, the same aged artifact is collectable again.
+  refilled.reset();
+  cache.clear();
+  fs::last_write_time(
+      artifact, fs::file_time_type::clock::now() - std::chrono::minutes(2));
+  EXPECT_EQ(cache.gc_native_artifacts(), 1u);
+  EXPECT_FALSE(fs::exists(artifact));
+}
+
 // Satellite: the native cache key canonicalizes variants that lower
 // identically — kIspWarp is a hit on kIsp's module; kNaive is its own.
 TEST(KernelCacheNative, IspWarpSharesIspModule) {

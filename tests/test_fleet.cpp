@@ -1,0 +1,365 @@
+// Fleet layer: admission ladder table, multi-device placement with
+// bit-identity, failover off a killed device, half-open probe recovery
+// after a flap, shed/brownout/reject degradation, and pinned routing.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "filters/filters.hpp"
+#include "fleet/admission.hpp"
+#include "fleet/fleet_server.hpp"
+#include "image/compare.hpp"
+#include "image/generators.hpp"
+#include "pipeline/kernel_graph.hpp"
+#include "resilience/clock.hpp"
+#include "resilience/fault_injector.hpp"
+
+namespace ispb {
+namespace {
+
+std::shared_ptr<const pipeline::KernelGraph> make_graph(
+    const filters::MultiKernelApp& app) {
+  return std::make_shared<const pipeline::KernelGraph>(
+      pipeline::build_graph(app));
+}
+
+std::shared_ptr<const Image<f32>> make_source(i32 side = 32) {
+  return std::make_shared<const Image<f32>>(make_gradient_image({side, side}));
+}
+
+fleet::FleetConfig two_device_config() {
+  fleet::FleetConfig cfg;
+  cfg.devices = {sim::make_gtx680(), sim::make_rtx2080()};
+  cfg.shard.workers = 2;
+  return cfg;
+}
+
+fleet::FleetRequest make_request(
+    const std::shared_ptr<const pipeline::KernelGraph>& graph,
+    const std::shared_ptr<const Image<f32>>& source, u32 tier = 0) {
+  fleet::FleetRequest req;
+  req.graph = graph;
+  req.source = source;
+  req.tier = tier;
+  return req;
+}
+
+// ---- admission ladder -------------------------------------------------------
+
+TEST(Admission, ShedThresholdsSpacedBetweenShedStartAndRejectStart) {
+  const fleet::AdmissionController ctl{fleet::AdmissionConfig{}};
+  // Defaults: 3 tiers, shed 0.50, brownout 0.75, reject 0.95.
+  EXPECT_TRUE(std::isinf(ctl.shed_threshold(0)));
+  EXPECT_DOUBLE_EQ(ctl.shed_threshold(1), 0.725);
+  EXPECT_DOUBLE_EQ(ctl.shed_threshold(2), 0.50);
+  // Tiers beyond the configured count clamp to the lowest threshold.
+  EXPECT_DOUBLE_EQ(ctl.shed_threshold(9), 0.50);
+}
+
+TEST(Admission, LadderDecisionsByTierAndOccupancy) {
+  using fleet::AdmissionDecision;
+  const fleet::AdmissionController ctl{fleet::AdmissionConfig{}};
+  struct Case {
+    u32 tier;
+    f64 occupancy;
+    AdmissionDecision want;
+  };
+  const Case cases[] = {
+      {0, 0.0, AdmissionDecision::kAdmit},
+      {2, 0.49, AdmissionDecision::kAdmit},
+      {2, 0.50, AdmissionDecision::kShed},   // lowest tier sheds first
+      {1, 0.50, AdmissionDecision::kAdmit},  // tier 1 survives
+      {1, 0.725, AdmissionDecision::kShed},
+      {0, 0.74, AdmissionDecision::kAdmit},
+      {0, 0.75, AdmissionDecision::kBrownout},  // tier 0 degrades, not sheds
+      {0, 0.94, AdmissionDecision::kBrownout},
+      {0, 0.95, AdmissionDecision::kReject},  // saturation rejects everyone
+      {2, 0.95, AdmissionDecision::kReject},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(ctl.decide(c.tier, c.occupancy), c.want)
+        << "tier " << c.tier << " occupancy " << c.occupancy;
+  }
+}
+
+// ---- placement + bit identity ----------------------------------------------
+
+TEST(FleetServer, ServesBitIdenticalAcrossHeterogeneousDevices) {
+  const auto app = filters::make_sobel_app();
+  const auto graph = make_graph(app);
+  const auto src = make_source();
+  const Image<f32> expect =
+      filters::run_app_reference(app, *src, BorderPattern::kClamp);
+
+  fleet::FleetServer server(two_device_config());
+  constexpr int kRequests = 8;
+  std::vector<std::future<fleet::FleetResponse>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(server.submit(make_request(graph, src)));
+  }
+  for (auto& f : futures) {
+    fleet::FleetResponse resp = f.get();
+    ASSERT_EQ(resp.status, fleet::FleetStatus::kOk) << resp.error;
+    EXPECT_EQ(compare(resp.serve.output, expect).max_abs, 0.0);
+    EXPECT_EQ(resp.dispatches, 1u);
+    EXPECT_FALSE(resp.device.empty());
+  }
+  server.shutdown();
+
+  const fleet::FleetStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, static_cast<u64>(kRequests));
+  EXPECT_EQ(stats.completed, static_cast<u64>(kRequests));
+  EXPECT_EQ(stats.failovers, 0u);
+  ASSERT_EQ(stats.devices.size(), 2u);
+  u64 routed = 0;
+  for (const auto& d : stats.devices) routed += d.routed;
+  EXPECT_EQ(routed, static_cast<u64>(kRequests));
+  ASSERT_EQ(stats.tiers.size(), 3u);
+  EXPECT_EQ(stats.tiers[0].completed, static_cast<u64>(kRequests));
+  EXPECT_EQ(stats.tiers[0].latency_ms.count(), static_cast<u64>(kRequests));
+}
+
+// ---- failover off a killed device ------------------------------------------
+
+TEST(FleetServer, FailsOverWhenOneDeviceIsKilled) {
+  const auto app = filters::make_gaussian_app();
+  const auto graph = make_graph(app);
+  const auto src = make_source(16);
+  const Image<f32> expect =
+      filters::run_app_reference(app, *src, BorderPattern::kClamp);
+
+  // Every launch on the RTX2080 (the router's preferred device) throws.
+  resilience::FaultPlan plan;
+  plan.seed = 7;
+  plan.rules.push_back({"device.launch", resilience::FaultKind::kThrow,
+                        "RTX2080", 1.0, 0, 0});
+  resilience::FaultInjector injector(plan);
+  resilience::FaultInjector::ScopedInstall install(injector);
+
+  fleet::FleetConfig cfg = two_device_config();
+  cfg.device_breaker.failure_threshold = 2;
+  cfg.device_breaker.open_cooldown_ms = 60'000;  // stays quarantined
+  fleet::FleetServer server(cfg);
+
+  constexpr int kRequests = 6;
+  std::vector<std::future<fleet::FleetResponse>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(server.submit(make_request(graph, src)));
+  }
+  for (auto& f : futures) {
+    fleet::FleetResponse resp = f.get();
+    ASSERT_EQ(resp.status, fleet::FleetStatus::kOk) << resp.error;
+    EXPECT_EQ(resp.device, "GTX680");  // only survivor
+    EXPECT_EQ(compare(resp.serve.output, expect).max_abs, 0.0);
+  }
+  server.shutdown();
+
+  const fleet::FleetStats stats = server.stats();
+  EXPECT_EQ(stats.completed, static_cast<u64>(kRequests));
+  EXPECT_GE(stats.failovers, 1u);
+  const auto health = server.device_health();
+  ASSERT_EQ(health.size(), 2u);
+  bool rtx_tripped = false;
+  for (const auto& b : health) {
+    if (b.kernel.find("RTX2080") != std::string::npos) {
+      rtx_tripped = b.trips >= 1;
+    }
+  }
+  EXPECT_TRUE(rtx_tripped) << "killed device never quarantined";
+}
+
+// ---- probe-first recovery after a flap -------------------------------------
+
+TEST(FleetServer, HalfOpenProbeRestoresFlappedDevice) {
+  const auto app = filters::make_gaussian_app();
+  const auto graph = make_graph(app);
+  const auto src = make_source(16);
+
+  // The GTX680 fails its first two launches, then heals (a flap).
+  resilience::FaultPlan plan;
+  plan.seed = 11;
+  plan.rules.push_back({"device.launch", resilience::FaultKind::kThrow,
+                        "GTX680", 1.0, /*max_fires=*/2, 0});
+  resilience::FaultInjector injector(plan);
+  resilience::FaultInjector::ScopedInstall install(injector);
+
+  resilience::VirtualClock vclock;
+  fleet::FleetConfig cfg = two_device_config();
+  cfg.clock = &vclock;
+  cfg.device_breaker.failure_threshold = 1;
+  cfg.device_breaker.open_cooldown_ms = 50;
+  // Disable the shard-internal naive fallback so the injected launch fault
+  // surfaces as a device error instead of being absorbed per-kernel.
+  cfg.shard.breakers_enabled = false;
+  cfg.shard.executor.retry.max_attempts = 1;
+  fleet::FleetServer server(cfg);
+
+  // Burn the flap by pinning onto the afflicted device; the failure trips
+  // its breaker and the request fails over... except pinned requests have
+  // nowhere to go, so they settle kError.
+  fleet::FleetRequest pinned = make_request(graph, src);
+  pinned.pin_device = "GTX680";
+  EXPECT_EQ(server.submit(pinned).get().status, fleet::FleetStatus::kError);
+
+  // Quarantined: a pinned request is refused while the cooldown runs.
+  pinned = make_request(graph, src);
+  pinned.pin_device = "GTX680";
+  fleet::FleetResponse refused = server.submit(pinned).get();
+  EXPECT_EQ(refused.status, fleet::FleetStatus::kError);
+  EXPECT_NE(refused.error.find("quarantined"), std::string::npos)
+      << refused.error;
+
+  // After the cooldown the next pinned submit rides in as the half-open
+  // probe. The flap still has one fire left, so the first probe fails and
+  // re-trips; advance and probe again until the device heals.
+  bool healed = false;
+  for (int attempt = 0; attempt < 8 && !healed; ++attempt) {
+    vclock.advance(60);
+    pinned = make_request(graph, src);
+    pinned.pin_device = "GTX680";
+    fleet::FleetResponse resp = server.submit(pinned).get();
+    healed = resp.status == fleet::FleetStatus::kOk;
+  }
+  EXPECT_TRUE(healed) << "flapped device never recovered via probes";
+  server.shutdown();
+
+  const auto health = server.device_health();
+  for (const auto& b : health) {
+    if (b.kernel.find("GTX680") != std::string::npos) {
+      EXPECT_EQ(b.state, resilience::BreakerState::kClosed);
+      EXPECT_GE(b.trips, 1u);
+    }
+  }
+  const fleet::FleetStats stats = server.stats();
+  bool gtx_completed = false;
+  for (const auto& d : stats.devices) {
+    if (d.device == "GTX680") gtx_completed = d.completed >= 1;
+  }
+  EXPECT_TRUE(gtx_completed);
+}
+
+// ---- degradation ladder end-to-end -----------------------------------------
+
+TEST(FleetServer, ShedsBrownsOutAndRejectsUnderLoad) {
+  const auto app = filters::make_gaussian_app();
+  const auto graph = make_graph(app);
+  const auto src = make_source(16);
+  const Image<f32> expect =
+      filters::run_app_reference(app, *src, BorderPattern::kClamp);
+
+  fleet::FleetConfig cfg = two_device_config();
+  cfg.shard.workers = 2;
+  cfg.shard.queue_capacity = 8;
+  cfg.shard.start_paused = true;  // requests pile up deterministically
+  // Fleet capacity = 2 shards * (8 queue + 2 workers) = 20 slots.
+  cfg.admission.shed_start = 0.30;     // tier 2 sheds at 6 in flight
+  cfg.admission.brownout_start = 0.50;  // brownout at 10
+  cfg.admission.reject_start = 0.70;    // reject at 14
+  fleet::FleetServer server(cfg);
+
+  std::vector<std::future<fleet::FleetResponse>> admitted;
+  for (int i = 0; i < 6; ++i) {
+    admitted.push_back(server.submit(make_request(graph, src, 0)));
+  }
+  // Occupancy 0.30: the lowest tier peels off first; settles immediately.
+  auto shed2 = server.submit(make_request(graph, src, 2));
+  ASSERT_EQ(shed2.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(shed2.get().status, fleet::FleetStatus::kShed);
+
+  for (int i = 0; i < 4; ++i) {
+    admitted.push_back(server.submit(make_request(graph, src, 0)));
+  }
+  // Occupancy 0.50: tier 1's evenly spaced threshold kicks in.
+  auto shed1 = server.submit(make_request(graph, src, 1));
+  EXPECT_EQ(shed1.get().status, fleet::FleetStatus::kShed);
+
+  // Tier 0 never sheds — it browns out to kNaive instead.
+  std::vector<std::future<fleet::FleetResponse>> browned;
+  for (int i = 0; i < 4; ++i) {
+    browned.push_back(server.submit(make_request(graph, src, 0)));
+  }
+  // Occupancy 0.70: saturation. Even tier 0 is refused now.
+  auto rejected = server.submit(make_request(graph, src, 0));
+  EXPECT_EQ(rejected.get().status, fleet::FleetStatus::kRejected);
+
+  server.resume();
+  for (auto& f : admitted) {
+    fleet::FleetResponse resp = f.get();
+    ASSERT_EQ(resp.status, fleet::FleetStatus::kOk) << resp.error;
+    EXPECT_FALSE(resp.browned_out);
+    EXPECT_EQ(compare(resp.serve.output, expect).max_abs, 0.0);
+  }
+  for (auto& f : browned) {
+    fleet::FleetResponse resp = f.get();
+    ASSERT_EQ(resp.status, fleet::FleetStatus::kOk) << resp.error;
+    EXPECT_TRUE(resp.browned_out);
+    EXPECT_EQ(resp.serve.variant_used, codegen::Variant::kNaive);
+    // Brownout degrades the plan, never the pixels.
+    EXPECT_EQ(compare(resp.serve.output, expect).max_abs, 0.0);
+  }
+  server.shutdown();
+
+  const fleet::FleetStats stats = server.stats();
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_GE(stats.rejected, 1u);
+  ASSERT_EQ(stats.tiers.size(), 3u);
+  EXPECT_EQ(stats.tiers[2].shed, 1u);
+  EXPECT_EQ(stats.tiers[1].shed, 1u);
+  EXPECT_EQ(stats.tiers[0].browned_out, 4u);
+  EXPECT_EQ(stats.tiers[0].completed, 14u);
+}
+
+// ---- pinned routing ---------------------------------------------------------
+
+TEST(FleetServer, PinnedRequestsLandOnTheNamedDevice) {
+  const auto graph = make_graph(filters::make_gaussian_app());
+  const auto src = make_source(16);
+
+  fleet::FleetServer server(two_device_config());
+  fleet::FleetRequest pinned = make_request(graph, src);
+  pinned.pin_device = "GTX680";  // the router would prefer the RTX2080
+  fleet::FleetResponse resp = server.submit(pinned).get();
+  ASSERT_EQ(resp.status, fleet::FleetStatus::kOk) << resp.error;
+  EXPECT_EQ(resp.device, "GTX680");
+
+  fleet::FleetRequest unknown = make_request(graph, src);
+  unknown.pin_device = "TPUv9";
+  fleet::FleetResponse bad = server.submit(unknown).get();
+  EXPECT_EQ(bad.status, fleet::FleetStatus::kError);
+  EXPECT_NE(bad.error.find("unknown pinned device"), std::string::npos)
+      << bad.error;
+  server.shutdown();
+}
+
+// ---- device chaos plan shape ------------------------------------------------
+
+TEST(DeviceChaosPlan, LeavesOneSurvivorAndIsDeterministic) {
+  const std::vector<std::string> devices = {"GTX680", "RTX2080", "RTX2080#2"};
+  const auto a = resilience::FaultPlan::device_chaos(42, devices, "mix");
+  const auto b = resilience::FaultPlan::device_chaos(42, devices, "mix");
+  ASSERT_EQ(a.rules.size(), b.rules.size());
+  for (std::size_t i = 0; i < a.rules.size(); ++i) {
+    EXPECT_EQ(a.rules[i].point, b.rules[i].point);
+    EXPECT_EQ(a.rules[i].match, b.rules[i].match);
+    EXPECT_EQ(a.rules[i].kind, b.rules[i].kind);
+  }
+  // Exactly one device carries no rules at all (the survivor).
+  int survivors = 0;
+  for (const std::string& d : devices) {
+    bool afflicted = false;
+    for (const auto& r : a.rules) afflicted |= r.match == d;
+    survivors += afflicted ? 0 : 1;
+  }
+  EXPECT_EQ(survivors, 1);
+  // A single-device fleet is never afflicted.
+  EXPECT_TRUE(
+      resilience::FaultPlan::device_chaos(42, {"GTX680"}, "kill").rules.empty());
+}
+
+}  // namespace
+}  // namespace ispb

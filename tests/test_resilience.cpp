@@ -4,8 +4,10 @@
 // fallback (serve naive while ISP fails, restore ISP via half-open probe).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "filters/filters.hpp"
@@ -297,6 +299,117 @@ TEST(CircuitBreaker, HalfOpenProbeFailureReopens) {
   EXPECT_EQ(breaker.snapshot().trips, 2u);
   clock.advance(60);
   EXPECT_TRUE(breaker.allow()) << "another cooldown, another probe";
+}
+
+TEST(CircuitBreaker, HalfOpenHammerAdmitsExactlyOneProbePerEpisode) {
+  // The fleet's probe-first router leans on half-open admitting *exactly*
+  // half_open_probes concurrent callers. Hammer allow() from many threads
+  // across repeated quarantine episodes: one winner per episode, and the
+  // state machine must come out coherent every time (TSan covers the
+  // data-race side of this in CI).
+  resilience::BreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_cooldown_ms = 10;
+  config.half_open_probes = 1;
+  resilience::VirtualClock clock;
+  resilience::CircuitBreaker breaker("device:hammer", config, &clock);
+
+  constexpr int kThreads = 12;
+  constexpr int kEpisodes = 50;
+  for (int episode = 0; episode < kEpisodes; ++episode) {
+    breaker.record_failure();  // trip into quarantine
+    ASSERT_EQ(breaker.snapshot().state, BreakerState::kOpen);
+    clock.advance(config.open_cooldown_ms + 1);
+
+    std::atomic<bool> go{false};
+    std::atomic<int> admitted{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        if (breaker.allow()) admitted.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& t : threads) t.join();
+    ASSERT_EQ(admitted.load(), 1)
+        << "episode " << episode << ": half-open admitted the wrong number";
+    EXPECT_EQ(breaker.snapshot().state, BreakerState::kHalfOpen);
+
+    // Resolve the probe both ways across episodes; either outcome must
+    // leave a state the next episode can trip from.
+    if (episode % 2 == 0) {
+      breaker.record_success();
+      EXPECT_EQ(breaker.snapshot().state, BreakerState::kClosed);
+    } else {
+      breaker.record_failure();  // probe failed: straight back to open
+      EXPECT_EQ(breaker.snapshot().state, BreakerState::kOpen);
+      clock.advance(config.open_cooldown_ms + 1);
+      EXPECT_TRUE(breaker.allow());
+      breaker.record_success();
+      EXPECT_EQ(breaker.snapshot().state, BreakerState::kClosed);
+    }
+  }
+  const resilience::BreakerSnapshot snap = breaker.snapshot();
+  EXPECT_EQ(snap.state, BreakerState::kClosed);
+  EXPECT_GE(snap.trips, static_cast<u64>(kEpisodes));
+}
+
+TEST(CircuitBreaker, StateMachineSurvivesChaoticConcurrentCallers) {
+  // No scripted episodes: threads race allow()/record_success()/
+  // record_failure() while another advances the clock. The breaker makes no
+  // fairness promise here — the assertion is purely that the state machine
+  // never corrupts: snapshot() always reads a legal state and the breaker
+  // still operates normally (trip, quarantine, probe, close) afterwards.
+  resilience::BreakerConfig config;
+  config.failure_threshold = 2;
+  config.open_cooldown_ms = 5;
+  config.half_open_probes = 1;
+  resilience::VirtualClock clock;
+  resilience::CircuitBreaker breaker("device:chaos", config, &clock);
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 400;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      u64 rng = 0x9e3779b97f4a7c15ull * static_cast<u64>(t + 1);
+      for (int i = 0; i < kItersPerThread; ++i) {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        if (breaker.allow()) {
+          if ((rng & 3) == 0) {
+            breaker.record_failure();
+          } else {
+            breaker.record_success();
+          }
+        } else if ((rng & 7) == 0) {
+          clock.advance(config.open_cooldown_ms + 1);
+        }
+        const BreakerState s = breaker.snapshot().state;
+        ASSERT_TRUE(s == BreakerState::kClosed || s == BreakerState::kOpen ||
+                    s == BreakerState::kHalfOpen);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // The breaker must still work after the storm.
+  clock.advance(config.open_cooldown_ms + 1);
+  while (breaker.snapshot().state != BreakerState::kClosed) {
+    if (breaker.allow()) breaker.record_success();
+    clock.advance(config.open_cooldown_ms + 1);
+  }
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.snapshot().state, BreakerState::kOpen);
+  clock.advance(config.open_cooldown_ms + 1);
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_success();
+  EXPECT_EQ(breaker.snapshot().state, BreakerState::kClosed);
 }
 
 TEST(BreakerRegistry, SharesBreakersByKernelName) {

@@ -69,13 +69,36 @@ std::vector<TierSummary> validate(const std::string& path) {
   if (bench.as_string() != "loadtest") {
     throw IoError(path + ": bench != \"loadtest\"");
   }
-  if (require_number(report, "schema_version", "top level") != 1.0) {
-    throw IoError(path + ": unsupported schema_version");
+  // Schema v2 (fleet serving): config names the device mix and tier count,
+  // every load tier carries a per-priority-tier admission breakdown (shed /
+  // browned-out / completed counts with latency percentiles), and a
+  // top-level `devices` array records where the router placed the work.
+  if (require_number(report, "schema_version", "top level") != 2.0) {
+    throw IoError(path + ": unsupported schema_version (expected 2)");
   }
-  require(report, "config", "top level");
+  const obs::Json& config = require(report, "config", "top level");
+  const obs::Json& config_devices = require(config, "devices", "config");
+  if (!config_devices.is_array() || config_devices.size() == 0) {
+    throw IoError(path + ": config.devices is not a non-empty array");
+  }
+  require_number(config, "shed_tiers", "config");
   require_number(report, "capacity_rps", "top level");
   require(report, "obs_overhead", "top level");
   require(report, "critical_path", "top level");
+
+  const obs::Json& devices = require(report, "devices", "top level");
+  if (!devices.is_array() || devices.size() != config_devices.size()) {
+    throw IoError(path + ": 'devices' is not an array matching config.devices");
+  }
+  for (const obs::Json& d : devices.items()) {
+    if (!d.is_object()) throw IoError(path + ": device entry is not an object");
+    require(d, "device", "device entry");
+    for (const char* key :
+         {"routed", "completed", "errors", "rejected", "probes",
+          "quarantines"}) {
+      require_number(d, key, "device entry");
+    }
+  }
 
   const obs::Json& tiers = require(report, "tiers", "top level");
   if (!tiers.is_array() || tiers.size() == 0) {
@@ -89,12 +112,29 @@ std::vector<TierSummary> validate(const std::string& path) {
     s.multiplier = require_number(t, "multiplier", "tier entry");
     s.throughput_rps = require_number(t, "throughput_rps", "tier entry");
     require_number(t, "rejection_rate", "tier entry");
+    require_number(t, "shed_rate", "tier entry");
+    require_number(t, "failovers", "tier entry");
     const obs::Json& latency = require(t, "latency", "tier entry");
     for (const char* key : {"p50_ms", "p99_ms"}) {
       const obs::Json& v = require(latency, key, "tier latency");
       if (!v.is_null() && v.kind() != obs::Json::Kind::kNumber) {
         throw IoError(path + ": latency." + key + " is neither null nor number");
       }
+    }
+    const obs::Json& admission = require(t, "admission", "tier entry");
+    if (!admission.is_array() || admission.size() == 0) {
+      throw IoError(path + ": tier 'admission' is not a non-empty array");
+    }
+    for (const obs::Json& a : admission.items()) {
+      if (!a.is_object()) {
+        throw IoError(path + ": admission entry is not an object");
+      }
+      for (const char* key :
+           {"tier", "submitted", "shed", "browned_out", "completed",
+            "rejected", "deadline_expired", "errors"}) {
+        require_number(a, key, "admission entry");
+      }
+      require(a, "latency", "admission entry");
     }
     out.push_back(std::move(s));
   }

@@ -46,22 +46,29 @@
 //     ispb_run serve --app=sobel --requests=64 --concurrency=8
 //              [--pattern=clamp] [--variant=isp] [--backend=native|interp]
 //              [--size=256] [--queue=64] [--deadline-ms=50] [--sampled]
+//              [--devices=gtx680,rtx2080] [--shed-tiers=3]
 //              [--json | --json=report.json]
 //
 //              serving defaults to the native (JIT shared-object) execution
 //              backend; profile/analyze always use the interpreted engine
-//              (modeled counters).
+//              (modeled counters). With --devices the requests go through
+//              the fleet router (one shard per device, tiered admission,
+//              health-checked failover) instead of a single server.
 //
-//   loadtest   open-loop Poisson load generator: calibrate the server's
-//              closed-loop capacity, then drive it at three load tiers
-//              (below / near / above saturation) across an apps x patterns
-//              matrix, measure sustained throughput, latency percentiles and
-//              rejection rate per tier, re-run the top tier with tracing +
-//              metrics + the SLO exporter enabled to measure observability
-//              overhead, and write the BENCH_serve.json perf artifact:
+//   loadtest   open-loop Poisson load generator against the multi-device
+//              fleet router: calibrate the fleet's closed-loop capacity,
+//              then drive it at three load tiers (below / near / above
+//              saturation) across an apps x patterns matrix with requests
+//              spread over --shed-tiers priority tiers, measure sustained
+//              throughput, latency percentiles, shed/brownout/rejection
+//              behavior per admission tier and placement per device, re-run
+//              the top tier with tracing + metrics + the SLO exporter
+//              enabled to measure observability overhead, and write the
+//              BENCH_serve.json perf artifact (schema v2):
 //
 //     ispb_run loadtest [--apps=gaussian,sobel] [--patterns=clamp,mirror]
-//              [--size=128] [--workers=4] [--queue=128] [--duration-ms=1500]
+//              [--devices=gtx680,rtx2080] [--shed-tiers=3] [--size=128]
+//              [--workers=4] [--queue=128] [--duration-ms=1500]
 //              [--tiers=0.5,0.9,1.5] [--deadline-ms=0] [--backend=native]
 //              [--seed=7] [--full] [--quick] [--json=BENCH_serve.json]
 //
@@ -75,6 +82,15 @@
 //
 //     ispb_run chaos [--schedules=64] [--seed=1] [--requests=2] [--size=64]
 //              [--deadline-ms=0] [--force-fail=POINT] [--json]
+//
+//              With --devices the harness switches to fleet chaos: seeded
+//              device-level fault schedules (--device-fault=kill|flap|
+//              stall|mix) kill, flap or stall whole devices mid-load while
+//              the fleet router sheds, fails over and probes them back,
+//              asserting the same invariants plus post-fault re-convergence:
+//
+//     ispb_run chaos --devices=gtx680,rtx2080 [--device-fault=mix]
+//              [--shed-tiers=3] [--schedules=32] [--seed=1] [--requests=4]
 //
 //   help       print this overview.
 #include <algorithm>
@@ -104,6 +120,7 @@
 #include "ir/analysis/divergence.hpp"
 #include "ir/analysis/static_cost.hpp"
 #include "common/rng.hpp"
+#include "fleet/fleet_server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
@@ -137,6 +154,43 @@ sim::DeviceSpec parse_device(const std::string& name) {
   if (name == "gtx680") return sim::make_gtx680();
   if (name == "rtx2080") return sim::make_rtx2080();
   throw IoError("unknown --device '" + name + "' (gtx680|rtx2080)");
+}
+
+/// Strict --devices list: comma-separated device names -> specs, exit 1
+/// naming the first unknown entry. Order is preserved (it becomes the
+/// fleet's shard order).
+std::vector<sim::DeviceSpec> parse_devices(const std::string& spec) {
+  std::vector<sim::DeviceSpec> devices;
+  std::string text = spec;
+  std::replace(text.begin(), text.end(), ',', ' ');
+  std::istringstream in(text);
+  std::string word;
+  while (in >> word) {
+    if (word == "gtx680") {
+      devices.push_back(sim::make_gtx680());
+    } else if (word == "rtx2080") {
+      devices.push_back(sim::make_rtx2080());
+    } else {
+      throw IoError("unknown device '" + word +
+                    "' in --devices (gtx680|rtx2080, comma-separated)");
+    }
+  }
+  if (devices.empty()) {
+    throw IoError("--devices parsed to no device names "
+                  "(gtx680|rtx2080, comma-separated)");
+  }
+  return devices;
+}
+
+/// Strict --shed-tiers: priority tier count for the fleet's admission
+/// ladder; tier 0 never sheds, so 1 disables shedding entirely.
+u32 parse_shed_tiers(const Cli& cli) {
+  const i64 tiers = cli.get_int("shed-tiers", 3);
+  if (tiers < 1 || tiers > 16) {
+    throw IoError("unknown --shed-tiers '" + std::to_string(tiers) +
+                  "' (1..16)");
+  }
+  return static_cast<u32>(tiers);
 }
 
 exec::Backend parse_backend_arg(const std::string& name) {
@@ -927,6 +981,145 @@ int run_profile(int argc, char** argv) {
   return 0;
 }
 
+/// `serve --devices=...`: the same request volley, but placed by the fleet
+/// router — one shard per device, priority tiers round-robined across the
+/// requests, shedding/brownout/rejection reported per admission tier and
+/// placement per device.
+int serve_fleet(const Cli& cli, const filters::MultiKernelApp& app,
+                const filters::AppSimConfig& cfg, exec::Backend backend,
+                const std::shared_ptr<const pipeline::KernelGraph>& graph,
+                const std::shared_ptr<const Image<f32>>& source, i32 size,
+                i32 requests, i32 concurrency, std::size_t queue_capacity,
+                f64 deadline_ms, std::vector<sim::DeviceSpec> devices,
+                u32 shed_tiers) {
+  pipeline::KernelCache cache;
+  fleet::FleetConfig fleet_cfg;
+  fleet_cfg.devices = std::move(devices);
+  fleet_cfg.shard.workers = concurrency;
+  fleet_cfg.shard.queue_capacity = queue_capacity;
+  fleet_cfg.shard.executor.sim = cfg;
+  fleet_cfg.shard.executor.concurrency = 1;
+  fleet_cfg.shard.executor.cache = &cache;
+  fleet_cfg.shard.executor.backend = backend;
+  fleet_cfg.admission.tiers = shed_tiers;
+
+  using Clock = std::chrono::steady_clock;
+  fleet::FleetStats stats;
+  const Clock::time_point t0 = Clock::now();
+  {
+    fleet::FleetServer server(fleet_cfg);
+    std::vector<std::future<fleet::FleetResponse>> futures;
+    futures.reserve(static_cast<std::size_t>(requests));
+    for (i32 i = 0; i < requests; ++i) {
+      fleet::FleetRequest req;
+      req.graph = graph;
+      req.source = source;
+      req.deadline_ms = deadline_ms;
+      req.backend = backend;
+      req.tier = static_cast<u32>(i) % shed_tiers;
+      futures.push_back(server.submit(std::move(req)));
+    }
+    for (auto& f : futures) (void)f.get();
+    server.shutdown();
+    stats = server.stats();
+  }
+  const f64 wall_ms =
+      std::chrono::duration<f64, std::milli>(Clock::now() - t0).count();
+  const f64 throughput_rps =
+      wall_ms > 0.0 ? static_cast<f64>(stats.completed) / (wall_ms / 1000.0)
+                    : 0.0;
+
+  obs::StreamingHistogram latency_all;
+  for (const fleet::FleetTierStats& t : stats.tiers) {
+    latency_all.merge(t.latency_ms);
+  }
+  const auto opt_json = [](std::optional<f64> v) {
+    return v ? obs::Json(*v) : obs::Json(nullptr);
+  };
+
+  obs::Json report = obs::Json::object();
+  report["app"] = app.name;
+  report["pattern"] = std::string(to_string(cfg.pattern));
+  report["backend"] = std::string(exec::to_string(backend));
+  report["size"] = size;
+  report["requests"] = static_cast<i64>(requests);
+  report["concurrency"] = static_cast<i64>(concurrency);
+  report["queue_capacity"] = static_cast<i64>(queue_capacity);
+  report["shed_tiers"] = static_cast<i64>(shed_tiers);
+  report["wall_ms"] = wall_ms;
+  report["throughput_rps"] = throughput_rps;
+  obs::Json statuses = obs::Json::object();
+  statuses["completed"] = stats.completed;
+  statuses["shed"] = stats.shed;
+  statuses["rejected"] = stats.rejected;
+  statuses["deadline_expired"] = stats.deadline_expired;
+  statuses["errors"] = stats.errors;
+  statuses["failovers"] = stats.failovers;
+  report["statuses"] = std::move(statuses);
+  obs::Json latency = obs::Json::object();
+  latency["p50_ms"] = opt_json(latency_all.percentile(50.0));
+  latency["p95_ms"] = opt_json(latency_all.percentile(95.0));
+  latency["p99_ms"] = opt_json(latency_all.percentile(99.0));
+  report["latency"] = std::move(latency);
+  obs::Json devices_json = obs::Json::array();
+  for (const fleet::FleetDeviceStats& d : stats.devices) {
+    obs::Json j = obs::Json::object();
+    j["device"] = d.device;
+    j["routed"] = d.routed;
+    j["completed"] = d.completed;
+    j["errors"] = d.errors;
+    j["rejected"] = d.rejected;
+    j["probes"] = d.probes;
+    j["quarantines"] = d.quarantines;
+    devices_json.push_back(std::move(j));
+  }
+  report["devices"] = std::move(devices_json);
+  obs::Json tiers_json = obs::Json::array();
+  for (const fleet::FleetTierStats& t : stats.tiers) {
+    obs::Json j = obs::Json::object();
+    j["tier"] = static_cast<i64>(t.tier);
+    j["submitted"] = t.submitted;
+    j["completed"] = t.completed;
+    j["shed"] = t.shed;
+    j["browned_out"] = t.browned_out;
+    j["rejected"] = t.rejected;
+    j["deadline_expired"] = t.deadline_expired;
+    j["errors"] = t.errors;
+    j["p99_ms"] = opt_json(t.latency_ms.percentile(99.0));
+    tiers_json.push_back(std::move(j));
+  }
+  report["admission"] = std::move(tiers_json);
+
+  const std::string json_arg = cli.get_string("json", "");
+  if (json_arg == "true") {
+    std::cout << report.dump(2) << "\n";
+    return 0;
+  }
+  if (!json_arg.empty()) write_text_file(json_arg, report.dump(2));
+
+  std::string device_names;
+  for (const fleet::FleetDeviceStats& d : stats.devices) {
+    device_names += (device_names.empty() ? "" : "+") + d.device;
+  }
+  AsciiTable table("fleet-serving " + app.name + " on " + device_names +
+                   ", " + std::to_string(size) + "x" + std::to_string(size));
+  table.set_header({"metric", "value"});
+  table.add_row({"requests", std::to_string(requests)});
+  table.add_row({"completed", std::to_string(stats.completed)});
+  table.add_row({"shed", std::to_string(stats.shed)});
+  table.add_row({"rejected", std::to_string(stats.rejected)});
+  table.add_row({"errors", std::to_string(stats.errors)});
+  table.add_row({"failovers", std::to_string(stats.failovers)});
+  table.add_row({"wall time ms", AsciiTable::num(wall_ms, 2)});
+  table.add_row({"throughput req/s", AsciiTable::num(throughput_rps, 1)});
+  for (const fleet::FleetDeviceStats& d : stats.devices) {
+    table.add_row({"routed -> " + d.device, std::to_string(d.routed)});
+  }
+  table.print(std::cout);
+  if (!json_arg.empty()) std::cout << "wrote " << json_arg << "\n";
+  return 0;
+}
+
 int run_serve(int argc, char** argv) {
   Cli cli(argc, argv);
   declare_pipeline_options(cli)
@@ -937,6 +1130,10 @@ int run_serve(int argc, char** argv) {
       .option("queue", "bounded queue capacity (default: requests, no drops)")
       .option("deadline-ms", "per-request queue deadline, 0 = none")
       .option("sampled", "timing-only sampled launches (max throughput)")
+      .option("devices",
+              "comma list of fleet devices; when set, requests go through "
+              "the multi-device fleet router")
+      .option("shed-tiers", "fleet admission priority tiers (default 3)")
       .option("json", "report as JSON: --json to stdout, --json=PATH to file");
   if (cli.finish()) {
     std::cout << cli.help();
@@ -965,6 +1162,13 @@ int run_serve(int argc, char** argv) {
   const auto source = std::make_shared<const Image<f32>>(
       make_noise_image({size, size}, 4242));
 
+  const std::string devices_arg = cli.get_string("devices", "");
+  if (!devices_arg.empty()) {
+    return serve_fleet(cli, app, cfg, backend, graph, source, size, requests,
+                       concurrency, queue_capacity, deadline_ms,
+                       parse_devices(devices_arg), parse_shed_tiers(cli));
+  }
+
   // A fresh cache per invocation so the reported hit-rate describes this
   // serving run, not whatever the process did before.
   pipeline::KernelCache cache;
@@ -985,7 +1189,8 @@ int run_serve(int argc, char** argv) {
     std::vector<std::future<pipeline::ServeResponse>> futures;
     futures.reserve(static_cast<std::size_t>(requests));
     for (i32 i = 0; i < requests; ++i) {
-      futures.push_back(server.submit({graph, source, deadline_ms, backend}));
+      futures.push_back(
+          server.submit({graph, source, deadline_ms, backend, std::nullopt}));
     }
     for (auto& f : futures) {
       if (f.get().status == pipeline::ServeStatus::kOk) ++ok_count;
@@ -1104,35 +1309,50 @@ struct LoadSlice {
 struct LoadSetup {
   std::vector<LoadCombo> combos;
   std::vector<LoadSlice> slices;
+  std::vector<sim::DeviceSpec> devices;
   pipeline::KernelCache* cache = nullptr;
-  i32 workers = 4;
-  std::size_t queue_capacity = 128;
+  i32 workers = 4;  ///< per shard
+  std::size_t queue_capacity = 128;  ///< per shard
   f64 deadline_ms = 0.0;
+  u32 shed_tiers = 3;
   exec::Backend backend = exec::Backend::kNative;
 };
 
-pipeline::ServerConfig loadtest_server_config(const LoadSetup& setup,
-                                              const LoadSlice& slice) {
-  pipeline::ServerConfig cfg;
-  cfg.workers = setup.workers;
-  cfg.queue_capacity = setup.queue_capacity;
-  cfg.executor.sim = slice.sim;
-  cfg.executor.concurrency = 1;  // parallelism across requests
-  cfg.executor.cache = setup.cache;
-  cfg.executor.backend = setup.backend;
+fleet::FleetConfig loadtest_fleet_config(const LoadSetup& setup,
+                                         const LoadSlice& slice) {
+  fleet::FleetConfig cfg;
+  cfg.devices = setup.devices;
+  cfg.shard.workers = setup.workers;
+  cfg.shard.queue_capacity = setup.queue_capacity;
+  cfg.shard.executor.sim = slice.sim;  // per-shard device overwritten inside
+  cfg.shard.executor.concurrency = 1;  // parallelism across requests
+  cfg.shard.executor.cache = setup.cache;
+  cfg.shard.executor.backend = setup.backend;
+  cfg.admission.tiers = setup.shed_tiers;
   return cfg;
 }
 
-/// Closed-loop capacity probe for one slice: keep 2x workers requests
-/// outstanding for `duration_ms` and measure the completion rate. The
-/// open-loop tiers offer multiples of this rate.
+fleet::FleetRequest load_request(const LoadSetup& setup, const LoadCombo& c,
+                                 u32 tier) {
+  fleet::FleetRequest req;
+  req.graph = c.graph;
+  req.source = c.source;
+  req.deadline_ms = setup.deadline_ms;
+  req.backend = setup.backend;
+  req.tier = tier;
+  return req;
+}
+
+/// Closed-loop capacity probe for one slice: keep 2x (workers x devices)
+/// top-tier requests outstanding for `duration_ms` and measure the fleet's
+/// completion rate. The open-loop tiers offer multiples of this rate.
 f64 calibrate_capacity_rps(const LoadSetup& setup, const LoadSlice& slice,
                            f64 duration_ms) {
   using Clock = std::chrono::steady_clock;
-  pipeline::PipelineServer server(loadtest_server_config(setup, slice));
+  fleet::FleetServer server(loadtest_fleet_config(setup, slice));
   const std::size_t outstanding_target =
-      static_cast<std::size_t>(setup.workers) * 2;
-  std::deque<std::future<pipeline::ServeResponse>> inflight;
+      static_cast<std::size_t>(setup.workers) * setup.devices.size() * 2;
+  std::deque<std::future<fleet::FleetResponse>> inflight;
   u64 ok = 0;
   std::size_t combo = 0;
   const Clock::time_point t0 = Clock::now();
@@ -1142,15 +1362,14 @@ f64 calibrate_capacity_rps(const LoadSetup& setup, const LoadSlice& slice,
   while (Clock::now() < end) {
     if (inflight.size() < outstanding_target) {
       const LoadCombo& c = setup.combos[combo++ % setup.combos.size()];
-      inflight.push_back(
-          server.submit({c.graph, c.source, 0.0, setup.backend}));
+      inflight.push_back(server.submit(load_request(setup, c, 0)));
     } else {
-      if (inflight.front().get().status == pipeline::ServeStatus::kOk) ++ok;
+      if (inflight.front().get().status == fleet::FleetStatus::kOk) ++ok;
       inflight.pop_front();
     }
   }
   for (auto& f : inflight) {
-    if (f.get().status == pipeline::ServeStatus::kOk) ++ok;
+    if (f.get().status == fleet::FleetStatus::kOk) ++ok;
   }
   server.shutdown();
   const f64 wall_s = std::chrono::duration<f64>(Clock::now() - t0).count();
@@ -1161,11 +1380,50 @@ f64 calibrate_capacity_rps(const LoadSetup& setup, const LoadSlice& slice,
   return static_cast<f64>(ok) / wall_s;
 }
 
+/// Index-wise fleet stats merge: the tier runs all use the same device
+/// order and admission tier count, so devices/tiers line up by position.
+void merge_fleet_stats(fleet::FleetStats& into,
+                       const fleet::FleetStats& from) {
+  into.submitted += from.submitted;
+  into.completed += from.completed;
+  into.shed += from.shed;
+  into.rejected += from.rejected;
+  into.deadline_expired += from.deadline_expired;
+  into.errors += from.errors;
+  into.failovers += from.failovers;
+  if (into.devices.empty()) into.devices.resize(from.devices.size());
+  for (std::size_t i = 0; i < from.devices.size(); ++i) {
+    fleet::FleetDeviceStats& d = into.devices[i];
+    const fleet::FleetDeviceStats& s = from.devices[i];
+    d.device = s.device;
+    d.routed += s.routed;
+    d.completed += s.completed;
+    d.errors += s.errors;
+    d.rejected += s.rejected;
+    d.probes += s.probes;
+    d.quarantines += s.quarantines;
+  }
+  if (into.tiers.empty()) into.tiers.resize(from.tiers.size());
+  for (std::size_t i = 0; i < from.tiers.size(); ++i) {
+    fleet::FleetTierStats& t = into.tiers[i];
+    const fleet::FleetTierStats& s = from.tiers[i];
+    t.tier = s.tier;
+    t.submitted += s.submitted;
+    t.shed += s.shed;
+    t.browned_out += s.browned_out;
+    t.completed += s.completed;
+    t.rejected += s.rejected;
+    t.deadline_expired += s.deadline_expired;
+    t.errors += s.errors;
+    t.latency_ms.merge(s.latency_ms);
+  }
+}
+
 /// Merged result of one tier (all slices, run serially).
 struct TierResult {
   f64 offered_rps = 0.0;  ///< wall-time-weighted mean offered rate
   f64 wall_s = 0.0;       ///< first submit -> fully drained, summed
-  pipeline::ServerStats stats;
+  fleet::FleetStats stats;
 
   [[nodiscard]] f64 throughput_rps() const {
     return wall_s > 0.0 ? static_cast<f64>(stats.completed) / wall_s : 0.0;
@@ -1176,29 +1434,26 @@ struct TierResult {
                      static_cast<f64>(stats.submitted)
                : 0.0;
   }
+  [[nodiscard]] f64 shed_rate() const {
+    return stats.submitted > 0 ? static_cast<f64>(stats.shed) /
+                                     static_cast<f64>(stats.submitted)
+                               : 0.0;
+  }
+  [[nodiscard]] obs::StreamingHistogram latency_all() const {
+    obs::StreamingHistogram all;
+    for (const fleet::FleetTierStats& t : stats.tiers) all.merge(t.latency_ms);
+    return all;
+  }
 };
 
-void merge_stats(pipeline::ServerStats& into,
-                 const pipeline::ServerStats& from) {
-  into.submitted += from.submitted;
-  into.accepted += from.accepted;
-  into.rejected += from.rejected;
-  into.completed += from.completed;
-  into.deadline_expired += from.deadline_expired;
-  into.watchdog_expired += from.watchdog_expired;
-  into.errors += from.errors;
-  into.total_latency_ms.merge(from.total_latency_ms);
-  into.queue_latency_ms.merge(from.queue_latency_ms);
-  into.exec_latency_ms.merge(from.exec_latency_ms);
-}
-
 /// Open-loop tier run: Poisson arrivals (exponential inter-arrival times)
-/// at `multiplier` x each slice's calibrated capacity, independent of
+/// at `multiplier` x each slice's calibrated fleet capacity, independent of
 /// completion — queue pressure above capacity is real, as at a production
-/// ingress. The app mix round-robins within a slice; slices run serially
-/// on fresh servers over the shared warm cache. `flight_recorder`
-/// (optional) receives the servers' SLO snapshots (200 ms exporter) and
-/// watchdog frames.
+/// ingress. Requests rotate through the app mix AND the admission priority
+/// tiers, so overload shows up as tier-ordered shedding rather than
+/// indiscriminate rejection. Slices run serially on fresh fleets over the
+/// shared warm cache. `flight_recorder` (optional) receives per-device SLO
+/// snapshots (200 ms exporter) and watchdog frames.
 TierResult run_tier(const LoadSetup& setup, f64 multiplier, f64 duration_ms,
                     u64 seed, obs::FlightRecorder* flight_recorder) {
   using Clock = std::chrono::steady_clock;
@@ -1207,20 +1462,27 @@ TierResult run_tier(const LoadSetup& setup, f64 multiplier, f64 duration_ms,
   for (std::size_t s = 0; s < setup.slices.size(); ++s) {
     const LoadSlice& slice = setup.slices[s];
     const f64 offered_rps = slice.capacity_rps * multiplier;
-    pipeline::ServerConfig cfg = loadtest_server_config(setup, slice);
-    cfg.flight_recorder = flight_recorder;
-    pipeline::PipelineServer server(cfg);
+    fleet::FleetConfig cfg = loadtest_fleet_config(setup, slice);
+    cfg.shard.flight_recorder = flight_recorder;
+    fleet::FleetServer server(cfg);
 
     std::unique_ptr<obs::SloExporter> exporter;
     if (flight_recorder != nullptr) {
       exporter = std::make_unique<obs::SloExporter>(
           *flight_recorder,
-          [&server] { return server.slo_snapshot().to_json(); },
+          [&server] {
+            obs::Json all = obs::Json::object();
+            for (const auto& [device, slo] : server.device_slo()) {
+              all[device] = slo.to_json();
+            }
+            return all;
+          },
           /*interval_ms=*/200);
     }
 
     Rng rng(seed + s);
     std::size_t combo = 0;
+    u32 tier_rr = 0;
     const Clock::time_point t0 = Clock::now();
     const Clock::time_point end =
         t0 + std::chrono::duration_cast<Clock::duration>(
@@ -1233,16 +1495,15 @@ TierResult run_tier(const LoadSetup& setup, f64 multiplier, f64 duration_ms,
       if (at >= end) break;
       std::this_thread::sleep_until(at);
       const LoadCombo& c = setup.combos[combo++ % setup.combos.size()];
-      // Open loop: the future is dropped — the server settles every
-      // promise and its stats count every outcome; the generator never
-      // blocks on completions.
+      // Open loop: the future is dropped — the fleet settles every promise
+      // and its stats count every outcome; the generator never blocks.
       (void)server.submit(
-          {c.graph, c.source, setup.deadline_ms, setup.backend});
+          load_request(setup, c, tier_rr++ % setup.shed_tiers));
     }
-    server.shutdown();  // drains the queue; every request settles
+    server.shutdown();  // drains every shard; every request settles
     const f64 wall_s = std::chrono::duration<f64>(Clock::now() - t0).count();
     if (exporter != nullptr) exporter->stop();  // final window sample
-    merge_stats(result.stats, server.stats());
+    merge_fleet_stats(result.stats, server.stats());
     result.wall_s += wall_s;
     offered_weighted += offered_rps * wall_s;
   }
@@ -1264,20 +1525,43 @@ obs::Json tier_json(std::string_view name, f64 multiplier, f64 duration_ms,
   t["wall_s"] = tier.wall_s;
   t["submitted"] = tier.stats.submitted;
   t["completed"] = tier.stats.completed;
+  t["shed"] = tier.stats.shed;
   t["rejected"] = tier.stats.rejected;
   t["deadline_expired"] = tier.stats.deadline_expired;
   t["errors"] = tier.stats.errors;
+  t["failovers"] = tier.stats.failovers;
   t["throughput_rps"] = tier.throughput_rps();
   t["rejection_rate"] = tier.rejection_rate();
+  t["shed_rate"] = tier.shed_rate();
+  const obs::StreamingHistogram all = tier.latency_all();
   obs::Json latency = obs::Json::object();
-  latency["p50_ms"] = opt(tier.stats.total_latency_ms.percentile(50.0));
-  latency["p90_ms"] = opt(tier.stats.total_latency_ms.percentile(90.0));
-  latency["p99_ms"] = opt(tier.stats.total_latency_ms.percentile(99.0));
-  latency["mean_ms"] = opt(tier.stats.total_latency_ms.mean());
-  latency["max_ms"] = opt(tier.stats.total_latency_ms.max());
-  latency["queue_p50_ms"] = opt(tier.stats.queue_latency_ms.percentile(50.0));
-  latency["exec_p50_ms"] = opt(tier.stats.exec_latency_ms.percentile(50.0));
+  latency["p50_ms"] = opt(all.percentile(50.0));
+  latency["p90_ms"] = opt(all.percentile(90.0));
+  latency["p99_ms"] = opt(all.percentile(99.0));
+  latency["mean_ms"] = opt(all.mean());
+  latency["max_ms"] = opt(all.max());
   t["latency"] = std::move(latency);
+  // Per-admission-priority-tier breakdown: the schema gate (bench_diff)
+  // requires this section — it is how shedding order and the admitted
+  // top-tier p99 get asserted in CI.
+  obs::Json admission = obs::Json::array();
+  for (const fleet::FleetTierStats& a : tier.stats.tiers) {
+    obs::Json j = obs::Json::object();
+    j["tier"] = static_cast<i64>(a.tier);
+    j["submitted"] = a.submitted;
+    j["shed"] = a.shed;
+    j["browned_out"] = a.browned_out;
+    j["completed"] = a.completed;
+    j["rejected"] = a.rejected;
+    j["deadline_expired"] = a.deadline_expired;
+    j["errors"] = a.errors;
+    obs::Json lat = obs::Json::object();
+    lat["p50_ms"] = opt(a.latency_ms.percentile(50.0));
+    lat["p99_ms"] = opt(a.latency_ms.percentile(99.0));
+    j["latency"] = std::move(lat);
+    admission.push_back(std::move(j));
+  }
+  t["admission"] = std::move(admission);
   return t;
 }
 
@@ -1322,11 +1606,13 @@ int run_loadtest(int argc, char** argv) {
   Cli cli(argc, argv);
   cli.option("apps", "comma list of apps to mix (default gaussian,sobel)")
       .option("patterns", "comma list of border patterns (default clamp,mirror)")
-      .option("device", "gtx680|rtx2080 (default gtx680)")
+      .option("devices",
+              "comma list of fleet devices (default gtx680,rtx2080)")
+      .option("shed-tiers", "fleet admission priority tiers (default 3)")
       .option("size", "synthetic image extent (default 128)")
       .option("block", "threadblock TXxTY (default 32x4)")
-      .option("workers", "server worker threads (default 4)")
-      .option("queue", "bounded queue capacity (default 128)")
+      .option("workers", "worker threads per device shard (default 4)")
+      .option("queue", "queue capacity per device shard (default 128)")
       .option("duration-ms", "submission window per tier slice (default 1500)")
       .option("tiers", "capacity multipliers (default 0.5,0.9,1.5)")
       .option("deadline-ms", "per-request deadline, 0 = none")
@@ -1374,11 +1660,12 @@ int run_loadtest(int argc, char** argv) {
   setup.queue_capacity = static_cast<std::size_t>(cli.get_int("queue", 128));
   setup.deadline_ms = cli.get_double("deadline-ms", 0.0);
   setup.backend = parse_backend_arg(cli.get_string("backend", "native"));
+  setup.devices = parse_devices(cli.get_string("devices", "gtx680,rtx2080"));
+  setup.shed_tiers = parse_shed_tiers(cli);
 
   filters::AppSimConfig base_sim;
   base_sim.sampled = !cli.get_flag("full");
   base_sim.block = parse_block(cli.get_string("block", "32x4"));
-  base_sim.device = parse_device(cli.get_string("device", "gtx680"));
 
   const std::vector<std::string> app_names =
       split_csv(cli.get_string("apps", "gaussian,sobel"));
@@ -1410,17 +1697,31 @@ int run_loadtest(int argc, char** argv) {
   setup.cache = &cache;
   const std::string json_path = cli.get_string("json", "BENCH_serve.json");
 
-  // Warm the shared cache: one pass over every app x pattern pairing so
-  // tier runs measure steady-state serving, not first-touch compilation.
+  // Warm the shared cache: one pass over every app x pattern x device
+  // pairing (pinned placements so every shard compiles its own device-keyed
+  // modules) so tier runs measure steady-state serving, not first-touch
+  // compilation. The kNaive pass pre-compiles the brownout artifacts —
+  // otherwise the first browned-out request under overload pays a JIT
+  // compile inside the measurement window.
   for (const LoadSlice& slice : setup.slices) {
-    pipeline::PipelineServer warm(loadtest_server_config(setup, slice));
-    std::vector<std::future<pipeline::ServeResponse>> futures;
+    fleet::FleetServer warm(loadtest_fleet_config(setup, slice));
+    std::vector<std::future<fleet::FleetResponse>> futures;
     for (const LoadCombo& c : setup.combos) {
-      futures.push_back(warm.submit({c.graph, c.source, 0.0, setup.backend}));
+      for (const sim::DeviceSpec& dev : setup.devices) {
+        for (const std::optional<codegen::Variant> variant :
+             {std::optional<codegen::Variant>{},
+              std::optional<codegen::Variant>{codegen::Variant::kNaive}}) {
+          fleet::FleetRequest req = load_request(setup, c, 0);
+          req.deadline_ms = 0.0;
+          req.pin_device = dev.name;
+          req.variant = variant;
+          futures.push_back(warm.submit(std::move(req)));
+        }
+      }
     }
     for (auto& f : futures) {
-      const pipeline::ServeResponse r = f.get();
-      if (r.status != pipeline::ServeStatus::kOk) {
+      const fleet::FleetResponse r = f.get();
+      if (r.status != fleet::FleetStatus::kOk) {
         throw IoError("loadtest warmup (" + slice.pattern_name +
                       ") failed: " + r.error);
       }
@@ -1428,9 +1729,10 @@ int run_loadtest(int argc, char** argv) {
     warm.shutdown();
   }
 
-  std::cout << "calibrating closed-loop capacity (" << setup.combos.size()
-            << " apps x " << setup.slices.size() << " patterns, " << workers
-            << " workers)...\n";
+  std::cout << "calibrating closed-loop fleet capacity ("
+            << setup.combos.size() << " apps x " << setup.slices.size()
+            << " patterns, " << setup.devices.size() << " device(s) x "
+            << workers << " workers)...\n";
   const f64 calib_ms = std::max(duration_ms * 0.5, 200.0);
   f64 capacity_sum = 0.0;
   for (LoadSlice& slice : setup.slices) {
@@ -1449,24 +1751,29 @@ int run_loadtest(int argc, char** argv) {
   };
 
   obs::Json tiers = obs::Json::array();
-  AsciiTable table("loadtest tiers (mean slice capacity " +
-                   AsciiTable::num(capacity_rps, 1) + " req/s)");
+  AsciiTable table("loadtest tiers (fleet capacity " +
+                   AsciiTable::num(capacity_rps, 1) + " req/s over " +
+                   std::to_string(setup.devices.size()) + " device(s))");
   table.set_header({"tier", "offered rps", "throughput rps", "p50 ms",
-                    "p99 ms", "rejected %"});
+                    "p99 ms", "shed %", "rejected %"});
   f64 top_multiplier = 0.0;
   for (f64 m : multipliers) top_multiplier = std::max(top_multiplier, m);
+  fleet::FleetStats fleet_total;  ///< all measured tiers (placement story)
   for (std::size_t i = 0; i < multipliers.size(); ++i) {
     const f64 m = multipliers[i];
     const TierResult tier =
         run_tier(setup, m, duration_ms, seed + i * 100, nullptr);
     tiers.push_back(tier_json(tier_name(m), m, duration_ms, tier));
+    merge_fleet_stats(fleet_total, tier.stats);
+    const obs::StreamingHistogram all = tier.latency_all();
     const auto p = [&](f64 pct) {
-      const std::optional<f64> v = tier.stats.total_latency_ms.percentile(pct);
+      const std::optional<f64> v = all.percentile(pct);
       return v ? AsciiTable::num(*v, 3) : std::string("n/a");
     };
     table.add_row({tier_name(m) + " x" + AsciiTable::num(m, 2),
                    AsciiTable::num(tier.offered_rps, 1),
                    AsciiTable::num(tier.throughput_rps(), 1), p(50.0), p(99.0),
+                   AsciiTable::num(tier.shed_rate() * 100.0, 1),
                    AsciiTable::num(tier.rejection_rate() * 100.0, 1)});
   }
 
@@ -1492,7 +1799,9 @@ int run_loadtest(int argc, char** argv) {
 
   obs::Json report = obs::Json::object();
   report["bench"] = "loadtest";
-  report["schema_version"] = static_cast<i64>(1);
+  // v2: fleet serving — per-device placement stats and per-admission-tier
+  // shed/brownout breakdowns joined the schema (bench_diff gates on it).
+  report["schema_version"] = static_cast<i64>(2);
   obs::Json config = obs::Json::object();
   config["apps"] = [&] {
     obs::Json a = obs::Json::array();
@@ -1511,11 +1820,33 @@ int run_loadtest(int argc, char** argv) {
   config["deadline_ms"] = setup.deadline_ms;
   config["seed"] = seed;
   config["sampled"] = base_sim.sampled;
-  config["device"] = base_sim.device.name;
+  config["devices"] = [&] {
+    obs::Json a = obs::Json::array();
+    for (const sim::DeviceSpec& d : setup.devices) {
+      a.push_back(obs::Json(d.name));
+    }
+    return a;
+  }();
+  config["shed_tiers"] = static_cast<i64>(setup.shed_tiers);
   config["backend"] = std::string(exec::to_string(setup.backend));
   report["config"] = std::move(config);
   report["capacity_rps"] = capacity_rps;
   report["tiers"] = std::move(tiers);
+  // Placement over every measured tier: where requests landed, how often
+  // each device was quarantined, how many half-open probes it absorbed.
+  obs::Json devices_json = obs::Json::array();
+  for (const fleet::FleetDeviceStats& d : fleet_total.devices) {
+    obs::Json j = obs::Json::object();
+    j["device"] = d.device;
+    j["routed"] = d.routed;
+    j["completed"] = d.completed;
+    j["errors"] = d.errors;
+    j["rejected"] = d.rejected;
+    j["probes"] = d.probes;
+    j["quarantines"] = d.quarantines;
+    devices_json.push_back(std::move(j));
+  }
+  report["devices"] = std::move(devices_json);
   obs::Json overhead = obs::Json::object();
   overhead["obs_off_rps"] = off_rps;
   overhead["obs_on_rps"] = on_rps;
@@ -1547,6 +1878,331 @@ std::string injected_point(const std::string& error) {
   return error.substr(start, end - start);
 }
 
+/// `chaos --devices=...`: device-level fleet chaos. Each seeded schedule
+/// afflicts all but one seed-chosen device with kill / flap / stall faults
+/// (FaultPlan::device_chaos) and drives the 5-app x 4-pattern matrix
+/// through the fleet router, asserting:
+///   - every future settles (60 s cap -> hard exit, likely deadlock);
+///   - every kOk answer is bit-identical to the CPU reference, failover
+///     re-dispatches and browned-out (kNaive) responses included;
+///   - errors only ever trace back to injected fault points;
+///   - no shard leaks a watchdog orphan past shutdown;
+///   - every schedule completes at least one request (the survivor device
+///     absorbs the load);
+///   - flapped devices re-converge: once their faults clear, a half-open
+///     probe must restore routing to them (asserted per schedule).
+int run_chaos_fleet(const Cli& cli, i32 schedules, u64 seed_base,
+                    i32 requests, i32 size, f64 deadline_ms,
+                    std::vector<sim::DeviceSpec> devices,
+                    const std::string& mode, u32 shed_tiers) {
+  if (mode != "kill" && mode != "flap" && mode != "stall" && mode != "mix") {
+    throw IoError("unknown --device-fault '" + mode +
+                  "' (kill|flap|stall|mix)");
+  }
+  if (devices.size() < 2) {
+    throw IoError("fleet chaos needs --devices with >= 2 entries "
+                  "(one always survives)");
+  }
+  std::vector<std::string> device_names;
+  for (const sim::DeviceSpec& d : devices) device_names.push_back(d.name);
+
+  const std::vector<filters::MultiKernelApp> apps = filters::all_apps();
+  const f32 border_constant = 32.5f;
+  const Image<f32> source_img = make_noise_image({size, size}, 4242);
+  const auto source = std::make_shared<const Image<f32>>(source_img);
+
+  struct Combo {
+    const filters::MultiKernelApp* app;
+    BorderPattern pattern;
+    std::shared_ptr<const pipeline::KernelGraph> graph;
+    Image<f32> reference;
+  };
+  std::vector<Combo> combos;
+  for (const filters::MultiKernelApp& app : apps) {
+    const auto graph = std::make_shared<const pipeline::KernelGraph>(
+        pipeline::build_graph(app));
+    for (BorderPattern pattern : kAllBorderPatterns) {
+      combos.push_back({&app, pattern, graph,
+                        filters::run_app_reference(app, source_img, pattern,
+                                                   border_constant)});
+    }
+  }
+
+  u64 total_requests = 0;
+  u64 ok = 0, errors = 0, expired = 0, rejected = 0, shed = 0;
+  u64 browned = 0, failovers = 0, quarantines = 0, recoveries = 0;
+  std::map<std::string, u64> fires_by_point;
+  std::map<std::string, u64> error_points;
+  std::vector<std::string> violations;
+
+  for (i32 s = 0; s < schedules; ++s) {
+    const u64 seed = seed_base + static_cast<u64>(s);
+    const resilience::FaultPlan plan =
+        resilience::FaultPlan::device_chaos(seed, device_names, mode);
+    resilience::VirtualClock vclock;  // delays and cooldowns: free
+    resilience::FaultInjector injector(plan, &vclock);
+    resilience::FaultInjector::ScopedInstall install(injector);
+
+    // Which devices flap (their launch faults clear after max_fires)? Those
+    // are the ones the re-convergence assertion applies to.
+    std::vector<std::string> flapped;
+    for (const resilience::FaultRule& rule : plan.rules) {
+      if (rule.point == "device.launch" &&
+          rule.kind == resilience::FaultKind::kThrow && rule.max_fires > 0) {
+        flapped.push_back(rule.match);
+      }
+    }
+
+    u64 schedule_ok = 0;
+    for (const Combo& combo : combos) {
+      // Fresh cache per combo: every combo exercises the fill path and no
+      // module state leaks between schedules.
+      pipeline::KernelCache cache;
+
+      fleet::FleetConfig fleet_cfg;
+      fleet_cfg.devices = devices;
+      fleet_cfg.shard.workers = 2;
+      fleet_cfg.shard.queue_capacity =
+          static_cast<std::size_t>(std::max(requests, 4));
+      fleet_cfg.shard.executor.sim.pattern = combo.pattern;
+      fleet_cfg.shard.executor.sim.constant = border_constant;
+      fleet_cfg.shard.executor.cache = &cache;
+      // The fleet is the resilience layer under test here: shard-internal
+      // breakers and retries stay off so an injected device fault surfaces
+      // as a device error and exercises failover, not the kernel fallback.
+      fleet_cfg.shard.breakers_enabled = false;
+      fleet_cfg.device_breaker.failure_threshold = 2;
+      fleet_cfg.device_breaker.open_cooldown_ms = 50;
+      fleet_cfg.admission.tiers = shed_tiers;
+      fleet_cfg.clock = &vclock;
+
+      fleet::FleetServer server(fleet_cfg);
+      std::vector<std::future<fleet::FleetResponse>> futures;
+      futures.reserve(static_cast<std::size_t>(requests));
+      for (i32 i = 0; i < requests; ++i) {
+        fleet::FleetRequest req;
+        req.graph = combo.graph;
+        req.source = source;
+        req.deadline_ms = deadline_ms;
+        req.tier = static_cast<u32>(i) % shed_tiers;
+        futures.push_back(server.submit(std::move(req)));
+      }
+
+      for (auto& f : futures) {
+        ++total_requests;
+        // Invariant: every future settles; 60 s for a simulated launch
+        // means deadlock.
+        if (f.wait_for(std::chrono::seconds(60)) !=
+            std::future_status::ready) {
+          std::cerr << "chaos violation: fleet request did not settle within "
+                    << "60s (seed " << seed << ", " << combo.app->name << "/"
+                    << to_string(combo.pattern) << ") — likely deadlock\n";
+          std::_Exit(1);  // unwinding would block on the hung fleet
+        }
+        const fleet::FleetResponse resp = f.get();
+        switch (resp.status) {
+          case fleet::FleetStatus::kOk: {
+            ++ok;
+            ++schedule_ok;
+            if (resp.browned_out) ++browned;
+            if (resp.dispatches > 1) ++failovers;
+            // Invariant: bit identity — failover re-dispatches and
+            // browned-out kNaive responses included.
+            const CompareResult diff =
+                compare(resp.serve.output, combo.reference);
+            if (diff.max_abs != 0.0) {
+              violations.push_back(
+                  "seed " + std::to_string(seed) + ": " + combo.app->name +
+                  "/" + std::string(to_string(combo.pattern)) + " kOk on " +
+                  resp.device + " diverges from reference (max abs " +
+                  std::to_string(diff.max_abs) + ")");
+            }
+            break;
+          }
+          case fleet::FleetStatus::kError: {
+            ++errors;
+            const std::string point = injected_point(resp.error);
+            if (point.empty()) {
+              violations.push_back("seed " + std::to_string(seed) +
+                                   ": non-injected fleet error: " +
+                                   resp.error);
+            } else {
+              ++error_points[point];
+            }
+            break;
+          }
+          case fleet::FleetStatus::kDeadlineExpired:
+            ++expired;
+            break;
+          case fleet::FleetStatus::kShed:
+            ++shed;
+            break;
+          case fleet::FleetStatus::kRejected:
+            ++rejected;
+            break;
+        }
+      }
+
+      // Re-convergence: a flapped device whose breaker tripped must come
+      // back once its faults are exhausted — advance past the cooldown and
+      // let the pinned request ride in as the half-open probe. Bounded
+      // attempts: the flap burns at most a few fires.
+      for (const std::string& device : flapped) {
+        bool tripped = false;
+        for (const resilience::BreakerSnapshot& b : server.device_health()) {
+          if (b.kernel.find(device) != std::string::npos && b.trips > 0) {
+            tripped = true;
+          }
+        }
+        if (!tripped) continue;  // flap absorbed without a quarantine
+        bool healed = false;
+        for (int attempt = 0; attempt < 10 && !healed; ++attempt) {
+          vclock.advance(60);
+          fleet::FleetRequest probe;
+          probe.graph = combo.graph;
+          probe.source = source;
+          probe.pin_device = device;
+          auto future = server.submit(std::move(probe));
+          if (future.wait_for(std::chrono::seconds(60)) !=
+              std::future_status::ready) {
+            std::cerr << "chaos violation: recovery probe did not settle "
+                      << "(seed " << seed << ", device " << device << ")\n";
+            std::_Exit(1);
+          }
+          healed = future.get().status == fleet::FleetStatus::kOk;
+        }
+        if (healed) {
+          ++recoveries;
+        } else {
+          violations.push_back("seed " + std::to_string(seed) + ": flapped " +
+                               device +
+                               " never restored by half-open probes");
+        }
+      }
+
+      server.shutdown();
+      const fleet::FleetStats stats = server.stats();
+      for (const fleet::FleetDeviceStats& d : stats.devices) {
+        quarantines += d.quarantines;
+      }
+      // Invariant: no shard leaks a watchdog orphan past the fleet drain.
+      for (std::size_t i = 0; i < server.num_shards(); ++i) {
+        const resilience::HealthState health = server.shard_health(i);
+        if (health.orphaned_executions != 0) {
+          violations.push_back(
+              "seed " + std::to_string(seed) + ": " +
+              std::to_string(health.orphaned_executions) +
+              " orphaned execution(s) survived shutdown on " +
+              server.device(i).name);
+        }
+      }
+    }
+
+    for (const resilience::FaultPointCounters& c : injector.counters()) {
+      fires_by_point[c.point] += c.thrown + c.delayed + c.corrupted;
+    }
+
+    // Invariant: the survivor absorbs the schedule.
+    if (schedule_ok == 0) {
+      std::string worst;
+      u64 worst_count = 0;
+      for (const auto& [point, count] : error_points) {
+        if (count > worst_count) {
+          worst = point;
+          worst_count = count;
+        }
+      }
+      violations.push_back(
+          "seed " + std::to_string(seed) +
+          ": no fleet request succeeded — unrecoverable fault" +
+          (worst.empty() ? std::string()
+                         : " at fault point '" + worst + "'"));
+    }
+  }
+
+  obs::Json report = obs::Json::object();
+  report["mode"] = std::string("fleet");
+  report["device_fault"] = mode;
+  report["devices"] = [&] {
+    obs::Json a = obs::Json::array();
+    for (const std::string& n : device_names) a.push_back(obs::Json(n));
+    return a;
+  }();
+  report["schedules"] = static_cast<i64>(schedules);
+  report["seed_base"] = static_cast<i64>(seed_base);
+  report["apps"] = static_cast<i64>(apps.size());
+  report["patterns"] = static_cast<i64>(kAllBorderPatterns.size());
+  report["requests_per_combo"] = static_cast<i64>(requests);
+  report["shed_tiers"] = static_cast<i64>(shed_tiers);
+  report["size"] = size;
+  report["deadline_ms"] = deadline_ms;
+  obs::Json totals = obs::Json::object();
+  totals["requests"] = total_requests;
+  totals["ok"] = ok;
+  totals["errors"] = errors;
+  totals["deadline_expired"] = expired;
+  totals["shed"] = shed;
+  totals["rejected"] = rejected;
+  totals["browned_out"] = browned;
+  totals["failovers"] = failovers;
+  totals["quarantines"] = quarantines;
+  totals["probe_recoveries"] = recoveries;
+  report["totals"] = std::move(totals);
+  obs::Json fires = obs::Json::object();
+  for (const auto& [point, count] : fires_by_point) fires[point] = count;
+  report["fault_fires"] = std::move(fires);
+  obs::Json violations_json = obs::Json::array();
+  for (const std::string& v : violations) violations_json.push_back(v);
+  report["violations"] = std::move(violations_json);
+  report["ok_verdict"] = violations.empty();
+
+  const std::string json_arg = cli.get_string("json", "");
+  if (json_arg == "true") {
+    std::cout << report.dump(2) << "\n";
+  } else {
+    if (!json_arg.empty()) write_text_file(json_arg, report.dump(2));
+
+    std::string device_list;
+    for (const std::string& n : device_names) {
+      device_list += (device_list.empty() ? "" : "+") + n;
+    }
+    AsciiTable table("fleet chaos (" + mode + "): " +
+                     std::to_string(schedules) + " schedule(s) on " +
+                     device_list);
+    table.set_header({"metric", "value"});
+    table.add_row({"requests", std::to_string(total_requests)});
+    table.add_row({"ok", std::to_string(ok)});
+    table.add_row({"errors (injected)", std::to_string(errors)});
+    table.add_row({"deadline expired", std::to_string(expired)});
+    table.add_row({"shed", std::to_string(shed)});
+    table.add_row({"rejected", std::to_string(rejected)});
+    table.add_row({"browned out", std::to_string(browned)});
+    table.add_row({"failovers", std::to_string(failovers)});
+    table.add_row({"quarantines", std::to_string(quarantines)});
+    table.add_row({"probe recoveries", std::to_string(recoveries)});
+    for (const auto& [point, count] : fires_by_point) {
+      table.add_row({"fires: " + point, std::to_string(count)});
+    }
+    table.print(std::cout);
+    if (!json_arg.empty()) std::cout << "wrote " << json_arg << "\n";
+  }
+
+  if (!violations.empty()) {
+    constexpr std::size_t kMaxPrinted = 8;
+    for (std::size_t i = 0; i < violations.size() && i < kMaxPrinted; ++i) {
+      std::cerr << "chaos violation: " << violations[i] << "\n";
+    }
+    if (violations.size() > kMaxPrinted) {
+      std::cerr << "... and " << violations.size() - kMaxPrinted << " more\n";
+    }
+    std::cerr << "chaos FAILED: " << violations.size() << " violation(s)\n";
+    return 1;
+  }
+  std::cout << "fleet chaos invariants hold across " << schedules
+            << " schedule(s)\n";
+  return 0;
+}
+
 int run_chaos(int argc, char** argv) {
   Cli cli(argc, argv);
   cli.option("schedules", "seeded fault schedules to run (default 64)")
@@ -1560,6 +2216,12 @@ int run_chaos(int argc, char** argv) {
       .option("force-fail",
               "fault point to fail unrecoverably: compile.lower|cache.insert|"
               "executor.stage|server.exec|launcher.launch")
+      .option("devices",
+              "comma-separated fleet (gtx680|rtx2080); switches to "
+              "device-level fleet chaos")
+      .option("device-fault",
+              "fleet fault mode: kill|flap|stall|mix (default mix)")
+      .option("shed-tiers", "admission tiers for fleet chaos (default 3)")
       .option("json", "report as JSON: --json to stdout, --json=PATH to file");
   if (cli.finish()) {
     std::cout << cli.help();
@@ -1583,6 +2245,19 @@ int run_chaos(int argc, char** argv) {
   // Below the 32x4 block footprint the launcher's degenerate-partition
   // fallback forces naive everywhere and the ISP paths go untested.
   if (size < 64) throw IoError("--size must be >= 64");
+
+  const std::string devices_arg = cli.get_string("devices", "");
+  if (!devices_arg.empty()) {
+    if (!force_fail.empty() || !variant_arg.empty()) {
+      throw IoError(
+          "--force-fail/--variant apply to single-server chaos only; drop "
+          "--devices or those flags");
+    }
+    return run_chaos_fleet(cli, schedules, seed_base, requests, size,
+                           deadline_ms, parse_devices(devices_arg),
+                           cli.get_string("device-fault", "mix"),
+                           parse_shed_tiers(cli));
+  }
 
   // The matrix: all five evaluation apps under all four border patterns,
   // with per-combo CPU references computed fault-free up front.
@@ -1658,8 +2333,8 @@ int run_chaos(int argc, char** argv) {
       std::vector<std::future<pipeline::ServeResponse>> futures;
       futures.reserve(static_cast<std::size_t>(requests));
       for (i32 i = 0; i < requests; ++i) {
-        futures.push_back(
-            server.submit({combo.graph, source, deadline_ms, std::nullopt}));
+        futures.push_back(server.submit(
+            {combo.graph, source, deadline_ms, std::nullopt, std::nullopt}));
       }
 
       for (auto& f : futures) {
